@@ -1,0 +1,744 @@
+// Benchmarks regenerating the measurements behind every table and figure of
+// the paper (one benchmark family per artifact; see DESIGN.md §3), plus the
+// ablation benchmarks of DESIGN.md §5.
+//
+// Scale: REPRO_BENCH_SF overrides the TPC-H scale factor (default 0.01).
+// Run with: go test -bench=. -benchmem
+package renum
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/cqenum"
+	"repro/internal/dynaccess"
+	"repro/internal/fenwick"
+	"repro/internal/mcucq"
+	"repro/internal/query"
+	"repro/internal/reduce"
+	"repro/internal/relation"
+	"repro/internal/sample"
+	"repro/internal/synth"
+	"repro/internal/tpch"
+	"repro/internal/tpchq"
+	"repro/internal/unionenum"
+)
+
+var (
+	benchOnce sync.Once
+	benchDB   *relation.Database
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("REPRO_BENCH_SF"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.01
+}
+
+func db(b *testing.B) *relation.Database {
+	benchOnce.Do(func() {
+		d, err := tpch.Generate(tpch.Config{ScaleFactor: benchScale(), Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		if err := tpchq.PrepareDerived(d); err != nil {
+			panic(err)
+		}
+		benchDB = d
+	})
+	return benchDB
+}
+
+func prepare(b *testing.B, q *query.CQ) *cqenum.CQ {
+	b.Helper()
+	c, err := cqenum.Prepare(db(b), q, reduce.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// --- Figure 1: total enumeration time, REnum(CQ) vs Sample(EW) -------------
+//
+// One op = preprocessing + enumerating 10% of the answers (the regime where
+// the paper's Figure 1 begins separating the algorithms).
+
+func BenchmarkFig1(b *testing.B) {
+	for _, q := range tpchq.CQs() {
+		q := q
+		b.Run(q.Name+"/REnumCQ", func(b *testing.B) {
+			d := db(b)
+			for i := 0; i < b.N; i++ {
+				c, err := cqenum.Prepare(d, q, reduce.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				k := c.Count() / 10
+				perm := c.Permute(rand.New(rand.NewSource(int64(i))))
+				for j := int64(0); j < k; j++ {
+					perm.Next()
+				}
+			}
+		})
+		b.Run(q.Name+"/SampleEW", func(b *testing.B) {
+			d := db(b)
+			for i := 0; i < b.N; i++ {
+				c, err := cqenum.Prepare(d, q, reduce.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				k := c.Count() / 10
+				s := sample.New(c.Index, sample.EW, rand.New(rand.NewSource(int64(i))))
+				for j := int64(0); j < k; j++ {
+					s.Next()
+				}
+			}
+		})
+	}
+}
+
+// --- Figures 2/3/7: per-answer delay ----------------------------------------
+//
+// One op = producing one answer (ns/op ≈ the delay the paper box-plots).
+// Fig2 measures the full-enumeration regime; Fig3 the first-50% regime
+// (Sample(EW)'s duplicate rate is what separates them).
+
+func benchDelay(b *testing.B, fraction float64, mk func(c *cqenum.CQ, seed int64) func() bool) {
+	for _, q := range tpchq.CQs() {
+		q := q
+		b.Run(q.Name, func(b *testing.B) {
+			c := prepare(b, q)
+			limit := int64(float64(c.Count()) * fraction)
+			if limit < 1 {
+				limit = 1
+			}
+			seed := int64(0)
+			next := mk(c, seed)
+			produced := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if produced >= limit {
+					b.StopTimer()
+					seed++
+					next = mk(c, seed)
+					produced = 0
+					b.StartTimer()
+				}
+				if !next() {
+					b.Fatal("enumeration ended early")
+				}
+				produced++
+			}
+		})
+	}
+}
+
+func BenchmarkFig2DelayREnumCQ(b *testing.B) {
+	benchDelay(b, 1.0, func(c *cqenum.CQ, seed int64) func() bool {
+		p := c.Permute(rand.New(rand.NewSource(seed)))
+		return func() bool { _, ok := p.Next(); return ok }
+	})
+}
+
+func BenchmarkFig2DelaySampleEW(b *testing.B) {
+	benchDelay(b, 1.0, func(c *cqenum.CQ, seed int64) func() bool {
+		s := sample.New(c.Index, sample.EW, rand.New(rand.NewSource(seed)))
+		return func() bool { _, ok := s.Next(); return ok }
+	})
+}
+
+func BenchmarkFig3DelayREnumCQ(b *testing.B) {
+	benchDelay(b, 0.5, func(c *cqenum.CQ, seed int64) func() bool {
+		p := c.Permute(rand.New(rand.NewSource(seed)))
+		return func() bool { _, ok := p.Next(); return ok }
+	})
+}
+
+func BenchmarkFig3DelaySampleEW(b *testing.B) {
+	benchDelay(b, 0.5, func(c *cqenum.CQ, seed int64) func() bool {
+		s := sample.New(c.Index, sample.EW, rand.New(rand.NewSource(seed)))
+		return func() bool { _, ok := s.Next(); return ok }
+	})
+}
+
+// --- Figures 4a/4b: UCQ enumeration ------------------------------------------
+//
+// One op = preprocessing + full random-order enumeration of the union.
+
+func BenchmarkFig4a(b *testing.B) {
+	for _, u := range tpchq.UCQs() {
+		u := u
+		b.Run(u.Name+"/CumulativeCQ", func(b *testing.B) {
+			d := db(b)
+			for i := 0; i < b.N; i++ {
+				for _, q := range u.Disjuncts {
+					c, err := cqenum.Prepare(d, q, reduce.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					perm := c.Permute(rand.New(rand.NewSource(int64(i))))
+					for {
+						if _, ok := perm.Next(); !ok {
+							break
+						}
+					}
+				}
+			}
+		})
+		b.Run(u.Name+"/REnumUCQ", func(b *testing.B) {
+			d := db(b)
+			for i := 0; i < b.N; i++ {
+				e, err := unionenum.NewFromUCQ(d, u, rand.New(rand.NewSource(int64(i))), reduce.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, ok := e.Next(); !ok {
+						break
+					}
+				}
+			}
+		})
+		b.Run(u.Name+"/REnumMCUCQ", func(b *testing.B) {
+			d := db(b)
+			for i := 0; i < b.N; i++ {
+				m, err := mcucq.New(d, u, mcucq.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				perm := m.Permute(rand.New(rand.NewSource(int64(i))))
+				for {
+					if _, ok := perm.Next(); !ok {
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4b measures the 60%-regime where the paper observes
+// REnum(mcUCQ) overtaking REnum(UCQ) on QS7∪QC7.
+func BenchmarkFig4b(b *testing.B) {
+	u := tpchq.UnionQ7()
+	b.Run("REnumUCQ60", func(b *testing.B) {
+		d := db(b)
+		for i := 0; i < b.N; i++ {
+			e, err := unionenum.NewFromUCQ(d, u, rand.New(rand.NewSource(int64(i))), reduce.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// 60% of the union: first compute the union size cheaply from a
+			// previous full drain is overkill per-op; drain 60% of Remaining
+			// upper bound instead (stable across iterations).
+			k := e.Remaining() * 6 / 10
+			for j := int64(0); j < k; j++ {
+				if _, ok := e.Next(); !ok {
+					break
+				}
+			}
+		}
+	})
+	b.Run("REnumMCUCQ60", func(b *testing.B) {
+		d := db(b)
+		for i := 0; i < b.N; i++ {
+			m, err := mcucq.New(d, u, mcucq.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			k := m.Count() * 6 / 10
+			perm := m.Permute(rand.New(rand.NewSource(int64(i))))
+			for j := int64(0); j < k; j++ {
+				perm.Next()
+			}
+		}
+	})
+}
+
+// --- Figure 5: rejection overhead of REnum(UCQ) -----------------------------
+//
+// One op = a full instrumented drain of QS7∪QC7; the rejected-iteration share
+// is reported as a custom metric.
+
+func BenchmarkFig5Rejections(b *testing.B) {
+	d := db(b)
+	u := tpchq.UnionQ7()
+	var rejects, answers int64
+	for i := 0; i < b.N; i++ {
+		e, err := unionenum.NewFromUCQ(d, u, rand.New(rand.NewSource(int64(i))), reduce.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok := e.Next(); !ok {
+				break
+			}
+			answers++
+		}
+		rejects += e.Rejections
+	}
+	if answers > 0 {
+		b.ReportMetric(float64(rejects)/float64(answers), "rejections/answer")
+	}
+}
+
+// --- Figures 6/8 and appendix B.2.3: the other baselines ---------------------
+//
+// One op = one distinct answer from the given sampler on Q3 (Q3 is the query
+// the appendix uses for OE and RS).
+
+func benchSamplerDraws(b *testing.B, m sample.Method) {
+	c := prepare(b, tpchq.Q3())
+	limit := c.Count() / 10
+	if limit < 1 {
+		limit = 1
+	}
+	s := sample.New(c.Index, m, rand.New(rand.NewSource(1)))
+	s.MaxTrialsPerDraw = 1_000_000
+	produced := int64(0)
+	seed := int64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if produced >= limit {
+			b.StopTimer()
+			seed++
+			s = sample.New(c.Index, m, rand.New(rand.NewSource(seed)))
+			s.MaxTrialsPerDraw = 1_000_000
+			produced = 0
+			b.StartTimer()
+		}
+		if _, ok := s.Next(); !ok {
+			b.Skipf("sampler %v exhausted its trial budget", m)
+		}
+		produced++
+	}
+	b.ReportMetric(float64(s.Trials)/float64(produced+1), "trials/answer")
+}
+
+func BenchmarkFig6SampleEO(b *testing.B) { benchSamplerDraws(b, sample.EO) }
+func BenchmarkFig8SampleOE(b *testing.B) { benchSamplerDraws(b, sample.OE) }
+func BenchmarkRSSampleRS(b *testing.B)   { benchSamplerDraws(b, sample.RS) }
+
+// --- Ablations (DESIGN.md §5) ------------------------------------------------
+
+// Ablation 1: binary search vs linear scan inside buckets during Access.
+func BenchmarkAblationBucketSearch(b *testing.B) {
+	c := prepare(b, tpchq.Q3())
+	n := c.Count()
+	rng := rand.New(rand.NewSource(2))
+	b.Run("BinarySearch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Index.Access(rng.Int63n(n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("LinearScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Index.AccessLinear(rng.Int63n(n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation 2: Fisher–Yates over random access (Theorem 3.7) vs running
+// Algorithm 5 on the singleton union — why the direct approach is right for
+// single CQs.
+func BenchmarkAblationPermutationStrategy(b *testing.B) {
+	q := tpchq.Q0()
+	b.Run("FisherYates", func(b *testing.B) {
+		c := prepare(b, q)
+		p := c.Permute(rand.New(rand.NewSource(1)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := p.Next(); !ok {
+				b.StopTimer()
+				p = c.Permute(rand.New(rand.NewSource(int64(i))))
+				b.StartTimer()
+			}
+		}
+	})
+	b.Run("Algorithm5Singleton", func(b *testing.B) {
+		c := prepare(b, q)
+		e := unionenum.New([]unionenum.Set{c.NewDeletableSet()}, rand.New(rand.NewSource(1)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := e.Next(); !ok {
+				b.StopTimer()
+				e = unionenum.New([]unionenum.Set{c.NewDeletableSet()}, rand.New(rand.NewSource(int64(i))))
+				b.StartTimer()
+			}
+		}
+	})
+}
+
+// Ablation 3: Algorithm 5's owner-deletion versus plain
+// sampling-with-rejection of already-seen answers (Karp–Luby style) on an
+// overlapping union. One op = one emitted answer of QS7∪QC7.
+func BenchmarkAblationKarpLuby(b *testing.B) {
+	u := tpchq.UnionQ7()
+	d := db(b)
+	b.Run("OwnerDeletion", func(b *testing.B) {
+		e, err := unionenum.NewFromUCQ(d, u, rand.New(rand.NewSource(1)), reduce.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := e.Next(); !ok {
+				b.StopTimer()
+				e, err = unionenum.NewFromUCQ(d, u, rand.New(rand.NewSource(int64(i))), reduce.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		}
+	})
+	b.Run("RejectSeen", func(b *testing.B) {
+		// Karp–Luby sampling (uniform over the union with replacement via
+		// weighted disjunct choice + ownership test) with seen-set rejection.
+		mk := func(seed int64) (func() (relation.Tuple, bool), int64) {
+			var cs []*cqenum.CQ
+			var total int64
+			for _, q := range u.Disjuncts {
+				c, err := cqenum.Prepare(d, q, reduce.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cs = append(cs, c)
+				total += c.Count()
+			}
+			rng := rand.New(rand.NewSource(seed))
+			seen := make(map[string]bool)
+			return func() (relation.Tuple, bool) {
+				for {
+					r := rng.Int63n(total)
+					var chosen int
+					for i, c := range cs {
+						if r < c.Count() {
+							chosen = i
+							break
+						}
+						r -= c.Count()
+					}
+					t, err := cs[chosen].Index.Access(r)
+					if err != nil {
+						return nil, false
+					}
+					// Ownership: emit only via the first containing disjunct.
+					owner := -1
+					for i, c := range cs {
+						if c.Index.Contains(t) {
+							owner = i
+							break
+						}
+					}
+					if owner != chosen {
+						continue
+					}
+					k := t.Key()
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					return t, true
+				}
+			}, total
+		}
+		next, total := mk(1)
+		produced := int64(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if produced >= total*9/10 { // the tail is coupon-collector hell
+				b.StopTimer()
+				next, total = mk(int64(i))
+				produced = 0
+				b.StartTimer()
+			}
+			if _, ok := next(); !ok {
+				b.Fatal("sampler died")
+			}
+			produced++
+		}
+	})
+}
+
+// Ablation 4: the appendix Largest formulation vs the direct binary search
+// in mc-UCQ Compute-k. One op = one union Access.
+func BenchmarkAblationLargest(b *testing.B) {
+	d := db(b)
+	u := tpchq.UnionQ7()
+	for _, mode := range []struct {
+		name       string
+		useLargest bool
+	}{{"DirectRank", false}, {"ViaLargest", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			m, err := mcucq.New(d, u, mcucq.Options{UseLargest: mode.useLargest})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := m.Count()
+			rng := rand.New(rand.NewSource(3))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Access(rng.Int63n(n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation 5: Yannakakis full reduction on vs off (weights absorb dangling
+// tuples either way; the reduction trades preprocessing work for smaller
+// buckets). One op = preprocessing + 1000 random accesses on Q9 (the query
+// with the most dangling potential: orders without customers etc.).
+func BenchmarkAblationFullReduce(b *testing.B) {
+	d := db(b)
+	q := tpchq.Q9()
+	for _, mode := range []struct {
+		name string
+		opts reduce.Options
+	}{
+		{"WithFullReduce", reduce.Options{}},
+		{"SkipFullReduce", reduce.Options{SkipFullReduce: true}},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := cqenum.Prepare(d, q, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(int64(i)))
+				n := c.Count()
+				for j := 0; j < 1000; j++ {
+					if _, err := c.Index.Access(rng.Int63n(n)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Ablation 6: sampler robustness to skew — on Zipf-skewed star joins the
+// exact-weight sampler (EW) is unaffected while the rejection-based EO
+// degrades with the skew parameter. One op = one accepted uniform sample.
+func BenchmarkAblationSkew(b *testing.B) {
+	for _, skew := range []float64{0, 1.5, 2.5} {
+		db2, q, err := synth.Star(synth.Config{
+			Relations: 2, TuplesPerRelation: 20000, KeyDomain: 500, Seed: 5, SkewS: skew,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := cqenum.Prepare(db2, q, reduce.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.Count() == 0 {
+			continue
+		}
+		for _, m := range []sample.Method{sample.EW, sample.EO} {
+			m := m
+			b.Run(fmt.Sprintf("skew=%.1f/%s", skew, m), func(b *testing.B) {
+				s := sample.New(c.Index, m, rand.New(rand.NewSource(1)))
+				for i := 0; i < b.N; i++ {
+					if _, ok := s.Sample(); !ok {
+						b.Fatal("sampler failed")
+					}
+				}
+				b.ReportMetric(float64(s.Trials)/float64(b.N), "trials/sample")
+			})
+		}
+	}
+}
+
+// --- Core-structure micro-benchmarks -----------------------------------------
+
+func BenchmarkAccess(b *testing.B) {
+	for _, q := range tpchq.CQs() {
+		q := q
+		b.Run(q.Name, func(b *testing.B) {
+			c := prepare(b, q)
+			n := c.Count()
+			rng := rand.New(rand.NewSource(4))
+			buf := make(relation.Tuple, len(c.Index.Head()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Index.AccessInto(rng.Int63n(n), buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInvertedAccess(b *testing.B) {
+	c := prepare(b, tpchq.Q3())
+	n := c.Count()
+	rng := rand.New(rand.NewSource(5))
+	answers := make([]relation.Tuple, 1024)
+	for i := range answers {
+		t, err := c.Index.Access(rng.Int63n(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		answers[i] = t
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Index.InvertedAccess(answers[i%len(answers)]); !ok {
+			b.Fatal("answer vanished")
+		}
+	}
+}
+
+func BenchmarkPreprocessing(b *testing.B) {
+	d := db(b)
+	for _, q := range tpchq.CQs() {
+		q := q
+		b.Run(q.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cqenum.Prepare(d, q, reduce.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Dynamic-index extension benchmarks --------------------------------------
+
+// q3Full is Q3 with every variable in the head (the dynamic index requires a
+// projection-free query).
+func q3Full() *query.CQ {
+	return query.MustCQ("Q3full",
+		[]string{"ok", "ck", "cn", "cnk", "lpk", "lsk", "ln"},
+		query.NewAtom("customer", query.V("ck"), query.V("cn"), query.V("cnk")),
+		query.NewAtom("orders", query.V("ok"), query.V("ck")),
+		query.NewAtom("lineitem", query.V("ok"), query.V("lpk"), query.V("lsk"), query.V("ln")),
+	)
+}
+
+func BenchmarkDynamicBuild(b *testing.B) {
+	d := db(b)
+	q := q3Full()
+	for i := 0; i < b.N; i++ {
+		if _, err := dynaccess.New(d, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicInsertDelete(b *testing.B) {
+	d := db(b)
+	idx, err := dynaccess.New(d, q3Full())
+	if err != nil {
+		b.Fatal(err)
+	}
+	orders, err := d.Relation("orders")
+	if err != nil {
+		b.Fatal(err)
+	}
+	maxOrder := int64(orders.Len())
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Churn lineitems of a random existing order.
+		tu := relation.Tuple{
+			relation.Value(1 + rng.Int63n(maxOrder)),
+			relation.Value(1 + rng.Int63n(1000)),
+			relation.Value(1 + rng.Int63n(100)),
+			relation.Value(90 + rng.Int63n(5)),
+		}
+		if i%2 == 0 {
+			if _, err := idx.Insert("lineitem", tu); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := idx.Delete("lineitem", tu); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkDynamicAccess(b *testing.B) {
+	d := db(b)
+	idx, err := dynaccess.New(d, q3Full())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := idx.Count()
+	if n == 0 {
+		b.Skip("empty")
+	}
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Access(rng.Int63n(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFenwick(b *testing.B) {
+	b.Run("Add", func(b *testing.B) {
+		tr := fenwick.New(make([]int64, 1<<16))
+		rng := rand.New(rand.NewSource(8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Add(rng.Intn(1<<16), 1)
+		}
+	})
+	b.Run("FindPrefix", func(b *testing.B) {
+		vals := make([]int64, 1<<16)
+		for i := range vals {
+			vals[i] = int64(i % 7)
+		}
+		tr := fenwick.New(vals)
+		total := tr.Total()
+		rng := rand.New(rand.NewSource(9))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tr.FindPrefix(rng.Int63n(total)) < 0 {
+				b.Fatal("lost target")
+			}
+		}
+	})
+}
+
+func BenchmarkCountUnionMCUCQ(b *testing.B) {
+	d := db(b)
+	for _, u := range tpchq.UCQs() {
+		u := u
+		b.Run(u.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := mcucq.New(d, u, mcucq.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = m.Count()
+			}
+		})
+	}
+}
+
+func init() {
+	// Make -bench output self-describing about the data scale.
+	if os.Getenv("REPRO_BENCH_SF") == "" {
+		fmt.Fprintf(os.Stderr, "bench: TPC-H scale factor %v (override with REPRO_BENCH_SF)\n", 0.01)
+	}
+}

@@ -1,0 +1,82 @@
+// Command replicate runs the paper-reproduction experiment harness: one
+// figure/table per invocation (or all of them), printing the measured series
+// to stdout.
+//
+// Usage:
+//
+//	replicate -exp fig1 -sf 0.05 -seed 1
+//	replicate -exp all -sf 0.02 -timeout 60s
+//
+// Experiments: fig1 fig2 fig3 fig4a fig4b fig5 fig6 fig7 fig8 rs, or "all".
+// The scale factor scales the generated TPC-H data (the paper used sf=5 on a
+// 496 GB machine; laptop-scale runs reproduce the qualitative shapes).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		name    = flag.String("exp", "all", "experiment to run: "+strings.Join(exp.Names(), ", ")+", or all")
+		sf      = flag.Float64("sf", 0.02, "TPC-H scale factor")
+		seed    = flag.Int64("seed", 1, "random seed (data + algorithms)")
+		timeout = flag.Duration("timeout", 120*time.Second, "per-run timeout (0 = none)")
+		pcts    = flag.String("pcts", "", "comma-separated percentage thresholds (default 1,5,10,30,50,70,90)")
+		jsonOut = flag.String("json", "", "also write the structured results as JSON to this file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{
+		ScaleFactor: *sf,
+		Seed:        *seed,
+		Timeout:     *timeout,
+		Out:         os.Stdout,
+	}
+	if *pcts != "" {
+		for _, p := range strings.Split(*pcts, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v < 1 || v > 100 {
+				fmt.Fprintf(os.Stderr, "replicate: bad percentage %q\n", p)
+				os.Exit(2)
+			}
+			cfg.Percentages = append(cfg.Percentages, v)
+		}
+	}
+
+	start := time.Now()
+	r, err := exp.NewRunner(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replicate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("generated TPC-H sf=%v in %v (%d tuples)\n", *sf, time.Since(start).Round(time.Millisecond), r.DB().Size())
+
+	data, err := r.RunData(*name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replicate: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(data, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replicate: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "replicate: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package renum
+
+import (
+	"math/rand"
+
+	"repro/internal/dynaccess"
+)
+
+// DynamicAccess is a dynamic variant of RandomAccess (library extension in
+// the direction of "answering queries under updates", the paper's citation
+// [6]): for *full* free-connex CQs it maintains count, random access,
+// inverted access and uniform sampling under tuple insertions and deletions
+// on the base relations.
+//
+// Access costs O(log n) per join-tree node (Fenwick prefix search). An
+// update costs O(a log n) where a is the number of ancestor tuples whose
+// weights change — small on hierarchical data, linear in adversarial cases
+// (which is unavoidable in general, by the known update-time lower bounds).
+type DynamicAccess struct {
+	idx *dynaccess.Index
+}
+
+// Errors of the dynamic index.
+var (
+	// ErrNotFull: the dynamic index requires a projection-free CQ.
+	ErrNotFull = dynaccess.ErrNotFull
+)
+
+// NewDynamicAccess builds the dynamic index over the current contents of db
+// in linear time. The index takes a snapshot: subsequent changes must go
+// through Insert/Delete on the index itself.
+func NewDynamicAccess(db *Database, q *CQ) (*DynamicAccess, error) {
+	idx, err := dynaccess.New(db, q)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicAccess{idx: idx}, nil
+}
+
+// Insert adds a tuple of the named base relation, updating all affected
+// weights. Duplicates are no-ops. It reports whether the index changed.
+func (d *DynamicAccess) Insert(baseRelation string, t Tuple) (bool, error) {
+	return d.idx.Insert(baseRelation, t)
+}
+
+// Delete removes a tuple of the named base relation (no-op if absent).
+func (d *DynamicAccess) Delete(baseRelation string, t Tuple) (bool, error) {
+	return d.idx.Delete(baseRelation, t)
+}
+
+// Count returns the current |Q(D)| in constant time.
+func (d *DynamicAccess) Count() int64 { return d.idx.Count() }
+
+// Access returns the j-th answer of the current enumeration order.
+func (d *DynamicAccess) Access(j int64) (Tuple, error) { return d.idx.Access(j) }
+
+// InvertedAccess returns the current position of an answer, or ok=false.
+func (d *DynamicAccess) InvertedAccess(t Tuple) (int64, bool) {
+	return d.idx.InvertedAccess(t)
+}
+
+// Contains reports whether t is currently an answer.
+func (d *DynamicAccess) Contains(t Tuple) bool { return d.idx.Contains(t) }
+
+// Sample returns a uniformly random current answer (ok=false when empty).
+func (d *DynamicAccess) Sample(rng *rand.Rand) (Tuple, bool) {
+	return d.idx.Sample(rng)
+}
+
+// Head returns the output variable order.
+func (d *DynamicAccess) Head() []string { return d.idx.Head() }

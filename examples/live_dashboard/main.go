@@ -1,0 +1,78 @@
+// Live dashboard: the dynamic-index extension in action. A monitoring view
+// joins three live feeds — service deployments, host assignments and alert
+// streams — and the dashboard needs, at any moment,
+//
+//   - the exact number of (service, host, alert) incidents (Count, O(1)),
+//   - a uniform random sample of incidents to display (Sample), and
+//   - membership probes ("is this incident still live?", Contains),
+//
+// while deployments and alerts come and go. DynamicAccess maintains all of
+// this under insertions and deletions without rebuilding the index.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	db := renum.NewDatabase()
+	db.MustCreate("deployed", "service", "host")
+	db.MustCreate("alerts", "host", "alert")
+
+	// Incident(service, host, alert) :- deployed(service, host), alerts(host, alert)
+	q := renum.MustCQ("incident", []string{"service", "host", "alert"},
+		renum.NewAtom("deployed", renum.V("service"), renum.V("host")),
+		renum.NewAtom("alerts", renum.V("host"), renum.V("alert")),
+	)
+	dyn, err := renum.NewDynamicAccess(db, q)
+	if err != nil {
+		panic(err)
+	}
+
+	svc := func(s string) renum.Value { return db.Intern(s) }
+	report := func(when string) {
+		fmt.Printf("%-28s live incidents: %d", when, dyn.Count())
+		if t, ok := dyn.Sample(rand.New(rand.NewSource(1))); ok {
+			fmt.Printf("   e.g. %s on %s: %s",
+				db.Dict().String(t[0]), db.Dict().String(t[1]), db.Dict().String(t[2]))
+		}
+		fmt.Println()
+	}
+
+	report("empty system:")
+
+	// Deployments roll out.
+	for _, d := range [][2]string{
+		{"api", "host1"}, {"api", "host2"}, {"web", "host2"}, {"db", "host3"},
+	} {
+		dyn.Insert("deployed", renum.Tuple{svc(d[0]), svc(d[1])})
+	}
+	report("after rollout:")
+
+	// Alerts fire on host2: every service on host2 becomes an incident.
+	dyn.Insert("alerts", renum.Tuple{svc("host2"), svc("cpu-high")})
+	dyn.Insert("alerts", renum.Tuple{svc("host2"), svc("disk-full")})
+	report("host2 alerting:")
+
+	// host3 joins the party.
+	dyn.Insert("alerts", renum.Tuple{svc("host3"), svc("cpu-high")})
+	report("host3 alerting too:")
+
+	// The web service is drained off host2 — its incidents disappear.
+	dyn.Delete("deployed", renum.Tuple{svc("web"), svc("host2")})
+	report("web drained from host2:")
+
+	// The disk alert resolves.
+	dyn.Delete("alerts", renum.Tuple{svc("host2"), svc("disk-full")})
+	report("disk alert resolved:")
+
+	// Membership probe.
+	probe := renum.Tuple{svc("api"), svc("host2"), svc("cpu-high")}
+	fmt.Printf("\nis api/host2/cpu-high still live? %v\n", dyn.Contains(probe))
+	dyn.Delete("alerts", renum.Tuple{svc("host2"), svc("cpu-high")})
+	fmt.Printf("after resolving it:             %v\n", dyn.Contains(probe))
+	report("\nfinal state:")
+}

@@ -1,0 +1,78 @@
+// Online aggregation over TPC-H: the paper's motivating use case for
+// *random-order* enumeration (Section 1). A downstream aggregate computed
+// over the first k answers is only statistically meaningful if those answers
+// are a uniform sample of the result. This example estimates the share of
+// join results involving European suppliers from growing prefixes of
+//
+//   - the deterministic enumeration order (biased: the order is an artifact
+//     of the join tree), versus
+//   - the uniformly random order of REnum(CQ) (unbiased at every prefix).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+	"repro/internal/tpch"
+	"repro/internal/tpchq"
+)
+
+func main() {
+	db, err := tpch.Generate(tpch.Config{ScaleFactor: 0.01, Seed: 11})
+	if err != nil {
+		panic(err)
+	}
+	if err := tpchq.PrepareDerived(db); err != nil {
+		panic(err)
+	}
+
+	// Q0(region, nation, supplier, part): the supplier catalogue joined up
+	// to regions. Head position 0 is the region key.
+	q := tpchq.Q0()
+	ra, err := renum.NewRandomAccess(db, q)
+	if err != nil {
+		panic(err)
+	}
+	n := ra.Count()
+
+	// Ground truth: exact fraction of answers in region EUROPE (key 3).
+	const europe = 3
+	exact := 0.0
+	for j := int64(0); j < n; j++ {
+		t, _ := ra.Access(j)
+		if t[0] == europe {
+			exact++
+		}
+	}
+	exact /= float64(n)
+	fmt.Printf("answers: %d, exact EUROPE share: %.4f\n\n", n, exact)
+
+	fmt.Printf("%8s  %18s  %18s\n", "prefix", "index-order est.", "random-order est.")
+	det := ra.Enumerate()
+	rnd := ra.Permute(rand.New(rand.NewSource(5)))
+	detHits, rndHits := 0.0, 0.0
+	seen := int64(0)
+	next := int64(10)
+	for seen < n {
+		dt, _ := det.Next()
+		rt, _ := rnd.Next()
+		if dt[0] == europe {
+			detHits++
+		}
+		if rt[0] == europe {
+			rndHits++
+		}
+		seen++
+		if seen == next || seen == n {
+			fmt.Printf("%8d  %12.4f (err %+.3f)  %12.4f (err %+.3f)\n",
+				seen,
+				detHits/float64(seen), detHits/float64(seen)-exact,
+				rndHits/float64(seen), rndHits/float64(seen)-exact)
+			next *= 10
+		}
+	}
+	fmt.Println("\nThe random-order estimate converges from the first prefixes;")
+	fmt.Println("the index-order estimate stays biased until the enumeration is")
+	fmt.Println("nearly complete, because answers arrive grouped by join-tree order.")
+}

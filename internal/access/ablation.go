@@ -1,0 +1,43 @@
+package access
+
+import (
+	"repro/internal/relation"
+)
+
+// AccessLinear is Access with the in-bucket binary search replaced by a
+// linear scan. It exists solely for the ablation benchmark quantifying the
+// log-factor of Theorem 4.3 (DESIGN.md §5): on large buckets the scan makes
+// the per-access cost linear in the bucket size.
+func (idx *Index) AccessLinear(j int64) (relation.Tuple, error) {
+	if j < 0 || j >= idx.count {
+		return nil, ErrOutOfBounds
+	}
+	answer := make(relation.Tuple, len(idx.head))
+	idx.subtreeAccessLinear(idx.root, idx.root.buckets[""], j, answer)
+	return answer, nil
+}
+
+func (idx *Index) subtreeAccessLinear(n *node, b *bucket, j int64, answer relation.Tuple) {
+	i := 0
+	for b.start[i]+b.weight[i] <= j {
+		i++
+	}
+	t := n.rel.Tuple(b.tuples[i])
+	for k, col := range n.outCols {
+		answer[col] = t[n.outPos[k]]
+	}
+	if len(n.children) == 0 {
+		return
+	}
+	rem := j - b.start[i]
+	childBuckets := make([]*bucket, len(n.children))
+	for ci, c := range n.children {
+		childBuckets[ci] = c.buckets[t.ProjectKey(n.childKeyPos[ci])]
+	}
+	for ci := len(n.children) - 1; ci >= 0; ci-- {
+		cb := childBuckets[ci]
+		ji := rem % cb.total
+		rem /= cb.total
+		idx.subtreeAccessLinear(n.children[ci], cb, ji, answer)
+	}
+}

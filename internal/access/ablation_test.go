@@ -1,0 +1,46 @@
+package access
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// TestAccessLinearAgreesWithAccess: the ablation variant must return exactly
+// the same answers as the binary-search Access for every index.
+func TestAccessLinearAgreesWithAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "a", "b")
+	s := db.MustCreate("S", "b", "c")
+	u := db.MustCreate("U", "b", "d")
+	for i := 0; i < 80; i++ {
+		r.MustInsert(relation.Value(rng.Intn(15)), relation.Value(rng.Intn(6)))
+		s.MustInsert(relation.Value(rng.Intn(6)), relation.Value(rng.Intn(15)))
+		u.MustInsert(relation.Value(rng.Intn(6)), relation.Value(rng.Intn(15)))
+	}
+	q := query.MustCQ("q", []string{"a", "b", "c", "d"},
+		query.NewAtom("R", query.V("a"), query.V("b")),
+		query.NewAtom("S", query.V("b"), query.V("c")),
+		query.NewAtom("U", query.V("b"), query.V("d")))
+	idx := buildIndex(t, db, q)
+	if idx.Count() == 0 {
+		t.Skip("degenerate instance")
+	}
+	for j := int64(0); j < idx.Count(); j++ {
+		a, err1 := idx.Access(j)
+		b, err2 := idx.AccessLinear(j)
+		if err1 != nil || err2 != nil || !a.Equal(b) {
+			t.Fatalf("mismatch at %d: %v vs %v (%v, %v)", j, a, b, err1, err2)
+		}
+	}
+	if _, err := idx.AccessLinear(-1); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatal("negative accepted")
+	}
+	if _, err := idx.AccessLinear(idx.Count()); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatal("count accepted")
+	}
+}

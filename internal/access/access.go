@@ -1,0 +1,327 @@
+// Package access implements the paper's core data structure: the weighted
+// join-tree index over a full acyclic join, built in linear time
+// (Algorithm 2), supporting
+//
+//   - Count in O(1),
+//   - random access Access(j) in O(log |D|) (Algorithm 3), and
+//   - inverted access InvertedAccess(answer) in O(1) map lookups
+//     (Algorithm 4),
+//
+// which together realize Theorem 4.3. The enumeration order defined by the
+// index (answer j precedes answer j+1) is determined entirely by tuple
+// insertion order in the underlying relations and by the deterministic join
+// tree, which is what makes orders of structurally-aligned queries
+// *compatible* in the sense of Section 5.2.
+package access
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/reduce"
+	"repro/internal/relation"
+)
+
+// ErrOutOfBounds is returned by Access for j outside [0, Count()).
+var ErrOutOfBounds = errors.New("access: index out of bounds")
+
+// Index is the preprocessed structure of Theorem 4.3.
+type Index struct {
+	head  []string
+	root  *node
+	nodes []*node
+	count int64
+}
+
+// node mirrors one relation of the full-join tree.
+type node struct {
+	rel      *relation.Relation
+	children []*node
+
+	// pAttPos: positions (in this node's schema) of the attributes shared
+	// with the parent, in this node's schema order. Empty at the root.
+	pAttPos []int
+	// childKeyPos[i]: positions in THIS node's schema of the attributes
+	// shared with child i, in the same attribute order as the child's
+	// pAttPos — so the parent can compute the child's bucket key directly
+	// from its own tuple.
+	childKeyPos [][]int
+
+	buckets map[string]*bucket
+
+	// Per-tuple location (tuple position in rel → bucket and ordinal),
+	// supporting constant-time inverted access (line 4 of Algorithm 4).
+	tupleBucket  []*bucket
+	tupleOrdinal []int
+
+	// Output assembly: this node provides output column outCols[i] from
+	// schema position outPos[i].
+	outCols []int
+	outPos  []int
+
+	// schemaHeadPos[i]: output column holding the value of schema attribute
+	// i (every attribute of a full-join node is a head variable).
+	schemaHeadPos []int
+
+	// maxBucketLen is the largest bucket cardinality at this node (used by
+	// the wander-join baseline sampler's acceptance probability).
+	maxBucketLen int64
+}
+
+// bucket groups the tuples of a relation that agree on the parent-shared
+// attributes, in relation order, with their weights and start indexes.
+type bucket struct {
+	tuples []int   // positions into rel
+	weight []int64 // w(t), Algorithm 2 line 7/10
+	start  []int64 // startIndex(t), Algorithm 2 line 12
+	total  int64   // w(B), Algorithm 2 line 13
+	maxW   int64   // max weight in the bucket (for the Olken-style sampler)
+}
+
+// New builds the index from a reduced full join (Algorithm 2). Linear time in
+// the total number of tuples.
+func New(fj *reduce.FullJoin) (*Index, error) {
+	idx := &Index{head: fj.Head}
+
+	headPos := make(map[string]int, len(fj.Head))
+	for i, h := range fj.Head {
+		headPos[h] = i
+	}
+
+	// Build the mirrored node tree (fj.Nodes order for determinism).
+	nodeOf := make(map[*reduce.Node]*node, len(fj.Nodes))
+	for _, fn := range fj.Nodes {
+		n := &node{rel: fn.Rel}
+		schema := fn.Rel.Schema()
+		n.schemaHeadPos = make([]int, len(schema))
+		for i, attr := range schema {
+			hp, ok := headPos[attr]
+			if !ok {
+				return nil, fmt.Errorf("access: node attribute %q is not a head variable", attr)
+			}
+			n.schemaHeadPos[i] = hp
+		}
+		nodeOf[fn] = n
+	}
+	for _, fn := range fj.Nodes {
+		n := nodeOf[fn]
+		if fn.Parent == nil {
+			idx.root = n
+		} else {
+			p := nodeOf[fn.Parent]
+			// Shared attributes in child-schema order.
+			shared := fn.Rel.Schema().Intersect(fn.Parent.Rel.Schema())
+			var err error
+			n.pAttPos, err = fn.Rel.Schema().Positions(shared)
+			if err != nil {
+				return nil, err
+			}
+			keyPos, err := fn.Parent.Rel.Schema().Positions(shared)
+			if err != nil {
+				return nil, err
+			}
+			p.children = append(p.children, n)
+			p.childKeyPos = append(p.childKeyPos, keyPos)
+		}
+		idx.nodes = append(idx.nodes, n)
+	}
+	if idx.root == nil {
+		return nil, fmt.Errorf("access: full join has no root")
+	}
+
+	// Assign each output column to the first node (in fj.Nodes order) whose
+	// schema contains it.
+	assigned := make([]bool, len(fj.Head))
+	for _, n := range idx.nodes {
+		for i, hp := range n.schemaHeadPos {
+			if !assigned[hp] {
+				assigned[hp] = true
+				n.outCols = append(n.outCols, hp)
+				n.outPos = append(n.outPos, i)
+			}
+		}
+	}
+	for i, ok := range assigned {
+		if !ok {
+			return nil, fmt.Errorf("access: head variable %q not covered by any node", fj.Head[i])
+		}
+	}
+
+	// Algorithm 2: leaf-to-root weight computation.
+	var build func(n *node)
+	build = func(n *node) {
+		for _, c := range n.children {
+			build(c)
+		}
+		n.buckets = make(map[string]*bucket)
+		n.tupleBucket = make([]*bucket, n.rel.Len())
+		n.tupleOrdinal = make([]int, n.rel.Len())
+		for pos, t := range n.rel.Tuples() {
+			key := t.ProjectKey(n.pAttPos)
+			b := n.buckets[key]
+			if b == nil {
+				b = &bucket{}
+				n.buckets[key] = b
+			}
+			w := int64(1)
+			for ci, c := range n.children {
+				cb := c.buckets[t.ProjectKey(n.childKeyPos[ci])]
+				if cb == nil {
+					w = 0
+					break
+				}
+				w *= cb.total
+			}
+			n.tupleBucket[pos] = b
+			n.tupleOrdinal[pos] = len(b.tuples)
+			b.tuples = append(b.tuples, pos)
+			b.weight = append(b.weight, w)
+			b.start = append(b.start, b.total)
+			b.total += w
+			if w > b.maxW {
+				b.maxW = w
+			}
+			if int64(len(b.tuples)) > n.maxBucketLen {
+				n.maxBucketLen = int64(len(b.tuples))
+			}
+		}
+	}
+	build(idx.root)
+
+	if rb, ok := idx.root.buckets[""]; ok {
+		idx.count = rb.total
+	}
+	return idx, nil
+}
+
+// Head returns the output variable order.
+func (idx *Index) Head() []string { return idx.head }
+
+// Count returns |Q(D)| in constant time.
+func (idx *Index) Count() int64 { return idx.count }
+
+// Access returns the j-th answer (0-based) in the index's enumeration order
+// (Algorithm 3). It returns ErrOutOfBounds if j is not in [0, Count()).
+func (idx *Index) Access(j int64) (relation.Tuple, error) {
+	if j < 0 || j >= idx.count {
+		return nil, ErrOutOfBounds
+	}
+	answer := make(relation.Tuple, len(idx.head))
+	idx.subtreeAccess(idx.root, idx.root.buckets[""], j, answer)
+	return answer, nil
+}
+
+// AccessInto is Access writing into a caller-provided buffer (len == arity),
+// avoiding the per-call allocation in tight loops.
+func (idx *Index) AccessInto(j int64, answer relation.Tuple) error {
+	if j < 0 || j >= idx.count {
+		return ErrOutOfBounds
+	}
+	idx.subtreeAccess(idx.root, idx.root.buckets[""], j, answer)
+	return nil
+}
+
+func (idx *Index) subtreeAccess(n *node, b *bucket, j int64, answer relation.Tuple) {
+	// Find t with startIndex(t) ≤ j < startIndex(t) + w(t). Binary search on
+	// the non-decreasing sequence start[i]+weight[i] (zero-weight tuples have
+	// empty ranges and are skipped naturally).
+	i := sort.Search(len(b.start), func(k int) bool { return b.start[k]+b.weight[k] > j })
+	t := n.rel.Tuple(b.tuples[i])
+	for k, col := range n.outCols {
+		answer[col] = t[n.outPos[k]]
+	}
+	if len(n.children) == 0 {
+		return
+	}
+	// SplitIndex (Algorithm 3 lines 12-13): mixed-radix decomposition, last
+	// child least significant.
+	rem := j - b.start[i]
+	childBuckets := make([]*bucket, len(n.children))
+	for ci, c := range n.children {
+		childBuckets[ci] = c.buckets[t.ProjectKey(n.childKeyPos[ci])]
+	}
+	for ci := len(n.children) - 1; ci >= 0; ci-- {
+		cb := childBuckets[ci]
+		ji := rem % cb.total
+		rem /= cb.total
+		idx.subtreeAccess(n.children[ci], cb, ji, answer)
+	}
+}
+
+// InvertedAccess returns the index j with Access(j) == answer, or ok=false if
+// answer is not in Q(D) (Algorithm 4). Constant time in data complexity.
+func (idx *Index) InvertedAccess(answer relation.Tuple) (int64, bool) {
+	if len(answer) != len(idx.head) {
+		return 0, false
+	}
+	return idx.invertedSubtree(idx.root, answer)
+}
+
+func (idx *Index) invertedSubtree(n *node, answer relation.Tuple) (int64, bool) {
+	// Reconstruct this node's tuple from the answer and locate it.
+	t := make(relation.Tuple, len(n.schemaHeadPos))
+	for i, hp := range n.schemaHeadPos {
+		t[i] = answer[hp]
+	}
+	pos := n.rel.Position(t)
+	if pos < 0 {
+		return 0, false
+	}
+	b := n.tupleBucket[pos]
+	ord := n.tupleOrdinal[pos]
+	// CombineIndex (inverse of SplitIndex): left fold, last child least
+	// significant.
+	var offset int64
+	for ci, c := range n.children {
+		ji, ok := idx.invertedSubtree(c, answer)
+		if !ok {
+			return 0, false
+		}
+		cb := c.buckets[t.ProjectKey(n.childKeyPos[ci])]
+		if cb == nil {
+			return 0, false
+		}
+		offset = offset*cb.total + ji
+	}
+	if b.weight[ord] == 0 {
+		// Dangling tuple (possible when full reduction was skipped): the
+		// combination is not a real answer.
+		return 0, false
+	}
+	return b.start[ord] + offset, true
+}
+
+// Contains reports whether answer ∈ Q(D).
+func (idx *Index) Contains(answer relation.Tuple) bool {
+	_, ok := idx.InvertedAccess(answer)
+	return ok
+}
+
+// OrderSpec returns the head variables in decreasing significance of the
+// index's enumeration order: a pre-order traversal of the join tree,
+// concatenating node schemas (first occurrence wins). When the index was
+// built over lexicographically sorted relations (reduce.Options
+// CanonicalOrder), the enumeration order is exactly the lexicographic order
+// of the answers under this variable sequence — a limited form of the
+// "direct access in lexicographic orders" studied in follow-up work.
+func (idx *Index) OrderSpec() []string {
+	var out []string
+	seen := make(map[string]bool, len(idx.head))
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, attr := range n.rel.Schema() {
+			if !seen[attr] {
+				seen[attr] = true
+				out = append(out, attr)
+			}
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	if idx.root != nil {
+		walk(idx.root)
+	}
+	return out
+}

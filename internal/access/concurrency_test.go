@@ -1,0 +1,78 @@
+package access
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// TestConcurrentReads: the index is immutable after construction, so
+// concurrent Access / InvertedAccess / sampling from independent RNGs must
+// be race-free (run with -race) and return consistent results.
+func TestConcurrentReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "a", "b")
+	s := db.MustCreate("S", "b", "c")
+	for i := 0; i < 200; i++ {
+		r.MustInsert(relation.Value(rng.Intn(40)), relation.Value(rng.Intn(10)))
+		s.MustInsert(relation.Value(rng.Intn(10)), relation.Value(rng.Intn(40)))
+	}
+	q := query.MustCQ("q", []string{"a", "b", "c"},
+		query.NewAtom("R", query.V("a"), query.V("b")),
+		query.NewAtom("S", query.V("b"), query.V("c")))
+	idx := buildIndex(t, db, q)
+	if idx.Count() == 0 {
+		t.Skip("degenerate")
+	}
+
+	// Reference pass (single-threaded).
+	want := make([]relation.Tuple, idx.Count())
+	for j := range want {
+		a, err := idx.Access(int64(j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[j] = a
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			local := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				j := local.Int63n(idx.Count())
+				a, err := idx.Access(j)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !a.Equal(want[j]) {
+					errs <- errMismatch
+					return
+				}
+				if jj, ok := idx.InvertedAccess(a); !ok || jj != j {
+					errs <- errMismatch
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = &mismatchErr{}
+
+type mismatchErr struct{}
+
+func (*mismatchErr) Error() string { return "concurrent read returned inconsistent result" }

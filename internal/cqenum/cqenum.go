@@ -1,0 +1,147 @@
+// Package cqenum assembles the per-CQ machinery of Section 4:
+//
+//   - Prepare: linear preprocessing — Proposition 4.2 reduction followed by
+//     the Algorithm 2 index build;
+//   - Enumerator: deterministic enumeration in index order (Fact 3.5);
+//   - RandomPermutation: REnum(CQ) — Theorem 3.7's Fisher–Yates shuffle over
+//     random access, giving a uniformly random order with O(log) delay;
+//   - DeletableSet: the Lemma 5.3 wrapper exposing Count / Sample / Test /
+//     Delete over a CQ's answer set, consumed by Algorithm 5 (REnum(UCQ)).
+package cqenum
+
+import (
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/query"
+	"repro/internal/reduce"
+	"repro/internal/relation"
+	"repro/internal/shuffle"
+)
+
+// CQ is a prepared conjunctive query: the original query, the reduced full
+// join it was compiled to, and the built random-access index.
+type CQ struct {
+	Query    *query.CQ
+	FullJoin *reduce.FullJoin
+	Index    *access.Index
+}
+
+// Prepare runs the Proposition 4.2 reduction and builds the Theorem 4.3
+// index. It fails for cyclic or non-free-connex queries.
+func Prepare(db *relation.Database, q *query.CQ, opts reduce.Options) (*CQ, error) {
+	fj, err := reduce.BuildFullJoin(db, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := access.New(fj)
+	if err != nil {
+		return nil, err
+	}
+	return &CQ{Query: q, FullJoin: fj, Index: idx}, nil
+}
+
+// Count returns |Q(D)|.
+func (c *CQ) Count() int64 { return c.Index.Count() }
+
+// Enumerator yields the answers in the index's (deterministic) enumeration
+// order with logarithmic delay.
+type Enumerator struct {
+	idx  *access.Index
+	next int64
+}
+
+// Enumerate returns a deterministic enumerator over the prepared query.
+func (c *CQ) Enumerate() *Enumerator {
+	return &Enumerator{idx: c.Index}
+}
+
+// Next returns the next answer; ok is false at end of enumeration.
+func (e *Enumerator) Next() (relation.Tuple, bool) {
+	t, err := e.idx.Access(e.next)
+	if err != nil {
+		return nil, false
+	}
+	e.next++
+	return t, true
+}
+
+// RandomPermutation enumerates the answers exactly once each, in a uniformly
+// random order (REnum(CQ)): a lazy Fisher–Yates shuffle of the answer indexes
+// drives the random-access routine.
+type RandomPermutation struct {
+	idx  *access.Index
+	shuf *shuffle.Shuffler
+}
+
+// Permute starts a fresh random permutation of the answers.
+func (c *CQ) Permute(rng *rand.Rand) *RandomPermutation {
+	return &RandomPermutation{idx: c.Index, shuf: shuffle.New(c.Index.Count(), rng)}
+}
+
+// Next returns the next answer of the random permutation; ok is false once
+// all answers have been emitted. Each call costs O(log |D|).
+func (p *RandomPermutation) Next() (relation.Tuple, bool) {
+	j, ok := p.shuf.Next()
+	if !ok {
+		return nil, false
+	}
+	t, err := p.idx.Access(j)
+	if err != nil {
+		// Unreachable: the shuffler only emits indexes below Count().
+		return nil, false
+	}
+	return t, true
+}
+
+// Remaining returns how many answers have not been emitted yet.
+func (p *RandomPermutation) Remaining() int64 { return p.shuf.Remaining() }
+
+// DeletableSet implements Lemma 5.3: given counting, random access and
+// inverted access, the answer set supports sampling, membership testing,
+// deletion and counting, each in the same time bound. It is the per-CQ set
+// handed to Algorithm 5.
+type DeletableSet struct {
+	idx *access.Index
+	del *shuffle.DeletionSet
+}
+
+// NewDeletableSet wraps the prepared query's answer set.
+func (c *CQ) NewDeletableSet() *DeletableSet {
+	return &DeletableSet{idx: c.Index, del: shuffle.NewDeletionSet(c.Index.Count())}
+}
+
+// Count returns the number of remaining (non-deleted) answers.
+func (s *DeletableSet) Count() int64 { return s.del.Count() }
+
+// Sample returns a uniformly random remaining answer without removing it;
+// ok is false when the set is empty.
+func (s *DeletableSet) Sample(rng *rand.Rand) (relation.Tuple, bool) {
+	j, ok := s.del.Sample(rng)
+	if !ok {
+		return nil, false
+	}
+	t, err := s.idx.Access(j)
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// Test reports whether t is a remaining answer of this CQ.
+func (s *DeletableSet) Test(t relation.Tuple) bool {
+	j, ok := s.idx.InvertedAccess(t)
+	if !ok {
+		return false
+	}
+	return !s.del.Deleted(j)
+}
+
+// Delete removes answer t from the set, reporting whether it was present.
+func (s *DeletableSet) Delete(t relation.Tuple) bool {
+	j, ok := s.idx.InvertedAccess(t)
+	if !ok {
+		return false
+	}
+	return s.del.Delete(j)
+}

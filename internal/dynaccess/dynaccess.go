@@ -1,0 +1,467 @@
+// Package dynaccess is a dynamic variant of the paper's random-access index
+// (extension; the paper's Section 7 and its citation [6] — Berkholz,
+// Keppeler, Schweikardt, "Answering UCQs under updates" — motivate
+// maintaining such structures under database changes).
+//
+// It supports full (projection-free) free-connex CQs and maintains, under
+// tuple insertions and deletions on the base relations:
+//
+//   - Count() in O(1),
+//   - Access(j) in O(log n) per tree node (Fenwick prefix search replaces
+//     Algorithm 2's static prefix sums),
+//   - InvertedAccess in O(log n),
+//   - uniform sampling via Access(Uniform(Count())).
+//
+// Update cost is O(a · log n) where a is the number of ancestor tuples whose
+// weights change. For hierarchical joins a is small; in the worst case a is
+// linear — consistent with the known lower bounds: sublinear update time for
+// all free-connex CQs would contradict the OMv-based hardness results of
+// [6], so a structure like this cannot do better in general.
+package dynaccess
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/fenwick"
+	"repro/internal/hypergraph"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// ErrNotFull is returned when the query has existential variables; the
+// dynamic index supports full acyclic CQs (apply it to the output of the
+// static Proposition 4.2 reduction if projections are needed and updates
+// only touch the remaining relations).
+var ErrNotFull = errors.New("dynaccess: query must be a full (projection-free) CQ")
+
+// ErrCyclic is returned for cyclic queries.
+var ErrCyclic = errors.New("dynaccess: query is cyclic")
+
+// Index is the dynamic weighted join-tree index.
+type Index struct {
+	head   []string
+	nodes  []*node
+	root   *node
+	byBase map[string][]*node // base relation name → nodes fed by it
+}
+
+type node struct {
+	atom     query.Atom
+	baseName string
+	schema   relation.Schema
+	varPos   []int // positions in the base tuple providing each schema var
+
+	parent      *node
+	children    []*node
+	childIdx    int   // index of this node in parent.children
+	pAttPos     []int // positions in schema shared with parent (schema order)
+	childKeyPos [][]int
+
+	schemaHeadPos []int
+	outCols       []int
+	outPos        []int
+
+	tuples []relation.Tuple
+	alive  []bool
+	byKey  map[string]int
+
+	buckets     map[string]*bucket
+	tupleBucket []*bucket
+	tupleOrd    []int
+
+	// childRev[i]: child-bucket key → positions of this node's tuples whose
+	// projection equals the key (the reverse index driving update cascades).
+	childRev []map[string][]int
+}
+
+type bucket struct {
+	key    string
+	tuples []int
+	w      fenwick.Tree
+}
+
+// New builds the dynamic index for a full acyclic CQ over the current
+// contents of db, in linear time.
+func New(db *relation.Database, q *query.CQ) (*Index, error) {
+	if !q.IsFull() {
+		return nil, fmt.Errorf("%w: %s", ErrNotFull, q.Name)
+	}
+	tree, err := hypergraph.FromCQ(q).JoinTree()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrCyclic, q.Name)
+	}
+
+	idx := &Index{head: append([]string(nil), q.Head...), byBase: make(map[string][]*node)}
+	headPos := make(map[string]int, len(q.Head))
+	for i, h := range q.Head {
+		headPos[h] = i
+	}
+
+	nodes := make([]*node, len(q.Body))
+	for i, a := range q.Body {
+		base, err := db.Relation(a.Relation)
+		if err != nil {
+			return nil, err
+		}
+		if base.Arity() != len(a.Terms) {
+			return nil, fmt.Errorf("dynaccess: atom %s arity mismatch with relation (%d vs %d)",
+				a, len(a.Terms), base.Arity())
+		}
+		vars := a.Vars()
+		schema, err := relation.NewSchema(vars...)
+		if err != nil {
+			return nil, err
+		}
+		firstPos := make(map[string]int)
+		for pos, t := range a.Terms {
+			if t.IsVar() {
+				if _, ok := firstPos[t.Var]; !ok {
+					firstPos[t.Var] = pos
+				}
+			}
+		}
+		n := &node{
+			atom:     a,
+			baseName: a.Relation,
+			schema:   schema,
+			byKey:    make(map[string]int),
+			buckets:  make(map[string]*bucket),
+		}
+		n.varPos = make([]int, len(vars))
+		n.schemaHeadPos = make([]int, len(vars))
+		for vi, v := range vars {
+			n.varPos[vi] = firstPos[v]
+			hp, ok := headPos[v]
+			if !ok {
+				return nil, fmt.Errorf("%w: variable %s", ErrNotFull, v)
+			}
+			n.schemaHeadPos[vi] = hp
+		}
+		nodes[i] = n
+		idx.byBase[a.Relation] = append(idx.byBase[a.Relation], n)
+	}
+
+	// Wire the tree (tree.Nodes is in atom order; EdgeID = atom index).
+	for i, tn := range tree.Nodes {
+		n := nodes[i]
+		if tn.Parent == nil {
+			idx.root = n
+			continue
+		}
+		p := nodes[tn.Parent.EdgeID]
+		shared := n.schema.Intersect(p.schema)
+		n.pAttPos, _ = n.schema.Positions(shared)
+		keyPos, _ := p.schema.Positions(shared)
+		n.parent = p
+		n.childIdx = len(p.children)
+		p.children = append(p.children, n)
+		p.childKeyPos = append(p.childKeyPos, keyPos)
+		p.childRev = append(p.childRev, make(map[string][]int))
+	}
+	idx.nodes = nodes
+
+	// Output assignment: first node containing each head var.
+	assigned := make([]bool, len(q.Head))
+	for _, n := range nodes {
+		for i, hp := range n.schemaHeadPos {
+			if !assigned[hp] {
+				assigned[hp] = true
+				n.outCols = append(n.outCols, hp)
+				n.outPos = append(n.outPos, i)
+			}
+		}
+	}
+	for i, ok := range assigned {
+		if !ok {
+			return nil, fmt.Errorf("dynaccess: head variable %q not covered", q.Head[i])
+		}
+	}
+
+	// Bulk load leaf-to-root so weights are available bottom-up.
+	var load func(n *node) error
+	load = func(n *node) error {
+		for _, c := range n.children {
+			if err := load(c); err != nil {
+				return err
+			}
+		}
+		base, err := db.Relation(n.baseName)
+		if err != nil {
+			return err
+		}
+		for _, raw := range base.Tuples() {
+			if t, ok := n.instantiate(raw); ok {
+				n.insertLocal(t) // bulk load: no cascade needed bottom-up
+			}
+		}
+		return nil
+	}
+	if err := load(idx.root); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// instantiate maps a base tuple through the atom (constants and repeated
+// variables filter; variable positions project).
+func (n *node) instantiate(raw relation.Tuple) (relation.Tuple, bool) {
+	firstPos := make(map[string]int, len(n.atom.Terms))
+	for pos, t := range n.atom.Terms {
+		if !t.IsVar() {
+			if raw[pos] != t.Const {
+				return nil, false
+			}
+			continue
+		}
+		if fp, ok := firstPos[t.Var]; ok {
+			if raw[pos] != raw[fp] {
+				return nil, false
+			}
+		} else {
+			firstPos[t.Var] = pos
+		}
+	}
+	out := make(relation.Tuple, len(n.varPos))
+	for i, p := range n.varPos {
+		out[i] = raw[p]
+	}
+	return out, true
+}
+
+// weightOf computes the current weight of the tuple at pos from the child
+// bucket totals.
+func (n *node) weightOf(pos int) int64 {
+	if !n.alive[pos] {
+		return 0
+	}
+	t := n.tuples[pos]
+	w := int64(1)
+	for ci, c := range n.children {
+		cb := c.buckets[t.ProjectKey(n.childKeyPos[ci])]
+		if cb == nil || cb.w.Total() == 0 {
+			return 0
+		}
+		w *= cb.w.Total()
+	}
+	return w
+}
+
+// insertLocal registers a (new or revived) tuple in this node and returns
+// the bucket whose total changed, or nil for a duplicate no-op.
+func (n *node) insertLocal(t relation.Tuple) *bucket {
+	key := t.Key()
+	if pos, ok := n.byKey[key]; ok {
+		if n.alive[pos] {
+			return nil
+		}
+		// Revive a tombstone.
+		n.alive[pos] = true
+		b := n.tupleBucket[pos]
+		b.w.Set(n.tupleOrd[pos], n.weightOf(pos))
+		return b
+	}
+	pos := len(n.tuples)
+	n.tuples = append(n.tuples, t)
+	n.alive = append(n.alive, true)
+	n.byKey[key] = pos
+	bkey := t.ProjectKey(n.pAttPos)
+	b := n.buckets[bkey]
+	if b == nil {
+		b = &bucket{key: bkey}
+		n.buckets[bkey] = b
+	}
+	n.tupleBucket = append(n.tupleBucket, b)
+	n.tupleOrd = append(n.tupleOrd, len(b.tuples))
+	b.tuples = append(b.tuples, pos)
+	for ci := range n.children {
+		ck := t.ProjectKey(n.childKeyPos[ci])
+		n.childRev[ci][ck] = append(n.childRev[ci][ck], pos)
+	}
+	b.w.Append(n.weightOf(pos))
+	return b
+}
+
+// cascade propagates a child-bucket total change to ancestors: every parent
+// tuple matching the changed bucket's key gets its weight recomputed.
+func (idx *Index) cascade(n *node, changed map[*bucket]bool) {
+	for len(changed) > 0 && n.parent != nil {
+		p := n.parent
+		parentChanged := make(map[*bucket]bool)
+		for b := range changed {
+			for _, pos := range p.childRev[n.childIdx][b.key] {
+				pb := p.tupleBucket[pos]
+				old := pb.w.Value(p.tupleOrd[pos])
+				neww := p.weightOf(pos)
+				if old != neww {
+					pb.w.Set(p.tupleOrd[pos], neww)
+					parentChanged[pb] = true
+				}
+			}
+		}
+		n, changed = p, parentChanged
+	}
+}
+
+// Insert adds a base-relation tuple to the index (set semantics: duplicates
+// are no-ops). The tuple is routed to every atom over that relation. It
+// reports whether any node changed. NOTE: Insert updates the index, not the
+// relation.Database it was built from.
+func (idx *Index) Insert(baseRelation string, raw relation.Tuple) (bool, error) {
+	nodes, ok := idx.byBase[baseRelation]
+	if !ok {
+		return false, fmt.Errorf("dynaccess: no atom over relation %q", baseRelation)
+	}
+	any := false
+	for _, n := range nodes {
+		if len(raw) != len(n.atom.Terms) {
+			return false, fmt.Errorf("dynaccess: tuple arity %d, relation %q needs %d",
+				len(raw), baseRelation, len(n.atom.Terms))
+		}
+		t, match := n.instantiate(raw)
+		if !match {
+			continue
+		}
+		if b := n.insertLocal(t); b != nil {
+			idx.cascade(n, map[*bucket]bool{b: true})
+			any = true
+		}
+	}
+	return any, nil
+}
+
+// Delete removes a base-relation tuple (a no-op if absent). It reports
+// whether anything changed.
+func (idx *Index) Delete(baseRelation string, raw relation.Tuple) (bool, error) {
+	nodes, ok := idx.byBase[baseRelation]
+	if !ok {
+		return false, fmt.Errorf("dynaccess: no atom over relation %q", baseRelation)
+	}
+	any := false
+	for _, n := range nodes {
+		if len(raw) != len(n.atom.Terms) {
+			return false, fmt.Errorf("dynaccess: tuple arity %d, relation %q needs %d",
+				len(raw), baseRelation, len(n.atom.Terms))
+		}
+		t, match := n.instantiate(raw)
+		if !match {
+			continue
+		}
+		pos, exists := n.byKey[t.Key()]
+		if !exists || !n.alive[pos] {
+			continue
+		}
+		n.alive[pos] = false
+		b := n.tupleBucket[pos]
+		b.w.Set(n.tupleOrd[pos], 0)
+		idx.cascade(n, map[*bucket]bool{b: true})
+		any = true
+	}
+	return any, nil
+}
+
+// Count returns the current |Q(D)| in constant time.
+func (idx *Index) Count() int64 {
+	b := idx.root.buckets[""]
+	if b == nil {
+		return 0
+	}
+	return b.w.Total()
+}
+
+// Head returns the output variable order.
+func (idx *Index) Head() []string { return idx.head }
+
+// Access returns the j-th answer of the current enumeration order. The order
+// is deterministic between updates but may change across them (deleted
+// ranges close up; insertions append within buckets).
+func (idx *Index) Access(j int64) (relation.Tuple, error) {
+	if j < 0 || j >= idx.Count() {
+		return nil, access.ErrOutOfBounds
+	}
+	answer := make(relation.Tuple, len(idx.head))
+	idx.subtreeAccess(idx.root, idx.root.buckets[""], j, answer)
+	return answer, nil
+}
+
+func (idx *Index) subtreeAccess(n *node, b *bucket, j int64, answer relation.Tuple) {
+	ord := b.w.FindPrefix(j)
+	pos := b.tuples[ord]
+	t := n.tuples[pos]
+	for k, col := range n.outCols {
+		answer[col] = t[n.outPos[k]]
+	}
+	if len(n.children) == 0 {
+		return
+	}
+	rem := j - b.w.Prefix(ord)
+	childBuckets := make([]*bucket, len(n.children))
+	for ci, c := range n.children {
+		childBuckets[ci] = c.buckets[t.ProjectKey(n.childKeyPos[ci])]
+	}
+	for ci := len(n.children) - 1; ci >= 0; ci-- {
+		cb := childBuckets[ci]
+		total := cb.w.Total()
+		ji := rem % total
+		rem /= total
+		idx.subtreeAccess(n.children[ci], cb, ji, answer)
+	}
+}
+
+// InvertedAccess returns the current position of an answer, or ok=false.
+func (idx *Index) InvertedAccess(answer relation.Tuple) (int64, bool) {
+	if len(answer) != len(idx.head) {
+		return 0, false
+	}
+	return idx.invertedSubtree(idx.root, answer)
+}
+
+func (idx *Index) invertedSubtree(n *node, answer relation.Tuple) (int64, bool) {
+	t := make(relation.Tuple, len(n.schemaHeadPos))
+	for i, hp := range n.schemaHeadPos {
+		t[i] = answer[hp]
+	}
+	pos, ok := n.byKey[t.Key()]
+	if !ok || !n.alive[pos] {
+		return 0, false
+	}
+	b := n.tupleBucket[pos]
+	ord := n.tupleOrd[pos]
+	if b.w.Value(ord) == 0 {
+		return 0, false
+	}
+	var offset int64
+	for ci, c := range n.children {
+		ji, ok := idx.invertedSubtree(c, answer)
+		if !ok {
+			return 0, false
+		}
+		cb := c.buckets[t.ProjectKey(n.childKeyPos[ci])]
+		if cb == nil {
+			return 0, false
+		}
+		offset = offset*cb.w.Total() + ji
+	}
+	return b.w.Prefix(ord) + offset, true
+}
+
+// Contains reports whether answer is currently in Q(D).
+func (idx *Index) Contains(answer relation.Tuple) bool {
+	_, ok := idx.InvertedAccess(answer)
+	return ok
+}
+
+// Sample returns a uniformly random current answer, or ok=false when empty.
+func (idx *Index) Sample(rng *rand.Rand) (relation.Tuple, bool) {
+	n := idx.Count()
+	if n == 0 {
+		return nil, false
+	}
+	t, err := idx.Access(rng.Int63n(n))
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}

@@ -1,0 +1,351 @@
+package dynaccess
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/naive"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func chainQ() *query.CQ {
+	return query.MustCQ("q", []string{"a", "b", "c"},
+		query.NewAtom("R", query.V("a"), query.V("b")),
+		query.NewAtom("S", query.V("b"), query.V("c")))
+}
+
+func freshDB() *relation.Database {
+	db := relation.NewDatabase()
+	db.MustCreate("R", "r1", "r2")
+	db.MustCreate("S", "s1", "s2")
+	return db
+}
+
+func TestRejectsNonFullAndCyclic(t *testing.T) {
+	db := freshDB()
+	proj := query.MustCQ("p", []string{"a"},
+		query.NewAtom("R", query.V("a"), query.V("b")))
+	if _, err := New(db, proj); !errors.Is(err, ErrNotFull) {
+		t.Fatalf("err = %v", err)
+	}
+	db.MustCreate("T", "t1", "t2")
+	tri := query.MustCQ("tri", []string{"a", "b", "c"},
+		query.NewAtom("R", query.V("a"), query.V("b")),
+		query.NewAtom("S", query.V("b"), query.V("c")),
+		query.NewAtom("T", query.V("a"), query.V("c")))
+	if _, err := New(db, tri); !errors.Is(err, ErrCyclic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInsertDeleteBasic(t *testing.T) {
+	db := freshDB()
+	idx, err := New(db, chainQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Count() != 0 {
+		t.Fatal("empty index count != 0")
+	}
+	ins := func(rel string, vals ...relation.Value) {
+		if _, err := idx.Insert(rel, relation.Tuple(vals)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("R", 1, 10)
+	if idx.Count() != 0 {
+		t.Fatal("half a join counted")
+	}
+	ins("S", 10, 100)
+	if idx.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", idx.Count())
+	}
+	a, err := idx.Access(0)
+	if err != nil || !a.Equal(relation.Tuple{1, 10, 100}) {
+		t.Fatalf("Access(0) = %v, %v", a, err)
+	}
+	j, ok := idx.InvertedAccess(a)
+	if !ok || j != 0 {
+		t.Fatal("inverted access wrong")
+	}
+	// Duplicate insert: no-op.
+	changed, err := idx.Insert("R", relation.Tuple{1, 10})
+	if err != nil || changed {
+		t.Fatal("duplicate insert changed index")
+	}
+	// Delete and re-insert (tombstone revive).
+	if changed, _ := idx.Delete("S", relation.Tuple{10, 100}); !changed {
+		t.Fatal("delete failed")
+	}
+	if idx.Count() != 0 {
+		t.Fatal("count after delete")
+	}
+	if changed, _ := idx.Delete("S", relation.Tuple{10, 100}); changed {
+		t.Fatal("double delete changed index")
+	}
+	if changed, _ := idx.Insert("S", relation.Tuple{10, 100}); !changed {
+		t.Fatal("revive failed")
+	}
+	if idx.Count() != 1 {
+		t.Fatal("count after revive")
+	}
+	// Unknown relation.
+	if _, err := idx.Insert("Z", relation.Tuple{1}); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if _, err := idx.Delete("Z", relation.Tuple{1}); err == nil {
+		t.Fatal("unknown relation accepted on delete")
+	}
+	// Arity errors.
+	if _, err := idx.Insert("R", relation.Tuple{1}); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+}
+
+func TestAccessOutOfBounds(t *testing.T) {
+	db := freshDB()
+	idx, err := New(db, chainQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Access(0); !errors.Is(err, access.ErrOutOfBounds) {
+		t.Fatal("empty access succeeded")
+	}
+}
+
+// TestRandomUpdateSequenceAgainstOracle is the main test: a random sequence
+// of inserts/deletes on the base relations, checking after every step that
+// Count/Access/InvertedAccess exactly reflect the naive evaluation of the
+// current database.
+func TestRandomUpdateSequenceAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := freshDB()
+		q := chainQ()
+		idx, err := New(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shadow database for the oracle.
+		shadow := freshDB()
+		type fact struct {
+			rel string
+			t   relation.Tuple
+		}
+		var live []fact
+		for step := 0; step < 300; step++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				rel := []string{"R", "S"}[rng.Intn(2)]
+				tu := relation.Tuple{relation.Value(rng.Intn(5)), relation.Value(rng.Intn(5))}
+				if _, err := idx.Insert(rel, tu); err != nil {
+					t.Fatal(err)
+				}
+				sr, _ := shadow.Relation(rel)
+				if added, _ := sr.Insert(tu.Clone()); added {
+					live = append(live, fact{rel, tu})
+				}
+			} else {
+				i := rng.Intn(len(live))
+				f := live[i]
+				if _, err := idx.Delete(f.rel, f.t); err != nil {
+					t.Fatal(err)
+				}
+				// Rebuild the shadow relation without the deleted tuple
+				// (relation.Relation has no delete; recreate).
+				old, _ := shadow.Relation(f.rel)
+				repl := relation.NewRelation(f.rel, old.Schema())
+				for _, tu := range old.Tuples() {
+					if !tu.Equal(f.t) {
+						if _, err := repl.Insert(tu); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				shadow.Add(repl)
+				live = append(live[:i], live[i+1:]...)
+			}
+
+			if step%10 != 0 {
+				continue // full check every 10 steps (oracle is slow)
+			}
+			want, err := naive.Evaluate(shadow, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx.Count() != int64(len(want)) {
+				t.Fatalf("seed %d step %d: Count = %d, oracle %d", seed, step, idx.Count(), len(want))
+			}
+			seen := make(map[string]bool)
+			for j := int64(0); j < idx.Count(); j++ {
+				a, err := idx.Access(j)
+				if err != nil {
+					t.Fatalf("seed %d step %d: Access(%d): %v", seed, step, j, err)
+				}
+				if seen[a.Key()] {
+					t.Fatalf("seed %d step %d: duplicate answer", seed, step)
+				}
+				seen[a.Key()] = true
+				jj, ok := idx.InvertedAccess(a)
+				if !ok || jj != j {
+					t.Fatalf("seed %d step %d: inverted access mismatch", seed, step)
+				}
+			}
+			for _, w := range want {
+				if !seen[w.Key()] {
+					t.Fatalf("seed %d step %d: missing answer %v", seed, step, w)
+				}
+			}
+		}
+	}
+}
+
+func TestThreeLevelCascade(t *testing.T) {
+	// Chain of three relations: updates at the leaf must cascade through the
+	// middle node to the root.
+	db := relation.NewDatabase()
+	db.MustCreate("R", "r1", "r2")
+	db.MustCreate("S", "s1", "s2")
+	db.MustCreate("U", "u1", "u2")
+	q := query.MustCQ("q", []string{"a", "b", "c", "d"},
+		query.NewAtom("R", query.V("a"), query.V("b")),
+		query.NewAtom("S", query.V("b"), query.V("c")),
+		query.NewAtom("U", query.V("c"), query.V("d")))
+	idx, err := New(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(rel string, vals ...relation.Value) {
+		if _, err := idx.Insert(rel, relation.Tuple(vals)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must("R", 1, 2)
+	must("S", 2, 3)
+	if idx.Count() != 0 {
+		t.Fatal("incomplete chain counted")
+	}
+	must("U", 3, 4)
+	if idx.Count() != 1 {
+		t.Fatalf("Count = %d", idx.Count())
+	}
+	must("U", 3, 5)
+	if idx.Count() != 2 {
+		t.Fatalf("Count = %d after second leaf", idx.Count())
+	}
+	// Deleting the middle tuple kills everything.
+	if _, err := idx.Delete("S", relation.Tuple{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Count() != 0 {
+		t.Fatalf("Count = %d after middle delete", idx.Count())
+	}
+	// Re-adding restores both answers.
+	must("S", 2, 3)
+	if idx.Count() != 2 {
+		t.Fatalf("Count = %d after revive", idx.Count())
+	}
+}
+
+func TestSelfJoinRouting(t *testing.T) {
+	// E(x,y), E(y,z): one base insert feeds both atoms.
+	db := relation.NewDatabase()
+	db.MustCreate("E", "e1", "e2")
+	q := query.MustCQ("q", []string{"x", "y", "z"},
+		query.NewAtom("E", query.V("x"), query.V("y")),
+		query.NewAtom("E", query.V("y"), query.V("z")))
+	idx, err := New(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Insert("E", relation.Tuple{1, 2})
+	idx.Insert("E", relation.Tuple{2, 3})
+	// Paths: 1→2→3.
+	if idx.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", idx.Count())
+	}
+	idx.Insert("E", relation.Tuple{2, 2})
+	// Now: 1→2→3, 1→2→2, 2→2→3, 2→2→2.
+	if idx.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", idx.Count())
+	}
+	idx.Delete("E", relation.Tuple{1, 2})
+	// Remaining: 2→2→3, 2→2→2.
+	if idx.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", idx.Count())
+	}
+}
+
+func TestConstantsInAtoms(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustCreate("R", "r1", "r2")
+	q := query.MustCQ("q", []string{"b"},
+		query.NewAtom("R", query.C(7), query.V("b")))
+	idx, err := New(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Insert("R", relation.Tuple{7, 1})
+	idx.Insert("R", relation.Tuple{8, 2}) // filtered out by the constant
+	if idx.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", idx.Count())
+	}
+}
+
+func TestSampleUniformAfterUpdates(t *testing.T) {
+	db := freshDB()
+	idx, err := New(db, chainQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		idx.Insert("R", relation.Tuple{relation.Value(i), 0})
+	}
+	idx.Insert("S", relation.Tuple{0, 50})
+	idx.Delete("R", relation.Tuple{2, 0})
+	// 5 answers now.
+	if idx.Count() != 5 {
+		t.Fatalf("Count = %d", idx.Count())
+	}
+	rng := rand.New(rand.NewSource(4))
+	counts := map[relation.Value]int{}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		a, ok := idx.Sample(rng)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		counts[a[0]]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("sampled %d distinct answers", len(counts))
+	}
+	for v, c := range counts {
+		if c < trials/5-500 || c > trials/5+500 {
+			t.Fatalf("value %d sampled %d times (expected ~%d)", v, c, trials/5)
+		}
+	}
+	if _, ok := counts[2]; ok {
+		t.Fatal("deleted answer sampled")
+	}
+}
+
+func TestHeadExposedAndEmptySample(t *testing.T) {
+	db := freshDB()
+	idx, err := New(db, chainQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := idx.Head()
+	if len(h) != 3 || h[0] != "a" {
+		t.Fatalf("Head = %v", h)
+	}
+	if _, ok := idx.Sample(rand.New(rand.NewSource(1))); ok {
+		t.Fatal("sampled from empty index")
+	}
+	if idx.Contains(relation.Tuple{1, 2, 3}) {
+		t.Fatal("Contains on empty")
+	}
+}

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/sample"
+	"repro/internal/stats"
+	"repro/internal/tpchq"
+)
+
+// DelayRow is one box plot of Figures 2/3 and one table line of Figure 7:
+// the distribution of per-answer delays for a (query, algorithm) pair.
+type DelayRow struct {
+	Query     string
+	Algorithm string
+	Fraction  float64 // fraction of answers enumerated (1.0 or 0.5)
+	Complete  bool    // false when the timeout cut the run short
+	Summary   stats.Summary
+}
+
+// Fig2 reproduces Figure 2: per-answer delay distributions over a full
+// enumeration, REnum(CQ) vs Sample(EW), on the six CQs.
+func (r *Runner) Fig2() ([]DelayRow, error) { return r.delays(1.0, "Figure 2") }
+
+// Fig3 reproduces Figure 3: the same at 50% of the answers.
+func (r *Runner) Fig3() ([]DelayRow, error) { return r.delays(0.5, "Figure 3") }
+
+func (r *Runner) delays(fraction float64, title string) ([]DelayRow, error) {
+	var rows []DelayRow
+	r.printf("== %s: delay distributions at %.0f%% (sf=%v) ==\n", title, fraction*100, r.cfg.ScaleFactor)
+	for _, q := range tpchq.CQs() {
+		c, _, err := r.prepareCQ(q)
+		if err != nil {
+			return nil, err
+		}
+		k := int64(float64(c.Count()) * fraction)
+		if k < 1 {
+			k = 1
+		}
+
+		perm := c.Permute(rand.New(rand.NewSource(r.cfg.Seed + 3)))
+		renumDelays, renumDone := r.collectDelays(k, func() bool {
+			_, ok := perm.Next()
+			return ok
+		})
+		rows = append(rows, r.emitDelayRow(q.Name, "REnum(CQ)", fraction, renumDelays, renumDone))
+
+		s := r.newSampler(c, sample.EW)
+		ewDelays, ewDone := r.collectDelays(k, func() bool {
+			_, ok := s.Next()
+			return ok
+		})
+		rows = append(rows, r.emitDelayRow(q.Name, "Sample(EW)", fraction, ewDelays, ewDone))
+	}
+	return rows, nil
+}
+
+// collectDelays runs next() k times (or until timeout / exhaustion),
+// recording the wall time between consecutive answers in seconds.
+func (r *Runner) collectDelays(k int64, next func() bool) ([]float64, bool) {
+	delays := make([]float64, 0, k)
+	start := time.Now()
+	last := start
+	for int64(len(delays)) < k {
+		if r.cfg.Timeout > 0 && time.Since(start) > r.cfg.Timeout {
+			return delays, false
+		}
+		if !next() {
+			return delays, false
+		}
+		now := time.Now()
+		delays = append(delays, now.Sub(last).Seconds())
+		last = now
+	}
+	return delays, true
+}
+
+func (r *Runner) emitDelayRow(qname, algo string, fraction float64, delays []float64, done bool) DelayRow {
+	row := DelayRow{
+		Query: qname, Algorithm: algo, Fraction: fraction,
+		Complete: done, Summary: stats.Summarize(delays),
+	}
+	suffix := ""
+	if !done {
+		suffix = " (timeout)"
+	}
+	r.printf("%-4s %-12s %s%s\n", qname, algo, row.Summary.String(), suffix)
+	return row
+}
+
+// Fig7 reproduces the two tables of Figure 7: mean, standard deviation and
+// outlier percentage of the delay, at 50% and at full enumeration.
+func (r *Runner) Fig7() (half, full []DelayRow, err error) {
+	half, err = r.Fig3()
+	if err != nil {
+		return nil, nil, err
+	}
+	full, err = r.Fig2()
+	if err != nil {
+		return nil, nil, err
+	}
+	r.printf("== Figure 7: delay mean / SD / outliers ==\n")
+	r.printf("%-6s %-12s | %-28s | %-28s\n", "query", "algorithm", "50% enumeration", "full enumeration")
+	for i := range half {
+		h, f := half[i], full[i]
+		r.printf("%-6s %-12s | mean=%-9s sd=%-9s out=%4.2f%% | mean=%-9s sd=%-9s out=%4.2f%%\n",
+			h.Query, h.Algorithm,
+			fmtSec(h.Summary.Mean), fmtSec(h.Summary.StdDev), h.Summary.OutlierPercent,
+			fmtSec(f.Summary.Mean), fmtSec(f.Summary.StdDev), f.Summary.OutlierPercent)
+	}
+	return half, full, nil
+}

@@ -1,0 +1,297 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testRunner(t *testing.T, out *bytes.Buffer) *Runner {
+	t.Helper()
+	r, err := NewRunner(Config{
+		ScaleFactor: 0.005,
+		Seed:        42,
+		Timeout:     5 * time.Second,
+		Out:         out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFig1ProducesAllSeries(t *testing.T) {
+	var out bytes.Buffer
+	r := testRunner(t, &out)
+	rows, err := r.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 queries × 2 algorithms.
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, row := range rows {
+		if row.Answers <= 0 {
+			t.Fatalf("%s/%s: no answers", row.Query, row.Algorithm)
+		}
+		if len(row.TotalAtPct) != len(DefaultPercentages) {
+			t.Fatalf("%s/%s: %d thresholds", row.Query, row.Algorithm, len(row.TotalAtPct))
+		}
+		// Totals must be non-decreasing across percentages (ignoring DNF).
+		prev := 0.0
+		for i, tt := range row.TotalAtPct {
+			if tt == DNF {
+				continue
+			}
+			if tt < prev {
+				t.Fatalf("%s/%s: time decreased at threshold %d", row.Query, row.Algorithm, i)
+			}
+			prev = tt
+		}
+		if row.Preprocess <= 0 {
+			t.Fatalf("%s/%s: no preprocessing time", row.Query, row.Algorithm)
+		}
+	}
+	if !strings.Contains(out.String(), "Figure 1") {
+		t.Fatal("no table output")
+	}
+}
+
+func TestFig2And3(t *testing.T) {
+	var out bytes.Buffer
+	r := testRunner(t, &out)
+	rows, err := r.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("fig2 rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Summary.N == 0 {
+			t.Fatalf("%s/%s: no delays", row.Query, row.Algorithm)
+		}
+	}
+	rows3, err := r.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows3) != 12 {
+		t.Fatalf("fig3 rows = %d", len(rows3))
+	}
+}
+
+func TestFig4aAllAlgorithmsAgree(t *testing.T) {
+	var out bytes.Buffer
+	r := testRunner(t, &out)
+	rows, err := r.Fig4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 unions × 3 algorithms.
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(rows))
+	}
+	// REnum(UCQ) and REnum(mcUCQ) must produce the same number of distinct
+	// answers per union (the true |union|).
+	byUnion := map[string]map[string]int64{}
+	for _, row := range rows {
+		if byUnion[row.Union] == nil {
+			byUnion[row.Union] = map[string]int64{}
+		}
+		byUnion[row.Union][row.Algorithm] = row.Answers
+	}
+	for union, algos := range byUnion {
+		if algos["REnum(UCQ)"] != algos["REnum(mcUCQ)"] {
+			t.Fatalf("%s: UCQ=%d mcUCQ=%d", union, algos["REnum(UCQ)"], algos["REnum(mcUCQ)"])
+		}
+		// Cumulative counts duplicates, so it is ≥ the union size.
+		if algos["REnum(CQ) cumulative"] < algos["REnum(UCQ)"] {
+			t.Fatalf("%s: cumulative %d < union %d", union, algos["REnum(CQ) cumulative"], algos["REnum(UCQ)"])
+		}
+	}
+}
+
+func TestFig4b(t *testing.T) {
+	var out bytes.Buffer
+	r := testRunner(t, &out)
+	rows, err := r.Fig4b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Percent) != len(DefaultPercentages)+1 {
+			t.Fatalf("%s: %d thresholds", row.Algorithm, len(row.Percent))
+		}
+		if row.Percent[len(row.Percent)-1] != 100 {
+			t.Fatal("last threshold must be 100%")
+		}
+	}
+}
+
+func TestFig5DecilesSumToFullRun(t *testing.T) {
+	var out bytes.Buffer
+	r := testRunner(t, &out)
+	rows, err := r.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("deciles = %d, want 10", len(rows))
+	}
+	for _, d := range rows {
+		if d.AnswerSec < 0 || d.RejectSec < 0 {
+			t.Fatalf("negative decile time: %+v", d)
+		}
+	}
+}
+
+func TestFig6IncludesEO(t *testing.T) {
+	var out bytes.Buffer
+	r := testRunner(t, &out)
+	rows, err := r.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasEO := false
+	for _, row := range rows {
+		if row.Algorithm == "Sample(EO)" {
+			hasEO = true
+		}
+	}
+	if !hasEO {
+		t.Fatal("no EO series")
+	}
+}
+
+func TestFig7Tables(t *testing.T) {
+	var out bytes.Buffer
+	r := testRunner(t, &out)
+	half, full, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(half) != len(full) || len(half) != 12 {
+		t.Fatalf("rows: %d half, %d full", len(half), len(full))
+	}
+	if !strings.Contains(out.String(), "Figure 7") {
+		t.Fatal("table not rendered")
+	}
+}
+
+func TestFig8UsesOE(t *testing.T) {
+	var out bytes.Buffer
+	r := testRunner(t, &out)
+	rows, err := r.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // Q3 × {REnum, EW, OE}
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+}
+
+func TestRSExperiment(t *testing.T) {
+	var out bytes.Buffer
+	r, err := NewRunner(Config{ScaleFactor: 0.005, Seed: 1, Timeout: 300 * time.Millisecond, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.RS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var rs, ew RSRow
+	for _, row := range rows {
+		switch row.Algorithm {
+		case "Sample(RS)":
+			rs = row
+		case "Sample(EW)":
+			ew = row
+		}
+	}
+	// Shape: EW produces (usually vastly) more distinct answers per budget.
+	if ew.Distinct < rs.Distinct {
+		t.Fatalf("EW (%d) produced fewer distinct answers than RS (%d)", ew.Distinct, rs.Distinct)
+	}
+}
+
+func TestUniformityExperiment(t *testing.T) {
+	var out bytes.Buffer
+	r, err := NewRunner(Config{ScaleFactor: 0.002, Seed: 5, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.Uniformity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if !row.Pass {
+			t.Fatalf("%s/%s failed uniformity: chi2=%.1f limit=%.1f",
+				row.Workload, row.Algorithm, row.ChiSquare, row.Limit)
+		}
+	}
+}
+
+func TestRunRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 11 {
+		t.Fatalf("registry has %d experiments", len(names))
+	}
+	var out bytes.Buffer
+	r := testRunner(t, &out)
+	if err := r.Run("fig5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunDataJSONMarshal(t *testing.T) {
+	var out bytes.Buffer
+	r, err := NewRunner(Config{ScaleFactor: 0.002, Seed: 2, Timeout: 2 * time.Second, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := r.RunData("fig4a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "REnum(mcUCQ)") {
+		t.Fatalf("JSON missing expected series: %s", blob[:200])
+	}
+	if _, err := r.RunData("bogus"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestNewRunnerDefaults(t *testing.T) {
+	r, err := NewRunner(Config{Seed: 3, ScaleFactor: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DB() == nil {
+		t.Fatal("no database")
+	}
+	if len(r.cfg.Percentages) == 0 {
+		t.Fatal("no default percentages")
+	}
+}

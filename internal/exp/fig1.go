@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"math/rand"
+
+	"repro/internal/query"
+	"repro/internal/sample"
+	"repro/internal/tpchq"
+)
+
+// Fig1Row is one (query, algorithm) series of Figure 1 (and Figures 6/8):
+// total time to produce each percentage of distinct answers, split into
+// preprocessing and enumeration.
+type Fig1Row struct {
+	Query      string
+	Algorithm  string
+	Answers    int64     // |Q(D)|
+	Preprocess float64   // seconds
+	Percent    []int     // thresholds, e.g. 1,5,...,90
+	TotalAtPct []float64 // preprocessing + enumeration seconds per threshold (DNF = -1)
+}
+
+// Fig1 reproduces Figure 1: REnum(CQ) vs Sample(EW) on the six TPC-H CQs.
+func (r *Runner) Fig1() ([]Fig1Row, error) {
+	return r.figTotalTime(tpchq.CQs(), []sample.Method{sample.EW}, "Figure 1")
+}
+
+// Fig6 reproduces Appendix Figure 6: adds the Sample(EO) baseline (the paper
+// omits Q10, where EO times out; we keep it and let it DNF).
+func (r *Runner) Fig6() ([]Fig1Row, error) {
+	return r.figTotalTime(tpchq.CQs(), []sample.Method{sample.EW, sample.EO}, "Figure 6")
+}
+
+// Fig8 reproduces Appendix Figure 8: Q3 with the Sample(OE) baseline.
+func (r *Runner) Fig8() ([]Fig1Row, error) {
+	return r.figTotalTime([]*query.CQ{tpchq.Q3()}, []sample.Method{sample.EW, sample.OE}, "Figure 8")
+}
+
+func (r *Runner) figTotalTime(queries []*query.CQ, baselines []sample.Method, title string) ([]Fig1Row, error) {
+	var rows []Fig1Row
+	r.printf("== %s: total enumeration time (sf=%v) ==\n", title, r.cfg.ScaleFactor)
+	for _, q := range queries {
+		c, prep, err := r.prepareCQ(q)
+		if err != nil {
+			return nil, err
+		}
+		n := c.Count()
+		ks := r.thresholds(n)
+
+		// REnum(CQ): one random permutation pass, recording thresholds.
+		perm := c.Permute(rand.New(rand.NewSource(r.cfg.Seed + 7)))
+		renum := r.runThresholds(ks, func() bool {
+			_, ok := perm.Next()
+			return ok
+		})
+		rows = append(rows, r.emitFig1Row(q.Name, "REnum(CQ)", n, prep, renum))
+
+		// Baselines: fresh preprocessing timing is identical (same index);
+		// the enumeration differs.
+		for _, m := range baselines {
+			s := r.newSampler(c, m)
+			res := r.runThresholds(ks, func() bool {
+				_, ok := s.Next()
+				return ok
+			})
+			rows = append(rows, r.emitFig1Row(q.Name, "Sample("+m.String()+")", n, prep, res))
+		}
+	}
+	return rows, nil
+}
+
+func (r *Runner) emitFig1Row(qname, algo string, n int64, prep float64, enum []float64) Fig1Row {
+	row := Fig1Row{
+		Query:      qname,
+		Algorithm:  algo,
+		Answers:    n,
+		Preprocess: prep,
+		Percent:    append([]int(nil), r.cfg.Percentages...),
+	}
+	row.TotalAtPct = make([]float64, len(enum))
+	for i, e := range enum {
+		if e == DNF {
+			row.TotalAtPct[i] = DNF
+		} else {
+			row.TotalAtPct[i] = prep + e
+		}
+	}
+	r.printf("%-4s %-12s n=%-9d prep=%-9s", qname, algo, n, fmtSec(prep))
+	for i, tt := range row.TotalAtPct {
+		r.printf(" %d%%:%s", row.Percent[i], fmtSec(tt))
+	}
+	r.printf("\n")
+	return row
+}

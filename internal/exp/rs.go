@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sample"
+	"repro/internal/tpchq"
+)
+
+// RSRow reports the appendix B.2.3 measurement: how fast Sample(RS) produces
+// distinct answers of Q3 compared to Sample(EW).
+type RSRow struct {
+	Algorithm string
+	Budget    time.Duration
+	Distinct  int64
+	Trials    int64
+	Rejects   int64
+}
+
+// RS reproduces appendix B.2.3: the naive rejection sampler on Q3 within a
+// fixed wall-clock budget, against Sample(EW) under the same budget. In the
+// paper RS could not produce 1% of Q3's answers within an hour; here the
+// shape to observe is a distinct-answer rate that is orders of magnitude
+// lower than EW's.
+func (r *Runner) RS() ([]RSRow, error) {
+	q := tpchq.Q3()
+	c, _, err := r.prepareCQ(q)
+	if err != nil {
+		return nil, err
+	}
+	budget := r.cfg.Timeout
+	if budget <= 0 {
+		budget = 2 * time.Second
+	}
+	r.printf("== Appendix B.2.3: Sample(RS) vs Sample(EW) on Q3 (budget %v) ==\n", budget)
+
+	var rows []RSRow
+	for _, m := range []sample.Method{sample.RS, sample.EW} {
+		s := r.newSampler(c, m)
+		start := time.Now()
+		for time.Since(start) < budget {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+		}
+		row := RSRow{
+			Algorithm: "Sample(" + m.String() + ")",
+			Budget:    budget,
+			Distinct:  s.Emitted(),
+			Trials:    s.Trials,
+			Rejects:   s.TrialRejections,
+		}
+		r.printf("%-12s distinct=%-9d trials=%-10d trial-rejections=%d\n",
+			row.Algorithm, row.Distinct, row.Trials, row.Rejects)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Names lists the experiment identifiers accepted by Run.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Fig7Tables bundles the two tables of Figure 7 for structured export.
+type Fig7Tables struct {
+	Half []DelayRow `json:"half"`
+	Full []DelayRow `json:"full"`
+}
+
+// registry maps experiment names to data-returning drivers; the returned
+// value is JSON-marshalable for RunData.
+var registry = map[string]func(*Runner) (interface{}, error){
+	"fig1":  func(r *Runner) (interface{}, error) { return r.Fig1() },
+	"fig2":  func(r *Runner) (interface{}, error) { return r.Fig2() },
+	"fig3":  func(r *Runner) (interface{}, error) { return r.Fig3() },
+	"fig4a": func(r *Runner) (interface{}, error) { return r.Fig4a() },
+	"fig4b": func(r *Runner) (interface{}, error) { return r.Fig4b() },
+	"fig5":  func(r *Runner) (interface{}, error) { return r.Fig5() },
+	"fig6":  func(r *Runner) (interface{}, error) { return r.Fig6() },
+	"fig7": func(r *Runner) (interface{}, error) {
+		half, full, err := r.Fig7()
+		return Fig7Tables{Half: half, Full: full}, err
+	},
+	"fig8": func(r *Runner) (interface{}, error) { return r.Fig8() },
+	"rs":   func(r *Runner) (interface{}, error) { return r.RS() },
+	"uniformity": func(r *Runner) (interface{}, error) {
+		rows, err := r.Uniformity()
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			if !row.Pass {
+				return rows, fmt.Errorf("uniformity check failed: %s/%s chi2=%.1f > %.1f",
+					row.Workload, row.Algorithm, row.ChiSquare, row.Limit)
+			}
+		}
+		return rows, nil
+	},
+}
+
+// Run executes one experiment by name ("all" runs every one in sorted order).
+func (r *Runner) Run(name string) error {
+	_, err := r.RunData(name)
+	return err
+}
+
+// RunData executes an experiment and returns its structured rows (a map of
+// experiment name → rows when name is "all").
+func (r *Runner) RunData(name string) (interface{}, error) {
+	if name == "all" {
+		out := make(map[string]interface{}, len(registry))
+		for _, n := range Names() {
+			data, err := registry[n](r)
+			if err != nil {
+				return nil, fmt.Errorf("exp %s: %w", n, err)
+			}
+			out[n] = data
+		}
+		return out, nil
+	}
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", name, Names())
+	}
+	data, err := f(r)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}

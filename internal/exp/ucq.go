@@ -1,0 +1,292 @@
+package exp
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/cqenum"
+	"repro/internal/mcucq"
+	"repro/internal/query"
+	"repro/internal/tpchq"
+	"repro/internal/unionenum"
+)
+
+// UCQRow is one bar group of Figure 4a: total preprocessing and enumeration
+// time of one algorithm on one union.
+type UCQRow struct {
+	Union      string
+	Algorithm  string
+	Answers    int64 // distinct answers produced
+	Preprocess float64
+	Enumerate  float64
+	Rejections int64 // REnum(UCQ) only
+}
+
+// Fig4a reproduces Figure 4a: full-enumeration cost of the three unions under
+// cumulative REnum(CQ), REnum(UCQ) and REnum(mcUCQ).
+func (r *Runner) Fig4a() ([]UCQRow, error) {
+	var rows []UCQRow
+	r.printf("== Figure 4a: UCQ total time (sf=%v) ==\n", r.cfg.ScaleFactor)
+	for _, u := range tpchq.UCQs() {
+		cum, err := r.cumulativeCQRow(u)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r.emitUCQRow(cum))
+
+		ucq, err := r.renumUCQRow(u, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r.emitUCQRow(ucq))
+
+		mc, err := r.mcucqRow(u)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r.emitUCQRow(mc))
+	}
+	return rows, nil
+}
+
+// cumulativeCQRow runs REnum(CQ) to completion on every disjunct separately
+// (the paper's baseline: not a real UCQ enumeration — duplicates across
+// disjuncts and no global order — but the natural cost floor).
+func (r *Runner) cumulativeCQRow(u *query.UCQ) (UCQRow, error) {
+	row := UCQRow{Union: u.Name, Algorithm: "REnum(CQ) cumulative"}
+	for _, q := range u.Disjuncts {
+		c, prep, err := r.prepareCQ(q)
+		if err != nil {
+			return row, err
+		}
+		row.Preprocess += prep
+		perm := c.Permute(rand.New(rand.NewSource(r.cfg.Seed + 17)))
+		start := time.Now()
+		for {
+			if _, ok := perm.Next(); !ok {
+				break
+			}
+			row.Answers++
+		}
+		row.Enumerate += time.Since(start).Seconds()
+	}
+	return row, nil
+}
+
+// renumUCQRow runs REnum(UCQ) (Algorithm 5) to completion. If deciles is
+// non-nil, it receives per-decile rejection/answer time splits (Figure 5).
+func (r *Runner) renumUCQRow(u *query.UCQ, deciles *[]Fig5Row) (UCQRow, error) {
+	row := UCQRow{Union: u.Name, Algorithm: "REnum(UCQ)"}
+	start := time.Now()
+	e, err := unionenum.NewFromUCQ(r.db, u, rand.New(rand.NewSource(r.cfg.Seed+19)), r.reduceOptions())
+	if err != nil {
+		return row, err
+	}
+	row.Preprocess = time.Since(start).Seconds()
+
+	e.Instrument = deciles != nil
+	// Total distinct answers: drain fully. For decile accounting we need the
+	// final count first; Remaining() is an upper bound, so collect and split
+	// afterwards using the recorded per-decile snapshots.
+	type snapshot struct {
+		answers                int64
+		rejectTime, answerTime time.Duration
+	}
+	var snaps []snapshot
+	enumStart := time.Now()
+	for {
+		_, ok := e.Next()
+		if !ok {
+			break
+		}
+		row.Answers++
+		if deciles != nil {
+			snaps = append(snaps, snapshot{row.Answers, e.RejectTime, e.AnswerTime})
+		}
+	}
+	row.Enumerate = time.Since(enumStart).Seconds()
+	row.Rejections = e.Rejections
+
+	if deciles != nil && row.Answers > 0 {
+		prevReject, prevAnswer := time.Duration(0), time.Duration(0)
+		for d := 1; d <= 10; d++ {
+			i := row.Answers*int64(d)/10 - 1
+			if i < 0 {
+				i = 0
+			}
+			s := snaps[i]
+			*deciles = append(*deciles, Fig5Row{
+				Union:     u.Name,
+				Decile:    d * 10,
+				AnswerSec: (s.answerTime - prevAnswer).Seconds(),
+				RejectSec: (s.rejectTime - prevReject).Seconds(),
+			})
+			prevReject, prevAnswer = s.rejectTime, s.answerTime
+		}
+	}
+	return row, nil
+}
+
+// mcucqRow runs REnum(mcUCQ) (Theorem 5.5 + Fisher–Yates) to completion.
+func (r *Runner) mcucqRow(u *query.UCQ) (UCQRow, error) {
+	row := UCQRow{Union: u.Name, Algorithm: "REnum(mcUCQ)"}
+	start := time.Now()
+	m, err := mcucq.New(r.db, u, mcucq.Options{Reduce: r.reduceOptions()})
+	if err != nil {
+		return row, err
+	}
+	row.Preprocess = time.Since(start).Seconds()
+	perm := m.Permute(rand.New(rand.NewSource(r.cfg.Seed + 23)))
+	enumStart := time.Now()
+	for {
+		if _, ok := perm.Next(); !ok {
+			break
+		}
+		row.Answers++
+	}
+	row.Enumerate = time.Since(enumStart).Seconds()
+	return row, nil
+}
+
+func (r *Runner) emitUCQRow(row UCQRow) UCQRow {
+	r.printf("%-14s %-22s answers=%-9d prep=%-9s enum=%-9s",
+		row.Union, row.Algorithm, row.Answers, fmtSec(row.Preprocess), fmtSec(row.Enumerate))
+	if row.Rejections > 0 {
+		r.printf(" rejections=%d", row.Rejections)
+	}
+	r.printf("\n")
+	return row
+}
+
+// Fig4bRow is one series point of Figure 4b.
+type Fig4bRow struct {
+	Algorithm  string
+	Percent    []int
+	TotalAtPct []float64 // preprocessing + enumeration
+}
+
+// Fig4b reproduces Figure 4b: total time of the three algorithms on QS7∪QC7
+// when producing increasing fractions of the answers (the paper adds 100%).
+func (r *Runner) Fig4b() ([]Fig4bRow, error) {
+	u := tpchq.UnionQ7()
+	pcts := append(append([]int(nil), r.cfg.Percentages...), 100)
+	r.printf("== Figure 4b: %s total time by percentage ==\n", u.Name)
+	var rows []Fig4bRow
+
+	// Determine the union cardinality once (for thresholds) via mc-UCQ count.
+	mPre, err := mcucq.New(r.db, u, mcucq.Options{Reduce: r.reduceOptions()})
+	if err != nil {
+		return nil, err
+	}
+	n := mPre.Count()
+	ks := make([]int64, len(pcts))
+	for i, p := range pcts {
+		k := n * int64(p) / 100
+		if k < 1 {
+			k = 1
+		}
+		if k > n {
+			k = n
+		}
+		ks[i] = k
+	}
+
+	// Cumulative REnum(CQ): enumerate p% of each disjunct, interleaved
+	// round-robin so "k answers" is spread across the union's CQs.
+	{
+		var prep float64
+		var perms []*cqenum.RandomPermutation
+		for _, q := range u.Disjuncts {
+			c, p, err := r.prepareCQ(q)
+			if err != nil {
+				return nil, err
+			}
+			prep += p
+			perms = append(perms, c.Permute(rand.New(rand.NewSource(r.cfg.Seed+29))))
+		}
+		i := 0
+		res := r.runThresholds(ks, func() bool {
+			for tries := 0; tries < len(perms); tries++ {
+				pw := perms[i%len(perms)]
+				i++
+				if _, ok := pw.Next(); ok {
+					return true
+				}
+			}
+			return false
+		})
+		rows = append(rows, r.emitFig4bRow("REnum(CQ) cumulative", pcts, prep, res))
+	}
+
+	// REnum(UCQ).
+	{
+		start := time.Now()
+		e, err := unionenum.NewFromUCQ(r.db, u, rand.New(rand.NewSource(r.cfg.Seed+31)), r.reduceOptions())
+		if err != nil {
+			return nil, err
+		}
+		prep := time.Since(start).Seconds()
+		res := r.runThresholds(ks, func() bool {
+			_, ok := e.Next()
+			return ok
+		})
+		rows = append(rows, r.emitFig4bRow("REnum(UCQ)", pcts, prep, res))
+	}
+
+	// REnum(mcUCQ).
+	{
+		start := time.Now()
+		m, err := mcucq.New(r.db, u, mcucq.Options{Reduce: r.reduceOptions()})
+		if err != nil {
+			return nil, err
+		}
+		prep := time.Since(start).Seconds()
+		perm := m.Permute(rand.New(rand.NewSource(r.cfg.Seed + 37)))
+		res := r.runThresholds(ks, func() bool {
+			_, ok := perm.Next()
+			return ok
+		})
+		rows = append(rows, r.emitFig4bRow("REnum(mcUCQ)", pcts, prep, res))
+	}
+	return rows, nil
+}
+
+func (r *Runner) emitFig4bRow(algo string, pcts []int, prep float64, enum []float64) Fig4bRow {
+	row := Fig4bRow{Algorithm: algo, Percent: pcts, TotalAtPct: make([]float64, len(enum))}
+	for i, e := range enum {
+		if e == DNF {
+			row.TotalAtPct[i] = DNF
+		} else {
+			row.TotalAtPct[i] = prep + e
+		}
+	}
+	r.printf("%-22s", algo)
+	for i, tt := range row.TotalAtPct {
+		r.printf(" %d%%:%s", pcts[i], fmtSec(tt))
+	}
+	r.printf("\n")
+	return row
+}
+
+// Fig5Row is one decile of Figure 5.
+type Fig5Row struct {
+	Union     string
+	Decile    int // 10, 20, ..., 100
+	AnswerSec float64
+	RejectSec float64
+}
+
+// Fig5 reproduces Figure 5: per-decile time REnum(UCQ) spends emitting
+// answers versus producing rejections across a full enumeration of QS7∪QC7.
+func (r *Runner) Fig5() ([]Fig5Row, error) {
+	u := tpchq.UnionQ7()
+	r.printf("== Figure 5: %s answer vs rejection time per decile ==\n", u.Name)
+	var deciles []Fig5Row
+	if _, err := r.renumUCQRow(u, &deciles); err != nil {
+		return nil, err
+	}
+	for _, d := range deciles {
+		r.printf("%3d%%: answers=%-10s rejections=%s\n", d.Decile, fmtSec(d.AnswerSec), fmtSec(d.RejectSec))
+	}
+	return deciles, nil
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/cqenum"
+	"repro/internal/mcucq"
+	"repro/internal/stats"
+	"repro/internal/tpchq"
+	"repro/internal/unionenum"
+)
+
+// UniformityRow reports an empirical check of the statistical guarantee that
+// distinguishes this paper's algorithms from heuristic shufflers: the first
+// emitted answer of every random-permutation algorithm must be uniform over
+// the answer set. The chi-square statistic is compared against a ~6σ bound
+// (df + 6·sqrt(2·df)).
+type UniformityRow struct {
+	Workload  string
+	Algorithm string
+	Answers   int64
+	Trials    int
+	ChiSquare float64
+	DF        int
+	Limit     float64
+	Pass      bool
+}
+
+// Uniformity runs first-answer uniformity checks for REnum(CQ) on Q0,
+// REnum(UCQ) and REnum(mcUCQ) on QS7∪QC7, restricted to modest answer
+// spaces so the chi-square test has power.
+func (r *Runner) Uniformity() ([]UniformityRow, error) {
+	r.printf("== Uniformity: first-answer chi-square checks ==\n")
+	var rows []UniformityRow
+
+	// REnum(CQ) on Q0.
+	{
+		c, _, err := r.prepareCQ(tpchq.Q0())
+		if err != nil {
+			return nil, err
+		}
+		n := c.Count()
+		trials := trialBudget(n)
+		counts := make(map[string]int, n)
+		rng := rand.New(rand.NewSource(r.cfg.Seed + 41))
+		for i := 0; i < trials; i++ {
+			p := c.Permute(rng)
+			t, ok := p.Next()
+			if !ok {
+				break
+			}
+			counts[t.Key()]++
+		}
+		rows = append(rows, r.emitUniformity("Q0", "REnum(CQ)", n, trials, counts))
+	}
+
+	// REnum(UCQ) on QS7∪QC7. The disjuncts are prepared once; each trial
+	// only rebuilds the O(1) deletable-set wrappers, so trials are cheap.
+	{
+		u := tpchq.UnionQ7()
+		var prepared []*cqenum.CQ
+		for _, q := range u.Disjuncts {
+			c, _, err := r.prepareCQ(q)
+			if err != nil {
+				return nil, err
+			}
+			prepared = append(prepared, c)
+		}
+		m, err := mcucq.New(r.db, u, mcucq.Options{Reduce: r.reduceOptions()})
+		if err != nil {
+			return nil, err
+		}
+		n := m.Count()
+		trials := trialBudget(n)
+		rng := rand.New(rand.NewSource(r.cfg.Seed + 43))
+		counts := make(map[string]int, n)
+		for i := 0; i < trials; i++ {
+			sets := make([]unionenum.Set, len(prepared))
+			for si, c := range prepared {
+				sets[si] = c.NewDeletableSet()
+			}
+			e := unionenum.New(sets, rng)
+			t, ok := e.Next()
+			if !ok {
+				break
+			}
+			counts[t.Key()]++
+		}
+		rows = append(rows, r.emitUniformity(u.Name, "REnum(UCQ)", n, trials, counts))
+
+		// REnum(mcUCQ) on the same union (fresh permutation per trial over
+		// the one prepared structure — preprocessing is deterministic).
+		counts = make(map[string]int, n)
+		for i := 0; i < trials; i++ {
+			p := m.Permute(rng)
+			t, ok := p.Next()
+			if !ok {
+				break
+			}
+			counts[t.Key()]++
+		}
+		rows = append(rows, r.emitUniformity(u.Name, "REnum(mcUCQ)", n, trials, counts))
+	}
+	return rows, nil
+}
+
+// trialBudget picks a trial count that gives the chi-square test power
+// without making the experiment quadratic in the answer count.
+func trialBudget(n int64) int {
+	t := int(20 * n)
+	if t < 2000 {
+		t = 2000
+	}
+	if t > 400000 {
+		t = 400000
+	}
+	return t
+}
+
+func (r *Runner) emitUniformity(workload, algo string, n int64, trials int, counts map[string]int) UniformityRow {
+	// Build the dense count vector: unseen answers count as zero cells.
+	vec := make([]int, 0, n)
+	for _, c := range counts {
+		vec = append(vec, c)
+	}
+	for int64(len(vec)) < n {
+		vec = append(vec, 0)
+	}
+	stat, df := stats.ChiSquareUniform(vec)
+	limit := float64(df) + 6*math.Sqrt(2*float64(df))
+	row := UniformityRow{
+		Workload: workload, Algorithm: algo, Answers: n, Trials: trials,
+		ChiSquare: stat, DF: df, Limit: limit, Pass: stat <= limit,
+	}
+	verdict := "PASS"
+	if !row.Pass {
+		verdict = "FAIL"
+	}
+	r.printf("%-10s %-14s answers=%-8d trials=%-8d chi2=%-10.1f limit=%-10.1f %s\n",
+		workload, algo, n, trials, stat, limit, verdict)
+	return row
+}

@@ -1,0 +1,99 @@
+// Package fenwick implements a binary indexed tree (Fenwick tree) over
+// int64, supporting point updates, prefix sums, and logarithmic prefix
+// search — the substrate for the dynamic variant of the paper's
+// random-access index (internal/dynaccess), where per-tuple weights change
+// under updates and the static prefix-sum arrays of Algorithm 2 no longer
+// suffice.
+package fenwick
+
+// Tree is a Fenwick tree over positions 0..Len()-1. The zero value is an
+// empty tree ready for Append.
+type Tree struct {
+	// tree[i] covers a range ending at position i (1-based internally).
+	tree []int64
+	vals []int64
+	sum  int64
+}
+
+// New returns a tree initialized with the given values.
+func New(values []int64) *Tree {
+	t := &Tree{}
+	for _, v := range values {
+		t.Append(v)
+	}
+	return t
+}
+
+// Len returns the number of positions.
+func (t *Tree) Len() int { return len(t.vals) }
+
+// Total returns the sum of all values in constant time.
+func (t *Tree) Total() int64 { return t.sum }
+
+// Value returns the value at position i.
+func (t *Tree) Value(i int) int64 { return t.vals[i] }
+
+// Append adds a new position holding v at the end (amortized O(log n)).
+func (t *Tree) Append(v int64) {
+	t.vals = append(t.vals, v)
+	t.tree = append(t.tree, 0)
+	// Initialize the new internal node from already-present prefix sums:
+	// tree[i] (1-based i = len) covers (i - lowbit(i), i].
+	i := len(t.tree) // 1-based index of the new node
+	low := i - (i & -i)
+	t.tree[i-1] = t.Prefix(i-1) - t.Prefix(low) + v
+	t.sum += v
+}
+
+// Set changes the value at position i to v (O(log n)).
+func (t *Tree) Set(i int, v int64) {
+	t.Add(i, v-t.vals[i])
+}
+
+// Add adds delta to the value at position i (O(log n)).
+func (t *Tree) Add(i int, delta int64) {
+	if delta == 0 {
+		return
+	}
+	t.vals[i] += delta
+	t.sum += delta
+	for j := i + 1; j <= len(t.tree); j += j & -j {
+		t.tree[j-1] += delta
+	}
+}
+
+// Prefix returns the sum of values at positions 0..n-1 (O(log n)).
+func (t *Tree) Prefix(n int) int64 {
+	var s int64
+	for j := n; j > 0; j -= j & -j {
+		s += t.tree[j-1]
+	}
+	return s
+}
+
+// Range returns the sum of positions lo..hi-1.
+func (t *Tree) Range(lo, hi int) int64 { return t.Prefix(hi) - t.Prefix(lo) }
+
+// FindPrefix returns the smallest position p such that
+// Prefix(p+1) > target, i.e. the position whose value range contains the
+// target offset, assuming all values are non-negative. It returns -1 when
+// target ≥ Total(). O(log n).
+func (t *Tree) FindPrefix(target int64) int {
+	if target < 0 || target >= t.sum {
+		return -1
+	}
+	pos := 0 // 1-based position walked so far
+	// Highest power of two ≤ len.
+	bit := 1
+	for bit<<1 <= len(t.tree) {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := pos + bit
+		if next <= len(t.tree) && t.tree[next-1] <= target {
+			target -= t.tree[next-1]
+			pos = next
+		}
+	}
+	return pos // 0-based position = pos (the walk stops before the answer)
+}

@@ -1,0 +1,348 @@
+// Package mcucq implements random access for mutually-compatible UCQs
+// (Section 5.2 of the paper, Theorem 5.5): given a union Q1 ∪ ... ∪ Qm of
+// free-connex CQs such that every intersection CQ is free-connex and the
+// enumeration orders are compatible, it provides
+//
+//   - Count in O(2^m) time after linear preprocessing (inclusion–exclusion),
+//   - Access(j) in O(2^m log² |D|) (Durand–Strozecki union trick,
+//     Algorithms 6–8, Lemma A.2), and
+//   - a uniformly random permutation with O(log²) delay via Theorem 3.7.
+//
+// Compatibility is not an extra input: the construction inherits it from the
+// deterministic, order-preserving pipeline (relation filters, instantiation,
+// reduction and GYO are all order-preserving and structural), exactly as in
+// the authors' implementation. Use Options.Verify to check it explicitly.
+package mcucq
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/cqenum"
+	"repro/internal/query"
+	"repro/internal/reduce"
+	"repro/internal/relation"
+	"repro/internal/shuffle"
+)
+
+// ErrIncompatible is returned by VerifyCompatibility (and by New when
+// Options.Verify is set) if some intersection's enumeration order is not a
+// subsequence of its first disjunct's order.
+var ErrIncompatible = errors.New("mcucq: enumeration orders are not compatible")
+
+// SetAccess is the read-only access interface of a set in the union.
+type SetAccess interface {
+	Count() int64
+	Access(j int64) (relation.Tuple, error)
+	Test(t relation.Tuple) bool
+}
+
+// RankedSet additionally exposes the inverted access (rank) of an element.
+type RankedSet interface {
+	SetAccess
+	InvAcc(t relation.Tuple) (int64, bool)
+}
+
+// indexSet adapts access.Index to RankedSet.
+type indexSet struct{ idx *access.Index }
+
+func (s indexSet) Count() int64                           { return s.idx.Count() }
+func (s indexSet) Access(j int64) (relation.Tuple, error) { return s.idx.Access(j) }
+func (s indexSet) Test(t relation.Tuple) bool             { return s.idx.Contains(t) }
+func (s indexSet) InvAcc(t relation.Tuple) (int64, bool)  { return s.idx.InvertedAccess(t) }
+
+// union provides random access to A ∪ B where A = first and B = rest
+// (Algorithm 7), with Algorithm 8 replacing the (A∩B).InvAcc call by
+// inclusion–exclusion over the intersection sets ts.
+type union struct {
+	first RankedSet // A = S_ℓ
+	rest  SetAccess // B = S_{ℓ+1} ∪ ... ∪ S_m (nil at the innermost level)
+
+	// ts[i] is T_{ℓ,I} for the i-th non-empty I ⊆ [ℓ+1, m], with its
+	// inclusion–exclusion sign (+1 for odd |I|, -1 for even).
+	ts    []signedSet
+	inter int64 // |A ∩ B| via inclusion–exclusion
+	count int64 // |A ∪ B|
+
+	// useLargest switches Compute-k to the two-step Largest-then-InvAcc
+	// formulation of the paper's appendix (for the ablation benchmark); the
+	// default computes the rank directly with one binary search.
+	useLargest bool
+}
+
+type signedSet struct {
+	set  RankedSet
+	sign int64
+}
+
+func (u *union) Count() int64 { return u.count }
+
+func (u *union) Test(t relation.Tuple) bool {
+	if u.first.Test(t) {
+		return true
+	}
+	if u.rest != nil {
+		return u.rest.Test(t)
+	}
+	return false
+}
+
+// Access implements Algorithm 7 (0-based).
+func (u *union) Access(j int64) (relation.Tuple, error) {
+	if j < 0 || j >= u.count {
+		return nil, access.ErrOutOfBounds
+	}
+	nA := u.first.Count()
+	if j < nA {
+		a, err := u.first.Access(j)
+		if err != nil {
+			return nil, err
+		}
+		if u.rest == nil || !u.rest.Test(a) {
+			return a, nil
+		}
+		// a is in A ∩ B: the j-th output of the union trick is the k-th
+		// element of B (1-based k = |{a_0..a_j} ∩ B|, Algorithm 8).
+		k := u.computeK(j)
+		return u.rest.Access(k - 1)
+	}
+	// Phase 2: remaining elements of B after |A ∩ B| were consumed.
+	return u.rest.Access(j - nA + u.inter)
+}
+
+// computeK returns |{a_0..a_j} ∩ B| via inclusion–exclusion over the
+// intersection sets (Algorithm 8): for each T = T_{ℓ,I}, the number of
+// elements of T whose rank in A is ≤ j. Compatibility makes rank(T.Access(r))
+// strictly increasing in r, so one binary search per T suffices (O(log²)).
+func (u *union) computeK(j int64) int64 {
+	var k int64
+	for _, t := range u.ts {
+		k += t.sign * u.countUpTo(t.set, j)
+	}
+	return k
+}
+
+// countUpTo returns |{c ∈ T : rankA(c) ≤ j}|.
+func (u *union) countUpTo(t RankedSet, j int64) int64 {
+	n := t.Count()
+	if n == 0 {
+		return 0
+	}
+	if u.useLargest {
+		return u.countUpToViaLargest(t, j, n)
+	}
+	// Direct form (the implementation shortcut noted in Section 6.1): find
+	// the first r with rankA(T[r]) > j; that r is the count.
+	r := sort.Search(int(n), func(r int) bool {
+		c, err := t.Access(int64(r))
+		if err != nil {
+			return true
+		}
+		rank, ok := u.first.InvAcc(c)
+		if !ok {
+			// T ⊆ A by construction; treat violations as "greater".
+			return true
+		}
+		return rank > j
+	})
+	return int64(r)
+}
+
+// countUpToViaLargest is the literal Theorem 5.5 formulation: binary-search
+// the largest element c of T that precedes position j in A's order, then
+// return T.InvAcc(c) + 1.
+func (u *union) countUpToViaLargest(t RankedSet, j, n int64) int64 {
+	var largest relation.Tuple
+	lo, hi := int64(0), n-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		c, err := t.Access(mid)
+		if err != nil {
+			break
+		}
+		rank, ok := u.first.InvAcc(c)
+		if !ok || rank > j {
+			hi = mid - 1
+		} else {
+			largest = c
+			lo = mid + 1
+		}
+	}
+	if largest == nil {
+		return 0
+	}
+	r, ok := t.InvAcc(largest)
+	if !ok {
+		return 0
+	}
+	return r + 1
+}
+
+// Options tunes New.
+type Options struct {
+	// Reduce is passed through to every CQ preparation.
+	Reduce reduce.Options
+	// Verify runs VerifyCompatibility after construction (costs an extra
+	// enumeration of every intersection).
+	Verify bool
+	// UseLargest selects the appendix formulation of Compute-k (ablation).
+	UseLargest bool
+}
+
+// MCUCQ is the prepared random-access structure of Theorem 5.5.
+type MCUCQ struct {
+	u     *query.UCQ
+	top   SetAccess
+	count int64
+
+	// firsts[ℓ] is S_ℓ's index; inters[ℓ] the T_{ℓ,I} structures (for
+	// verification and diagnostics).
+	firsts []RankedSet
+	levels []*union
+}
+
+// New prepares every disjunct and every required intersection CQ (all in
+// linear time each) and assembles the recursive union access. It fails if
+// any disjunct or intersection is not free-connex.
+func New(db *relation.Database, u *query.UCQ, opts Options) (*MCUCQ, error) {
+	m := len(u.Disjuncts)
+	firsts := make([]RankedSet, m)
+	for i, q := range u.Disjuncts {
+		c, err := cqenum.Prepare(db, q, opts.Reduce)
+		if err != nil {
+			return nil, fmt.Errorf("mcucq: disjunct %s: %w", q.Name, err)
+		}
+		firsts[i] = indexSet{c.Index}
+	}
+
+	out := &MCUCQ{u: u, firsts: firsts}
+
+	// Build bottom-up: U_{m-1} = S_{m-1}; U_ℓ = union(S_ℓ, U_{ℓ+1}).
+	var rest SetAccess = firsts[m-1]
+	for l := m - 2; l >= 0; l-- {
+		un := &union{first: firsts[l], rest: rest, useLargest: opts.UseLargest}
+		// All non-empty I ⊆ [l+1, m).
+		others := make([]int, 0, m-l-1)
+		for i := l + 1; i < m; i++ {
+			others = append(others, i)
+		}
+		for mask := 1; mask < (1 << len(others)); mask++ {
+			idx := []int{l}
+			for b, i := range others {
+				if mask&(1<<b) != 0 {
+					idx = append(idx, i)
+				}
+			}
+			qi, err := u.Intersection(intersectionName(u, idx), idx)
+			if err != nil {
+				return nil, err
+			}
+			ci, err := cqenum.Prepare(db, qi, opts.Reduce)
+			if err != nil {
+				return nil, fmt.Errorf("mcucq: intersection %s: %w", qi.Name, err)
+			}
+			// |I| = len(idx)-1 members beyond ℓ; the inclusion–exclusion
+			// sign is (-1)^{|I|+1}: positive for odd |I|.
+			sign := int64(-1)
+			if (len(idx)-1)%2 == 1 {
+				sign = 1
+			}
+			un.ts = append(un.ts, signedSet{set: indexSet{ci.Index}, sign: sign})
+			un.inter += sign * ci.Index.Count()
+		}
+		un.count = un.first.Count() + restCount(rest) - un.inter
+		out.levels = append(out.levels, un)
+		rest = un
+	}
+	out.top = rest
+	out.count = restCount(rest)
+
+	if opts.Verify {
+		if err := out.VerifyCompatibility(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func restCount(s SetAccess) int64 { return s.Count() }
+
+func intersectionName(u *query.UCQ, idx []int) string {
+	name := u.Name + "∩["
+	for i, d := range idx {
+		if i > 0 {
+			name += ","
+		}
+		name += u.Disjuncts[d].Name
+	}
+	return name + "]"
+}
+
+// Count returns |Q(D)| for the union, available right after preprocessing.
+func (m *MCUCQ) Count() int64 { return m.count }
+
+// Access returns the j-th answer of the union's enumeration order.
+func (m *MCUCQ) Access(j int64) (relation.Tuple, error) { return m.top.Access(j) }
+
+// Test reports whether t is an answer of the union.
+func (m *MCUCQ) Test(t relation.Tuple) bool { return m.top.Test(t) }
+
+// VerifyCompatibility checks, for every level ℓ and every intersection set
+// T_{ℓ,I}, that T's enumeration order is a subsequence of S_ℓ's order (every
+// element of T is in S_ℓ with strictly increasing ranks). It costs a full
+// enumeration of every intersection.
+func (m *MCUCQ) VerifyCompatibility() error {
+	for li, un := range m.levels {
+		for ti, t := range un.ts {
+			prev := int64(-1)
+			for r := int64(0); r < t.set.Count(); r++ {
+				c, err := t.set.Access(r)
+				if err != nil {
+					return err
+				}
+				rank, ok := un.first.InvAcc(c)
+				if !ok {
+					return fmt.Errorf("%w: level %d T#%d element %v not in its first disjunct",
+						ErrIncompatible, li, ti, c)
+				}
+				if rank <= prev {
+					return fmt.Errorf("%w: level %d T#%d rank regression at %d (%d ≤ %d)",
+						ErrIncompatible, li, ti, r, rank, prev)
+				}
+				prev = rank
+			}
+		}
+	}
+	return nil
+}
+
+// Permutation enumerates the union's answers in uniformly random order with
+// O(2^m log²) delay (REnum(mcUCQ)).
+type Permutation struct {
+	m    *MCUCQ
+	shuf *shuffle.Shuffler
+}
+
+// Permute starts a fresh uniformly random permutation.
+func (m *MCUCQ) Permute(rng *rand.Rand) *Permutation {
+	return &Permutation{m: m, shuf: shuffle.New(m.count, rng)}
+}
+
+// Next returns the next answer; ok is false after all answers were emitted.
+func (p *Permutation) Next() (relation.Tuple, bool) {
+	j, ok := p.shuf.Next()
+	if !ok {
+		return nil, false
+	}
+	t, err := p.m.Access(j)
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// Remaining returns the number of answers not yet emitted.
+func (p *Permutation) Remaining() int64 { return p.shuf.Remaining() }

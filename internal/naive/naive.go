@@ -1,0 +1,250 @@
+// Package naive evaluates CQs and UCQs by straightforward hash joins with
+// backtracking. It makes no complexity guarantees and exists purely as a
+// correctness oracle for the enumeration, random-access and sampling
+// algorithms, and as the fallback evaluator for queries outside the
+// free-connex class.
+package naive
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Evaluate returns the full answer set Q(D) as a deduplicated slice of
+// tuples (one value per head variable, in head order).
+func Evaluate(db *relation.Database, q *query.CQ) ([]relation.Tuple, error) {
+	rels := make([]*relation.Relation, len(q.Body))
+	for i, a := range q.Body {
+		r, err := db.Relation(a.Relation)
+		if err != nil {
+			return nil, fmt.Errorf("naive: query %s: %w", q.Name, err)
+		}
+		if r.Arity() != len(a.Terms) {
+			return nil, fmt.Errorf("naive: query %s: atom %s has %d terms but relation has arity %d",
+				q.Name, a, len(a.Terms), r.Arity())
+		}
+		rels[i] = r
+	}
+
+	// Order atoms greedily by connectivity to already-bound variables so the
+	// backtracking join has selective prefixes.
+	order := atomOrder(q)
+
+	// For each atom (in join order), build a hash index keyed on the
+	// positions whose variables are bound by earlier atoms (plus constants
+	// and repeated variables checked inline).
+	type step struct {
+		atom    query.Atom
+		rel     *relation.Relation
+		keyPos  []int    // positions in the atom keyed on bound vars
+		keyVars []string // the corresponding variable names
+		index   map[string][]relation.Tuple
+		allPass []relation.Tuple // used when keyPos is empty
+	}
+	bound := make(map[string]bool)
+	steps := make([]*step, len(order))
+	for si, ai := range order {
+		a := q.Body[ai]
+		st := &step{atom: a, rel: rels[ai]}
+		for pos, t := range a.Terms {
+			if t.IsVar() && bound[t.Var] {
+				st.keyPos = append(st.keyPos, pos)
+				st.keyVars = append(st.keyVars, t.Var)
+			}
+		}
+		// Build index over tuples that satisfy the atom's constants and
+		// repeated-variable equalities.
+		matches := func(tu relation.Tuple) bool {
+			firstPos := make(map[string]int)
+			for pos, t := range a.Terms {
+				if !t.IsVar() {
+					if tu[pos] != t.Const {
+						return false
+					}
+					continue
+				}
+				if fp, ok := firstPos[t.Var]; ok {
+					if tu[pos] != tu[fp] {
+						return false
+					}
+				} else {
+					firstPos[t.Var] = pos
+				}
+			}
+			return true
+		}
+		if len(st.keyPos) == 0 {
+			for _, tu := range st.rel.Tuples() {
+				if matches(tu) {
+					st.allPass = append(st.allPass, tu)
+				}
+			}
+		} else {
+			st.index = make(map[string][]relation.Tuple)
+			for _, tu := range st.rel.Tuples() {
+				if matches(tu) {
+					k := tu.ProjectKey(st.keyPos)
+					st.index[k] = append(st.index[k], tu)
+				}
+			}
+		}
+		for _, t := range a.Terms {
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+		steps[si] = st
+	}
+
+	assignment := make(map[string]relation.Value)
+	seen := make(map[string]bool)
+	var out []relation.Tuple
+
+	var rec func(si int)
+	rec = func(si int) {
+		if si == len(steps) {
+			ans := make(relation.Tuple, len(q.Head))
+			for i, h := range q.Head {
+				ans[i] = assignment[h]
+			}
+			k := ans.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, ans)
+			}
+			return
+		}
+		st := steps[si]
+		var candidates []relation.Tuple
+		if st.index == nil {
+			candidates = st.allPass
+		} else {
+			key := make(relation.Tuple, len(st.keyVars))
+			for i, v := range st.keyVars {
+				key[i] = assignment[v]
+			}
+			candidates = st.index[key.Key()]
+		}
+		for _, tu := range candidates {
+			// Bind new variables; remember which to unbind.
+			var newly []string
+			ok := true
+			for pos, t := range st.atom.Terms {
+				if !t.IsVar() {
+					continue
+				}
+				if v, already := assignment[t.Var]; already {
+					if v != tu[pos] {
+						ok = false
+						break
+					}
+				} else {
+					assignment[t.Var] = tu[pos]
+					newly = append(newly, t.Var)
+				}
+			}
+			if ok {
+				rec(si + 1)
+			}
+			for _, v := range newly {
+				delete(assignment, v)
+			}
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+// atomOrder returns atom indices ordered so each atom (after the first)
+// shares a variable with an earlier atom when possible.
+func atomOrder(q *query.CQ) []int {
+	n := len(q.Body)
+	used := make([]bool, n)
+	var order []int
+	bound := make(map[string]bool)
+	for len(order) < n {
+		best := -1
+		bestShared := -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			shared := 0
+			for _, v := range q.Body[i].Vars() {
+				if bound[v] {
+					shared++
+				}
+			}
+			if shared > bestShared {
+				bestShared = shared
+				best = i
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range q.Body[best].Vars() {
+			bound[v] = true
+		}
+	}
+	return order
+}
+
+// EvaluateUCQ returns the deduplicated union of the disjuncts' answers.
+func EvaluateUCQ(db *relation.Database, u *query.UCQ) ([]relation.Tuple, error) {
+	seen := make(map[string]bool)
+	var out []relation.Tuple
+	for _, q := range u.Disjuncts {
+		ans, err := Evaluate(db, q)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range ans {
+			k := t.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Sorted returns a lexicographically sorted copy of tuples (canonical form
+// for comparisons in tests).
+func Sorted(tuples []relation.Tuple) []relation.Tuple {
+	out := make([]relation.Tuple, len(tuples))
+	copy(out, tuples)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// SameAnswerSet reports whether two answer multisets are equal as sets.
+func SameAnswerSet(a, b []relation.Tuple) bool {
+	as, bs := make(map[string]bool), make(map[string]bool)
+	for _, t := range a {
+		as[t.Key()] = true
+	}
+	for _, t := range b {
+		bs[t.Key()] = true
+	}
+	if len(as) != len(bs) {
+		return false
+	}
+	for k := range as {
+		if !bs[k] {
+			return false
+		}
+	}
+	return true
+}

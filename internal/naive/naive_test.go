@@ -1,0 +1,231 @@
+package naive
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func buildChainDB() *relation.Database {
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "a", "b")
+	s := db.MustCreate("S", "b", "c")
+	r.MustInsert(1, 10)
+	r.MustInsert(2, 10)
+	r.MustInsert(3, 20)
+	s.MustInsert(10, 100)
+	s.MustInsert(10, 200)
+	s.MustInsert(30, 300)
+	return db
+}
+
+func TestEvaluateChain(t *testing.T) {
+	db := buildChainDB()
+	q := query.MustCQ("q", []string{"a", "b", "c"},
+		query.NewAtom("R", query.V("a"), query.V("b")),
+		query.NewAtom("S", query.V("b"), query.V("c")),
+	)
+	ans, err := Evaluate(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []relation.Tuple{
+		{1, 10, 100}, {1, 10, 200}, {2, 10, 100}, {2, 10, 200},
+	}
+	if !SameAnswerSet(ans, want) {
+		t.Fatalf("answers = %v, want %v", Sorted(ans), want)
+	}
+}
+
+func TestEvaluateProjection(t *testing.T) {
+	db := buildChainDB()
+	q := query.MustCQ("q", []string{"a"},
+		query.NewAtom("R", query.V("a"), query.V("b")),
+		query.NewAtom("S", query.V("b"), query.V("c")),
+	)
+	ans, err := Evaluate(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []relation.Tuple{{1}, {2}}
+	if !SameAnswerSet(ans, want) {
+		t.Fatalf("answers = %v, want %v", Sorted(ans), want)
+	}
+}
+
+func TestEvaluateConstants(t *testing.T) {
+	db := buildChainDB()
+	q := query.MustCQ("q", []string{"b"},
+		query.NewAtom("R", query.C(1), query.V("b")),
+	)
+	ans, err := Evaluate(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameAnswerSet(ans, []relation.Tuple{{10}}) {
+		t.Fatalf("answers = %v", ans)
+	}
+}
+
+func TestEvaluateRepeatedVars(t *testing.T) {
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "a", "b")
+	r.MustInsert(1, 1)
+	r.MustInsert(1, 2)
+	r.MustInsert(3, 3)
+	q := query.MustCQ("q", []string{"x"},
+		query.NewAtom("R", query.V("x"), query.V("x")),
+	)
+	ans, err := Evaluate(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameAnswerSet(ans, []relation.Tuple{{1}, {3}}) {
+		t.Fatalf("answers = %v", ans)
+	}
+}
+
+func TestEvaluateSelfJoin(t *testing.T) {
+	db := relation.NewDatabase()
+	e := db.MustCreate("E", "a", "b")
+	e.MustInsert(1, 2)
+	e.MustInsert(2, 3)
+	e.MustInsert(3, 1)
+	// Paths of length 2.
+	q := query.MustCQ("q", []string{"x", "z"},
+		query.NewAtom("E", query.V("x"), query.V("y")),
+		query.NewAtom("E", query.V("y"), query.V("z")),
+	)
+	ans, err := Evaluate(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []relation.Tuple{{1, 3}, {2, 1}, {3, 2}}
+	if !SameAnswerSet(ans, want) {
+		t.Fatalf("answers = %v, want %v", Sorted(ans), want)
+	}
+}
+
+func TestEvaluateBoolean(t *testing.T) {
+	db := buildChainDB()
+	q := query.MustCQ("q", nil,
+		query.NewAtom("R", query.V("a"), query.V("b")),
+		query.NewAtom("S", query.V("b"), query.V("c")),
+	)
+	ans, err := Evaluate(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || len(ans[0]) != 0 {
+		t.Fatalf("boolean true answer = %v", ans)
+	}
+	// Empty case.
+	qEmpty := query.MustCQ("q", nil,
+		query.NewAtom("R", query.V("a"), query.C(999)),
+	)
+	ans, err = Evaluate(db, qEmpty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 0 {
+		t.Fatalf("boolean false answer = %v", ans)
+	}
+}
+
+func TestEvaluateCrossProduct(t *testing.T) {
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "a")
+	s := db.MustCreate("S", "b")
+	r.MustInsert(1)
+	r.MustInsert(2)
+	s.MustInsert(10)
+	q := query.MustCQ("q", []string{"a", "b"},
+		query.NewAtom("R", query.V("a")),
+		query.NewAtom("S", query.V("b")),
+	)
+	ans, err := Evaluate(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameAnswerSet(ans, []relation.Tuple{{1, 10}, {2, 10}}) {
+		t.Fatalf("answers = %v", ans)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	db := buildChainDB()
+	q := query.MustCQ("q", []string{"a"}, query.NewAtom("Missing", query.V("a")))
+	if _, err := Evaluate(db, q); err == nil {
+		t.Fatal("missing relation accepted")
+	}
+	q2 := query.MustCQ("q", []string{"a"}, query.NewAtom("R", query.V("a")))
+	if _, err := Evaluate(db, q2); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestEvaluateUCQDeduplicates(t *testing.T) {
+	db := buildChainDB()
+	q1 := query.MustCQ("q1", []string{"a", "b"},
+		query.NewAtom("R", query.V("a"), query.V("b")))
+	q2 := query.MustCQ("q2", []string{"a", "b"},
+		query.NewAtom("R", query.V("a"), query.V("b")))
+	u := query.MustUCQ("u", q1, q2)
+	ans, err := EvaluateUCQ(db, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 3 {
+		t.Fatalf("union of identical CQs has %d answers, want 3", len(ans))
+	}
+}
+
+// TestEvaluateAgainstTripleLoop verifies the backtracking join against a
+// plain triple nested loop on random data.
+func TestEvaluateAgainstTripleLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 30; iter++ {
+		db := relation.NewDatabase()
+		r := db.MustCreate("R", "a", "b")
+		s := db.MustCreate("S", "b", "c")
+		u := db.MustCreate("U", "c", "d")
+		for i := 0; i < 30; i++ {
+			r.MustInsert(relation.Value(rng.Intn(6)), relation.Value(rng.Intn(6)))
+			s.MustInsert(relation.Value(rng.Intn(6)), relation.Value(rng.Intn(6)))
+			u.MustInsert(relation.Value(rng.Intn(6)), relation.Value(rng.Intn(6)))
+		}
+		q := query.MustCQ("q", []string{"a", "b", "c", "d"},
+			query.NewAtom("R", query.V("a"), query.V("b")),
+			query.NewAtom("S", query.V("b"), query.V("c")),
+			query.NewAtom("U", query.V("c"), query.V("d")),
+		)
+		got, err := Evaluate(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []relation.Tuple
+		seen := make(map[string]bool)
+		for _, tr := range r.Tuples() {
+			for _, ts := range s.Tuples() {
+				if tr[1] != ts[0] {
+					continue
+				}
+				for _, tu := range u.Tuples() {
+					if ts[1] != tu[0] {
+						continue
+					}
+					ans := relation.Tuple{tr[0], tr[1], ts[1], tu[1]}
+					if !seen[ans.Key()] {
+						seen[ans.Key()] = true
+						want = append(want, ans)
+					}
+				}
+			}
+		}
+		if !SameAnswerSet(got, want) {
+			t.Fatalf("iteration %d: mismatch: got %d answers, want %d", iter, len(got), len(want))
+		}
+	}
+}

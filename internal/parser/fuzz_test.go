@@ -1,0 +1,46 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// FuzzParseCQ exercises the parser on arbitrary byte strings: it must never
+// panic, and anything it accepts must round-trip through the query's String
+// form into an equivalent parse.
+func FuzzParseCQ(f *testing.F) {
+	seeds := []string{
+		"Q(x, y) :- R(x, y), S(y, z).",
+		"Q() :- R(x)",
+		"Q(x) :- R(x, 42), S(x, 'paris')",
+		"Q(a) :- R(a, a).",
+		"% comment\nQ(x) :- R(x)",
+		"Q(x) :- R(x,",
+		"Q(x :- R(x)",
+		"(((",
+		"Q(x) :- R(-)",
+		"Q(x) :- R('unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		dict := relation.NewDict()
+		q, err := ParseCQ(input, dict)
+		if err != nil {
+			return
+		}
+		// Accepted input: the rendered form must parse again to the same
+		// head and body shape. (Constants render numerically, which the
+		// grammar accepts as numbers, so reparse may differ in dictionary
+		// interning but not in structure.)
+		q2, err := ParseCQ(q.String(), relation.NewDict())
+		if err != nil {
+			t.Fatalf("round trip failed for %q → %q: %v", input, q.String(), err)
+		}
+		if q2.Name != q.Name || len(q2.Head) != len(q.Head) || len(q2.Body) != len(q.Body) {
+			t.Fatalf("round trip changed shape: %q vs %q", q.String(), q2.String())
+		}
+	})
+}

@@ -1,0 +1,295 @@
+// Package parser parses conjunctive queries in datalog-like rule syntax:
+//
+//	Q(x, y) :- R(x, y), S(y, 'paris'), T(x, 3).
+//
+// Lower- or upper-case identifiers are variables in argument positions and
+// relation names in predicate positions; single-quoted strings are interned
+// through the database dictionary; bare integers are numeric constants. A
+// program is a sequence of rules separated by periods or newlines; rules
+// sharing the same head predicate form a union (UCQ).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokImplies // :-
+	tokPeriod
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.pos++
+		case c == '%': // comment to end of line
+			for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokPeriod, ".", start}, nil
+	case c == ':':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '-' {
+			l.pos += 2
+			return token{tokImplies, ":-", start}, nil
+		}
+		return token{}, fmt.Errorf("parser: stray ':' at %d", start)
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.input) && l.input[l.pos] != '\'' {
+			sb.WriteByte(l.input[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.input) {
+			return token{}, fmt.Errorf("parser: unterminated string at %d", start)
+		}
+		l.pos++ // closing quote
+		return token{tokString, sb.String(), start}, nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		l.pos++
+		for l.pos < len(l.input) && l.input[l.pos] >= '0' && l.input[l.pos] <= '9' {
+			l.pos++
+		}
+		text := l.input[start:l.pos]
+		if text == "-" {
+			return token{}, fmt.Errorf("parser: stray '-' at %d", start)
+		}
+		return token{tokNumber, text, start}, nil
+	case isIdentStart(rune(c)):
+		l.pos++
+		for l.pos < len(l.input) && isIdentPart(rune(l.input[l.pos])) {
+			l.pos++
+		}
+		return token{tokIdent, l.input[start:l.pos], start}, nil
+	default:
+		return token{}, fmt.Errorf("parser: unexpected character %q at %d", c, start)
+	}
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+type parser struct {
+	lex  *lexer
+	cur  token
+	dict *relation.Dict
+}
+
+func newParser(input string, dict *relation.Dict) (*parser, error) {
+	p := &parser{lex: &lexer{input: input}, dict: dict}
+	return p, p.advance()
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if p.cur.kind != k {
+		return token{}, fmt.Errorf("parser: expected %s at %d, got %q", what, p.cur.pos, p.cur.text)
+	}
+	t := p.cur
+	return t, p.advance()
+}
+
+// parseRule parses one rule: Head(vars) :- Atom, Atom, ... [.]
+func (p *parser) parseRule() (*query.CQ, error) {
+	name, err := p.expect(tokIdent, "rule head name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var head []string
+	for p.cur.kind != tokRParen {
+		v, err := p.expect(tokIdent, "head variable")
+		if err != nil {
+			return nil, err
+		}
+		head = append(head, v.text)
+		if p.cur.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return nil, err
+	}
+	if _, err := p.expect(tokImplies, "':-'"); err != nil {
+		return nil, err
+	}
+	var body []query.Atom
+	for {
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, atom)
+		if p.cur.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.cur.kind == tokPeriod {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return query.NewCQ(name.text, head, body)
+}
+
+func (p *parser) parseAtom() (query.Atom, error) {
+	name, err := p.expect(tokIdent, "relation name")
+	if err != nil {
+		return query.Atom{}, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return query.Atom{}, err
+	}
+	var terms []query.Term
+	for p.cur.kind != tokRParen {
+		switch p.cur.kind {
+		case tokIdent:
+			terms = append(terms, query.V(p.cur.text))
+		case tokNumber:
+			n, err := strconv.ParseInt(p.cur.text, 10, 64)
+			if err != nil {
+				return query.Atom{}, fmt.Errorf("parser: bad number %q at %d", p.cur.text, p.cur.pos)
+			}
+			terms = append(terms, query.C(relation.Value(n)))
+		case tokString:
+			if p.dict == nil {
+				return query.Atom{}, fmt.Errorf("parser: string constant at %d but no dictionary provided", p.cur.pos)
+			}
+			terms = append(terms, query.C(p.dict.Intern(p.cur.text)))
+		default:
+			return query.Atom{}, fmt.Errorf("parser: expected term at %d, got %q", p.cur.pos, p.cur.text)
+		}
+		if err := p.advance(); err != nil {
+			return query.Atom{}, err
+		}
+		if p.cur.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return query.Atom{}, err
+			}
+		}
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return query.Atom{}, err
+	}
+	return query.NewAtom(name.text, terms...), nil
+}
+
+// ParseCQ parses a single rule. dict may be nil when the query contains no
+// string constants.
+func ParseCQ(input string, dict *relation.Dict) (*query.CQ, error) {
+	p, err := newParser(input, dict)
+	if err != nil {
+		return nil, err
+	}
+	q, err := p.parseRule()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, fmt.Errorf("parser: trailing input at %d", p.cur.pos)
+	}
+	return q, nil
+}
+
+// ParseProgram parses a sequence of rules.
+func ParseProgram(input string, dict *relation.Dict) ([]*query.CQ, error) {
+	p, err := newParser(input, dict)
+	if err != nil {
+		return nil, err
+	}
+	var out []*query.CQ
+	for p.cur.kind != tokEOF {
+		q, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("parser: empty program")
+	}
+	return out, nil
+}
+
+// ParseUCQ parses a program whose rules all share the same head predicate
+// and arity, returning them as a union.
+func ParseUCQ(input string, dict *relation.Dict) (*query.UCQ, error) {
+	rules, err := ParseProgram(input, dict)
+	if err != nil {
+		return nil, err
+	}
+	headName := rules[0].Name
+	for i, q := range rules {
+		if q.Name != headName {
+			return nil, fmt.Errorf("parser: rule %d has head %q, want %q", i, q.Name, headName)
+		}
+		// Disambiguate disjunct names for diagnostics.
+		q.Name = fmt.Sprintf("%s#%d", headName, i)
+	}
+	return query.NewUCQ(headName, rules...)
+}

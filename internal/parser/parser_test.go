@@ -1,0 +1,142 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestParseSimpleRule(t *testing.T) {
+	q, err := ParseCQ("Q(x, y) :- R(x, y), S(y, z).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "Q" || len(q.Head) != 2 || len(q.Body) != 2 {
+		t.Fatalf("parsed = %v", q)
+	}
+	if q.Body[0].Relation != "R" || q.Body[1].Relation != "S" {
+		t.Fatal("relations wrong")
+	}
+	if q.Body[1].Terms[1].Var != "z" {
+		t.Fatal("terms wrong")
+	}
+}
+
+func TestParseWithoutTrailingPeriod(t *testing.T) {
+	if _, err := ParseCQ("Q(x) :- R(x)", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNumericConstant(t *testing.T) {
+	q, err := ParseCQ("Q(x) :- R(x, 42), S(x, -7)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Body[0].Terms[1].Const != 42 {
+		t.Fatal("constant 42 wrong")
+	}
+	if q.Body[1].Terms[1].Const != -7 {
+		t.Fatal("constant -7 wrong")
+	}
+}
+
+func TestParseStringConstant(t *testing.T) {
+	d := relation.NewDict()
+	q, err := ParseCQ("Q(x) :- City(x, 'paris')", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := q.Body[0].Terms[1].Const
+	if d.String(v) != "paris" {
+		t.Fatalf("interned = %q", d.String(v))
+	}
+	if _, err := ParseCQ("Q(x) :- City(x, 'paris')", nil); err == nil {
+		t.Fatal("string without dict accepted")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `% the classic chain
+Q(x, z) :- R(x, y), % join
+           S(y, z).`
+	q, err := ParseCQ(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Body) != 2 {
+		t.Fatal("comment parsing broke the rule")
+	}
+}
+
+func TestParseBooleanHead(t *testing.T) {
+	q, err := ParseCQ("Q() :- R(x, y)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Head) != 0 {
+		t.Fatal("boolean head wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Q(x)",
+		"Q(x) :-",
+		"Q(x) : R(x)",
+		"Q(x) :- R(x",     // unclosed
+		"Q(x) :- R('oops", // unterminated string (needs dict anyway)
+		"Q(x) :- R(x) extra(y)",
+		"Q(w) :- R(x)", // unsafe head
+		"Q(x) :- R(x, -)",
+		"1Q(x) :- R(x)",
+	}
+	for _, src := range bad {
+		if _, err := ParseCQ(src, relation.NewDict()); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseProgramMultipleRules(t *testing.T) {
+	rules, err := ParseProgram("A(x) :- R(x). B(y) :- S(y).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Name != "A" || rules[1].Name != "B" {
+		t.Fatalf("rules = %v", rules)
+	}
+	if _, err := ParseProgram("   ", nil); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestParseUCQ(t *testing.T) {
+	u, err := ParseUCQ("Q(x) :- R(x). Q(x) :- S(x).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Disjuncts) != 2 || u.Name != "Q" {
+		t.Fatalf("ucq = %v", u)
+	}
+	if u.Disjuncts[0].Name == u.Disjuncts[1].Name {
+		t.Fatal("disjunct names not disambiguated")
+	}
+	if _, err := ParseUCQ("Q(x) :- R(x). P(x) :- S(x).", nil); err == nil {
+		t.Fatal("mixed heads accepted")
+	}
+	if _, err := ParseUCQ("Q(x) :- R(x). Q(x, y) :- S(x, y).", nil); err == nil {
+		t.Fatal("mixed arities accepted")
+	}
+}
+
+func TestParseRepeatedVariable(t *testing.T) {
+	q, err := ParseCQ("Q(x) :- R(x, x)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Body[0].Terms[0].Var != "x" || q.Body[0].Terms[1].Var != "x" {
+		t.Fatal("repeated var lost")
+	}
+}

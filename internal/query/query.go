@@ -1,0 +1,262 @@
+// Package query defines the abstract syntax of conjunctive queries (CQs) and
+// unions of conjunctive queries (UCQs) exactly as in Section 2 of the paper:
+// a CQ is a rule Q(x̄) :- R1(t̄1), ..., Rn(t̄n) whose terms are variables or
+// constants, with head (free) variables x̄ and existential variables the rest.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Term is a variable or a constant appearing in an atom.
+type Term struct {
+	// Var is the variable name; empty when the term is a constant.
+	Var string
+	// Const is the constant value, meaningful only when Var == "".
+	Const relation.Value
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(v relation.Value) Term { return Term{Const: v} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return fmt.Sprintf("%d", int64(t.Const))
+}
+
+// Atom is a relational atom R(t̄).
+type Atom struct {
+	Relation string
+	Terms    []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(rel string, terms ...Term) Atom {
+	return Atom{Relation: rel, Terms: terms}
+}
+
+// Vars returns the distinct variables of the atom, in first-occurrence order.
+func (a Atom) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range a.Terms {
+		if t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return a.Relation + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// CQ is a conjunctive query.
+type CQ struct {
+	// Name identifies the query in diagnostics and experiment output.
+	Name string
+	// Head lists the head (free/output) variables, in output order.
+	Head []string
+	// Body lists the atoms.
+	Body []Atom
+}
+
+// NewCQ builds a CQ and validates it: head variables must be distinct and
+// safe (each must occur in the body), and the body must be non-empty.
+func NewCQ(name string, head []string, body []Atom) (*CQ, error) {
+	q := &CQ{Name: name, Head: head, Body: body}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("query %s: empty body", name)
+	}
+	seen := make(map[string]bool)
+	for _, h := range head {
+		if h == "" {
+			return nil, fmt.Errorf("query %s: empty head variable", name)
+		}
+		if seen[h] {
+			return nil, fmt.Errorf("query %s: duplicate head variable %q", name, h)
+		}
+		seen[h] = true
+	}
+	bodyVars := q.varSet()
+	for _, h := range head {
+		if !bodyVars[h] {
+			return nil, fmt.Errorf("query %s: head variable %q does not occur in the body (unsafe)", name, h)
+		}
+	}
+	return q, nil
+}
+
+// MustCQ is NewCQ that panics on error.
+func MustCQ(name string, head []string, body ...Atom) *CQ {
+	q, err := NewCQ(name, head, body)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (q *CQ) varSet() map[string]bool {
+	s := make(map[string]bool)
+	for _, a := range q.Body {
+		for _, t := range a.Terms {
+			if t.IsVar() {
+				s[t.Var] = true
+			}
+		}
+	}
+	return s
+}
+
+// Vars returns all variables of the query, sorted.
+func (q *CQ) Vars() []string {
+	s := q.varSet()
+	out := make([]string, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HeadSet returns the head variables as a set.
+func (q *CQ) HeadSet() map[string]bool {
+	s := make(map[string]bool, len(q.Head))
+	for _, h := range q.Head {
+		s[h] = true
+	}
+	return s
+}
+
+// ExistentialVars returns the body variables that are not in the head, sorted.
+func (q *CQ) ExistentialVars() []string {
+	head := q.HeadSet()
+	var out []string
+	for _, v := range q.Vars() {
+		if !head[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsFull reports whether the query has no existential variables (a full join
+// query in the paper's terminology).
+func (q *CQ) IsFull() bool { return len(q.ExistentialVars()) == 0 }
+
+// HasSelfJoin reports whether two distinct atoms use the same relation symbol.
+func (q *CQ) HasSelfJoin() bool {
+	seen := make(map[string]bool)
+	for _, a := range q.Body {
+		if seen[a.Relation] {
+			return true
+		}
+		seen[a.Relation] = true
+	}
+	return false
+}
+
+func (q *CQ) String() string {
+	atoms := make([]string, len(q.Body))
+	for i, a := range q.Body {
+		atoms[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s) :- %s", q.Name, strings.Join(q.Head, ", "), strings.Join(atoms, ", "))
+}
+
+// UCQ is a union of CQs with identical head arity. The paper additionally
+// requires the same head-variable *sequence*; we require same length and
+// treat position i of every disjunct as output column i.
+type UCQ struct {
+	Name      string
+	Disjuncts []*CQ
+}
+
+// NewUCQ validates head arities and returns the union.
+func NewUCQ(name string, disjuncts ...*CQ) (*UCQ, error) {
+	if len(disjuncts) == 0 {
+		return nil, fmt.Errorf("ucq %s: no disjuncts", name)
+	}
+	arity := len(disjuncts[0].Head)
+	for _, q := range disjuncts[1:] {
+		if len(q.Head) != arity {
+			return nil, fmt.Errorf("ucq %s: disjunct %s has head arity %d, want %d", name, q.Name, len(q.Head), arity)
+		}
+	}
+	return &UCQ{Name: name, Disjuncts: disjuncts}, nil
+}
+
+// MustUCQ is NewUCQ that panics on error.
+func MustUCQ(name string, disjuncts ...*CQ) *UCQ {
+	u, err := NewUCQ(name, disjuncts...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Arity returns the common head arity.
+func (u *UCQ) Arity() int { return len(u.Disjuncts[0].Head) }
+
+func (u *UCQ) String() string {
+	parts := make([]string, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
+		parts[i] = q.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}
+
+// Intersection builds the CQ computing ⋂_{i∈idx} u.Disjuncts[i], used by the
+// mc-UCQ algorithms (Section 5.2): the conjunction of all bodies after
+// renaming each disjunct's variables so that head position j is the shared
+// variable of the first selected disjunct and existential variables are
+// disjunct-local. idx must be non-empty and sorted.
+func (u *UCQ) Intersection(name string, idx []int) (*CQ, error) {
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("ucq %s: empty intersection index set", u.Name)
+	}
+	base := u.Disjuncts[idx[0]]
+	var body []Atom
+	for _, i := range idx {
+		q := u.Disjuncts[i]
+		// Head variable at position j renames to base.Head[j]; existential
+		// variable v renames to a disjunct-local name.
+		ren := make(map[string]string)
+		for j, h := range q.Head {
+			ren[h] = base.Head[j]
+		}
+		for _, a := range q.Body {
+			terms := make([]Term, len(a.Terms))
+			for k, t := range a.Terms {
+				if !t.IsVar() {
+					terms[k] = t
+					continue
+				}
+				if to, ok := ren[t.Var]; ok {
+					terms[k] = V(to)
+				} else {
+					terms[k] = V(fmt.Sprintf("%s@%d", t.Var, i))
+				}
+			}
+			body = append(body, Atom{Relation: a.Relation, Terms: terms})
+		}
+	}
+	return NewCQ(name, append([]string(nil), base.Head...), body)
+}

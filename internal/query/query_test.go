@@ -1,0 +1,151 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewCQValidation(t *testing.T) {
+	if _, err := NewCQ("q", []string{"x"}, nil); err == nil {
+		t.Fatal("empty body accepted")
+	}
+	if _, err := NewCQ("q", []string{"x", "x"}, []Atom{NewAtom("R", V("x"))}); err == nil {
+		t.Fatal("duplicate head accepted")
+	}
+	if _, err := NewCQ("q", []string{"y"}, []Atom{NewAtom("R", V("x"))}); err == nil {
+		t.Fatal("unsafe head accepted")
+	}
+	if _, err := NewCQ("q", []string{""}, []Atom{NewAtom("R", V("x"))}); err == nil {
+		t.Fatal("empty head var accepted")
+	}
+	q, err := NewCQ("q", []string{"x"}, []Atom{NewAtom("R", V("x"), V("y"))})
+	if err != nil || q == nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomVars(t *testing.T) {
+	a := NewAtom("R", V("x"), C(5), V("y"), V("x"))
+	vars := a.Vars()
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Fatalf("Vars = %v", vars)
+	}
+	if got := a.String(); got != "R(x, 5, y, x)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCQVarSets(t *testing.T) {
+	q := MustCQ("q", []string{"x", "z"},
+		NewAtom("R", V("x"), V("y")),
+		NewAtom("S", V("y"), V("z")),
+	)
+	if got := q.Vars(); len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "z" {
+		t.Fatalf("Vars = %v", got)
+	}
+	if got := q.ExistentialVars(); len(got) != 1 || got[0] != "y" {
+		t.Fatalf("ExistentialVars = %v", got)
+	}
+	if q.IsFull() {
+		t.Fatal("query with existential var reported full")
+	}
+	full := MustCQ("f", []string{"x", "y"}, NewAtom("R", V("x"), V("y")))
+	if !full.IsFull() {
+		t.Fatal("full query not reported full")
+	}
+}
+
+func TestSelfJoinDetection(t *testing.T) {
+	q := MustCQ("q", []string{"x"},
+		NewAtom("R", V("x"), V("y")),
+		NewAtom("R", V("y"), V("x")),
+	)
+	if !q.HasSelfJoin() {
+		t.Fatal("self-join not detected")
+	}
+	q2 := MustCQ("q2", []string{"x"}, NewAtom("R", V("x")), NewAtom("S", V("x")))
+	if q2.HasSelfJoin() {
+		t.Fatal("false self-join")
+	}
+}
+
+func TestCQString(t *testing.T) {
+	q := MustCQ("Q", []string{"x"}, NewAtom("R", V("x"), V("y")))
+	s := q.String()
+	if !strings.Contains(s, "Q(x)") || !strings.Contains(s, "R(x, y)") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestUCQValidation(t *testing.T) {
+	q1 := MustCQ("q1", []string{"x", "y"}, NewAtom("R", V("x"), V("y")))
+	q2 := MustCQ("q2", []string{"a", "b"}, NewAtom("S", V("a"), V("b")))
+	u, err := NewUCQ("u", q1, q2)
+	if err != nil || u.Arity() != 2 {
+		t.Fatal(err)
+	}
+	bad := MustCQ("bad", []string{"a"}, NewAtom("S", V("a")))
+	if _, err := NewUCQ("u", q1, bad); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := NewUCQ("u"); err == nil {
+		t.Fatal("empty union accepted")
+	}
+}
+
+func TestUCQIntersection(t *testing.T) {
+	// Q1(x,y,z) :- R(x,y), S(y,z)   Q2(x,y,z) :- S(y,z), T(x,z)
+	q1 := MustCQ("q1", []string{"x", "y", "z"},
+		NewAtom("R", V("x"), V("y")), NewAtom("S", V("y"), V("z")))
+	q2 := MustCQ("q2", []string{"a", "b", "c"},
+		NewAtom("S", V("b"), V("c")), NewAtom("T", V("a"), V("c")))
+	u := MustUCQ("u", q1, q2)
+	qi, err := u.Intersection("q12", []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The intersection must be the triangle-like query over head vars x,y,z
+	// with atoms R(x,y), S(y,z), S(y,z), T(x,z).
+	if len(qi.Head) != 3 || qi.Head[0] != "x" || qi.Head[2] != "z" {
+		t.Fatalf("Head = %v", qi.Head)
+	}
+	if len(qi.Body) != 4 {
+		t.Fatalf("Body len = %d", len(qi.Body))
+	}
+	// Atom from q2's T(a,c) must be renamed to T(x,z).
+	last := qi.Body[3]
+	if last.Relation != "T" || last.Terms[0].Var != "x" || last.Terms[1].Var != "z" {
+		t.Fatalf("renamed atom = %v", last)
+	}
+}
+
+func TestUCQIntersectionExistentialLocal(t *testing.T) {
+	// Existential variables with the same name in different disjuncts must
+	// not be unified in the intersection.
+	q1 := MustCQ("q1", []string{"x"},
+		NewAtom("R", V("x"), V("w")))
+	q2 := MustCQ("q2", []string{"x"},
+		NewAtom("S", V("x"), V("w")))
+	u := MustUCQ("u", q1, q2)
+	qi, err := u.Intersection("qi", []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := qi.Body[0].Terms[1].Var
+	v2 := qi.Body[1].Terms[1].Var
+	if v1 == v2 {
+		t.Fatalf("existential vars unified across disjuncts: %q", v1)
+	}
+	if _, err := u.Intersection("bad", nil); err == nil {
+		t.Fatal("empty index set accepted")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	if V("x").String() != "x" || C(7).String() != "7" {
+		t.Fatal("Term.String wrong")
+	}
+	if !V("x").IsVar() || C(7).IsVar() {
+		t.Fatal("IsVar wrong")
+	}
+}

@@ -1,0 +1,31 @@
+package reduce
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the reduced full-join tree in a human-readable indented
+// form, one line per node: relation name, schema, cardinality and the
+// attributes shared with the parent. Used by the CLI's -explain flag and by
+// debugging sessions.
+func (fj *FullJoin) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "full join over %d node(s), head %v\n", len(fj.Nodes), fj.Head)
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		shared := ""
+		if n.Parent != nil {
+			shared = fmt.Sprintf("  ⋈ parent on %v", n.Rel.Schema().Intersect(n.Parent.Rel.Schema()))
+		}
+		fmt.Fprintf(&b, "%s%s %v  [%d tuples]%s\n", indent, n.Rel.Name(), n.Rel.Schema(), n.Rel.Len(), shared)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	if fj.Root != nil {
+		walk(fj.Root, 1)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+// Package reduce implements Proposition 4.2 of the paper: given a free-connex
+// CQ Q and a database D, compute — in linear time — a *full* acyclic join
+// query Q' and database D' with Q(D) = Q'(D') where D' is globally consistent
+// with respect to Q'. It is built from three pieces:
+//
+//  1. atom instantiation: turn every atom R(t̄) into a relation over the
+//     atom's variables (applying constant selections and repeated-variable
+//     equalities),
+//  2. the Yannakakis full reducer (two semijoin sweeps over a join tree)
+//     which removes dangling tuples, and
+//  3. protected GYO elimination: repeatedly project away existential
+//     variables that are local to a single atom and absorb atoms subsumed by
+//     others via semijoins, until only free variables remain.
+//
+// All relation operations preserve relative tuple order, which is what makes
+// enumeration orders of structurally-aligned queries compatible (Section 5.2).
+package reduce
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Instantiate converts atom a of q into a relation whose schema is the atom's
+// distinct variables (in first-occurrence order). Tuples violating the atom's
+// constants or repeated-variable equalities are dropped; the remaining tuples
+// are projected onto the variable positions with set semantics, preserving
+// the base relation's tuple order.
+func Instantiate(db *relation.Database, q *query.CQ, atomIdx int) (*relation.Relation, error) {
+	a := q.Body[atomIdx]
+	base, err := db.Relation(a.Relation)
+	if err != nil {
+		return nil, fmt.Errorf("reduce: query %s: %w", q.Name, err)
+	}
+	if base.Arity() != len(a.Terms) {
+		return nil, fmt.Errorf("reduce: query %s: atom %s has %d terms, relation %s has arity %d",
+			q.Name, a, len(a.Terms), a.Relation, base.Arity())
+	}
+	vars := a.Vars()
+	schema, err := relation.NewSchema(vars...)
+	if err != nil {
+		return nil, fmt.Errorf("reduce: query %s atom %d: %w", q.Name, atomIdx, err)
+	}
+	// Position of the first occurrence of each variable.
+	firstPos := make(map[string]int)
+	for pos, t := range a.Terms {
+		if t.IsVar() {
+			if _, ok := firstPos[t.Var]; !ok {
+				firstPos[t.Var] = pos
+			}
+		}
+	}
+	varPos := make([]int, len(vars))
+	for i, v := range vars {
+		varPos[i] = firstPos[v]
+	}
+
+	name := fmt.Sprintf("%s#%d[%s]", q.Name, atomIdx, a.Relation)
+	out := relation.NewRelation(name, schema)
+	for _, tu := range base.Tuples() {
+		ok := true
+		for pos, t := range a.Terms {
+			if !t.IsVar() {
+				if tu[pos] != t.Const {
+					ok = false
+					break
+				}
+				continue
+			}
+			if tu[pos] != tu[firstPos[t.Var]] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if _, err := out.Insert(tu.Project(varPos)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// InstantiateAll instantiates every atom of q.
+func InstantiateAll(db *relation.Database, q *query.CQ) ([]*relation.Relation, error) {
+	out := make([]*relation.Relation, len(q.Body))
+	for i := range q.Body {
+		r, err := Instantiate(db, q, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,320 @@
+package reduce
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/naive"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func chainDB() *relation.Database {
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "x", "y")
+	s := db.MustCreate("S", "y", "z")
+	r.MustInsert(1, 10)
+	r.MustInsert(2, 10)
+	r.MustInsert(3, 20)
+	r.MustInsert(4, 99) // dangling: 99 not in S
+	s.MustInsert(10, 100)
+	s.MustInsert(10, 200)
+	s.MustInsert(20, 300)
+	s.MustInsert(77, 400) // dangling
+	return db
+}
+
+func TestInstantiateConstantsAndRepeats(t *testing.T) {
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "a", "b", "c")
+	r.MustInsert(1, 1, 5)
+	r.MustInsert(1, 2, 5)
+	r.MustInsert(2, 2, 7)
+	q := query.MustCQ("q", []string{"x"},
+		query.NewAtom("R", query.V("x"), query.V("x"), query.C(5)))
+	rel, err := Instantiate(db, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || rel.Tuple(0)[0] != 1 {
+		t.Fatalf("instantiated = %v", rel.Tuples())
+	}
+	if !rel.Schema().Equal(relation.MustSchema("x")) {
+		t.Fatalf("schema = %v", rel.Schema())
+	}
+}
+
+func TestInstantiateErrors(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustCreate("R", "a", "b")
+	q := query.MustCQ("q", []string{"x"}, query.NewAtom("Missing", query.V("x")))
+	if _, err := Instantiate(db, q, 0); err == nil {
+		t.Fatal("missing relation accepted")
+	}
+	q2 := query.MustCQ("q", []string{"x"}, query.NewAtom("R", query.V("x")))
+	if _, err := Instantiate(db, q2, 0); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestFullReduceRemovesDangling(t *testing.T) {
+	db := chainDB()
+	q := query.MustCQ("q", []string{"x", "y", "z"},
+		query.NewAtom("R", query.V("x"), query.V("y")),
+		query.NewAtom("S", query.V("y"), query.V("z")))
+	rels, err := InstantiateAll(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := hypergraph.FromCQ(q).JoinTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FullReduce(tree, rels); err != nil {
+		t.Fatal(err)
+	}
+	if rels[0].Len() != 3 { // (4,99) removed
+		t.Fatalf("R reduced to %d tuples, want 3", rels[0].Len())
+	}
+	if rels[1].Len() != 3 { // (77,400) removed
+		t.Fatalf("S reduced to %d tuples, want 3", rels[1].Len())
+	}
+	// Order preserved.
+	if rels[0].Tuple(0)[0] != 1 || rels[0].Tuple(2)[0] != 3 {
+		t.Fatal("full reduction reordered tuples")
+	}
+}
+
+func TestFullReduceLengthMismatch(t *testing.T) {
+	q := query.MustCQ("q", []string{"x"}, query.NewAtom("R", query.V("x")))
+	tree, _ := hypergraph.FromCQ(q).JoinTree()
+	if err := FullReduce(tree, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestBuildFullJoinFullQuery(t *testing.T) {
+	db := chainDB()
+	q := query.MustCQ("q", []string{"x", "y", "z"},
+		query.NewAtom("R", query.V("x"), query.V("y")),
+		query.NewAtom("S", query.V("y"), query.V("z")))
+	fj, err := BuildFullJoin(db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := naive.Evaluate(db, q)
+	got := fj.Answers()
+	if !naive.SameAnswerSet(got, want) {
+		t.Fatalf("full join answers wrong: got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestBuildFullJoinProjection(t *testing.T) {
+	db := chainDB()
+	// Free-connex projection: Q(x, y) :- R(x,y), S(y,z).
+	q := query.MustCQ("q", []string{"x", "y"},
+		query.NewAtom("R", query.V("x"), query.V("y")),
+		query.NewAtom("S", query.V("y"), query.V("z")))
+	fj, err := BuildFullJoin(db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := naive.Evaluate(db, q)
+	got := fj.Answers()
+	if !naive.SameAnswerSet(got, want) {
+		t.Fatalf("got %v want %v", naive.Sorted(got), naive.Sorted(want))
+	}
+	// Every node schema must contain only head vars.
+	for _, n := range fj.Nodes {
+		for _, v := range n.Rel.Schema() {
+			if v != "x" && v != "y" {
+				t.Fatalf("existential var %s survived", v)
+			}
+		}
+	}
+}
+
+func TestBuildFullJoinNotFreeConnex(t *testing.T) {
+	db := chainDB()
+	q := query.MustCQ("q", []string{"x", "z"},
+		query.NewAtom("R", query.V("x"), query.V("y")),
+		query.NewAtom("S", query.V("y"), query.V("z")))
+	_, err := BuildFullJoin(db, q, Options{})
+	if !errors.Is(err, ErrNotFreeConnex) {
+		t.Fatalf("err = %v, want ErrNotFreeConnex", err)
+	}
+}
+
+func TestBuildFullJoinCyclic(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustCreate("R", "x", "y")
+	db.MustCreate("S", "y", "z")
+	db.MustCreate("T", "x", "z")
+	q := query.MustCQ("q", []string{"x", "y", "z"},
+		query.NewAtom("R", query.V("x"), query.V("y")),
+		query.NewAtom("S", query.V("y"), query.V("z")),
+		query.NewAtom("T", query.V("x"), query.V("z")))
+	_, err := BuildFullJoin(db, q, Options{})
+	if !errors.Is(err, ErrCyclic) {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}
+
+func TestBuildFullJoinBoolean(t *testing.T) {
+	db := chainDB()
+	q := query.MustCQ("q", nil,
+		query.NewAtom("R", query.V("x"), query.V("y")),
+		query.NewAtom("S", query.V("y"), query.V("z")))
+	fj, err := BuildFullJoin(db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fj.Answers()
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("boolean answers = %v", got)
+	}
+}
+
+func TestBuildFullJoinEmptyResult(t *testing.T) {
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "x", "y")
+	db.MustCreate("S", "y", "z") // empty
+	r.MustInsert(1, 2)
+	q := query.MustCQ("q", []string{"x", "y", "z"},
+		query.NewAtom("R", query.V("x"), query.V("y")),
+		query.NewAtom("S", query.V("y"), query.V("z")))
+	fj, err := BuildFullJoin(db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fj.Answers(); len(got) != 0 {
+		t.Fatalf("answers = %v, want none", got)
+	}
+}
+
+func TestBuildFullJoinSkipFullReduceStillCorrect(t *testing.T) {
+	db := chainDB()
+	q := query.MustCQ("q", []string{"x", "y", "z"},
+		query.NewAtom("R", query.V("x"), query.V("y")),
+		query.NewAtom("S", query.V("y"), query.V("z")))
+	fj, err := BuildFullJoin(db, q, Options{SkipFullReduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := naive.Evaluate(db, q)
+	// Answers() backtracks, so dangling tuples are filtered during the walk.
+	if !naive.SameAnswerSet(fj.Answers(), want) {
+		t.Fatal("skip-reduce changed the answer set")
+	}
+}
+
+func TestBuildFullJoinStar(t *testing.T) {
+	// Star query projected onto the center plus one ray: free-connex.
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "x", "a")
+	s := db.MustCreate("S", "x", "b")
+	u := db.MustCreate("U", "x", "c")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		r.MustInsert(relation.Value(rng.Intn(8)), relation.Value(rng.Intn(8)))
+		s.MustInsert(relation.Value(rng.Intn(8)), relation.Value(rng.Intn(8)))
+		u.MustInsert(relation.Value(rng.Intn(8)), relation.Value(rng.Intn(8)))
+	}
+	q := query.MustCQ("q", []string{"x", "a"},
+		query.NewAtom("R", query.V("x"), query.V("a")),
+		query.NewAtom("S", query.V("x"), query.V("b")),
+		query.NewAtom("U", query.V("x"), query.V("c")))
+	fj, err := BuildFullJoin(db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := naive.Evaluate(db, q)
+	if !naive.SameAnswerSet(fj.Answers(), want) {
+		t.Fatal("star projection wrong")
+	}
+}
+
+// TestBuildFullJoinRandomAgainstOracle fuzzes random chain/star databases and
+// compares the reduced full join against the naive evaluator.
+func TestBuildFullJoinRandomAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	queries := []*query.CQ{
+		query.MustCQ("chain3", []string{"a", "b", "c", "d"},
+			query.NewAtom("R", query.V("a"), query.V("b")),
+			query.NewAtom("S", query.V("b"), query.V("c")),
+			query.NewAtom("U", query.V("c"), query.V("d"))),
+		query.MustCQ("chain3proj", []string{"a", "b"},
+			query.NewAtom("R", query.V("a"), query.V("b")),
+			query.NewAtom("S", query.V("b"), query.V("c")),
+			query.NewAtom("U", query.V("c"), query.V("d"))),
+		query.MustCQ("starproj", []string{"b", "a"},
+			query.NewAtom("R", query.V("a"), query.V("b")),
+			query.NewAtom("S", query.V("a"), query.V("c")),
+			query.NewAtom("U", query.V("a"), query.V("d"))),
+	}
+	for iter := 0; iter < 25; iter++ {
+		db := relation.NewDatabase()
+		for _, name := range []string{"R", "S", "U"} {
+			re := db.MustCreate(name, name+"1", name+"2")
+			n := 5 + rng.Intn(40)
+			for i := 0; i < n; i++ {
+				re.MustInsert(relation.Value(rng.Intn(7)), relation.Value(rng.Intn(7)))
+			}
+		}
+		for _, q := range queries {
+			fj, err := BuildFullJoin(db, q, Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", q.Name, err)
+			}
+			want, err := naive.Evaluate(db, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fj.Answers()
+			if !naive.SameAnswerSet(got, want) {
+				t.Fatalf("iter %d %s: got %d answers want %d", iter, q.Name, len(got), len(want))
+			}
+			// No duplicates: the tree must produce each answer exactly once.
+			seen := make(map[string]bool)
+			for _, a := range got {
+				k := a.Key()
+				if seen[k] {
+					t.Fatalf("iter %d %s: duplicate answer %v", iter, q.Name, a)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+func TestEliminateKeepsEarlierOnEqualSets(t *testing.T) {
+	// Two atoms over the same variables: the earlier one must survive
+	// (deterministic alignment for mc-UCQs).
+	db := relation.NewDatabase()
+	a := db.MustCreate("A", "x", "y")
+	b := db.MustCreate("B", "x", "y")
+	a.MustInsert(1, 1)
+	a.MustInsert(2, 2)
+	b.MustInsert(2, 2)
+	b.MustInsert(3, 3)
+	q := query.MustCQ("q", []string{"x", "y"},
+		query.NewAtom("A", query.V("x"), query.V("y")),
+		query.NewAtom("B", query.V("x"), query.V("y")))
+	fj, err := BuildFullJoin(db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fj.Nodes) != 1 {
+		t.Fatalf("nodes = %d, want 1", len(fj.Nodes))
+	}
+	got := fj.Answers()
+	if len(got) != 1 || got[0][0] != 2 {
+		t.Fatalf("answers = %v, want [[2 2]]", got)
+	}
+	// The surviving relation must be derived from atom 0 (A).
+	if fj.Nodes[0].Rel.Name() != "q#0[A]" {
+		t.Fatalf("survivor = %s, want q#0[A]", fj.Nodes[0].Rel.Name())
+	}
+}

@@ -1,0 +1,48 @@
+package reduce
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+// FullReduce runs the Yannakakis full reducer over the given join tree: a
+// bottom-up semijoin sweep followed by a top-down semijoin sweep. After the
+// call, the relations are globally consistent: every remaining tuple agrees
+// with at least one answer of the full acyclic join. Relations are modified
+// in place; tuple order is preserved. rels[i] is the relation of tree node i
+// (tree.Nodes order).
+//
+// The two-sweep full reducer is from Yannakakis (VLDB 1981), cited as [29] in
+// the paper.
+func FullReduce(tree *hypergraph.Tree, rels []*relation.Relation) error {
+	if len(rels) != len(tree.Nodes) {
+		return fmt.Errorf("reduce: %d relations for %d tree nodes", len(rels), len(tree.Nodes))
+	}
+	relOf := make(map[*hypergraph.TreeNode]*relation.Relation, len(rels))
+	for i, n := range tree.Nodes {
+		relOf[n] = rels[i]
+	}
+
+	// Bottom-up: parent ⋉ child for every edge, children first.
+	var up func(n *hypergraph.TreeNode)
+	up = func(n *hypergraph.TreeNode) {
+		for _, c := range n.Children {
+			up(c)
+			relOf[n].SemijoinWith(relOf[c])
+		}
+	}
+	up(tree.Root)
+
+	// Top-down: child ⋉ parent for every edge, parents first.
+	var down func(n *hypergraph.TreeNode)
+	down = func(n *hypergraph.TreeNode) {
+		for _, c := range n.Children {
+			relOf[c].SemijoinWith(relOf[n])
+			down(c)
+		}
+	}
+	down(tree.Root)
+	return nil
+}

@@ -1,0 +1,84 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Database maps relation names to relations and owns the string dictionary
+// for the instance.
+type Database struct {
+	relations map[string]*Relation
+	dict      *Dict
+}
+
+// NewDatabase returns an empty database with a fresh dictionary.
+func NewDatabase() *Database {
+	return &Database{relations: make(map[string]*Relation), dict: NewDict()}
+}
+
+// Dict returns the database's string dictionary.
+func (d *Database) Dict() *Dict { return d.dict }
+
+// Add registers a relation under its name, replacing any previous relation of
+// that name.
+func (d *Database) Add(r *Relation) { d.relations[r.Name()] = r }
+
+// Create makes an empty relation with the given name and schema, registers it
+// and returns it.
+func (d *Database) Create(name string, attrs ...string) (*Relation, error) {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRelation(name, s)
+	d.Add(r)
+	return r, nil
+}
+
+// MustCreate is Create that panics on error.
+func (d *Database) MustCreate(name string, attrs ...string) *Relation {
+	r, err := d.Create(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Relation returns the relation registered under name, or an error.
+func (d *Database) Relation(name string) (*Relation, error) {
+	r, ok := d.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("relation: no relation named %q", name)
+	}
+	return r, nil
+}
+
+// Has reports whether a relation of that name exists.
+func (d *Database) Has(name string) bool {
+	_, ok := d.relations[name]
+	return ok
+}
+
+// Names returns the registered relation names, sorted.
+func (d *Database) Names() []string {
+	out := make([]string, 0, len(d.relations))
+	for n := range d.relations {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the total number of tuples across all relations (the |D| that
+// "linear preprocessing" is measured against).
+func (d *Database) Size() int {
+	n := 0
+	for _, r := range d.relations {
+		n += r.Len()
+	}
+	return n
+}
+
+// Intern is shorthand for d.Dict().Intern.
+func (d *Database) Intern(s string) Value { return d.dict.Intern(s) }

@@ -1,0 +1,199 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is a finite set of tuples over a schema. Insertion order is
+// preserved and duplicates are rejected; this determinism is what later lets
+// two access structures built from filtered versions of the same relation
+// have *compatible* enumeration orders (Section 5.2 of the paper).
+type Relation struct {
+	name   string
+	schema Schema
+	tuples []Tuple
+	index  map[string]int // Tuple.Key() -> position in tuples
+}
+
+// NewRelation creates an empty relation with the given name and schema.
+func NewRelation(name string, schema Schema) *Relation {
+	return &Relation{
+		name:   name,
+		schema: schema,
+		index:  make(map[string]int),
+	}
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema. Callers must not mutate it.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.schema) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds a tuple. It returns an error on arity mismatch and reports
+// whether the tuple was newly added (false means it was already present —
+// set semantics).
+func (r *Relation) Insert(t Tuple) (bool, error) {
+	if len(t) != len(r.schema) {
+		return false, fmt.Errorf("relation %s: tuple arity %d != schema arity %d", r.name, len(t), len(r.schema))
+	}
+	k := t.Key()
+	if _, dup := r.index[k]; dup {
+		return false, nil
+	}
+	r.index[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	return true, nil
+}
+
+// MustInsert inserts and panics on arity errors; duplicates are ignored.
+func (r *Relation) MustInsert(vals ...Value) {
+	if _, err := r.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Tuple returns the i-th tuple in insertion order. Callers must not mutate it.
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns the underlying tuple slice. Callers must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Contains reports whether t is in the relation.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.index[t.Key()]
+	return ok
+}
+
+// Position returns the insertion position of t, or -1.
+func (r *Relation) Position(t Tuple) int {
+	if i, ok := r.index[t.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// Rename returns a view of r with a new name and schema (same tuples). The
+// new schema must have the same arity. Tuples are shared, not copied: this is
+// how a query atom R(x, y) binds relation attributes to query variables.
+func (r *Relation) Rename(name string, schema Schema) (*Relation, error) {
+	if len(schema) != len(r.schema) {
+		return nil, fmt.Errorf("relation %s: rename to arity %d != %d", r.name, len(schema), len(r.schema))
+	}
+	return &Relation{name: name, schema: schema, tuples: r.tuples, index: r.index}, nil
+}
+
+// Filter returns a new relation containing the tuples satisfying keep, in the
+// original relative order (order preservation is required for compatible
+// enumeration orders across selections of the same base relation).
+func (r *Relation) Filter(name string, keep func(Tuple) bool) *Relation {
+	out := NewRelation(name, r.schema)
+	for _, t := range r.tuples {
+		if keep(t) {
+			out.index[t.Key()] = len(out.tuples)
+			out.tuples = append(out.tuples, t)
+		}
+	}
+	return out
+}
+
+// Project returns the projection of r onto attrs (set semantics, first
+// occurrence wins, order preserved).
+func (r *Relation) Project(name string, attrs []string) (*Relation, error) {
+	pos, err := r.schema.Positions(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(name, Schema(attrs))
+	for _, t := range r.tuples {
+		p := t.Project(pos)
+		if _, dup := out.index[p.Key()]; dup {
+			continue
+		}
+		out.index[p.Key()] = len(out.tuples)
+		out.tuples = append(out.tuples, p)
+	}
+	return out, nil
+}
+
+// SemijoinWith removes from r (in place) every tuple that has no matching
+// tuple in s on their shared attributes: r ← r ⋉ s. If the relations share no
+// attributes, r is unchanged when s is non-empty and emptied when s is empty
+// (the join with an empty relation is empty). It returns the number of tuples
+// removed. Linear time in |r| + |s|.
+func (r *Relation) SemijoinWith(s *Relation) int {
+	shared := r.schema.Intersect(s.schema)
+	if len(shared) == 0 {
+		if s.Len() > 0 {
+			return 0
+		}
+		n := len(r.tuples)
+		r.tuples = nil
+		r.index = make(map[string]int)
+		return n
+	}
+	rPos, _ := r.schema.Positions(shared)
+	sPos, _ := s.schema.Positions(shared)
+	present := make(map[string]bool, s.Len())
+	for _, t := range s.tuples {
+		present[t.ProjectKey(sPos)] = true
+	}
+	kept := r.tuples[:0]
+	removed := 0
+	for _, t := range r.tuples {
+		if present[t.ProjectKey(rPos)] {
+			kept = append(kept, t)
+		} else {
+			removed++
+		}
+	}
+	if removed > 0 {
+		r.tuples = kept
+		r.index = make(map[string]int, len(kept))
+		for i, t := range r.tuples {
+			r.index[t.Key()] = i
+		}
+	}
+	return removed
+}
+
+// Clone returns a deep-enough copy of r: the tuple slice and index are fresh,
+// tuple contents are shared (tuples are treated as immutable).
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.name, r.schema)
+	out.tuples = make([]Tuple, len(r.tuples))
+	copy(out.tuples, r.tuples)
+	for k, v := range r.index {
+		out.index[k] = v
+	}
+	return out
+}
+
+// SortTuples sorts the tuples lexicographically and rebuilds the index. Used
+// by tests that need canonical order; the enumeration algorithms never
+// require sorted input.
+func (r *Relation) SortTuples() {
+	sort.Slice(r.tuples, func(i, j int) bool {
+		a, b := r.tuples[i], r.tuples[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	for i, t := range r.tuples {
+		r.index[t.Key()] = i
+	}
+}
+
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s%v[%d tuples]", r.name, r.schema, len(r.tuples))
+}

@@ -1,0 +1,328 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleKeyDistinct(t *testing.T) {
+	f := func(a, b []int64) bool {
+		ta := make(Tuple, len(a))
+		for i, v := range a {
+			ta[i] = Value(v)
+		}
+		tb := make(Tuple, len(b))
+		for i, v := range b {
+			tb[i] = Value(v)
+		}
+		if ta.Equal(tb) {
+			return ta.Key() == tb.Key()
+		}
+		return len(ta) != len(tb) || ta.Key() != tb.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTupleKeyFixedWidth(t *testing.T) {
+	a := Tuple{1, 2}
+	b := Tuple{1, 2, 3}
+	if a.Key() == b.Key() {
+		t.Fatal("keys of different arities collided")
+	}
+	// Negative values must round-trip distinctly too.
+	c := Tuple{-1}
+	d := Tuple{1}
+	if c.Key() == d.Key() {
+		t.Fatal("negative/positive collision")
+	}
+}
+
+func TestTupleProjectKeyMatchesProject(t *testing.T) {
+	tu := Tuple{10, 20, 30, 40}
+	pos := []int{3, 1}
+	if tu.ProjectKey(pos) != tu.Project(pos).Key() {
+		t.Fatal("ProjectKey disagrees with Project().Key()")
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	a := Tuple{1, 2, 3}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestDictInternRoundTrip(t *testing.T) {
+	d := NewDict()
+	v1 := d.Intern("hello")
+	v2 := d.Intern("world")
+	v3 := d.Intern("hello")
+	if v1 != v3 {
+		t.Fatal("re-interning gave a different value")
+	}
+	if v1 == v2 {
+		t.Fatal("distinct strings interned to same value")
+	}
+	if d.String(v1) != "hello" || d.String(v2) != "world" {
+		t.Fatal("String round trip failed")
+	}
+	if got := d.String(0); got != "" {
+		t.Fatalf("value 0 should decode to empty string, got %q", got)
+	}
+	if _, ok := d.Lookup("absent"); ok {
+		t.Fatal("Lookup found absent string")
+	}
+	if d.Len() != 3 { // "", hello, world
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+}
+
+func TestDictStringUninterned(t *testing.T) {
+	d := NewDict()
+	if got := d.String(12345); got != "#12345" {
+		t.Fatalf("uninterned String = %q", got)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("a", "b", "a"); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	if _, err := NewSchema("a", ""); err == nil {
+		t.Fatal("empty attribute accepted")
+	}
+	s := MustSchema("x", "y", "z")
+	if s.Position("y") != 1 || s.Position("w") != -1 {
+		t.Fatal("Position wrong")
+	}
+	if !s.Contains("z") || s.Contains("q") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestSchemaIntersect(t *testing.T) {
+	a := MustSchema("x", "y", "z")
+	b := MustSchema("z", "w", "x")
+	got := a.Intersect(b)
+	if len(got) != 2 || got[0] != "x" || got[1] != "z" {
+		t.Fatalf("Intersect = %v", got)
+	}
+}
+
+func TestSchemaPositionsError(t *testing.T) {
+	s := MustSchema("x", "y")
+	if _, err := s.Positions([]string{"x", "q"}); err == nil {
+		t.Fatal("missing attribute not reported")
+	}
+}
+
+func TestRelationInsertSetSemantics(t *testing.T) {
+	r := NewRelation("R", MustSchema("a", "b"))
+	added, err := r.Insert(Tuple{1, 2})
+	if err != nil || !added {
+		t.Fatal("first insert failed")
+	}
+	added, err = r.Insert(Tuple{1, 2})
+	if err != nil || added {
+		t.Fatal("duplicate insert not deduplicated")
+	}
+	if _, err := r.Insert(Tuple{1}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if !r.Contains(Tuple{1, 2}) || r.Contains(Tuple{2, 1}) {
+		t.Fatal("Contains wrong")
+	}
+	if r.Position(Tuple{1, 2}) != 0 || r.Position(Tuple{9, 9}) != -1 {
+		t.Fatal("Position wrong")
+	}
+}
+
+func TestRelationInsertionOrderPreserved(t *testing.T) {
+	r := NewRelation("R", MustSchema("a"))
+	for i := 0; i < 100; i++ {
+		r.MustInsert(Value(i * 7 % 100))
+	}
+	for i := 0; i < 100; i++ {
+		if r.Tuple(i)[0] != Value(i*7%100) {
+			t.Fatal("insertion order not preserved")
+		}
+	}
+}
+
+func TestRelationRename(t *testing.T) {
+	r := NewRelation("R", MustSchema("a", "b"))
+	r.MustInsert(1, 2)
+	v, err := r.Rename("S", MustSchema("x", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name() != "S" || !v.Schema().Equal(MustSchema("x", "y")) || v.Len() != 1 {
+		t.Fatal("rename view wrong")
+	}
+	if _, err := r.Rename("S", MustSchema("x")); err == nil {
+		t.Fatal("arity change accepted")
+	}
+}
+
+func TestRelationFilterPreservesOrder(t *testing.T) {
+	r := NewRelation("R", MustSchema("a"))
+	for i := 0; i < 20; i++ {
+		r.MustInsert(Value(i))
+	}
+	f := r.Filter("even", func(t Tuple) bool { return t[0]%2 == 0 })
+	if f.Len() != 10 {
+		t.Fatalf("filter Len = %d", f.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if f.Tuple(i)[0] != Value(2*i) {
+			t.Fatal("filter order not preserved")
+		}
+	}
+	// Original untouched.
+	if r.Len() != 20 {
+		t.Fatal("filter mutated source")
+	}
+}
+
+func TestRelationProject(t *testing.T) {
+	r := NewRelation("R", MustSchema("a", "b"))
+	r.MustInsert(1, 10)
+	r.MustInsert(1, 20)
+	r.MustInsert(2, 10)
+	p, err := r.Project("P", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("project Len = %d, want 2 (set semantics)", p.Len())
+	}
+	if p.Tuple(0)[0] != 1 || p.Tuple(1)[0] != 2 {
+		t.Fatal("projection values or order wrong")
+	}
+	if _, err := r.Project("P", []string{"zz"}); err == nil {
+		t.Fatal("projection onto unknown attribute accepted")
+	}
+}
+
+func TestSemijoin(t *testing.T) {
+	r := NewRelation("R", MustSchema("a", "b"))
+	r.MustInsert(1, 10)
+	r.MustInsert(2, 20)
+	r.MustInsert(3, 30)
+	s := NewRelation("S", MustSchema("b", "c"))
+	s.MustInsert(10, 100)
+	s.MustInsert(30, 300)
+	removed := r.SemijoinWith(s)
+	if removed != 1 || r.Len() != 2 {
+		t.Fatalf("semijoin removed %d, len %d", removed, r.Len())
+	}
+	if !r.Contains(Tuple{1, 10}) || !r.Contains(Tuple{3, 30}) || r.Contains(Tuple{2, 20}) {
+		t.Fatal("semijoin kept wrong tuples")
+	}
+	// Index must be rebuilt correctly.
+	if r.Position(Tuple{3, 30}) != 1 {
+		t.Fatal("index stale after semijoin")
+	}
+}
+
+func TestSemijoinNoSharedAttrs(t *testing.T) {
+	r := NewRelation("R", MustSchema("a"))
+	r.MustInsert(1)
+	s := NewRelation("S", MustSchema("b"))
+	s.MustInsert(7)
+	if removed := r.SemijoinWith(s); removed != 0 || r.Len() != 1 {
+		t.Fatal("semijoin with disjoint non-empty relation must be a no-op")
+	}
+	empty := NewRelation("E", MustSchema("c"))
+	if removed := r.SemijoinWith(empty); removed != 1 || r.Len() != 0 {
+		t.Fatal("semijoin with disjoint empty relation must empty r")
+	}
+}
+
+func TestSemijoinIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := NewRelation("R", MustSchema("a", "b"))
+	s := NewRelation("S", MustSchema("b"))
+	for i := 0; i < 200; i++ {
+		r.MustInsert(Value(rng.Intn(50)), Value(rng.Intn(20)))
+	}
+	for i := 0; i < 10; i++ {
+		s.MustInsert(Value(rng.Intn(20)))
+	}
+	r.SemijoinWith(s)
+	n := r.Len()
+	if again := r.SemijoinWith(s); again != 0 || r.Len() != n {
+		t.Fatal("semijoin not idempotent")
+	}
+}
+
+func TestRelationClone(t *testing.T) {
+	r := NewRelation("R", MustSchema("a"))
+	r.MustInsert(1)
+	c := r.Clone()
+	c.MustInsert(2)
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Fatal("clone shares tuple storage")
+	}
+	if !c.Contains(Tuple{1}) {
+		t.Fatal("clone lost tuples")
+	}
+}
+
+func TestRelationSortTuples(t *testing.T) {
+	r := NewRelation("R", MustSchema("a", "b"))
+	r.MustInsert(2, 1)
+	r.MustInsert(1, 9)
+	r.MustInsert(1, 3)
+	r.SortTuples()
+	want := []Tuple{{1, 3}, {1, 9}, {2, 1}}
+	for i, w := range want {
+		if !r.Tuple(i).Equal(w) {
+			t.Fatalf("sorted order wrong at %d: %v", i, r.Tuple(i))
+		}
+		if r.Position(w) != i {
+			t.Fatal("index stale after sort")
+		}
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	d := NewDatabase()
+	r := d.MustCreate("R", "a", "b")
+	r.MustInsert(1, 2)
+	s := d.MustCreate("S", "b")
+	s.MustInsert(2)
+
+	got, err := d.Relation("R")
+	if err != nil || got != r {
+		t.Fatal("Relation lookup failed")
+	}
+	if _, err := d.Relation("missing"); err == nil {
+		t.Fatal("missing relation not reported")
+	}
+	if !d.Has("S") || d.Has("T") {
+		t.Fatal("Has wrong")
+	}
+	names := d.Names()
+	if len(names) != 2 || names[0] != "R" || names[1] != "S" {
+		t.Fatalf("Names = %v", names)
+	}
+	if d.Size() != 2 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	if _, err := d.Create("bad", "a", "a"); err == nil {
+		t.Fatal("bad schema accepted")
+	}
+	v := d.Intern("x")
+	if d.Dict().String(v) != "x" {
+		t.Fatal("database dict broken")
+	}
+}

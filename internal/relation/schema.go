@@ -1,0 +1,90 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema is an ordered list of attribute names. Attribute names are global:
+// two relations sharing an attribute name join on it (natural-join
+// convention), matching the variable-based formalism of conjunctive queries.
+type Schema []string
+
+// NewSchema validates and returns a schema. Attribute names must be non-empty
+// and distinct within one schema.
+func NewSchema(attrs ...string) (Schema, error) {
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relation: empty attribute name")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("relation: duplicate attribute %q in schema", a)
+		}
+		seen[a] = true
+	}
+	return Schema(attrs), nil
+}
+
+// MustSchema is NewSchema that panics on error; for literals in tests and
+// generators.
+func MustSchema(attrs ...string) Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Position returns the index of attribute a, or -1.
+func (s Schema) Position(a string) int {
+	for i, x := range s {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// Positions maps a list of attribute names to their positions. It returns an
+// error if any attribute is missing.
+func (s Schema) Positions(attrs []string) ([]int, error) {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := s.Position(a)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: attribute %q not in schema %v", a, s)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Contains reports whether attribute a is in the schema.
+func (s Schema) Contains(a string) bool { return s.Position(a) >= 0 }
+
+// Intersect returns the attributes of s that also occur in other, in s-order.
+func (s Schema) Intersect(other Schema) []string {
+	var out []string
+	for _, a := range s {
+		if other.Contains(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Equal reports element-wise equality.
+func (s Schema) Equal(other Schema) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for i := range s {
+		if s[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Schema) String() string { return "(" + strings.Join(s, ", ") + ")" }

@@ -1,0 +1,157 @@
+// Package relation provides the relational substrate used by the whole
+// library: dictionary-encoded values, tuples, schemas, relations, databases,
+// and the linear-time operators (selection, projection, semijoin) required by
+// the enumeration algorithms.
+//
+// The paper's computation model is the DRAM variant of the RAM model with
+// uniform cost measure, which permits constant-time lookup tables of
+// polynomial size. Go hash maps play that role here.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Value is a single attribute value. All values are 64-bit integers; string
+// data is interned through a Dict, so that tuples are compact and hashing is
+// cheap. This mirrors dictionary encoding in column stores.
+type Value int64
+
+// Tuple is an ordered list of values, positionally aligned with a schema.
+type Tuple []Value
+
+// Clone returns a copy of the tuple that does not alias t.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports whether two tuples have the same length and values.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key encodes the tuple as a string usable as a hash-map key. The encoding is
+// fixed-width (8 bytes per value, big-endian) so distinct tuples of the same
+// arity always produce distinct keys.
+func (t Tuple) Key() string {
+	b := make([]byte, 8*len(t))
+	for i, v := range t {
+		putValue(b[8*i:], v)
+	}
+	return string(b)
+}
+
+func putValue(b []byte, v Value) {
+	u := uint64(v)
+	b[0] = byte(u >> 56)
+	b[1] = byte(u >> 48)
+	b[2] = byte(u >> 40)
+	b[3] = byte(u >> 32)
+	b[4] = byte(u >> 24)
+	b[5] = byte(u >> 16)
+	b[6] = byte(u >> 8)
+	b[7] = byte(u)
+}
+
+// Project returns the sub-tuple at the given positions.
+func (t Tuple) Project(positions []int) Tuple {
+	p := make(Tuple, len(positions))
+	for i, pos := range positions {
+		p[i] = t[pos]
+	}
+	return p
+}
+
+// ProjectKey is Project followed by Key without allocating the intermediate
+// tuple.
+func (t Tuple) ProjectKey(positions []int) string {
+	b := make([]byte, 8*len(positions))
+	for i, pos := range positions {
+		putValue(b[8*i:], t[pos])
+	}
+	return string(b)
+}
+
+// Dict interns strings as Values. It is safe for concurrent use. Value 0 is
+// reserved for the empty string so that zero values decode cleanly.
+type Dict struct {
+	mu      sync.RWMutex
+	byName  map[string]Value
+	byValue []string
+}
+
+// NewDict returns an empty dictionary with "" pre-interned as 0.
+func NewDict() *Dict {
+	d := &Dict{byName: make(map[string]Value)}
+	d.byName[""] = 0
+	d.byValue = append(d.byValue, "")
+	return d
+}
+
+// Intern returns the Value for s, assigning a fresh one if needed.
+func (d *Dict) Intern(s string) Value {
+	d.mu.RLock()
+	v, ok := d.byName[s]
+	d.mu.RUnlock()
+	if ok {
+		return v
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if v, ok = d.byName[s]; ok {
+		return v
+	}
+	v = Value(len(d.byValue))
+	d.byName[s] = v
+	d.byValue = append(d.byValue, s)
+	return v
+}
+
+// Lookup returns the Value for s without interning.
+func (d *Dict) Lookup(s string) (Value, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, ok := d.byName[s]
+	return v, ok
+}
+
+// String returns the string for an interned value, or a numeric rendering if
+// the value was never interned.
+func (d *Dict) String(v Value) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if v >= 0 && int(v) < len(d.byValue) {
+		return d.byValue[v]
+	}
+	return fmt.Sprintf("#%d", int64(v))
+}
+
+// Len reports the number of interned strings.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byValue)
+}
+
+// SortedStrings returns all interned strings in sorted order (for tests and
+// debug output).
+func (d *Dict) SortedStrings() []string {
+	d.mu.RLock()
+	out := make([]string, len(d.byValue))
+	copy(out, d.byValue)
+	d.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,124 @@
+// Package shuffle implements the paper's constant-delay random-permutation
+// machinery:
+//
+//   - Shuffler: Algorithm 1 — a lazy Fisher–Yates shuffle emitting a uniform
+//     permutation of 0..n-1 with O(1) preprocessing and O(1) delay, using a
+//     lookup table to simulate the uninitialized array;
+//   - DeletionSet: the Section 5.1 structure — the same lazy array plus a
+//     reverse index b, supporting Sample / Delete / Count over the index set
+//     {0..n-1}, as required by Algorithm 5 (REnum(UCQ)) via Lemma 5.3.
+package shuffle
+
+import "math/rand"
+
+// Shuffler emits a uniformly random permutation of 0..n-1, one element per
+// Next call (Algorithm 1). The zero value is not usable; call New.
+type Shuffler struct {
+	n   int64
+	i   int64
+	a   map[int64]int64 // lazy array: absent key k means a[k] = k
+	rng *rand.Rand
+}
+
+// New returns a Shuffler over 0..n-1 using the given source of randomness.
+// Preprocessing is O(1): the array is simulated lazily.
+func New(n int64, rng *rand.Rand) *Shuffler {
+	return &Shuffler{n: n, a: make(map[int64]int64), rng: rng}
+}
+
+// Remaining returns how many elements have not been emitted yet.
+func (s *Shuffler) Remaining() int64 { return s.n - s.i }
+
+// Next returns the next element of the permutation; ok is false once all n
+// elements have been emitted. Each call is O(1) (two lookup-table accesses).
+func (s *Shuffler) Next() (int64, bool) {
+	if s.i >= s.n {
+		return 0, false
+	}
+	i := s.i
+	j := i + s.rng.Int63n(s.n-i)
+	ai, ok := s.a[i]
+	if !ok {
+		ai = i
+	}
+	aj, ok := s.a[j]
+	if !ok {
+		aj = j
+	}
+	// Swap a[i] and a[j]; output the value now at a[i].
+	s.a[i] = aj
+	s.a[j] = ai
+	s.i++
+	return aj, true
+}
+
+// DeletionSet maintains the set {0..n-1} minus deletions, supporting uniform
+// sampling without removal, deletion by value, and counting — all O(1). It is
+// the structure described after Lemma 5.2: a[0..i-1] holds deleted values,
+// a[i..n-1] the remaining ones, with b the inverse of a.
+type DeletionSet struct {
+	n int64
+	i int64 // number of deleted elements
+	a map[int64]int64
+	b map[int64]int64
+}
+
+// NewDeletionSet returns a DeletionSet over 0..n-1.
+func NewDeletionSet(n int64) *DeletionSet {
+	return &DeletionSet{n: n, a: make(map[int64]int64), b: make(map[int64]int64)}
+}
+
+func (d *DeletionSet) av(k int64) int64 {
+	if v, ok := d.a[k]; ok {
+		return v
+	}
+	return k
+}
+
+func (d *DeletionSet) bv(m int64) int64 {
+	if v, ok := d.b[m]; ok {
+		return v
+	}
+	return m
+}
+
+// Count returns the number of remaining (non-deleted) elements.
+func (d *DeletionSet) Count() int64 { return d.n - d.i }
+
+// Sample returns a uniformly random remaining element; ok is false when the
+// set is empty. The element is NOT removed.
+func (d *DeletionSet) Sample(rng *rand.Rand) (int64, bool) {
+	if d.i >= d.n {
+		return 0, false
+	}
+	k := d.i + rng.Int63n(d.n-d.i)
+	return d.av(k), true
+}
+
+// Deleted reports whether value m has been deleted.
+func (d *DeletionSet) Deleted(m int64) bool {
+	if m < 0 || m >= d.n {
+		return true
+	}
+	return d.bv(m) < d.i
+}
+
+// Delete removes value m from the set. It reports whether m was present
+// (not yet deleted and in range).
+func (d *DeletionSet) Delete(m int64) bool {
+	if m < 0 || m >= d.n {
+		return false
+	}
+	k := d.bv(m) // slot currently holding m
+	if k < d.i {
+		return false // already deleted
+	}
+	// Swap slots k and i; advance i.
+	vi := d.av(d.i)
+	d.a[k] = vi
+	d.b[vi] = k
+	d.a[d.i] = m
+	d.b[m] = d.i
+	d.i++
+	return true
+}

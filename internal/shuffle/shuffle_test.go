@@ -1,0 +1,227 @@
+package shuffle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShufflerIsPermutation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int64(nRaw%50) + 1
+		s := New(n, rand.New(rand.NewSource(seed)))
+		seen := make(map[int64]bool, n)
+		for k := int64(0); k < n; k++ {
+			v, ok := s.Next()
+			if !ok || v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		_, ok := s.Next()
+		return !ok && int64(len(seen)) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflerRemaining(t *testing.T) {
+	s := New(3, rand.New(rand.NewSource(1)))
+	if s.Remaining() != 3 {
+		t.Fatal("Remaining before start")
+	}
+	s.Next()
+	if s.Remaining() != 2 {
+		t.Fatal("Remaining after one")
+	}
+}
+
+func TestShufflerEmpty(t *testing.T) {
+	s := New(0, rand.New(rand.NewSource(1)))
+	if _, ok := s.Next(); ok {
+		t.Fatal("empty shuffler emitted")
+	}
+}
+
+// TestShufflerUniform checks that all n! permutations appear with roughly
+// equal frequency for small n (chi-square over permutation identities).
+func TestShufflerUniform(t *testing.T) {
+	const n = 4
+	const fact = 24
+	const trials = 24000
+	rng := rand.New(rand.NewSource(42))
+	counts := make(map[[n]int64]int)
+	for i := 0; i < trials; i++ {
+		s := New(n, rng)
+		var p [n]int64
+		for k := 0; k < n; k++ {
+			v, _ := s.Next()
+			p[k] = v
+		}
+		counts[p]++
+	}
+	if len(counts) != fact {
+		t.Fatalf("observed %d distinct permutations, want %d", len(counts), fact)
+	}
+	expected := float64(trials) / fact
+	stat := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	df := float64(fact - 1)
+	if limit := df + 6*math.Sqrt(2*df); stat > limit {
+		t.Fatalf("chi-square %.1f exceeds %.1f: permutation not uniform", stat, limit)
+	}
+}
+
+// TestShufflerFirstElementUniform checks the marginal distribution of the
+// first emitted element.
+func TestShufflerFirstElementUniform(t *testing.T) {
+	const n = 10
+	const trials = 20000
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		s := New(n, rng)
+		v, _ := s.Next()
+		counts[v]++
+	}
+	expected := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("first element %d appeared %d times, expected ~%.0f", v, c, expected)
+		}
+	}
+}
+
+func TestDeletionSetBasics(t *testing.T) {
+	d := NewDeletionSet(5)
+	if d.Count() != 5 {
+		t.Fatal("initial count")
+	}
+	if !d.Delete(2) {
+		t.Fatal("delete failed")
+	}
+	if d.Delete(2) {
+		t.Fatal("double delete succeeded")
+	}
+	if !d.Deleted(2) || d.Deleted(3) {
+		t.Fatal("Deleted wrong")
+	}
+	if d.Count() != 4 {
+		t.Fatal("count after delete")
+	}
+	if d.Delete(-1) || d.Delete(5) {
+		t.Fatal("out-of-range delete succeeded")
+	}
+	if !d.Deleted(-1) || !d.Deleted(99) {
+		t.Fatal("out-of-range must read as deleted")
+	}
+}
+
+func TestDeletionSetSampleNeverReturnsDeleted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDeletionSet(20)
+	deleted := map[int64]bool{3: true, 7: true, 19: true, 0: true}
+	for m := range deleted {
+		if !d.Delete(m) {
+			t.Fatal("delete failed")
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		v, ok := d.Sample(rng)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if deleted[v] {
+			t.Fatalf("sampled deleted value %d", v)
+		}
+	}
+}
+
+func TestDeletionSetDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := NewDeletionSet(30)
+	seen := make(map[int64]bool)
+	for d.Count() > 0 {
+		v, ok := d.Sample(rng)
+		if !ok {
+			t.Fatal("sample failed with nonzero count")
+		}
+		if seen[v] {
+			continue // sampling without removal can repeat
+		}
+		seen[v] = true
+		if !d.Delete(v) {
+			t.Fatal("delete of sampled value failed")
+		}
+	}
+	if int64(len(seen)) != 30 {
+		t.Fatalf("drained %d values, want 30", len(seen))
+	}
+	if _, ok := d.Sample(rng); ok {
+		t.Fatal("sample from empty set succeeded")
+	}
+}
+
+// TestDeletionSetSampleUniform: the sampler must be uniform over remaining
+// elements after some deletions.
+func TestDeletionSetSampleUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := NewDeletionSet(10)
+	d.Delete(1)
+	d.Delete(4)
+	d.Delete(9)
+	const trials = 35000
+	counts := make(map[int64]int)
+	for i := 0; i < trials; i++ {
+		v, _ := d.Sample(rng)
+		counts[v]++
+	}
+	if len(counts) != 7 {
+		t.Fatalf("sampled %d distinct values, want 7", len(counts))
+	}
+	expected := float64(trials) / 7
+	for v, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("value %d sampled %d times, expected ~%.0f", v, c, expected)
+		}
+	}
+}
+
+// TestDeletionSetMatchesNaive cross-checks against a naive map-based set
+// under a random operation sequence.
+func TestDeletionSetMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 40
+	d := NewDeletionSet(n)
+	naive := make(map[int64]bool, n)
+	for m := int64(0); m < n; m++ {
+		naive[m] = true
+	}
+	for step := 0; step < 500; step++ {
+		if rng.Intn(2) == 0 {
+			m := int64(rng.Intn(n))
+			want := naive[m]
+			got := d.Delete(m)
+			if got != want {
+				t.Fatalf("step %d: Delete(%d) = %v, want %v", step, m, got, want)
+			}
+			delete(naive, m)
+		} else {
+			if int64(len(naive)) != d.Count() {
+				t.Fatalf("step %d: Count = %d, want %d", step, d.Count(), len(naive))
+			}
+			if v, ok := d.Sample(rng); ok {
+				if !naive[v] {
+					t.Fatalf("step %d: sampled deleted %d", step, v)
+				}
+			} else if len(naive) != 0 {
+				t.Fatalf("step %d: Sample failed with %d remaining", step, len(naive))
+			}
+		}
+	}
+}

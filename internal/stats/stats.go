@@ -1,0 +1,137 @@
+// Package stats provides the descriptive statistics used by the delay
+// experiments (Figures 2, 3 and 7 of the paper): quantiles, box-and-whisker
+// summaries with Tukey outlier fences, mean and standard deviation, and a
+// chi-square uniformity statistic used by the randomness tests.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is a box-plot summary of a sample.
+type Summary struct {
+	N              int
+	Mean           float64
+	StdDev         float64
+	Min, Max       float64
+	Median         float64
+	Q1, Q3         float64
+	IQR            float64
+	WhiskerLow     float64 // smallest sample ≥ Q1 - 1.5·IQR
+	WhiskerHigh    float64 // largest sample ≤ Q3 + 1.5·IQR
+	Outliers       int     // samples outside the whiskers
+	OutlierPercent float64
+}
+
+// Summarize computes the box-plot summary of xs. It returns a zero Summary
+// for empty input.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, x := range s {
+		d := x - mean
+		ss += d * d
+	}
+	sd := 0.0
+	if n > 1 {
+		sd = math.Sqrt(ss / float64(n-1))
+	}
+
+	q1 := Quantile(s, 0.25)
+	med := Quantile(s, 0.5)
+	q3 := Quantile(s, 0.75)
+	iqr := q3 - q1
+	loFence := q1 - 1.5*iqr
+	hiFence := q3 + 1.5*iqr
+
+	wl, wh := s[0], s[n-1]
+	outliers := 0
+	// Whiskers: extreme samples within the fences.
+	wlSet, whSet := false, false
+	for _, x := range s {
+		if x < loFence || x > hiFence {
+			outliers++
+			continue
+		}
+		if !wlSet {
+			wl = x
+			wlSet = true
+		}
+		wh = x
+		whSet = true
+	}
+	if !wlSet || !whSet {
+		wl, wh = med, med
+	}
+
+	return Summary{
+		N: n, Mean: mean, StdDev: sd,
+		Min: s[0], Max: s[n-1],
+		Median: med, Q1: q1, Q3: q3, IQR: iqr,
+		WhiskerLow: wl, WhiskerHigh: wh,
+		Outliers:       outliers,
+		OutlierPercent: 100 * float64(outliers) / float64(n),
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an already sorted sample,
+// with linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ChiSquareUniform returns the chi-square statistic of observed counts
+// against the uniform distribution, plus the degrees of freedom.
+func ChiSquareUniform(counts []int) (stat float64, df int) {
+	k := len(counts)
+	if k < 2 {
+		return 0, 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, k - 1
+	}
+	expected := float64(total) / float64(k)
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return stat, k - 1
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g sd=%.3g med=%.3g iqr=[%.3g,%.3g] whiskers=[%.3g,%.3g] outliers=%.2f%%",
+		s.N, s.Mean, s.StdDev, s.Median, s.Q1, s.Q3, s.WhiskerLow, s.WhiskerHigh, s.OutlierPercent)
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatal("empty summary wrong")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Median != 5 || s.StdDev != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// 1..9: median 5, Q1 3, Q3 7, mean 5.
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	s := Summarize(xs)
+	if s.Median != 5 || s.Mean != 5 {
+		t.Fatalf("median/mean = %v/%v", s.Median, s.Mean)
+	}
+	if s.Q1 != 3 || s.Q3 != 7 || s.IQR != 4 {
+		t.Fatalf("quartiles = %v,%v", s.Q1, s.Q3)
+	}
+	if s.Min != 1 || s.Max != 9 {
+		t.Fatal("min/max wrong")
+	}
+	if s.Outliers != 0 {
+		t.Fatal("no outliers expected")
+	}
+	if s.WhiskerLow != 1 || s.WhiskerHigh != 9 {
+		t.Fatalf("whiskers = %v,%v", s.WhiskerLow, s.WhiskerHigh)
+	}
+}
+
+func TestSummarizeOutliers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 1000}
+	s := Summarize(xs)
+	if s.Outliers != 1 {
+		t.Fatalf("outliers = %d, want 1", s.Outliers)
+	}
+	if s.WhiskerHigh != 9 {
+		t.Fatalf("whisker high = %v, want 9", s.WhiskerHigh)
+	}
+	if math.Abs(s.OutlierPercent-10) > 1e-9 {
+		t.Fatalf("outlier%% = %v", s.OutlierPercent)
+	}
+}
+
+func TestSummarizeStdDev(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Sample SD of this classic set: variance = 32/7.
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("sd = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if q := Quantile(sorted, 0.5); q != 5 {
+		t.Fatalf("Quantile(0.5) = %v", q)
+	}
+	if q := Quantile(sorted, 0); q != 0 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := Quantile(sorted, 1); q != 10 {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+	if Quantile([]float64{3}, 0.9) != 3 {
+		t.Fatal("singleton quantile")
+	}
+}
+
+func TestQuantileMatchesSortRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	sort.Float64s(xs)
+	// With 101 points, the 0.25 quantile is exactly the 25th order statistic.
+	if q := Quantile(xs, 0.25); q != xs[25] {
+		t.Fatalf("quantile = %v, want %v", q, xs[25])
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	stat, df := ChiSquareUniform([]int{10, 10, 10, 10})
+	if stat != 0 || df != 3 {
+		t.Fatalf("uniform counts: stat=%v df=%d", stat, df)
+	}
+	stat, _ = ChiSquareUniform([]int{20, 0})
+	if stat != 20 {
+		t.Fatalf("skewed counts: stat=%v, want 20", stat)
+	}
+	if _, df := ChiSquareUniform([]int{5}); df != 0 {
+		t.Fatal("k<2 must have df 0")
+	}
+	if s, df := ChiSquareUniform([]int{0, 0}); s != 0 || df != 1 {
+		t.Fatal("all-zero counts")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if Summarize([]float64{1, 2, 3}).String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,191 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func gen(t *testing.T, sf float64, seed int64) *relation.Database {
+	t.Helper()
+	db, err := Generate(Config{ScaleFactor: sf, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	db := gen(t, 0.01, 1)
+	expect := map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": 100,
+		"customer": 1500,
+		"part":     2000,
+		"partsupp": 8000,
+		"orders":   15000,
+	}
+	for name, want := range expect {
+		r, err := db.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() != want {
+			t.Errorf("%s: %d rows, want %d", name, r.Len(), want)
+		}
+	}
+	li, _ := db.Relation("lineitem")
+	// 1..7 lineitems per order, expectation 4: allow a broad band.
+	if li.Len() < 15000 || li.Len() > 7*15000 {
+		t.Errorf("lineitem: %d rows out of range", li.Len())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := gen(t, 0.005, 7)
+	b := gen(t, 0.005, 7)
+	for _, name := range a.Names() {
+		ra, _ := a.Relation(name)
+		rb, _ := b.Relation(name)
+		if ra.Len() != rb.Len() {
+			t.Fatalf("%s: nondeterministic cardinality", name)
+		}
+		for i := 0; i < ra.Len(); i++ {
+			if !ra.Tuple(i).Equal(rb.Tuple(i)) {
+				t.Fatalf("%s: nondeterministic tuple %d", name, i)
+			}
+		}
+	}
+	c := gen(t, 0.005, 8)
+	ra, _ := a.Relation("orders")
+	rc, _ := c.Relation("orders")
+	diff := false
+	for i := 0; i < ra.Len() && i < rc.Len(); i++ {
+		if !ra.Tuple(i).Equal(rc.Tuple(i)) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical orders")
+	}
+}
+
+func TestPartsuppFanout(t *testing.T) {
+	db := gen(t, 0.01, 2)
+	ps, _ := db.Relation("partsupp")
+	counts := make(map[relation.Value]int)
+	for _, tu := range ps.Tuples() {
+		counts[tu[0]]++
+	}
+	for p, c := range counts {
+		if c != 4 {
+			t.Fatalf("part %d has %d suppliers, want 4", p, c)
+		}
+	}
+}
+
+func TestForeignKeysValid(t *testing.T) {
+	db := gen(t, 0.005, 3)
+	nation, _ := db.Relation("nation")
+	region, _ := db.Relation("region")
+	supplier, _ := db.Relation("supplier")
+	customer, _ := db.Relation("customer")
+	orders, _ := db.Relation("orders")
+	lineitem, _ := db.Relation("lineitem")
+	part, _ := db.Relation("part")
+
+	regionKeys := make(map[relation.Value]bool)
+	for _, tu := range region.Tuples() {
+		regionKeys[tu[0]] = true
+	}
+	for _, tu := range nation.Tuples() {
+		if !regionKeys[tu[2]] {
+			t.Fatalf("nation %v has invalid region", tu)
+		}
+	}
+	nationKeys := make(map[relation.Value]bool)
+	for _, tu := range nation.Tuples() {
+		nationKeys[tu[0]] = true
+	}
+	for _, tu := range supplier.Tuples() {
+		if !nationKeys[tu[2]] {
+			t.Fatalf("supplier %v invalid nation", tu)
+		}
+	}
+	for _, tu := range customer.Tuples() {
+		if !nationKeys[tu[2]] {
+			t.Fatalf("customer %v invalid nation", tu)
+		}
+	}
+	custKeys := make(map[relation.Value]bool)
+	for _, tu := range customer.Tuples() {
+		custKeys[tu[0]] = true
+	}
+	orderKeys := make(map[relation.Value]bool)
+	for _, tu := range orders.Tuples() {
+		if !custKeys[tu[1]] {
+			t.Fatalf("order %v invalid customer", tu)
+		}
+		if tu[1]%3 == 0 {
+			t.Fatalf("order %v assigned to custkey divisible by 3", tu)
+		}
+		orderKeys[tu[0]] = true
+	}
+	partKeys := make(map[relation.Value]bool)
+	for _, tu := range part.Tuples() {
+		partKeys[tu[0]] = true
+	}
+	suppKeys := make(map[relation.Value]bool)
+	for _, tu := range supplier.Tuples() {
+		suppKeys[tu[0]] = true
+	}
+	for _, tu := range lineitem.Tuples() {
+		if !orderKeys[tu[0]] || !partKeys[tu[1]] || !suppKeys[tu[2]] {
+			t.Fatalf("lineitem %v has invalid foreign key", tu)
+		}
+	}
+}
+
+func TestNationConstants(t *testing.T) {
+	db := gen(t, 0.001, 1)
+	nation, _ := db.Relation("nation")
+	us := nation.Tuple(NationKeyUS)
+	uk := nation.Tuple(NationKeyUK)
+	if db.Dict().String(us[1]) != "UNITED STATES" {
+		t.Fatalf("nationkey 24 = %q", db.Dict().String(us[1]))
+	}
+	if db.Dict().String(uk[1]) != "UNITED KINGDOM" {
+		t.Fatalf("nationkey 23 = %q", db.Dict().String(uk[1]))
+	}
+	if NationName(NationKeyUS) != "UNITED STATES" || RegionName(3) != "EUROPE" {
+		t.Fatal("name helpers wrong")
+	}
+	if NationName(-1) == "" || RegionName(99) == "" {
+		t.Fatal("out-of-range names empty")
+	}
+	if NumNations() != 25 {
+		t.Fatal("NumNations != 25")
+	}
+}
+
+func TestGenerateRejectsBadScale(t *testing.T) {
+	if _, err := Generate(Config{ScaleFactor: 0}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := Generate(Config{ScaleFactor: -1}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
+
+func TestTinyScaleStillWorks(t *testing.T) {
+	db := gen(t, 0.0001, 4)
+	// Every base table must be non-empty even at absurdly small scale.
+	for _, name := range []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"} {
+		r, err := db.Relation(name)
+		if err != nil || r.Len() == 0 {
+			t.Fatalf("%s empty at tiny scale", name)
+		}
+	}
+}

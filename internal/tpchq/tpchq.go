@@ -1,0 +1,209 @@
+// Package tpchq defines the paper's experimental workload (Section 6 and
+// Appendix B.1): the six free-connex CQs Q0, Q2, Q3, Q7, Q9, Q10 over the
+// TPC-H schema, and the UCQ components QS7, QC7 (Q7 with the supplier /
+// customer restricted to the United States), QN2, QP2, QS2 (Q2 with nation /
+// part / supplier selections) and QA, QE (American / British suppliers'
+// orders).
+//
+// Selections are realized as order-preserving filtered copies of the base
+// relations, registered by PrepareDerived — the same "different selections
+// applied on the same initial relations" construction the paper uses, which
+// is what makes the unions mutually compatible (Section 5.2).
+package tpchq
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tpch"
+)
+
+// PrepareDerived registers the filtered/projected relations used by the UCQ
+// workloads. Idempotent.
+func PrepareDerived(db *relation.Database) error {
+	nation, err := db.Relation("nation")
+	if err != nil {
+		return fmt.Errorf("tpchq: %w", err)
+	}
+	part, err := db.Relation("part")
+	if err != nil {
+		return fmt.Errorf("tpchq: %w", err)
+	}
+	supplier, err := db.Relation("supplier")
+	if err != nil {
+		return fmt.Errorf("tpchq: %w", err)
+	}
+
+	// nation projected to (key, name) and its US selection — the N^i / M^i
+	// relations of QS7/QC7.
+	kn, err := nation.Project("nation_kn", []string{"n_nationkey", "n_name"})
+	if err != nil {
+		return err
+	}
+	db.Add(kn)
+	db.Add(kn.Filter("nation_kn_us", func(t relation.Tuple) bool {
+		return t[0] == relation.Value(tpch.NationKeyUS)
+	}))
+
+	// Selections for QN2 / QA / QE.
+	db.Add(nation.Filter("nation0", func(t relation.Tuple) bool { return t[0] == 0 }))
+	db.Add(nation.Filter("nation_us", func(t relation.Tuple) bool {
+		return t[0] == relation.Value(tpch.NationKeyUS)
+	}))
+	db.Add(nation.Filter("nation_uk", func(t relation.Tuple) bool {
+		return t[0] == relation.Value(tpch.NationKeyUK)
+	}))
+
+	// Parity selections for QP2 / QS2.
+	db.Add(part.Filter("part_even", func(t relation.Tuple) bool { return t[0]%2 == 0 }))
+	db.Add(supplier.Filter("supplier_even", func(t relation.Tuple) bool { return t[0]%2 == 0 }))
+	return nil
+}
+
+// Q0 is the chain join PARTSUPP–SUPPLIER–NATION–REGION.
+func Q0() *query.CQ {
+	return query.MustCQ("Q0",
+		[]string{"rk", "nk", "sk", "pk"},
+		query.NewAtom("region", query.V("rk"), query.V("rn")),
+		query.NewAtom("nation", query.V("nk"), query.V("nn"), query.V("rk")),
+		query.NewAtom("supplier", query.V("sk"), query.V("sn"), query.V("nk")),
+		query.NewAtom("partsupp", query.V("pk"), query.V("sk")),
+	)
+}
+
+// Q2 is Q0 extended with PART on ps_partkey = p_partkey.
+func Q2() *query.CQ {
+	q := Q0()
+	q.Name = "Q2"
+	q.Body = append(q.Body, query.NewAtom("part", query.V("pk"), query.V("pn")))
+	return q
+}
+
+// Q3 joins CUSTOMER, ORDERS and LINEITEM (with the lineitem attributes added
+// by the paper for set/bag equivalence).
+func Q3() *query.CQ {
+	return query.MustCQ("Q3",
+		[]string{"ok", "ck", "lpk", "lsk", "ln"},
+		query.NewAtom("customer", query.V("ck"), query.V("cn"), query.V("cnk")),
+		query.NewAtom("orders", query.V("ok"), query.V("ck")),
+		query.NewAtom("lineitem", query.V("ok"), query.V("lpk"), query.V("lsk"), query.V("ln")),
+	)
+}
+
+// Q7 is Q3 plus SUPPLIER and the two NATION joins (a self-join on nation).
+func Q7() *query.CQ {
+	return query.MustCQ("Q7",
+		[]string{"ok", "ck", "nk1", "sk", "lpk", "ln", "nk2"},
+		query.NewAtom("supplier", query.V("sk"), query.V("sn"), query.V("nk1")),
+		query.NewAtom("lineitem", query.V("ok"), query.V("lpk"), query.V("sk"), query.V("ln")),
+		query.NewAtom("orders", query.V("ok"), query.V("ck")),
+		query.NewAtom("customer", query.V("ck"), query.V("cn"), query.V("nk2")),
+		query.NewAtom("nation", query.V("nk1"), query.V("nn1"), query.V("rk1")),
+		query.NewAtom("nation", query.V("nk2"), query.V("nn2"), query.V("rk2")),
+	)
+}
+
+// Q9 joins NATION, SUPPLIER, LINEITEM, PARTSUPP, ORDERS and PART.
+func Q9() *query.CQ {
+	return query.MustCQ("Q9",
+		[]string{"nk", "sk", "ok", "ln", "pk"},
+		query.NewAtom("nation", query.V("nk"), query.V("nn"), query.V("rk")),
+		query.NewAtom("supplier", query.V("sk"), query.V("sn"), query.V("nk")),
+		query.NewAtom("lineitem", query.V("ok"), query.V("pk"), query.V("sk"), query.V("ln")),
+		query.NewAtom("partsupp", query.V("pk"), query.V("sk")),
+		query.NewAtom("orders", query.V("ok"), query.V("ck")),
+		query.NewAtom("part", query.V("pk"), query.V("pn")),
+	)
+}
+
+// Q10 is Q3 plus NATION on the customer side.
+func Q10() *query.CQ {
+	return query.MustCQ("Q10",
+		[]string{"ok", "ck", "lpk", "lsk", "ln", "nk"},
+		query.NewAtom("lineitem", query.V("ok"), query.V("lpk"), query.V("lsk"), query.V("ln")),
+		query.NewAtom("orders", query.V("ok"), query.V("ck")),
+		query.NewAtom("customer", query.V("ck"), query.V("cn"), query.V("nk")),
+		query.NewAtom("nation", query.V("nk"), query.V("nn"), query.V("rk")),
+	)
+}
+
+// CQs returns the six experiment CQs in the order the paper's figures use.
+func CQs() []*query.CQ {
+	return []*query.CQ{Q0(), Q2(), Q3(), Q7(), Q9(), Q10()}
+}
+
+// q7Variant builds the paper's Qi7 structure: Qi7(o,c,a,b,p,s,l,m,n) :-
+// R(s,a), L(o,p,s,l), O(o,c), B(c,b), N(a,m), M(b,n), where N and M are
+// (selections of) the nation (key, name) projection.
+func q7Variant(name, nRel, mRel string) *query.CQ {
+	return query.MustCQ(name,
+		[]string{"o", "c", "a", "b", "p", "s", "l", "m", "n"},
+		query.NewAtom("supplier", query.V("s"), query.V("sn"), query.V("a")),
+		query.NewAtom("lineitem", query.V("o"), query.V("p"), query.V("s"), query.V("l")),
+		query.NewAtom("orders", query.V("o"), query.V("c")),
+		query.NewAtom("customer", query.V("c"), query.V("cn"), query.V("b")),
+		query.NewAtom(nRel, query.V("a"), query.V("m")),
+		query.NewAtom(mRel, query.V("b"), query.V("n")),
+	)
+}
+
+// QS7 restricts Q7 to American suppliers.
+func QS7() *query.CQ { return q7Variant("QS7", "nation_kn_us", "nation_kn") }
+
+// QC7 restricts Q7 to American customers.
+func QC7() *query.CQ { return q7Variant("QC7", "nation_kn", "nation_kn_us") }
+
+// q2Variant builds Q2 with substitutable nation/part/supplier relations.
+func q2Variant(name, nationRel, partRel, supplierRel string) *query.CQ {
+	return query.MustCQ(name,
+		[]string{"rk", "nk", "sk", "pk"},
+		query.NewAtom("region", query.V("rk"), query.V("rn")),
+		query.NewAtom(nationRel, query.V("nk"), query.V("nn"), query.V("rk")),
+		query.NewAtom(supplierRel, query.V("sk"), query.V("sn"), query.V("nk")),
+		query.NewAtom("partsupp", query.V("pk"), query.V("sk")),
+		query.NewAtom(partRel, query.V("pk"), query.V("pn")),
+	)
+}
+
+// QN2 restricts Q2 to nationkey 0.
+func QN2() *query.CQ { return q2Variant("QN2", "nation0", "part", "supplier") }
+
+// QP2 restricts Q2 to even part keys.
+func QP2() *query.CQ { return q2Variant("QP2", "nation", "part_even", "supplier") }
+
+// QS2 restricts Q2 to even supplier keys.
+func QS2() *query.CQ { return q2Variant("QS2", "nation", "part", "supplier_even") }
+
+// qaVariant builds QA/QE: orders whose supplier is from the given nation
+// selection, joined down to REGION with r_name in the head.
+func qaVariant(name, nationRel string) *query.CQ {
+	return query.MustCQ(name,
+		[]string{"ok", "sk", "nk", "rgk", "rname"},
+		query.NewAtom("orders", query.V("ok"), query.V("ck")),
+		query.NewAtom("lineitem", query.V("ok"), query.V("lpk"), query.V("sk"), query.V("ln")),
+		query.NewAtom("supplier", query.V("sk"), query.V("sn"), query.V("nk")),
+		query.NewAtom(nationRel, query.V("nk"), query.V("nn"), query.V("rgk")),
+		query.NewAtom("region", query.V("rgk"), query.V("rname")),
+	)
+}
+
+// QA selects orders supplied from the United States (nationkey 24).
+func QA() *query.CQ { return qaVariant("QA", "nation_us") }
+
+// QE selects orders supplied from the United Kingdom (nationkey 23).
+func QE() *query.CQ { return qaVariant("QE", "nation_uk") }
+
+// UnionQ7 is QS7 ∪ QC7 (binary, overlapping, mutually compatible).
+func UnionQ7() *query.UCQ { return query.MustUCQ("QS7∪QC7", QS7(), QC7()) }
+
+// UnionQ2 is QN2 ∪ QP2 ∪ QS2 (ternary, large intersection).
+func UnionQ2() *query.UCQ { return query.MustUCQ("QN2∪QP2∪QS2", QN2(), QP2(), QS2()) }
+
+// UnionAE is QA ∪ QE (binary, disjoint).
+func UnionAE() *query.UCQ { return query.MustUCQ("QA∪QE", QA(), QE()) }
+
+// UCQs returns the three experiment unions in the paper's Figure 4a order.
+func UCQs() []*query.UCQ {
+	return []*query.UCQ{UnionAE(), UnionQ7(), UnionQ2()}
+}

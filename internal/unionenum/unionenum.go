@@ -1,0 +1,151 @@
+// Package unionenum implements Algorithm 5 of the paper: random-order
+// enumeration of a union of sets S1 ∪ ... ∪ Sk, given per-set counting,
+// uniform sampling, membership testing and deletion (Lemma 5.2). Applied to
+// unions of free-connex CQs via the Lemma 5.3 sets, this is REnum(UCQ):
+// linear preprocessing and expected logarithmic delay (Theorem 5.4).
+package unionenum
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/cqenum"
+	"repro/internal/query"
+	"repro/internal/reduce"
+	"repro/internal/relation"
+)
+
+// Set is the abstract interface required by Algorithm 5. All four operations
+// must run in (poly)logarithmic time for the delay guarantee to hold.
+type Set interface {
+	// Count returns the number of remaining elements.
+	Count() int64
+	// Sample returns a uniformly random remaining element without removing
+	// it; ok is false iff the set is empty.
+	Sample(rng *rand.Rand) (relation.Tuple, bool)
+	// Test reports whether t is a remaining element.
+	Test(t relation.Tuple) bool
+	// Delete removes t, reporting whether it was present.
+	Delete(t relation.Tuple) bool
+}
+
+// Enumerator emits the elements of the union exactly once each, in uniformly
+// random order. Each emission costs an expected O(k) set operations, where k
+// is the number of sets; the delay is also amortized O(k) operations because
+// every element is rejected at most once (it is deleted from all non-owner
+// sets the first time it is sampled).
+type Enumerator struct {
+	sets []Set
+	rng  *rand.Rand
+
+	// Instrument enables wall-clock accounting of time spent on rejected
+	// iterations versus emitting iterations (Figure 5 of the paper).
+	Instrument bool
+
+	// Rejections counts rejected iterations so far.
+	Rejections int64
+	// RejectTime and AnswerTime accumulate iteration wall-clock time when
+	// Instrument is set.
+	RejectTime time.Duration
+	AnswerTime time.Duration
+}
+
+// New builds an enumerator over the given sets. The sets are consumed:
+// enumeration deletes their elements.
+func New(sets []Set, rng *rand.Rand) *Enumerator {
+	return &Enumerator{sets: sets, rng: rng}
+}
+
+// NewFromUCQ prepares every disjunct of the UCQ (linear preprocessing per
+// disjunct) and returns the Algorithm 5 enumerator over their answer sets.
+func NewFromUCQ(db *relation.Database, u *query.UCQ, rng *rand.Rand, opts reduce.Options) (*Enumerator, error) {
+	sets := make([]Set, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
+		c, err := cqenum.Prepare(db, q, opts)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = c.NewDeletableSet()
+	}
+	return New(sets, rng), nil
+}
+
+// Remaining returns the number of elements not yet emitted. Because an
+// element may still be present in several sets, this is an upper bound that
+// becomes exact as duplicates get deleted; Count()==0 is exact emptiness.
+func (e *Enumerator) Remaining() int64 {
+	var total int64
+	for _, s := range e.sets {
+		total += s.Count()
+	}
+	return total
+}
+
+// Next returns the next element of the random permutation of the union; ok
+// is false once the union is exhausted.
+func (e *Enumerator) Next() (relation.Tuple, bool) {
+	for {
+		var start time.Time
+		if e.Instrument {
+			start = time.Now()
+		}
+
+		// Line 1-2: weighted choice of a set by remaining cardinality.
+		var total int64
+		for _, s := range e.sets {
+			total += s.Count()
+		}
+		if total == 0 {
+			return nil, false
+		}
+		r := e.rng.Int63n(total)
+		chosen := -1
+		for i, s := range e.sets {
+			c := s.Count()
+			if r < c {
+				chosen = i
+				break
+			}
+			r -= c
+		}
+
+		// Line 3: uniform sample from the chosen set.
+		element, ok := e.sets[chosen].Sample(e.rng)
+		if !ok {
+			// Unreachable: chosen has positive count.
+			continue
+		}
+
+		// Line 4-5: providers and owner.
+		owner := -1
+		var providers []int
+		for i, s := range e.sets {
+			if i == chosen || s.Test(element) {
+				providers = append(providers, i)
+				if owner < 0 {
+					owner = i
+				}
+			}
+		}
+
+		// Line 6-7: delete from non-owner providers.
+		for _, i := range providers {
+			if i != owner {
+				e.sets[i].Delete(element)
+			}
+		}
+
+		// Line 8-9: emit only when the owner was the sampled set.
+		if owner == chosen {
+			e.sets[owner].Delete(element)
+			if e.Instrument {
+				e.AnswerTime += time.Since(start)
+			}
+			return element, true
+		}
+		e.Rejections++
+		if e.Instrument {
+			e.RejectTime += time.Since(start)
+		}
+	}
+}

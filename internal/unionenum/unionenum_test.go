@@ -1,0 +1,277 @@
+package unionenum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/naive"
+	"repro/internal/query"
+	"repro/internal/reduce"
+	"repro/internal/relation"
+)
+
+func overlapDB(seed int64, n int) *relation.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "x", "y")
+	s := db.MustCreate("S", "y", "z")
+	u := db.MustCreate("T", "x", "z")
+	for i := 0; i < n; i++ {
+		r.MustInsert(relation.Value(rng.Intn(6)), relation.Value(rng.Intn(6)))
+		s.MustInsert(relation.Value(rng.Intn(6)), relation.Value(rng.Intn(6)))
+		u.MustInsert(relation.Value(rng.Intn(6)), relation.Value(rng.Intn(6)))
+	}
+	return db
+}
+
+// ucqRS is the paper's Example 5.1 union: Q1(x,y,z) :- R(x,y),S(y,z) and
+// Q2(x,y,z) :- S(y,z),T(x,z). Their union is enumerable but (provably) has
+// no efficient random access.
+func ucqRS() *query.UCQ {
+	q1 := query.MustCQ("q1", []string{"x", "y", "z"},
+		query.NewAtom("R", query.V("x"), query.V("y")),
+		query.NewAtom("S", query.V("y"), query.V("z")))
+	q2 := query.MustCQ("q2", []string{"x", "y", "z"},
+		query.NewAtom("S", query.V("y"), query.V("z")),
+		query.NewAtom("T", query.V("x"), query.V("z")))
+	return query.MustUCQ("u", q1, q2)
+}
+
+func TestUnionEnumeratesExactlyTheUnion(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		db := overlapDB(seed, 25)
+		u := ucqRS()
+		e, err := NewFromUCQ(db, u, rand.New(rand.NewSource(seed+100)), reduce.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := naive.EvaluateUCQ(db, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[string]bool)
+		var got []relation.Tuple
+		for {
+			tup, ok := e.Next()
+			if !ok {
+				break
+			}
+			k := tup.Key()
+			if seen[k] {
+				t.Fatalf("seed %d: duplicate %v", seed, tup)
+			}
+			seen[k] = true
+			got = append(got, tup)
+		}
+		if !naive.SameAnswerSet(got, want) {
+			t.Fatalf("seed %d: got %d answers, oracle %d", seed, len(got), len(want))
+		}
+		if _, ok := e.Next(); ok {
+			t.Fatal("Next after exhaustion")
+		}
+	}
+}
+
+// TestUnionEveryAnswerRejectedAtMostOnce validates the amortized-constant
+// argument: total iterations ≤ 2 × answers.
+func TestUnionEveryAnswerRejectedAtMostOnce(t *testing.T) {
+	db := overlapDB(42, 40)
+	u := ucqRS()
+	e, err := NewFromUCQ(db, u, rand.New(rand.NewSource(7)), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := int64(0)
+	for {
+		_, ok := e.Next()
+		if !ok {
+			break
+		}
+		answers++
+	}
+	if e.Rejections > answers {
+		t.Fatalf("rejections %d > answers %d: some element rejected twice", e.Rejections, answers)
+	}
+}
+
+// TestUnionFirstElementUniform: the first emitted element must be uniform
+// over the union.
+func TestUnionFirstElementUniform(t *testing.T) {
+	db := overlapDB(3, 12)
+	u := ucqRS()
+	want, _ := naive.EvaluateUCQ(db, u)
+	n := len(want)
+	if n < 4 {
+		t.Skip("instance too small")
+	}
+	rng := rand.New(rand.NewSource(8))
+	trials := 400 * n
+	counts := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		e, err := NewFromUCQ(db, u, rng, reduce.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tup, ok := e.Next()
+		if !ok {
+			t.Fatal("no first answer")
+		}
+		counts[tup.Key()]++
+	}
+	if len(counts) != n {
+		t.Fatalf("first answers cover %d of %d", len(counts), n)
+	}
+	expected := float64(trials) / float64(n)
+	for _, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("first-answer count %d, expected ~%.0f", c, expected)
+		}
+	}
+}
+
+// TestUnionPermutationUniformTiny: full-order uniformity on a union with 3
+// answers across two overlapping sets.
+func TestUnionPermutationUniformTiny(t *testing.T) {
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "x")
+	s := db.MustCreate("S", "x")
+	r.MustInsert(1)
+	r.MustInsert(2)
+	s.MustInsert(2)
+	s.MustInsert(3)
+	q1 := query.MustCQ("q1", []string{"x"}, query.NewAtom("R", query.V("x")))
+	q2 := query.MustCQ("q2", []string{"x"}, query.NewAtom("S", query.V("x")))
+	u := query.MustUCQ("u", q1, q2)
+	rng := rand.New(rand.NewSource(11))
+	const trials = 30000
+	counts := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		e, err := NewFromUCQ(db, u, rng, reduce.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := ""
+		for {
+			tup, ok := e.Next()
+			if !ok {
+				break
+			}
+			sig += tup.Key()
+		}
+		counts[sig]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("observed %d orders, want 6", len(counts))
+	}
+	expected := float64(trials) / 6
+	stat := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	df := 5.0
+	if limit := df + 6*math.Sqrt(2*df); stat > limit {
+		t.Fatalf("order chi-square %.1f exceeds %.1f", stat, limit)
+	}
+}
+
+func TestUnionDisjointNoRejections(t *testing.T) {
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "x")
+	s := db.MustCreate("S", "x")
+	for i := 0; i < 20; i++ {
+		r.MustInsert(relation.Value(i))
+		s.MustInsert(relation.Value(100 + i))
+	}
+	q1 := query.MustCQ("q1", []string{"x"}, query.NewAtom("R", query.V("x")))
+	q2 := query.MustCQ("q2", []string{"x"}, query.NewAtom("S", query.V("x")))
+	u := query.MustUCQ("u", q1, q2)
+	e, err := NewFromUCQ(db, u, rand.New(rand.NewSource(2)), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok := e.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 40 {
+		t.Fatalf("emitted %d, want 40", n)
+	}
+	if e.Rejections != 0 {
+		t.Fatalf("disjoint union had %d rejections", e.Rejections)
+	}
+}
+
+func TestUnionIdenticalSetsRejectsAboutHalf(t *testing.T) {
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "x")
+	for i := 0; i < 200; i++ {
+		r.MustInsert(relation.Value(i))
+	}
+	q1 := query.MustCQ("q1", []string{"x"}, query.NewAtom("R", query.V("x")))
+	q2 := query.MustCQ("q2", []string{"x"}, query.NewAtom("R", query.V("x")))
+	u := query.MustUCQ("u", q1, q2)
+	e, err := NewFromUCQ(db, u, rand.New(rand.NewSource(3)), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(0)
+	for {
+		_, ok := e.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 200 {
+		t.Fatalf("emitted %d, want 200", n)
+	}
+	// Expected rejections ≈ half the shared elements reached via non-owner.
+	if e.Rejections < 50 || e.Rejections > 150 {
+		t.Fatalf("rejections = %d, expected around 100", e.Rejections)
+	}
+}
+
+func TestUnionInstrumentation(t *testing.T) {
+	db := overlapDB(5, 30)
+	e, err := NewFromUCQ(db, ucqRS(), rand.New(rand.NewSource(4)), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Instrument = true
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+	}
+	if e.AnswerTime <= 0 {
+		t.Fatal("AnswerTime not recorded")
+	}
+	if e.Rejections > 0 && e.RejectTime <= 0 {
+		t.Fatal("RejectTime not recorded despite rejections")
+	}
+}
+
+func TestUnionEmpty(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustCreate("R", "x")
+	db.MustCreate("S", "x")
+	q1 := query.MustCQ("q1", []string{"x"}, query.NewAtom("R", query.V("x")))
+	q2 := query.MustCQ("q2", []string{"x"}, query.NewAtom("S", query.V("x")))
+	u := query.MustUCQ("u", q1, q2)
+	e, err := NewFromUCQ(db, u, rand.New(rand.NewSource(1)), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Next(); ok {
+		t.Fatal("empty union emitted")
+	}
+	if e.Remaining() != 0 {
+		t.Fatal("Remaining != 0")
+	}
+}

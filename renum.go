@@ -1,0 +1,341 @@
+// Package renum is a Go implementation of "Answering (Unions of) Conjunctive
+// Queries using Random Access and Random-Order Enumeration" (Carmeli, Zeevi,
+// Berkholz, Kimelfeld, Schweikardt — PODS 2020).
+//
+// Given an in-memory relational database and a free-connex conjunctive query
+// (CQ), the library builds — in time linear in the database — an index that
+// supports:
+//
+//   - Count:          |Q(D)| in O(1);
+//   - Access(j):      the j-th answer of a fixed enumeration order in
+//     O(log |D|) (Theorem 4.3, Algorithms 2–3);
+//   - InvertedAccess: answer → j in O(1) (Algorithm 4);
+//   - a uniformly random permutation of the answers with O(log |D|) delay
+//     (Theorem 3.7: Fisher–Yates over random access).
+//
+// For unions of free-connex CQs (UCQs) it offers two random-order
+// enumerators:
+//
+//   - RandomOrderUnion (REnum(UCQ), Algorithm 5): works for every union of
+//     free-connex CQs, delay logarithmic in expectation (Theorem 5.4);
+//   - UnionAccess (REnum(mcUCQ), Theorem 5.5): for mutually-compatible UCQs,
+//     true random access in O(log² |D|) and a worst-case O(log²)-delay random
+//     permutation.
+//
+// The paper's experimental workload (TPC-H generator, query suite, baseline
+// samplers and figure-by-figure harness) lives under internal/ and is driven
+// by cmd/replicate; see DESIGN.md and EXPERIMENTS.md.
+//
+// # Quick start
+//
+//	db := renum.NewDatabase()
+//	r := db.MustCreate("R", "a", "b")
+//	r.MustInsert(1, 2)
+//	// Q(a, b) :- R(a, b)
+//	q := renum.MustCQ("Q", []string{"a", "b"}, renum.NewAtom("R", renum.V("a"), renum.V("b")))
+//	ra, err := renum.NewRandomAccess(db, q)
+//	...
+//	perm := ra.Permute(rand.New(rand.NewSource(1)))
+//	for t, ok := perm.Next(); ok; t, ok = perm.Next() { ... }
+package renum
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/cqenum"
+	"repro/internal/hypergraph"
+	"repro/internal/mcucq"
+	"repro/internal/naive"
+	"repro/internal/query"
+	"repro/internal/reduce"
+	"repro/internal/relation"
+	"repro/internal/unionenum"
+)
+
+// Re-exported data-model types. See internal/relation for full method docs.
+type (
+	// Database maps relation names to relations and owns the string
+	// dictionary of the instance.
+	Database = relation.Database
+	// Relation is a named, schema'd set of tuples (insertion-ordered).
+	Relation = relation.Relation
+	// Schema is an ordered attribute-name list.
+	Schema = relation.Schema
+	// Tuple is an ordered list of values.
+	Tuple = relation.Tuple
+	// Value is a dictionary-encoded attribute value.
+	Value = relation.Value
+	// Dict interns strings as Values.
+	Dict = relation.Dict
+)
+
+// Re-exported query-model types. See internal/query.
+type (
+	// CQ is a conjunctive query Q(x̄) :- R1(t̄1), ..., Rn(t̄n).
+	CQ = query.CQ
+	// UCQ is a union of CQs with equal head arity.
+	UCQ = query.UCQ
+	// Atom is a relational atom R(t̄).
+	Atom = query.Atom
+	// Term is a variable or constant inside an atom.
+	Term = query.Term
+)
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return relation.NewDatabase() }
+
+// V returns a variable term; C returns a constant term.
+func V(name string) Term { return query.V(name) }
+
+// C returns a constant term.
+func C(v Value) Term { return query.C(v) }
+
+// NewAtom builds an atom R(terms...).
+func NewAtom(rel string, terms ...Term) Atom { return query.NewAtom(rel, terms...) }
+
+// NewCQ builds and validates a conjunctive query.
+func NewCQ(name string, head []string, body []Atom) (*CQ, error) {
+	return query.NewCQ(name, head, body)
+}
+
+// MustCQ is NewCQ that panics on error.
+func MustCQ(name string, head []string, body ...Atom) *CQ {
+	return query.MustCQ(name, head, body...)
+}
+
+// NewUCQ builds and validates a union of CQs.
+func NewUCQ(name string, disjuncts ...*CQ) (*UCQ, error) {
+	return query.NewUCQ(name, disjuncts...)
+}
+
+// MustUCQ is NewUCQ that panics on error.
+func MustUCQ(name string, disjuncts ...*CQ) *UCQ {
+	return query.MustUCQ(name, disjuncts...)
+}
+
+// IsAcyclic reports whether the CQ's hypergraph is α-acyclic.
+func IsAcyclic(q *CQ) bool { return hypergraph.IsAcyclicCQ(q) }
+
+// IsFreeConnex reports whether the CQ is free-connex acyclic — the exact
+// class for which this library guarantees linear preprocessing and
+// logarithmic random access (and, for self-join-free CQs, the exact
+// tractability frontier under the paper's fine-grained hypotheses).
+func IsFreeConnex(q *CQ) bool { return hypergraph.IsFreeConnex(q) }
+
+// Errors surfaced by preparation.
+var (
+	// ErrCyclic: the query's hypergraph is cyclic.
+	ErrCyclic = reduce.ErrCyclic
+	// ErrNotFreeConnex: acyclic but not free-connex.
+	ErrNotFreeConnex = reduce.ErrNotFreeConnex
+	// ErrIncompatible: the UCQ is not mutually compatible (mc-UCQ access).
+	ErrIncompatible = mcucq.ErrIncompatible
+)
+
+// RandomAccess is the Theorem 4.3 structure for one free-connex CQ.
+type RandomAccess struct {
+	c *cqenum.CQ
+}
+
+// NewRandomAccess builds the index in linear time. It returns ErrCyclic or
+// ErrNotFreeConnex for unsupported queries.
+func NewRandomAccess(db *Database, q *CQ) (*RandomAccess, error) {
+	c, err := cqenum.Prepare(db, q, reduce.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &RandomAccess{c: c}, nil
+}
+
+// NewRandomAccessCanonical is NewRandomAccess with a canonical enumeration
+// order: node relations are sorted before indexing, so Access(j) depends
+// only on the database *content* — two databases holding the same facts in
+// different insertion orders produce identical enumerations. Preprocessing
+// becomes O(n log n) instead of linear.
+func NewRandomAccessCanonical(db *Database, q *CQ) (*RandomAccess, error) {
+	c, err := cqenum.Prepare(db, q, reduce.Options{CanonicalOrder: true})
+	if err != nil {
+		return nil, err
+	}
+	return &RandomAccess{c: c}, nil
+}
+
+// Count returns |Q(D)| in constant time.
+func (r *RandomAccess) Count() int64 { return r.c.Count() }
+
+// Access returns the j-th answer (0-based) of the fixed enumeration order.
+func (r *RandomAccess) Access(j int64) (Tuple, error) { return r.c.Index.Access(j) }
+
+// InvertedAccess returns the position of an answer, or ok=false if it is not
+// an answer.
+func (r *RandomAccess) InvertedAccess(t Tuple) (int64, bool) {
+	return r.c.Index.InvertedAccess(t)
+}
+
+// Contains reports whether t ∈ Q(D).
+func (r *RandomAccess) Contains(t Tuple) bool { return r.c.Index.Contains(t) }
+
+// Head returns the output variable order.
+func (r *RandomAccess) Head() []string { return r.c.Index.Head() }
+
+// Explain renders the compiled plan: the reduced full-join tree with node
+// schemas, cardinalities and join attributes.
+func (r *RandomAccess) Explain() string { return r.c.FullJoin.Explain() }
+
+// OrderSpec returns the head variables in decreasing significance of the
+// enumeration order. For an index built with NewRandomAccessCanonical, the
+// enumeration order is exactly the lexicographic order of the answers under
+// this variable sequence.
+func (r *RandomAccess) OrderSpec() []string { return r.c.Index.OrderSpec() }
+
+// Page returns answers offset..offset+limit-1 of the fixed enumeration order
+// (the "first pages of search results" use case of the paper's introduction,
+// with O(log |D|) cost per row regardless of offset — no need to skip over
+// earlier rows). Short pages at the end of the result are returned without
+// error; an offset at or past Count() yields an empty page.
+func (r *RandomAccess) Page(offset, limit int64) ([]Tuple, error) {
+	if offset < 0 || limit < 0 {
+		return nil, ErrOutOfBounds
+	}
+	n := r.Count()
+	if offset >= n {
+		return nil, nil
+	}
+	end := offset + limit
+	if end > n {
+		end = n
+	}
+	out := make([]Tuple, 0, end-offset)
+	for j := offset; j < end; j++ {
+		t, err := r.c.Index.Access(j)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Enumerate returns a deterministic logarithmic-delay enumerator.
+func (r *RandomAccess) Enumerate() *Enumerator {
+	return &Enumerator{e: r.c.Enumerate()}
+}
+
+// Permute returns a uniformly random permutation of the answers with
+// logarithmic delay (REnum(CQ)).
+func (r *RandomAccess) Permute(rng *rand.Rand) *Permutation {
+	return &Permutation{next: r.c.Permute(rng).Next}
+}
+
+// SampleK returns k uniformly random *distinct* answers (all of Q(D) if
+// k ≥ Count()) in O(k log |D|): the first k steps of a lazy Fisher–Yates
+// permutation — sampling without replacement needs no rejection at all,
+// unlike the with-replacement baseline.
+func (r *RandomAccess) SampleK(k int64, rng *rand.Rand) ([]Tuple, error) {
+	if k < 0 {
+		return nil, ErrOutOfBounds
+	}
+	if n := r.Count(); k > n {
+		k = n
+	}
+	out := make([]Tuple, 0, k)
+	p := r.c.Permute(rng)
+	for int64(len(out)) < k {
+		t, ok := p.Next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Enumerator yields answers in the index's fixed order.
+type Enumerator struct {
+	e *cqenum.Enumerator
+}
+
+// Next returns the next answer; ok is false at the end.
+func (e *Enumerator) Next() (Tuple, bool) { return e.e.Next() }
+
+// Permutation yields each answer exactly once, in uniformly random order.
+type Permutation struct {
+	next func() (relation.Tuple, bool)
+}
+
+// Next returns the next answer of the permutation; ok is false at the end.
+func (p *Permutation) Next() (Tuple, bool) { return p.next() }
+
+// RandomOrderUnion is REnum(UCQ) (Algorithm 5): a single-use random-order
+// enumerator over a union of free-connex CQs, with expected-logarithmic
+// delay.
+type RandomOrderUnion struct {
+	e *unionenum.Enumerator
+}
+
+// NewRandomOrderUnion prepares each disjunct (linear time) and returns the
+// enumerator. The enumerator is single-use: Next consumes the union.
+func NewRandomOrderUnion(db *Database, u *UCQ, rng *rand.Rand) (*RandomOrderUnion, error) {
+	e, err := unionenum.NewFromUCQ(db, u, rng, reduce.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &RandomOrderUnion{e: e}, nil
+}
+
+// Next returns the next answer in uniformly random order, without
+// repetitions; ok is false when the union is exhausted.
+func (r *RandomOrderUnion) Next() (Tuple, bool) { return r.e.Next() }
+
+// Rejections reports how many internal iterations were rejected so far (at
+// most one per answer, which is what bounds the amortized delay).
+func (r *RandomOrderUnion) Rejections() int64 { return r.e.Rejections }
+
+// UnionAccess is REnum(mcUCQ) (Theorem 5.5): random access and random-order
+// enumeration for mutually-compatible UCQs.
+type UnionAccess struct {
+	m *mcucq.MCUCQ
+}
+
+// NewUnionAccess prepares the disjuncts and all intersection CQs and
+// assembles the union-trick access structure. It fails if some disjunct or
+// intersection is not free-connex. When verify is true, order compatibility
+// is checked explicitly (costs an enumeration of every intersection).
+func NewUnionAccess(db *Database, u *UCQ, verify bool) (*UnionAccess, error) {
+	m, err := mcucq.New(db, u, mcucq.Options{Verify: verify})
+	if err != nil {
+		return nil, err
+	}
+	return &UnionAccess{m: m}, nil
+}
+
+// Count returns the number of answers of the union.
+func (ua *UnionAccess) Count() int64 { return ua.m.Count() }
+
+// Access returns the j-th answer of the union's enumeration order in
+// O(2^m log² |D|).
+func (ua *UnionAccess) Access(j int64) (Tuple, error) { return ua.m.Access(j) }
+
+// Contains reports whether t is an answer of the union.
+func (ua *UnionAccess) Contains(t Tuple) bool { return ua.m.Test(t) }
+
+// Permute returns a uniformly random permutation with O(log²) delay.
+func (ua *UnionAccess) Permute(rng *rand.Rand) *Permutation {
+	return &Permutation{next: ua.m.Permute(rng).Next}
+}
+
+// Evaluate materializes Q(D) with a straightforward join — no complexity
+// guarantees; works for every CQ, including cyclic ones. Intended for small
+// inputs, debugging, and as ground truth.
+func Evaluate(db *Database, q *CQ) ([]Tuple, error) { return naive.Evaluate(db, q) }
+
+// EvaluateUCQ materializes the union's answers (deduplicated).
+func EvaluateUCQ(db *Database, u *UCQ) ([]Tuple, error) { return naive.EvaluateUCQ(db, u) }
+
+// ErrOutOfBounds is returned by Access for positions outside [0, Count()).
+var ErrOutOfBounds = access.ErrOutOfBounds
+
+// IsOutOfBounds reports whether err indicates an out-of-range Access call.
+func IsOutOfBounds(err error) bool { return errors.Is(err, ErrOutOfBounds) }
