@@ -10,10 +10,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/access"
 	"repro/internal/cqenum"
 	"repro/internal/dynaccess"
 	"repro/internal/fenwick"
@@ -563,6 +566,123 @@ func BenchmarkAblationSkew(b *testing.B) {
 			})
 		}
 	}
+}
+
+// --- Parallel build and batched serving ---------------------------------------
+
+// BenchmarkParallelBuild measures Algorithm 2 index construction over a
+// large synthetic star join — the shape with the most inter-node
+// parallelism (every leaf is independent) — serial vs the wave-scheduled
+// parallel build. One op = one full index build over the prebuilt reduced
+// full join; the reduction itself is outside the timed region for both
+// variants. On a multi-core machine the Parallel variant should approach
+// leaf_time + root_time instead of the serial sum.
+func BenchmarkParallelBuild(b *testing.B) {
+	db2, q, err := synth.Star(synth.Config{
+		Relations: 6, TuplesPerRelation: 120_000, KeyDomain: 8_000, Seed: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fj, err := reduce.BuildFullJoin(db2, q, reduce.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := access.NewWithOptions(fj, access.BuildOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("Parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := access.NewWithOptions(fj, access.BuildOptions{
+				Workers: runtime.GOMAXPROCS(0), SerialThreshold: 1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAccessBatch compares three ways of answering 1024 random probes
+// against one shared TPC-H index: one-at-a-time Access, the batched
+// AccessBatch (internal fan-out), and concurrent clients each running
+// batches (b.RunParallel — the serving-under-load shape). ns/op is per
+// 1024-probe request.
+func BenchmarkAccessBatch(b *testing.B) {
+	c := prepare(b, tpchq.Q3())
+	n := c.Count()
+	const batch = 1024
+	mkJS := func(rng *rand.Rand) []int64 {
+		js := make([]int64, batch)
+		for i := range js {
+			js[i] = rng.Int63n(n)
+		}
+		return js
+	}
+	b.Run("SerialLoop", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(13))
+		js := mkJS(rng)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, j := range js {
+				if _, err := c.Index.Access(j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("Batched", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(13))
+		js := mkJS(rng)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Index.AccessBatch(js, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ConcurrentClients", func(b *testing.B) {
+		var seed atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(13 + seed.Add(1)))
+			js := mkJS(rng)
+			for pb.Next() {
+				// Each client batches but lets the shared pool stay fair:
+				// workers=1 per request, parallelism across clients.
+				if _, err := c.Index.AccessBatch(js, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkSampleN measures batched distinct sampling (k=256) against the
+// serial SampleK it must be distribution-identical to.
+func BenchmarkSampleN(b *testing.B) {
+	c := prepare(b, tpchq.Q3())
+	const k = 256
+	b.Run("SampleK", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := c.Permute(rand.New(rand.NewSource(int64(i))))
+			for j := 0; j < k; j++ {
+				if _, ok := p.Next(); !ok {
+					break
+				}
+			}
+		}
+	})
+	b.Run("SampleN", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := c.Permute(rand.New(rand.NewSource(int64(i))))
+			if got := p.NextN(k, 0); len(got) == 0 && c.Count() > 0 {
+				b.Fatal("empty batch")
+			}
+		}
+	})
 }
 
 // --- Core-structure micro-benchmarks -----------------------------------------

@@ -11,10 +11,16 @@
 //	renum -table r.csv -table s.csv -query 'Q(x,z,y) :- r(x,y), s(y,z).' -mode random -k 10
 //	renum -table r.csv -query 'Q(x) :- r(x, y).' -mode count
 //	renum -table r.csv -query "Q(x,y) :- r(x,'42')." -mode access -k 3
+//	renum -table r.csv -query 'Q(x,y) :- r(x,y).' -mode batch -js 5,0,5
+//	renum -table r.csv -query 'Q(x,y) :- r(x,y).' -mode page -offset 1000 -k 50 -workers 4
 //
 // Modes: count, enum (deterministic order), random (uniform random order),
-// access (print the -k-th answer). Multiple rules with the same head form a
-// UCQ (modes count/enum use the mc-UCQ structure; random uses REnum(UCQ)).
+// sample (k distinct uniform answers, probes fanned out), access (print the
+// -k-th answer), batch (print the -js positions via AccessBatch), page
+// (PageParallel rows offset..offset+k-1). Multiple rules with the same head
+// form a UCQ (modes count/enum/batch use the mc-UCQ structure; random uses
+// REnum(UCQ)). -workers caps the per-call fan-out of the batch/page modes
+// (0 = all cores).
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro"
@@ -40,9 +47,12 @@ func main() {
 	flag.Var(&tables, "table", "CSV file to load as a relation (repeatable)")
 	var (
 		queryText = flag.String("query", "", "datalog rule(s), e.g. 'Q(x,y) :- r(x,y).'")
-		mode      = flag.String("mode", "random", "count | enum | random | sample | access | explain")
+		mode      = flag.String("mode", "random", "count | enum | random | sample | access | batch | page | explain")
 		k         = flag.Int64("k", 10, "answers to print (random/enum) or position (access)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		offset    = flag.Int64("offset", 0, "first row of the page (mode page)")
+		workers   = flag.Int("workers", 0, "goroutines for batched probes (0 = all cores)")
+		jsArg     = flag.String("js", "", "comma-separated answer positions (mode batch)")
 	)
 	flag.Parse()
 
@@ -66,17 +76,34 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	if len(rules) == 1 {
-		runCQ(db, rules[0], *mode, *k, rng)
+		runCQ(db, rules[0], *mode, *k, *offset, *jsArg, *workers, rng)
 		return
 	}
 	u, err := parser.ParseUCQ(*queryText, db.Dict())
 	if err != nil {
 		fatal(err)
 	}
-	runUCQ(db, u, *mode, *k, rng)
+	runUCQ(db, u, *mode, *k, *jsArg, *workers, rng)
 }
 
-func runCQ(db *renum.Database, q *renum.CQ, mode string, k int64, rng *rand.Rand) {
+// parsePositions parses the -js flag ("3,0,17").
+func parsePositions(jsArg string) []int64 {
+	var js []int64
+	for _, part := range strings.Split(jsArg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		j, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("-js: %w", err))
+		}
+		js = append(js, j)
+	}
+	return js
+}
+
+func runCQ(db *renum.Database, q *renum.CQ, mode string, k, offset int64, jsArg string, workers int, rng *rand.Rand) {
 	ra, err := renum.NewRandomAccess(db, q)
 	if err != nil {
 		fatal(err)
@@ -111,7 +138,24 @@ func runCQ(db *renum.Database, q *renum.CQ, mode string, k int64, rng *rand.Rand
 			printAnswer(db, ra.Head(), t)
 		}
 	case "sample":
-		ts, err := ra.SampleK(k, rng)
+		// SampleN = SampleK with the probes fanned out across -workers.
+		ts, err := ra.SampleN(k, rng)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range ts {
+			printAnswer(db, ra.Head(), t)
+		}
+	case "batch":
+		ts, err := ra.AccessBatch(parsePositions(jsArg), workers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range ts {
+			printAnswer(db, ra.Head(), t)
+		}
+	case "page":
+		ts, err := ra.PageParallel(offset, k, workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -123,10 +167,10 @@ func runCQ(db *renum.Database, q *renum.CQ, mode string, k int64, rng *rand.Rand
 	}
 }
 
-func runUCQ(db *renum.Database, u *renum.UCQ, mode string, k int64, rng *rand.Rand) {
+func runUCQ(db *renum.Database, u *renum.UCQ, mode string, k int64, jsArg string, workers int, rng *rand.Rand) {
 	head := u.Disjuncts[0].Head
 	switch mode {
-	case "count", "enum", "access":
+	case "count", "enum", "access", "batch":
 		ua, err := renum.NewUnionAccess(db, u, false)
 		if err != nil {
 			fatal(err)
@@ -146,6 +190,14 @@ func runUCQ(db *renum.Database, u *renum.UCQ, mode string, k int64, rng *rand.Ra
 				if err != nil {
 					fatal(err)
 				}
+				printAnswer(db, head, t)
+			}
+		case "batch":
+			ts, err := ua.AccessBatch(parsePositions(jsArg), workers)
+			if err != nil {
+				fatal(err)
+			}
+			for _, t := range ts {
 				printAnswer(db, head, t)
 			}
 		}

@@ -16,6 +16,11 @@ import (
 // update costs O(a log n) where a is the number of ancestor tuples whose
 // weights change — small on hierarchical data, linear in adversarial cases
 // (which is unavoidable in general, by the known update-time lower bounds).
+//
+// A DynamicAccess is safe for concurrent use: reads (Count, Access,
+// InvertedAccess, Contains, Sample, SampleN) run under a shared lock and
+// interleave freely; Insert and Delete take the exclusive lock. A single
+// index can therefore serve mixed read/update traffic from many goroutines.
 type DynamicAccess struct {
 	idx *dynaccess.Index
 }
@@ -65,6 +70,14 @@ func (d *DynamicAccess) Contains(t Tuple) bool { return d.idx.Contains(t) }
 // Sample returns a uniformly random current answer (ok=false when empty).
 func (d *DynamicAccess) Sample(rng *rand.Rand) (Tuple, bool) {
 	return d.idx.Sample(rng)
+}
+
+// SampleN returns k independent uniform samples (with replacement — the
+// dynamic index has no cheap distinct-sampling primitive) drawn against one
+// consistent snapshot: no update interleaves inside the batch. It returns
+// nil when the index is empty.
+func (d *DynamicAccess) SampleN(k int64, rng *rand.Rand) []Tuple {
+	return d.idx.SampleN(k, rng)
 }
 
 // Head returns the output variable order.

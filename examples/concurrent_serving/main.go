@@ -1,0 +1,188 @@
+// Concurrent serving: one shared index, many clients.
+//
+// The scenario behind this example is a query-answering service: an index
+// over a star join is built once (in parallel across the join tree) and then
+// serves a mixed workload — point lookups, batched pages, distinct samples,
+// inverted-access membership probes — from many goroutines at once, with no
+// locking on the static index. A dynamic index handles the same traffic
+// concurrently with a stream of updates.
+//
+// Run with: go run ./examples/concurrent_serving
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/access"
+	"repro/internal/reduce"
+	"repro/internal/synth"
+)
+
+func main() {
+	const (
+		relations = 6
+		tuples    = 60_000
+		clients   = 8
+		opsEach   = 4_000
+	)
+	db, q, err := synth.Star(synth.Config{
+		Relations: relations, TuplesPerRelation: tuples, KeyDomain: 4_000, Seed: 11,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	// --- Parallel preprocessing -------------------------------------------
+	// The star join tree has `relations` independent leaves: the per-node
+	// bucket builds fan out across the worker pool. Serial and parallel
+	// builds produce identical indexes.
+	fj, err := reduce.BuildFullJoin(db, q, reduce.Options{})
+	if err != nil {
+		fail(err)
+	}
+	t0 := time.Now()
+	serialIdx, err := access.NewWithOptions(fj, access.BuildOptions{Workers: 1})
+	if err != nil {
+		fail(err)
+	}
+	serialDur := time.Since(t0)
+	t0 = time.Now()
+	parIdx, err := access.NewWithOptions(fj, access.BuildOptions{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		fail(err)
+	}
+	parDur := time.Since(t0)
+	if serialIdx.Count() != parIdx.Count() {
+		fail(fmt.Errorf("parallel build diverged: %d vs %d answers", serialIdx.Count(), parIdx.Count()))
+	}
+	fmt.Printf("build %d-leaf star over %d tuples: serial %v, parallel(%d workers) %v — %d answers\n",
+		relations, relations*tuples, serialDur.Round(time.Millisecond),
+		runtime.GOMAXPROCS(0), parDur.Round(time.Millisecond), parIdx.Count())
+
+	// --- Concurrent read serving ------------------------------------------
+	ra, err := renum.NewRandomAccess(db, q)
+	if err != nil {
+		fail(err)
+	}
+	n := ra.Count()
+	var ops, checked atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsEach; i++ {
+				switch i % 4 {
+				case 0: // point lookup + membership round trip
+					j := rng.Int63n(n)
+					t, err := ra.Access(j)
+					if err != nil {
+						fail(err)
+					}
+					if jj, ok := ra.InvertedAccess(t); !ok || jj != j {
+						fail(fmt.Errorf("inverted access mismatch at %d", j))
+					}
+					checked.Add(1)
+				case 1: // batched point lookups
+					js := make([]int64, 64)
+					for k := range js {
+						js[k] = rng.Int63n(n)
+					}
+					if _, err := ra.AccessBatch(js, 0); err != nil {
+						fail(err)
+					}
+				case 2: // a deep page, probes fanned out
+					if _, err := ra.PageParallel(rng.Int63n(n), 128, 0); err != nil {
+						fail(err)
+					}
+				case 3: // distinct uniform samples
+					if _, err := ra.SampleN(32, rng); err != nil {
+						fail(err)
+					}
+				}
+				ops.Add(1)
+			}
+		}(int64(c) + 1)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	fmt.Printf("served %d mixed ops from %d clients in %v (%.0f ops/s), %d round-trips verified\n",
+		ops.Load(), clients, dur.Round(time.Millisecond),
+		float64(ops.Load())/dur.Seconds(), checked.Load())
+
+	// --- Mixed readers and writers on the dynamic index -------------------
+	dq, err := fullChainQuery()
+	if err != nil {
+		fail(err)
+	}
+	ddb := renum.NewDatabase()
+	r := ddb.MustCreate("R", "a", "b")
+	s := ddb.MustCreate("S", "b", "c")
+	seedRng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20_000; i++ {
+		r.MustInsert(renum.Value(seedRng.Intn(2_000)), renum.Value(seedRng.Intn(400)))
+		s.MustInsert(renum.Value(seedRng.Intn(400)), renum.Value(seedRng.Intn(2_000)))
+	}
+	dyn, err := renum.NewDynamicAccess(ddb, dq)
+	if err != nil {
+		fail(err)
+	}
+	var reads, writes atomic.Int64
+	start = time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsEach/4; i++ {
+				if seed%4 == 0 { // one writer per four clients
+					tu := renum.Tuple{renum.Value(rng.Intn(2_000)), renum.Value(rng.Intn(400))}
+					if i%2 == 0 {
+						if _, err := dyn.Insert("R", tu); err != nil {
+							fail(err)
+						}
+					} else {
+						if _, err := dyn.Delete("R", tu); err != nil {
+							fail(err)
+						}
+					}
+					writes.Add(1)
+					continue
+				}
+				if ts := dyn.SampleN(8, rng); len(ts) > 0 {
+					if !dyn.Contains(ts[0]) {
+						// A concurrent delete may have removed it — Contains
+						// false is legal; just keep the read pressure up.
+						_ = ts
+					}
+				}
+				reads.Add(1)
+			}
+		}(int64(c))
+	}
+	wg.Wait()
+	fmt.Printf("dynamic index: %d sample batches + %d updates concurrently in %v, final count %d\n",
+		reads.Load(), writes.Load(), time.Since(start).Round(time.Millisecond), dyn.Count())
+}
+
+// fullChainQuery is the projection-free 2-chain the dynamic index requires.
+func fullChainQuery() (*renum.CQ, error) {
+	return renum.NewCQ("chain", []string{"a", "b", "c"}, []renum.Atom{
+		renum.NewAtom("R", renum.V("a"), renum.V("b")),
+		renum.NewAtom("S", renum.V("b"), renum.V("c")),
+	})
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "concurrent_serving:", err)
+	os.Exit(1)
+}

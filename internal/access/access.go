@@ -12,6 +12,18 @@
 // insertion order in the underlying relations and by the deterministic join
 // tree, which is what makes orders of structurally-aligned queries
 // *compatible* in the sense of Section 5.2.
+//
+// # Concurrency contract
+//
+// An Index is immutable once New (or NewWithOptions) returns: every probe —
+// Access, AccessInto, AccessBatch, InvertedAccess, Contains, Count, the
+// baseline samplers — only reads the structure, never memoizes, and is safe
+// to call from any number of goroutines concurrently with no external
+// locking. Construction itself may run the per-node bucket builds of
+// independent join-tree subtrees on a worker pool (see BuildOptions); the
+// parallel build produces a structure byte-for-byte identical to the serial
+// one, because each node's buckets are a deterministic function of its own
+// relation and its children's finished buckets.
 package access
 
 import (
@@ -19,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/reduce"
 	"repro/internal/relation"
 )
@@ -79,9 +92,36 @@ type bucket struct {
 	maxW   int64   // max weight in the bucket (for the Olken-style sampler)
 }
 
+// BuildOptions tunes index construction.
+type BuildOptions struct {
+	// Workers is the maximum number of goroutines building join-tree nodes
+	// concurrently. 0 means parallel.Workers() (GOMAXPROCS); 1 forces the
+	// serial build.
+	Workers int
+	// SerialThreshold is the minimum total tuple count (over all nodes)
+	// before the parallel build kicks in; smaller inputs always build
+	// serially, where goroutine overhead would dominate. 0 means
+	// DefaultSerialThreshold.
+	SerialThreshold int
+}
+
+// DefaultSerialThreshold is the tuple count below which parallel
+// construction is not attempted.
+const DefaultSerialThreshold = 1 << 15
+
 // New builds the index from a reduced full join (Algorithm 2). Linear time in
-// the total number of tuples.
+// the total number of tuples. Large inputs are built with the default
+// parallel options; see NewWithOptions.
 func New(fj *reduce.FullJoin) (*Index, error) {
+	return NewWithOptions(fj, BuildOptions{})
+}
+
+// NewWithOptions is New with explicit control over build parallelism.
+// Independent join-tree subtrees are built concurrently: nodes are grouped
+// by height and each wave runs on the worker pool, so a node starts only
+// after all its children finished. The resulting index is identical to the
+// serial build's.
+func NewWithOptions(fj *reduce.FullJoin, opts BuildOptions) (*Index, error) {
 	idx := &Index{head: fj.Head}
 
 	headPos := make(map[string]int, len(fj.Head))
@@ -148,51 +188,107 @@ func New(fj *reduce.FullJoin) (*Index, error) {
 		}
 	}
 
-	// Algorithm 2: leaf-to-root weight computation.
-	var build func(n *node)
-	build = func(n *node) {
-		for _, c := range n.children {
-			build(c)
+	// Algorithm 2: leaf-to-root weight computation. Each node's buckets
+	// depend only on its children's finished buckets, so nodes of equal
+	// height are independent and can build concurrently.
+	workers := opts.Workers
+	if workers == 0 {
+		workers = parallel.Workers()
+	}
+	threshold := opts.SerialThreshold
+	if threshold == 0 {
+		threshold = DefaultSerialThreshold
+	}
+	total := 0
+	for _, n := range idx.nodes {
+		total += n.rel.Len()
+	}
+	if workers <= 1 || len(idx.nodes) < 2 || total < threshold {
+		var build func(n *node)
+		build = func(n *node) {
+			for _, c := range n.children {
+				build(c)
+			}
+			n.build()
 		}
-		n.buckets = make(map[string]*bucket)
-		n.tupleBucket = make([]*bucket, n.rel.Len())
-		n.tupleOrdinal = make([]int, n.rel.Len())
-		for pos, t := range n.rel.Tuples() {
-			key := t.ProjectKey(n.pAttPos)
-			b := n.buckets[key]
-			if b == nil {
-				b = &bucket{}
-				n.buckets[key] = b
-			}
-			w := int64(1)
-			for ci, c := range n.children {
-				cb := c.buckets[t.ProjectKey(n.childKeyPos[ci])]
-				if cb == nil {
-					w = 0
-					break
-				}
-				w *= cb.total
-			}
-			n.tupleBucket[pos] = b
-			n.tupleOrdinal[pos] = len(b.tuples)
-			b.tuples = append(b.tuples, pos)
-			b.weight = append(b.weight, w)
-			b.start = append(b.start, b.total)
-			b.total += w
-			if w > b.maxW {
-				b.maxW = w
-			}
-			if int64(len(b.tuples)) > n.maxBucketLen {
-				n.maxBucketLen = int64(len(b.tuples))
+		build(idx.root)
+	} else {
+		for _, wave := range buildWaves(idx.root) {
+			if err := parallel.ForEach(len(wave), workers, func(i int) error {
+				wave[i].build()
+				return nil
+			}); err != nil {
+				return nil, err
 			}
 		}
 	}
-	build(idx.root)
 
 	if rb, ok := idx.root.buckets[""]; ok {
 		idx.count = rb.total
 	}
 	return idx, nil
+}
+
+// build computes this node's buckets, weights and prefix sums (the Algorithm
+// 2 loop body). Every child must be built already. It writes only this
+// node's fields and reads only the children's buckets, which is what makes
+// same-height nodes safe to build concurrently.
+func (n *node) build() {
+	n.buckets = make(map[string]*bucket)
+	n.tupleBucket = make([]*bucket, n.rel.Len())
+	n.tupleOrdinal = make([]int, n.rel.Len())
+	for pos, t := range n.rel.Tuples() {
+		key := t.ProjectKey(n.pAttPos)
+		b := n.buckets[key]
+		if b == nil {
+			b = &bucket{}
+			n.buckets[key] = b
+		}
+		w := int64(1)
+		for ci, c := range n.children {
+			cb := c.buckets[t.ProjectKey(n.childKeyPos[ci])]
+			if cb == nil {
+				w = 0
+				break
+			}
+			w *= cb.total
+		}
+		n.tupleBucket[pos] = b
+		n.tupleOrdinal[pos] = len(b.tuples)
+		b.tuples = append(b.tuples, pos)
+		b.weight = append(b.weight, w)
+		b.start = append(b.start, b.total)
+		b.total += w
+		if w > b.maxW {
+			b.maxW = w
+		}
+		if int64(len(b.tuples)) > n.maxBucketLen {
+			n.maxBucketLen = int64(len(b.tuples))
+		}
+	}
+}
+
+// buildWaves groups the tree's nodes by height (leaves first): wave k holds
+// the nodes whose longest path to a leaf is k. All nodes within a wave are
+// mutually independent, and every dependency of wave k lives in waves < k.
+func buildWaves(root *node) [][]*node {
+	var waves [][]*node
+	var height func(n *node) int
+	height = func(n *node) int {
+		h := 0
+		for _, c := range n.children {
+			if ch := height(c) + 1; ch > h {
+				h = ch
+			}
+		}
+		for len(waves) <= h {
+			waves = append(waves, nil)
+		}
+		waves[h] = append(waves[h], n)
+		return h
+	}
+	height(root)
+	return waves
 }
 
 // Head returns the output variable order.
@@ -220,6 +316,46 @@ func (idx *Index) AccessInto(j int64, answer relation.Tuple) error {
 	}
 	idx.subtreeAccess(idx.root, idx.root.buckets[""], j, answer)
 	return nil
+}
+
+// batchSerialThreshold: below this many probes, the goroutine fan-out of
+// AccessBatch costs more than it saves.
+const batchSerialThreshold = 256
+
+// AccessBatch returns Access(j) for every j in js, in order, fanning the
+// probes out over up to `workers` goroutines (workers <= 0 means
+// parallel.Workers(); small batches run serially either way). The whole
+// batch is validated first: any out-of-range position fails the call with
+// ErrOutOfBounds before any tuple is assembled. Duplicate positions are
+// allowed and yield equal answers.
+func (idx *Index) AccessBatch(js []int64, workers int) ([]relation.Tuple, error) {
+	for _, j := range js {
+		if j < 0 || j >= idx.count {
+			return nil, ErrOutOfBounds
+		}
+	}
+	out := make([]relation.Tuple, len(js))
+	root := idx.root
+	if len(js) == 0 {
+		return out, nil
+	}
+	rb := root.buckets[""]
+	fill := func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			answer := make(relation.Tuple, len(idx.head))
+			idx.subtreeAccess(root, rb, js[i], answer)
+			out[i] = answer
+		}
+		return nil
+	}
+	if workers == 1 || len(js) < batchSerialThreshold {
+		_ = fill(0, len(js))
+		return out, nil
+	}
+	if err := parallel.ForEachChunk(len(js), workers, fill); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func (idx *Index) subtreeAccess(n *node, b *bucket, j int64, answer relation.Tuple) {

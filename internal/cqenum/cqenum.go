@@ -7,6 +7,15 @@
 //     random access, giving a uniformly random order with O(log) delay;
 //   - DeletableSet: the Lemma 5.3 wrapper exposing Count / Sample / Test /
 //     Delete over a CQ's answer set, consumed by Algorithm 5 (REnum(UCQ)).
+//
+// # Concurrency contract
+//
+// A prepared CQ is immutable: Count, Index probes and FullJoin inspection
+// are safe from any number of goroutines. The stateful cursors handed out by
+// Enumerate, Permute and NewDeletableSet are each single-consumer — share
+// the CQ, not the cursor. RandomPermutation.NextN amortizes cursor state
+// serially and fans the index probes out across goroutines, so one consumer
+// still saturates multiple cores.
 package cqenum
 
 import (
@@ -96,6 +105,37 @@ func (p *RandomPermutation) Next() (relation.Tuple, bool) {
 
 // Remaining returns how many answers have not been emitted yet.
 func (p *RandomPermutation) Remaining() int64 { return p.shuf.Remaining() }
+
+// NextN returns the next k answers of the permutation (fewer if the
+// permutation ends first). The k random positions are drawn serially from
+// the shuffler — identical draws, in the same order, as k calls to Next —
+// and the k index probes then run concurrently on up to `workers`
+// goroutines (workers <= 0 means parallel.Workers()). The emitted sequence
+// is therefore byte-identical to the serial one for the same rng.
+func (p *RandomPermutation) NextN(k int64, workers int) []relation.Tuple {
+	if k < 0 {
+		return nil
+	}
+	// Callers may pass "drain everything" values of k; size by what is
+	// actually left so the allocation cannot explode.
+	if r := p.shuf.Remaining(); k > r {
+		k = r
+	}
+	js := make([]int64, 0, k)
+	for int64(len(js)) < k {
+		j, ok := p.shuf.Next()
+		if !ok {
+			break
+		}
+		js = append(js, j)
+	}
+	out, err := p.idx.AccessBatch(js, workers)
+	if err != nil {
+		// Unreachable: the shuffler only emits indexes below Count().
+		return nil
+	}
+	return out
+}
 
 // DeletableSet implements Lemma 5.3: given counting, random access and
 // inverted access, the answer set supports sampling, membership testing,

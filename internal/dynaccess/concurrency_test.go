@@ -1,0 +1,189 @@
+package dynaccess
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+var errBadRead = errors.New("concurrent read observed an impossible state")
+
+func chainFixture(t *testing.T) (*relation.Database, *query.CQ) {
+	t.Helper()
+	db := relation.NewDatabase()
+	r := db.MustCreate("R", "a", "b")
+	s := db.MustCreate("S", "b", "c")
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 600; i++ {
+		r.MustInsert(relation.Value(rng.Intn(80)), relation.Value(rng.Intn(20)))
+		s.MustInsert(relation.Value(rng.Intn(20)), relation.Value(rng.Intn(80)))
+	}
+	q := query.MustCQ("q", []string{"a", "b", "c"},
+		query.NewAtom("R", query.V("a"), query.V("b")),
+		query.NewAtom("S", query.V("b"), query.V("c")))
+	return db, q
+}
+
+// TestConcurrentReadersAndWriters hammers one shared dynamic index with
+// mixed Access / InvertedAccess / Sample / SampleN readers racing Insert /
+// Delete writers (run with -race). Readers check only invariants that hold
+// under any interleaving: answers have the head arity, a returned position
+// round-trips within the same probe's bounds or the answer was concurrently
+// removed, SampleN batches are internally consistent.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db, q := chainFixture(t)
+	idx, err := New(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers, writers = 6, 2
+	var wgW, wgR sync.WaitGroup
+	errs := make(chan error, readers+writers)
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wgW.Add(1)
+		go func(seed int64) {
+			defer wgW.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				tu := relation.Tuple{relation.Value(rng.Intn(80)), relation.Value(rng.Intn(20))}
+				var err error
+				if i%2 == 0 {
+					_, err = idx.Insert("R", tu)
+				} else {
+					_, err = idx.Delete("R", tu)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(900 + w))
+	}
+
+	for g := 0; g < readers; g++ {
+		wgR.Add(1)
+		go func(seed int64) {
+			defer wgR.Done()
+			rng := rand.New(rand.NewSource(seed))
+			arity := len(idx.Head())
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 4 {
+				case 0:
+					n := idx.Count()
+					if n == 0 {
+						continue
+					}
+					// The count may shrink between Count and Access: an
+					// out-of-bounds error is legal, a malformed answer is not.
+					a, err := idx.Access(rng.Int63n(n))
+					if err != nil {
+						if !errors.Is(err, access.ErrOutOfBounds) {
+							errs <- err
+							return
+						}
+						continue
+					}
+					if len(a) != arity {
+						errs <- errBadRead
+						return
+					}
+				case 1:
+					if a, ok := idx.Sample(rng); ok && len(a) != arity {
+						errs <- errBadRead
+						return
+					}
+				case 2:
+					for _, a := range idx.SampleN(8, rng) {
+						if len(a) != arity {
+							errs <- errBadRead
+							return
+						}
+						// The batch ran under one read lock: every sampled
+						// answer must still be present within the batch's
+						// snapshot... but by now a writer may have removed
+						// it, so only the arity is checkable here.
+					}
+				case 3:
+					if a, ok := idx.Sample(rng); ok {
+						if j, ok2 := idx.InvertedAccess(a); ok2 && j < 0 {
+							errs <- errBadRead
+							return
+						}
+					}
+				}
+			}
+		}(int64(700 + g))
+	}
+
+	// Writers have bounded loops and drive the duration; readers spin until
+	// told to stop.
+	wgW.Wait()
+	close(stop)
+	wgR.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotConsistencyAfterQuiescence: once writers stop, the index must
+// be internally consistent — every Access(j) round-trips through
+// InvertedAccess, and SampleN batches contain only current answers.
+func TestSnapshotConsistencyAfterQuiescence(t *testing.T) {
+	db, q := chainFixture(t)
+	idx, err := New(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			local := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				tu := relation.Tuple{relation.Value(local.Intn(80)), relation.Value(local.Intn(20))}
+				if i%3 == 0 {
+					idx.Delete("R", tu)
+				} else {
+					idx.Insert("R", tu)
+				}
+			}
+		}(int64(60 + w))
+	}
+	wg.Wait()
+
+	n := idx.Count()
+	if n == 0 {
+		t.Skip("all answers deleted")
+	}
+	for i := 0; i < 2000; i++ {
+		j := rng.Int63n(n)
+		a, err := idx.Access(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jj, ok := idx.InvertedAccess(a); !ok || jj != j {
+			t.Fatalf("round trip broke at %d: got %d,%v", j, jj, ok)
+		}
+	}
+	for _, a := range idx.SampleN(64, rng) {
+		if !idx.Contains(a) {
+			t.Fatalf("SampleN returned a non-answer: %v", a)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/access"
 	"repro/internal/fenwick"
@@ -41,7 +42,15 @@ var ErrNotFull = errors.New("dynaccess: query must be a full (projection-free) C
 var ErrCyclic = errors.New("dynaccess: query is cyclic")
 
 // Index is the dynamic weighted join-tree index.
+//
+// Unlike the static access.Index, this structure mutates under Insert and
+// Delete, so all public methods are internally synchronized with a
+// readers–writer lock: any number of concurrent Count / Access /
+// InvertedAccess / Contains / Sample / SampleN readers interleave freely,
+// while Insert and Delete exclude everything else. Each probe observes an
+// atomic snapshot of the index (no torn reads mid-cascade).
 type Index struct {
+	mu     sync.RWMutex
 	head   []string
 	nodes  []*node
 	root   *node
@@ -310,6 +319,8 @@ func (idx *Index) cascade(n *node, changed map[*bucket]bool) {
 // reports whether any node changed. NOTE: Insert updates the index, not the
 // relation.Database it was built from.
 func (idx *Index) Insert(baseRelation string, raw relation.Tuple) (bool, error) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
 	nodes, ok := idx.byBase[baseRelation]
 	if !ok {
 		return false, fmt.Errorf("dynaccess: no atom over relation %q", baseRelation)
@@ -335,6 +346,8 @@ func (idx *Index) Insert(baseRelation string, raw relation.Tuple) (bool, error) 
 // Delete removes a base-relation tuple (a no-op if absent). It reports
 // whether anything changed.
 func (idx *Index) Delete(baseRelation string, raw relation.Tuple) (bool, error) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
 	nodes, ok := idx.byBase[baseRelation]
 	if !ok {
 		return false, fmt.Errorf("dynaccess: no atom over relation %q", baseRelation)
@@ -364,6 +377,15 @@ func (idx *Index) Delete(baseRelation string, raw relation.Tuple) (bool, error) 
 
 // Count returns the current |Q(D)| in constant time.
 func (idx *Index) Count() int64 {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.countLocked()
+}
+
+// countLocked is Count with the lock already held (RWMutex read locks are
+// not re-entrant when a writer is queued, so internal callers must not call
+// the public method).
+func (idx *Index) countLocked() int64 {
 	b := idx.root.buckets[""]
 	if b == nil {
 		return 0
@@ -378,7 +400,13 @@ func (idx *Index) Head() []string { return idx.head }
 // is deterministic between updates but may change across them (deleted
 // ranges close up; insertions append within buckets).
 func (idx *Index) Access(j int64) (relation.Tuple, error) {
-	if j < 0 || j >= idx.Count() {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.accessLocked(j)
+}
+
+func (idx *Index) accessLocked(j int64) (relation.Tuple, error) {
+	if j < 0 || j >= idx.countLocked() {
 		return nil, access.ErrOutOfBounds
 	}
 	answer := make(relation.Tuple, len(idx.head))
@@ -412,6 +440,12 @@ func (idx *Index) subtreeAccess(n *node, b *bucket, j int64, answer relation.Tup
 
 // InvertedAccess returns the current position of an answer, or ok=false.
 func (idx *Index) InvertedAccess(answer relation.Tuple) (int64, bool) {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.invertedLocked(answer)
+}
+
+func (idx *Index) invertedLocked(answer relation.Tuple) (int64, bool) {
 	if len(answer) != len(idx.head) {
 		return 0, false
 	}
@@ -449,19 +483,53 @@ func (idx *Index) invertedSubtree(n *node, answer relation.Tuple) (int64, bool) 
 
 // Contains reports whether answer is currently in Q(D).
 func (idx *Index) Contains(answer relation.Tuple) bool {
-	_, ok := idx.InvertedAccess(answer)
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	_, ok := idx.invertedLocked(answer)
 	return ok
 }
 
 // Sample returns a uniformly random current answer, or ok=false when empty.
 func (idx *Index) Sample(rng *rand.Rand) (relation.Tuple, bool) {
-	n := idx.Count()
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	n := idx.countLocked()
 	if n == 0 {
 		return nil, false
 	}
-	t, err := idx.Access(rng.Int63n(n))
+	t, err := idx.accessLocked(rng.Int63n(n))
 	if err != nil {
 		return nil, false
 	}
 	return t, true
+}
+
+// SampleN returns k uniformly random current answers drawn independently
+// (with replacement), all against one consistent snapshot of the index: the
+// read lock is held across the batch, so no update interleaves mid-batch.
+// It returns fewer than k (possibly zero) answers only when the index is
+// empty.
+func (idx *Index) SampleN(k int64, rng *rand.Rand) []relation.Tuple {
+	if k <= 0 {
+		return nil
+	}
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	n := idx.countLocked()
+	if n == 0 {
+		return nil
+	}
+	c := k // initial capacity only: sampling is with replacement, so k is unbounded
+	if c > 1024 {
+		c = 1024
+	}
+	out := make([]relation.Tuple, 0, c)
+	for int64(len(out)) < k {
+		t, err := idx.accessLocked(rng.Int63n(n))
+		if err != nil {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
 }

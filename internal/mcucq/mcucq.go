@@ -12,6 +12,16 @@
 // deterministic, order-preserving pipeline (relation filters, instantiation,
 // reduction and GYO are all order-preserving and structural), exactly as in
 // the authors' implementation. Use Options.Verify to check it explicitly.
+//
+// # Concurrency contract
+//
+// New prepares the m disjunct indexes and the up-to-2^m intersection indexes
+// on a worker pool (Options.Workers) — they are mutually independent — and
+// assembles the recursive union serially, so the structure is identical to a
+// serial build. A prepared MCUCQ is immutable: Count, Access, Test and
+// VerifyCompatibility are safe from any number of goroutines. Permutation
+// cursors are single-consumer; use Permutation.NextN to fan one consumer's
+// probes across cores.
 package mcucq
 
 import (
@@ -22,6 +32,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/cqenum"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/reduce"
 	"repro/internal/relation"
@@ -190,6 +201,9 @@ type Options struct {
 	Verify bool
 	// UseLargest selects the appendix formulation of Compute-k (ablation).
 	UseLargest bool
+	// Workers caps the goroutines preparing disjunct and intersection
+	// indexes. 0 means parallel.Workers(); 1 forces serial preparation.
+	Workers int
 }
 
 // MCUCQ is the prepared random-access structure of Theorem 5.5.
@@ -205,26 +219,27 @@ type MCUCQ struct {
 }
 
 // New prepares every disjunct and every required intersection CQ (all in
-// linear time each) and assembles the recursive union access. It fails if
-// any disjunct or intersection is not free-connex.
+// linear time each, mutually independent and hence run on a worker pool) and
+// assembles the recursive union access. It fails if any disjunct or
+// intersection is not free-connex.
 func New(db *relation.Database, u *query.UCQ, opts Options) (*MCUCQ, error) {
 	m := len(u.Disjuncts)
-	firsts := make([]RankedSet, m)
-	for i, q := range u.Disjuncts {
-		c, err := cqenum.Prepare(db, q, opts.Reduce)
-		if err != nil {
-			return nil, fmt.Errorf("mcucq: disjunct %s: %w", q.Name, err)
-		}
-		firsts[i] = indexSet{c.Index}
+
+	// Phase 1 (serial, cheap): lay out every preparation job — the m
+	// disjuncts plus, per level ℓ, one intersection CQ for each non-empty
+	// I ⊆ [ℓ+1, m), in mask order.
+	type prepJob struct {
+		q        *query.CQ
+		kind     string // "disjunct" | "intersection"
+		sign     int64  // intersections only
+		prepared *cqenum.CQ
 	}
-
-	out := &MCUCQ{u: u, firsts: firsts}
-
-	// Build bottom-up: U_{m-1} = S_{m-1}; U_ℓ = union(S_ℓ, U_{ℓ+1}).
-	var rest SetAccess = firsts[m-1]
+	disjuncts := make([]*prepJob, m)
+	for i, q := range u.Disjuncts {
+		disjuncts[i] = &prepJob{q: q, kind: "disjunct"}
+	}
+	levelJobs := make([][]*prepJob, m) // levelJobs[l], mask order
 	for l := m - 2; l >= 0; l-- {
-		un := &union{first: firsts[l], rest: rest, useLargest: opts.UseLargest}
-		// All non-empty I ⊆ [l+1, m).
 		others := make([]int, 0, m-l-1)
 		for i := l + 1; i < m; i++ {
 			others = append(others, i)
@@ -240,18 +255,47 @@ func New(db *relation.Database, u *query.UCQ, opts Options) (*MCUCQ, error) {
 			if err != nil {
 				return nil, err
 			}
-			ci, err := cqenum.Prepare(db, qi, opts.Reduce)
-			if err != nil {
-				return nil, fmt.Errorf("mcucq: intersection %s: %w", qi.Name, err)
-			}
 			// |I| = len(idx)-1 members beyond ℓ; the inclusion–exclusion
 			// sign is (-1)^{|I|+1}: positive for odd |I|.
 			sign := int64(-1)
 			if (len(idx)-1)%2 == 1 {
 				sign = 1
 			}
-			un.ts = append(un.ts, signedSet{set: indexSet{ci.Index}, sign: sign})
-			un.inter += sign * ci.Index.Count()
+			levelJobs[l] = append(levelJobs[l], &prepJob{q: qi, kind: "intersection", sign: sign})
+		}
+	}
+	jobs := append([]*prepJob{}, disjuncts...)
+	for _, lj := range levelJobs {
+		jobs = append(jobs, lj...)
+	}
+
+	// Phase 2 (parallel): prepare all indexes. Each job writes only its own
+	// slot; cqenum.Prepare only reads the shared database.
+	if err := parallel.ForEach(len(jobs), opts.Workers, func(i int) error {
+		c, err := cqenum.Prepare(db, jobs[i].q, opts.Reduce)
+		if err != nil {
+			return fmt.Errorf("mcucq: %s %s: %w", jobs[i].kind, jobs[i].q.Name, err)
+		}
+		jobs[i].prepared = c
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	firsts := make([]RankedSet, m)
+	for i, j := range disjuncts {
+		firsts[i] = indexSet{j.prepared.Index}
+	}
+	out := &MCUCQ{u: u, firsts: firsts}
+
+	// Phase 3 (serial): build bottom-up exactly as the serial construction —
+	// U_{m-1} = S_{m-1}; U_ℓ = union(S_ℓ, U_{ℓ+1}).
+	var rest SetAccess = firsts[m-1]
+	for l := m - 2; l >= 0; l-- {
+		un := &union{first: firsts[l], rest: rest, useLargest: opts.UseLargest}
+		for _, j := range levelJobs[l] {
+			un.ts = append(un.ts, signedSet{set: indexSet{j.prepared.Index}, sign: j.sign})
+			un.inter += j.sign * j.prepared.Index.Count()
 		}
 		un.count = un.first.Count() + restCount(rest) - un.inter
 		out.levels = append(out.levels, un)
@@ -346,3 +390,41 @@ func (p *Permutation) Next() (relation.Tuple, bool) {
 
 // Remaining returns the number of answers not yet emitted.
 func (p *Permutation) Remaining() int64 { return p.shuf.Remaining() }
+
+// NextN returns the next k answers of the permutation (fewer at the end).
+// Random positions are drawn serially from the shuffler — the same draws as
+// k calls to Next — and the union Access probes fan out over up to `workers`
+// goroutines (workers <= 0 means parallel.Workers()), which amortizes the
+// O(2^m log²) per-probe cost across cores.
+func (p *Permutation) NextN(k int64, workers int) []relation.Tuple {
+	if k < 0 {
+		return nil
+	}
+	// Size by what is actually left: k may be a "drain everything" value.
+	if r := p.shuf.Remaining(); k > r {
+		k = r
+	}
+	js := make([]int64, 0, k)
+	for int64(len(js)) < k {
+		j, ok := p.shuf.Next()
+		if !ok {
+			break
+		}
+		js = append(js, j)
+	}
+	out := make([]relation.Tuple, len(js))
+	if err := parallel.ForEachChunk(len(js), workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			t, err := p.m.Access(js[i])
+			if err != nil {
+				return err
+			}
+			out[i] = t
+		}
+		return nil
+	}); err != nil {
+		// Unreachable: the shuffler only emits indexes below Count().
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+// Package parallel provides the small concurrency toolkit used by the
+// preprocessing and serving layers: a bounded task group with errgroup-style
+// first-error cancellation, and index-space fan-out helpers.
+//
+// The package deliberately has no dependency on the rest of the module (it
+// sits below internal/access) and no external dependencies: the container
+// environment is stdlib-only, so the errgroup shape is reimplemented here.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the default worker count for CPU-bound fan-out:
+// GOMAXPROCS, which tracks both the machine size and any explicit cap the
+// embedding process set.
+func Workers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// Group runs tasks on a bounded number of goroutines and records the first
+// error. After a task fails, Go becomes a no-op for tasks not yet started
+// (cancellation), while already-running tasks finish normally — the same
+// contract as golang.org/x/sync/errgroup with a context.
+//
+// The zero value is unbounded. A Group must not be reused after Wait.
+type Group struct {
+	wg       sync.WaitGroup
+	sem      chan struct{}
+	errOnce  sync.Once
+	err      error
+	canceled atomic.Bool
+}
+
+// NewGroup returns a group running at most limit tasks concurrently
+// (limit <= 0 means Workers()).
+func NewGroup(limit int) *Group {
+	g := &Group{}
+	g.SetLimit(limit)
+	return g
+}
+
+// SetLimit caps concurrent tasks at n (n <= 0 means Workers()). It must be
+// called before the first Go.
+func (g *Group) SetLimit(n int) {
+	if n <= 0 {
+		n = Workers()
+	}
+	g.sem = make(chan struct{}, n)
+}
+
+// Go schedules fn. If the group is already canceled by a previous failure,
+// fn is dropped. A panic inside fn is captured as an error rather than
+// crashing the process, so a failed build surfaces as a build error.
+func (g *Group) Go(fn func() error) {
+	if g.canceled.Load() {
+		return
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if g.sem != nil {
+			g.sem <- struct{}{}
+			defer func() { <-g.sem }()
+		}
+		if g.canceled.Load() {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				g.fail(fmt.Errorf("parallel: task panicked: %v", r))
+			}
+		}()
+		if err := fn(); err != nil {
+			g.fail(err)
+		}
+	}()
+}
+
+func (g *Group) fail(err error) {
+	g.errOnce.Do(func() {
+		g.err = err
+		g.canceled.Store(true)
+	})
+}
+
+// Wait blocks until every scheduled task finished and returns the first
+// error, if any.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
+// Canceled reports whether a task has failed (and the group stopped
+// admitting new tasks).
+func (g *Group) Canceled() bool { return g.canceled.Load() }
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 0 means Workers()). Iterations are dealt out one index at a
+// time, which balances uneven per-item cost; the first error cancels the
+// remaining undealt indexes.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	g := NewGroup(workers)
+	for w := 0; w < workers; w++ {
+		g.Go(func() error {
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) || g.Canceled() {
+					return nil
+				}
+				if err := fn(int(i)); err != nil {
+					return err
+				}
+			}
+		})
+	}
+	return g.Wait()
+}
+
+// ForEachChunk splits [0, n) into at most `workers` contiguous chunks and
+// runs fn(lo, hi) for each on its own goroutine (workers <= 0 means
+// Workers()). Use it when per-index work is tiny and uniform — batched
+// random access, page assembly — so the per-task overhead is paid once per
+// chunk, not once per index.
+func ForEachChunk(n, workers int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return fn(0, n)
+	}
+	g := NewGroup(workers)
+	size := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		g.Go(func() error { return fn(lo, hi) })
+	}
+	return g.Wait()
+}

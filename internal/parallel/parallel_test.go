@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 1000
+		hits := make([]atomic.Int32, n)
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachChunkCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		for _, n := range []int{0, 1, 2, 999, 1024} {
+			hits := make([]atomic.Int32, n)
+			if err := ForEachChunk(n, workers, func(lo, hi int) error {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := ForEach(100, 4, func(i int) error {
+		if i == 17 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want %v", err, sentinel)
+	}
+}
+
+func TestGroupCancelsAfterFailure(t *testing.T) {
+	sentinel := errors.New("boom")
+	g := NewGroup(1) // serialize so scheduling order is deterministic
+	var ran atomic.Int32
+	g.Go(func() error { return sentinel })
+	if err := g.Wait(); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want %v", err, sentinel)
+	}
+	// After failure the group is canceled: a late Go is dropped.
+	g.Go(func() error { ran.Add(1); return nil })
+	g.wg.Wait()
+	if ran.Load() != 0 {
+		t.Fatal("task ran on a canceled group")
+	}
+}
+
+func TestGroupRecoversPanic(t *testing.T) {
+	g := NewGroup(2)
+	g.Go(func() error { panic("kaboom") })
+	err := g.Wait()
+	if err == nil {
+		t.Fatal("panic was swallowed")
+	}
+}
+
+func TestGroupLimitIsRespected(t *testing.T) {
+	const limit = 3
+	g := NewGroup(limit)
+	var cur, peak atomic.Int32
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("observed %d concurrent tasks, limit %d", p, limit)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

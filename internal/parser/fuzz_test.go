@@ -44,3 +44,47 @@ func FuzzParseCQ(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseProgramRoundTrip is the multi-rule analogue: whatever ParseProgram
+// accepts must survive a full parse → render → parse cycle rule by rule, with
+// every rule's rendered form stable (render(parse(render(q))) == render(q)).
+// This is the deeper fixed-point property: one cycle may normalize, two must
+// not change anything.
+func FuzzParseProgramRoundTrip(f *testing.F) {
+	seeds := []string{
+		"Q(x, y) :- R(x, y), S(y, z).",
+		"Q(x) :- R(x).\nQ(x) :- S(x).",
+		"A(x) :- R(x). B(y) :- S(y).",
+		"Q(x) :- R(x, 'lyon').\nQ(x) :- T(x, x).",
+		"% leading comment\nQ(x) :- R(x). % trailing\n",
+		"Q(x) :- R(x). Q(x :- S(x).",
+		"Q() :- R(x). Q() :- S(y).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		rules, err := ParseProgram(input, relation.NewDict())
+		if err != nil {
+			return
+		}
+		for i, q := range rules {
+			rendered := q.String()
+			q2, err := ParseCQ(rendered, relation.NewDict())
+			if err != nil {
+				t.Fatalf("rule %d: reparse of %q failed: %v", i, rendered, err)
+			}
+			if got := q2.String(); got != rendered {
+				t.Fatalf("rule %d: render not a fixed point: %q vs %q", i, rendered, got)
+			}
+			if q2.Name != q.Name || len(q2.Head) != len(q.Head) || len(q2.Body) != len(q.Body) {
+				t.Fatalf("rule %d: shape changed: %q vs %q", i, rendered, q2.String())
+			}
+			for ai, a := range q.Body {
+				if q2.Body[ai].Relation != a.Relation || len(q2.Body[ai].Terms) != len(a.Terms) {
+					t.Fatalf("rule %d atom %d: %v vs %v", i, ai, a, q2.Body[ai])
+				}
+			}
+		}
+	})
+}

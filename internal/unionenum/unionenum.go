@@ -3,6 +3,15 @@
 // uniform sampling, membership testing and deletion (Lemma 5.2). Applied to
 // unions of free-connex CQs via the Lemma 5.3 sets, this is REnum(UCQ):
 // linear preprocessing and expected logarithmic delay (Theorem 5.4).
+//
+// # Concurrency contract
+//
+// NewFromUCQ prepares the disjunct indexes on a worker pool (they are
+// independent); the resulting Enumerator is strictly single-consumer:
+// every Next mutates the deletable sets and the rng, so a shared Enumerator
+// must be driven by one goroutine (or externally serialized). Build one
+// Enumerator per consumer — the underlying indexes cannot be shared across
+// enumerators anyway, since enumeration consumes the sets.
 package unionenum
 
 import (
@@ -10,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/cqenum"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/reduce"
 	"repro/internal/relation"
@@ -57,15 +67,19 @@ func New(sets []Set, rng *rand.Rand) *Enumerator {
 }
 
 // NewFromUCQ prepares every disjunct of the UCQ (linear preprocessing per
-// disjunct) and returns the Algorithm 5 enumerator over their answer sets.
+// disjunct, disjuncts prepared concurrently on the default worker pool) and
+// returns the Algorithm 5 enumerator over their answer sets.
 func NewFromUCQ(db *relation.Database, u *query.UCQ, rng *rand.Rand, opts reduce.Options) (*Enumerator, error) {
 	sets := make([]Set, len(u.Disjuncts))
-	for i, q := range u.Disjuncts {
-		c, err := cqenum.Prepare(db, q, opts)
+	if err := parallel.ForEach(len(u.Disjuncts), 0, func(i int) error {
+		c, err := cqenum.Prepare(db, u.Disjuncts[i], opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sets[i] = c.NewDeletableSet()
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return New(sets, rng), nil
 }

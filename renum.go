@@ -26,6 +26,37 @@
 // samplers and figure-by-figure harness) lives under internal/ and is driven
 // by cmd/replicate; see DESIGN.md and EXPERIMENTS.md.
 //
+// # Concurrency
+//
+// The library is built to serve heavy concurrent read traffic:
+//
+//   - RandomAccess and UnionAccess are immutable after construction. Every
+//     probe (Count, Access, AccessBatch, InvertedAccess, Contains, Page,
+//     PageParallel, SampleN, SampleK) only reads the index — there is no
+//     lazy memoization on the probe path — so one index may be shared by any
+//     number of goroutines with no locking. This is enforced by `-race`
+//     hammer tests in internal/access, internal/mcucq and at the package
+//     root.
+//   - DynamicAccess mutates under Insert/Delete and is internally
+//     synchronized with a readers–writer lock: concurrent readers
+//     interleave freely and writers are exclusive, so a shared dynamic
+//     index is safe under mixed traffic.
+//   - The stateful cursors (Enumerator, Permutation, RandomOrderUnion) are
+//     single-consumer: share the index, not the cursor. Permutation.NextN
+//     lets a single consumer fan its probes across cores.
+//
+// Index construction parallelizes automatically: independent join-tree
+// subtrees build on a worker pool once the input exceeds
+// access.DefaultSerialThreshold tuples (small inputs build serially —
+// goroutine overhead would dominate), and UCQ preparation builds its
+// disjunct and intersection indexes concurrently. Parallel and serial
+// builds produce identical structures, so the enumeration order never
+// depends on the worker count.
+//
+// The batched APIs (AccessBatch, SampleN, PageParallel, Permutation.NextN)
+// amortize per-probe overhead and fan out across goroutines internally —
+// they are the preferred way to drain many positions from one caller.
+//
 // # Quick start
 //
 //	db := renum.NewDatabase()
@@ -48,6 +79,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/mcucq"
 	"repro/internal/naive"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/reduce"
 	"repro/internal/relation"
@@ -168,6 +200,16 @@ func (r *RandomAccess) Count() int64 { return r.c.Count() }
 // Access returns the j-th answer (0-based) of the fixed enumeration order.
 func (r *RandomAccess) Access(j int64) (Tuple, error) { return r.c.Index.Access(j) }
 
+// AccessBatch returns Access(j) for every j in js, in order, fanning the
+// O(log |D|) probes out over up to `workers` goroutines (workers <= 0 picks
+// a default sized to the machine; small batches run serially either way).
+// The batch is validated up front: any out-of-range position fails the
+// whole call with ErrOutOfBounds before any answer is assembled. Duplicates
+// are allowed and yield equal answers.
+func (r *RandomAccess) AccessBatch(js []int64, workers int) ([]Tuple, error) {
+	return r.c.Index.AccessBatch(js, workers)
+}
+
 // InvertedAccess returns the position of an answer, or ok=false if it is not
 // an answer.
 func (r *RandomAccess) InvertedAccess(t Tuple) (int64, bool) {
@@ -196,6 +238,14 @@ func (r *RandomAccess) OrderSpec() []string { return r.c.Index.OrderSpec() }
 // earlier rows). Short pages at the end of the result are returned without
 // error; an offset at or past Count() yields an empty page.
 func (r *RandomAccess) Page(offset, limit int64) ([]Tuple, error) {
+	return r.PageParallel(offset, limit, 1)
+}
+
+// PageParallel is Page with the per-row Access probes fanned out over up to
+// `workers` goroutines (workers <= 0 picks a default sized to the machine).
+// Row order and content are identical to Page; only the wall-clock cost of
+// assembling a large page changes.
+func (r *RandomAccess) PageParallel(offset, limit int64, workers int) ([]Tuple, error) {
 	if offset < 0 || limit < 0 {
 		return nil, ErrOutOfBounds
 	}
@@ -203,19 +253,16 @@ func (r *RandomAccess) Page(offset, limit int64) ([]Tuple, error) {
 	if offset >= n {
 		return nil, nil
 	}
-	end := offset + limit
-	if end > n {
-		end = n
+	// Clamp by subtraction, not offset+limit: limit may be near MaxInt64 and
+	// the sum would overflow.
+	if limit > n-offset {
+		limit = n - offset
 	}
-	out := make([]Tuple, 0, end-offset)
-	for j := offset; j < end; j++ {
-		t, err := r.c.Index.Access(j)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
+	js := make([]int64, limit)
+	for i := range js {
+		js[i] = offset + int64(i)
 	}
-	return out, nil
+	return r.c.Index.AccessBatch(js, workers)
 }
 
 // Enumerate returns a deterministic logarithmic-delay enumerator.
@@ -226,7 +273,11 @@ func (r *RandomAccess) Enumerate() *Enumerator {
 // Permute returns a uniformly random permutation of the answers with
 // logarithmic delay (REnum(CQ)).
 func (r *RandomAccess) Permute(rng *rand.Rand) *Permutation {
-	return &Permutation{next: r.c.Permute(rng).Next}
+	p := r.c.Permute(rng)
+	return &Permutation{
+		next:  p.Next,
+		nextN: func(k int64) []Tuple { return p.NextN(k, 0) },
+	}
 }
 
 // SampleK returns k uniformly random *distinct* answers (all of Q(D) if
@@ -252,6 +303,22 @@ func (r *RandomAccess) SampleK(k int64, rng *rand.Rand) ([]Tuple, error) {
 	return out, nil
 }
 
+// SampleN is SampleK with the index probes fanned out across the default
+// worker pool: the k distinct positions are drawn serially from the lazy
+// Fisher–Yates shuffle (identical draws to SampleK for the same rng, hence
+// the identical uniform-without-replacement distribution), and the k
+// O(log |D|) accesses then run concurrently. Use it when k is large enough
+// that random access dominates the draw.
+func (r *RandomAccess) SampleN(k int64, rng *rand.Rand) ([]Tuple, error) {
+	if k < 0 {
+		return nil, ErrOutOfBounds
+	}
+	if n := r.Count(); k > n {
+		k = n
+	}
+	return r.c.Permute(rng).NextN(k, 0), nil
+}
+
 // Enumerator yields answers in the index's fixed order.
 type Enumerator struct {
 	e *cqenum.Enumerator
@@ -261,12 +328,40 @@ type Enumerator struct {
 func (e *Enumerator) Next() (Tuple, bool) { return e.e.Next() }
 
 // Permutation yields each answer exactly once, in uniformly random order.
+// It is a single-consumer cursor: drive it from one goroutine (the
+// underlying index may be shared freely).
 type Permutation struct {
-	next func() (relation.Tuple, bool)
+	next  func() (relation.Tuple, bool)
+	nextN func(k int64) []relation.Tuple
 }
 
 // Next returns the next answer of the permutation; ok is false at the end.
 func (p *Permutation) Next() (Tuple, bool) { return p.next() }
+
+// NextN returns the next k answers of the permutation (fewer at the end,
+// empty once exhausted). The emitted sequence is identical to k calls of
+// Next, but the underlying random-access probes are fanned out across the
+// worker pool — the batched form of random-order enumeration.
+func (p *Permutation) NextN(k int64) []Tuple {
+	if p.nextN != nil {
+		return p.nextN(k)
+	}
+	c := k // initial capacity only: k may be "drain everything" (MaxInt64)
+	if c > 1024 {
+		c = 1024
+	} else if c < 0 {
+		c = 0
+	}
+	out := make([]Tuple, 0, c)
+	for int64(len(out)) < k {
+		t, ok := p.next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
 
 // RandomOrderUnion is REnum(UCQ) (Algorithm 5): a single-use random-order
 // enumerator over a union of free-connex CQs, with expected-logarithmic
@@ -321,9 +416,40 @@ func (ua *UnionAccess) Access(j int64) (Tuple, error) { return ua.m.Access(j) }
 // Contains reports whether t is an answer of the union.
 func (ua *UnionAccess) Contains(t Tuple) bool { return ua.m.Test(t) }
 
+// AccessBatch returns Access(j) for every j in js, in order, with the union
+// probes fanned out over up to `workers` goroutines (workers <= 0 picks a
+// default sized to the machine). Validation and duplicate semantics match
+// RandomAccess.AccessBatch.
+func (ua *UnionAccess) AccessBatch(js []int64, workers int) ([]Tuple, error) {
+	n := ua.Count()
+	for _, j := range js {
+		if j < 0 || j >= n {
+			return nil, ErrOutOfBounds
+		}
+	}
+	out := make([]Tuple, len(js))
+	if err := parallel.ForEachChunk(len(js), workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			t, err := ua.m.Access(js[i])
+			if err != nil {
+				return err
+			}
+			out[i] = t
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Permute returns a uniformly random permutation with O(log²) delay.
 func (ua *UnionAccess) Permute(rng *rand.Rand) *Permutation {
-	return &Permutation{next: ua.m.Permute(rng).Next}
+	p := ua.m.Permute(rng)
+	return &Permutation{
+		next:  p.Next,
+		nextN: func(k int64) []Tuple { return p.NextN(k, 0) },
+	}
 }
 
 // Evaluate materializes Q(D) with a straightforward join — no complexity
