@@ -705,6 +705,53 @@ func BenchmarkAccess(b *testing.B) {
 	}
 }
 
+// BenchmarkProbeAllocs pins the allocation profile of the three probe
+// primitives on a real TPC-H index (run with -benchmem): AccessInto and
+// InvertedAccess must report 0 allocs/op, Access exactly 1 (the returned
+// answer). This is the per-probe cost that AccessBatch, SampleN and the
+// batched serving paths inherit.
+func BenchmarkProbeAllocs(b *testing.B) {
+	c := prepare(b, tpchq.Q3())
+	n := c.Count()
+	rng := rand.New(rand.NewSource(6))
+	b.Run("AccessInto", func(b *testing.B) {
+		buf := make(relation.Tuple, len(c.Index.Head()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Index.AccessInto(rng.Int63n(n), buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Access", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Index.Access(rng.Int63n(n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("InvertedAccess", func(b *testing.B) {
+		answers := make([]relation.Tuple, 1024)
+		for i := range answers {
+			t, err := c.Index.Access(rng.Int63n(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			answers[i] = t
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := c.Index.InvertedAccess(answers[i%len(answers)]); !ok {
+				b.Fatal("answer vanished")
+			}
+		}
+	})
+}
+
 func BenchmarkInvertedAccess(b *testing.B) {
 	c := prepare(b, tpchq.Q3())
 	n := c.Count()

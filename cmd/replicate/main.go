@@ -6,8 +6,11 @@
 //
 //	replicate -exp fig1 -sf 0.05 -seed 1
 //	replicate -exp all -sf 0.02 -timeout 60s
+//	replicate -exp fig1 -sf 0.05 -workers 1   # serial builds, as in the paper
 //
 // Experiments: fig1 fig2 fig3 fig4a fig4b fig5 fig6 fig7 fig8 rs, or "all".
+// -workers caps the parallel index builder's fan-out (0 = all cores); the
+// measured enumeration phases are single-threaded either way.
 // The scale factor scales the generated TPC-H data (the paper used sf=5 on a
 // 496 GB machine; laptop-scale runs reproduce the qualitative shapes).
 package main
@@ -32,6 +35,7 @@ func main() {
 		timeout = flag.Duration("timeout", 120*time.Second, "per-run timeout (0 = none)")
 		pcts    = flag.String("pcts", "", "comma-separated percentage thresholds (default 1,5,10,30,50,70,90)")
 		jsonOut = flag.String("json", "", "also write the structured results as JSON to this file ('-' for stdout)")
+		workers = flag.Int("workers", 0, "goroutines for parallel index construction (0 = all cores, 1 = serial — use 1 to match the paper's single-threaded setup)")
 	)
 	flag.Parse()
 
@@ -40,6 +44,7 @@ func main() {
 		Seed:        *seed,
 		Timeout:     *timeout,
 		Out:         os.Stdout,
+		Workers:     *workers,
 	}
 	if *pcts != "" {
 		for _, p := range strings.Split(*pcts, ",") {

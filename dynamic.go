@@ -59,6 +59,11 @@ func (d *DynamicAccess) Count() int64 { return d.idx.Count() }
 // Access returns the j-th answer of the current enumeration order.
 func (d *DynamicAccess) Access(j int64) (Tuple, error) { return d.idx.Access(j) }
 
+// AccessInto is Access writing into a caller-provided buffer (len == arity):
+// the dynamic counterpart of RandomAccess.AccessInto. The probe still takes
+// the shared read lock; only the answer allocation is avoided.
+func (d *DynamicAccess) AccessInto(j int64, buf Tuple) error { return d.idx.AccessInto(j, buf) }
+
 // InvertedAccess returns the current position of an answer, or ok=false.
 func (d *DynamicAccess) InvertedAccess(t Tuple) (int64, bool) {
 	return d.idx.InvertedAccess(t)

@@ -13,31 +13,29 @@ func (idx *Index) AccessLinear(j int64) (relation.Tuple, error) {
 		return nil, ErrOutOfBounds
 	}
 	answer := make(relation.Tuple, len(idx.head))
-	idx.subtreeAccessLinear(idx.root, idx.root.buckets[""], j, answer)
+	idx.subtreeAccessLinear(idx.root, 0, j, answer)
 	return answer, nil
 }
 
-func (idx *Index) subtreeAccessLinear(n *node, b *bucket, j int64, answer relation.Tuple) {
-	i := 0
-	for b.start[i]+b.weight[i] <= j {
+func (idx *Index) subtreeAccessLinear(n *node, g uint32, j int64, answer relation.Tuple) {
+	i := int(n.bucketOff[g])
+	for n.start[i]+n.weight[i] <= j {
 		i++
 	}
-	t := n.rel.Tuple(b.tuples[i])
+	pos := n.tupleIdx[i]
 	for k, col := range n.outCols {
-		answer[col] = t[n.outPos[k]]
+		answer[col] = n.outVals[k][pos]
 	}
 	if len(n.children) == 0 {
 		return
 	}
-	rem := j - b.start[i]
-	childBuckets := make([]*bucket, len(n.children))
-	for ci, c := range n.children {
-		childBuckets[ci] = c.buckets[t.ProjectKey(n.childKeyPos[ci])]
-	}
+	rem := j - n.start[i]
 	for ci := len(n.children) - 1; ci >= 0; ci-- {
-		cb := childBuckets[ci]
-		ji := rem % cb.total
-		rem /= cb.total
-		idx.subtreeAccessLinear(n.children[ci], cb, ji, answer)
+		c := n.children[ci]
+		cg := uint32(n.childGroup[ci][pos])
+		ct := c.total[cg]
+		ji := rem % ct
+		rem /= ct
+		idx.subtreeAccessLinear(c, cg, ji, answer)
 	}
 }

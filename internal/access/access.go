@@ -4,8 +4,7 @@
 //
 //   - Count in O(1),
 //   - random access Access(j) in O(log |D|) (Algorithm 3), and
-//   - inverted access InvertedAccess(answer) in O(1) map lookups
-//     (Algorithm 4),
+//   - inverted access InvertedAccess(answer) in O(1) lookups (Algorithm 4),
 //
 // which together realize Theorem 4.3. The enumeration order defined by the
 // index (answer j precedes answer j+1) is determined entirely by tuple
@@ -13,23 +12,36 @@
 // tree, which is what makes orders of structurally-aligned queries
 // *compatible* in the sense of Section 5.2.
 //
+// # Representation
+//
+// Buckets are addressed by dense integer group IDs, not string keys: each
+// node groups its relation once on the parent-shared attributes
+// (relation.GroupBy), the per-bucket tuple/weight/start sequences live in
+// contiguous per-node arrays sliced by a bucket offset table, and every
+// parent tuple's child-bucket IDs are resolved once at build time into flat
+// int32 arrays. A probe therefore never hashes a key and never allocates:
+// Access walks the tree with array indexing and an in-bucket binary search,
+// and inverted access replaces the per-node tuple reconstruction with a
+// single packed-key (or stack-buffered string-key) position lookup.
+//
 // # Concurrency contract
 //
 // An Index is immutable once New (or NewWithOptions) returns: every probe —
 // Access, AccessInto, AccessBatch, InvertedAccess, Contains, Count, the
 // baseline samplers — only reads the structure, never memoizes, and is safe
 // to call from any number of goroutines concurrently with no external
-// locking. Construction itself may run the per-node bucket builds of
-// independent join-tree subtrees on a worker pool (see BuildOptions); the
-// parallel build produces a structure byte-for-byte identical to the serial
-// one, because each node's buckets are a deterministic function of its own
-// relation and its children's finished buckets.
+// locking. The column arrays of the underlying relations are likewise
+// immutable after build. Construction itself may run the per-node bucket
+// builds of independent join-tree subtrees on a worker pool (see
+// BuildOptions); the parallel build produces a structure byte-for-byte
+// identical to the serial one, because each node's buckets are a
+// deterministic function of its own relation and its children's finished
+// groupings.
 package access
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/parallel"
 	"repro/internal/reduce"
@@ -47,10 +59,15 @@ type Index struct {
 	count int64
 }
 
-// node mirrors one relation of the full-join tree.
+// node mirrors one relation of the full-join tree. All per-bucket state is
+// flattened: bucket g of this node owns slots bucketOff[g]..bucketOff[g+1]
+// of tupleIdx/weight/start, with tuples in relation order within a bucket —
+// exactly the order the map-of-slices representation used, so enumeration
+// order is unchanged.
 type node struct {
 	rel      *relation.Relation
 	children []*node
+	ord      int // position in Index.nodes
 
 	// pAttPos: positions (in this node's schema) of the attributes shared
 	// with the parent, in this node's schema order. Empty at the root.
@@ -61,17 +78,31 @@ type node struct {
 	// from its own tuple.
 	childKeyPos [][]int
 
-	buckets map[string]*bucket
+	// grouping assigns each tuple its bucket: dense group IDs on pAttPos.
+	grouping *relation.Grouping
 
-	// Per-tuple location (tuple position in rel → bucket and ordinal),
-	// supporting constant-time inverted access (line 4 of Algorithm 4).
-	tupleBucket  []*bucket
-	tupleOrdinal []int
+	// Flattened bucket storage (Algorithm 2's w(t) and startIndex(t)).
+	bucketOff []int32 // len NumGroups+1; bucket g = slots [off[g], off[g+1])
+	tupleIdx  []int32 // tuple positions, bucket-contiguous
+	weight    []int64 // w(t) per slot
+	start     []int64 // startIndex(t) per slot
+	total     []int64 // w(B) per bucket
+	maxW      []int64 // max weight per bucket (Olken-style sampler)
+
+	// tupleOrd[pos]: ordinal of tuple pos within its bucket, supporting
+	// constant-time inverted access (line 4 of Algorithm 4).
+	tupleOrd []int32
+
+	// childGroup[ci][pos]: bucket ID in child ci matching tuple pos of this
+	// node, or -1 when the child has no matching bucket. Resolved once at
+	// build time so no probe ever hashes a join key.
+	childGroup [][]int32
 
 	// Output assembly: this node provides output column outCols[i] from
-	// schema position outPos[i].
+	// schema position outPos[i]; outVals[i] is the backing column.
 	outCols []int
 	outPos  []int
+	outVals [][]relation.Value
 
 	// schemaHeadPos[i]: output column holding the value of schema attribute
 	// i (every attribute of a full-join node is a head variable).
@@ -82,14 +113,9 @@ type node struct {
 	maxBucketLen int64
 }
 
-// bucket groups the tuples of a relation that agree on the parent-shared
-// attributes, in relation order, with their weights and start indexes.
-type bucket struct {
-	tuples []int   // positions into rel
-	weight []int64 // w(t), Algorithm 2 line 7/10
-	start  []int64 // startIndex(t), Algorithm 2 line 12
-	total  int64   // w(B), Algorithm 2 line 13
-	maxW   int64   // max weight in the bucket (for the Olken-style sampler)
+// bucketLen returns the number of tuples in bucket g.
+func (n *node) bucketLen(g uint32) int {
+	return int(n.bucketOff[g+1] - n.bucketOff[g])
 }
 
 // BuildOptions tunes index construction.
@@ -164,6 +190,7 @@ func NewWithOptions(fj *reduce.FullJoin, opts BuildOptions) (*Index, error) {
 			p.children = append(p.children, n)
 			p.childKeyPos = append(p.childKeyPos, keyPos)
 		}
+		n.ord = len(idx.nodes)
 		idx.nodes = append(idx.nodes, n)
 	}
 	if idx.root == nil {
@@ -189,7 +216,7 @@ func NewWithOptions(fj *reduce.FullJoin, opts BuildOptions) (*Index, error) {
 	}
 
 	// Algorithm 2: leaf-to-root weight computation. Each node's buckets
-	// depend only on its children's finished buckets, so nodes of equal
+	// depend only on its children's finished groupings, so nodes of equal
 	// height are independent and can build concurrently.
 	workers := opts.Workers
 	if workers == 0 {
@@ -223,48 +250,85 @@ func NewWithOptions(fj *reduce.FullJoin, opts BuildOptions) (*Index, error) {
 		}
 	}
 
-	if rb, ok := idx.root.buckets[""]; ok {
-		idx.count = rb.total
+	if idx.root.grouping.NumGroups() > 0 {
+		idx.count = idx.root.total[0]
 	}
 	return idx, nil
 }
 
-// build computes this node's buckets, weights and prefix sums (the Algorithm
-// 2 loop body). Every child must be built already. It writes only this
-// node's fields and reads only the children's buckets, which is what makes
-// same-height nodes safe to build concurrently.
+// build computes this node's grouping, flattened buckets, weights and prefix
+// sums (the Algorithm 2 loop body). Every child must be built already. It
+// writes only this node's fields and reads only the children's groupings and
+// totals, which is what makes same-height nodes safe to build concurrently.
 func (n *node) build() {
-	n.buckets = make(map[string]*bucket)
-	n.tupleBucket = make([]*bucket, n.rel.Len())
-	n.tupleOrdinal = make([]int, n.rel.Len())
-	for pos, t := range n.rel.Tuples() {
-		key := t.ProjectKey(n.pAttPos)
-		b := n.buckets[key]
-		if b == nil {
-			b = &bucket{}
-			n.buckets[key] = b
+	nrows := n.rel.Len()
+	n.grouping = n.rel.GroupBy(n.pAttPos)
+	groupOf := n.grouping.GroupOf
+	ng := n.grouping.NumGroups()
+
+	// Resolve every tuple's child buckets once (the only key lookups left).
+	n.childGroup = make([][]int32, len(n.children))
+	for ci, c := range n.children {
+		cg := make([]int32, nrows)
+		keyPos := n.childKeyPos[ci]
+		for pos := 0; pos < nrows; pos++ {
+			if g, ok := c.grouping.LookupAt(n.rel, pos, keyPos); ok {
+				cg[pos] = int32(g)
+			} else {
+				cg[pos] = -1
+			}
 		}
+		n.childGroup[ci] = cg
+	}
+
+	// Counting sort of tuples into contiguous per-bucket slots (stable, so
+	// tuples keep relation order within each bucket — the enumeration order
+	// the map-of-slices representation defined).
+	n.bucketOff = make([]int32, ng+1)
+	for _, g := range groupOf {
+		n.bucketOff[g+1]++
+	}
+	for g := 1; g <= ng; g++ {
+		n.bucketOff[g] += n.bucketOff[g-1]
+	}
+	n.tupleIdx = make([]int32, nrows)
+	n.weight = make([]int64, nrows)
+	n.start = make([]int64, nrows)
+	n.tupleOrd = make([]int32, nrows)
+	n.total = make([]int64, ng)
+	n.maxW = make([]int64, ng)
+	fill := make([]int32, ng)
+	for pos := 0; pos < nrows; pos++ {
+		g := groupOf[pos]
 		w := int64(1)
 		for ci, c := range n.children {
-			cb := c.buckets[t.ProjectKey(n.childKeyPos[ci])]
-			if cb == nil {
+			cg := n.childGroup[ci][pos]
+			if cg < 0 {
 				w = 0
 				break
 			}
-			w *= cb.total
+			w *= c.total[cg]
 		}
-		n.tupleBucket[pos] = b
-		n.tupleOrdinal[pos] = len(b.tuples)
-		b.tuples = append(b.tuples, pos)
-		b.weight = append(b.weight, w)
-		b.start = append(b.start, b.total)
-		b.total += w
-		if w > b.maxW {
-			b.maxW = w
+		slot := n.bucketOff[g] + fill[g]
+		n.tupleIdx[slot] = int32(pos)
+		n.tupleOrd[pos] = fill[g]
+		n.weight[slot] = w
+		n.start[slot] = n.total[g]
+		n.total[g] += w
+		if w > n.maxW[g] {
+			n.maxW[g] = w
 		}
-		if int64(len(b.tuples)) > n.maxBucketLen {
-			n.maxBucketLen = int64(len(b.tuples))
+		fill[g]++
+	}
+	for g := uint32(0); int(g) < ng; g++ {
+		if l := int64(n.bucketLen(g)); l > n.maxBucketLen {
+			n.maxBucketLen = l
 		}
+	}
+
+	n.outVals = make([][]relation.Value, len(n.outPos))
+	for k, p := range n.outPos {
+		n.outVals[k] = n.rel.Col(p)
 	}
 }
 
@@ -299,22 +363,23 @@ func (idx *Index) Count() int64 { return idx.count }
 
 // Access returns the j-th answer (0-based) in the index's enumeration order
 // (Algorithm 3). It returns ErrOutOfBounds if j is not in [0, Count()).
+// The only allocation is the returned tuple; AccessInto avoids even that.
 func (idx *Index) Access(j int64) (relation.Tuple, error) {
 	if j < 0 || j >= idx.count {
 		return nil, ErrOutOfBounds
 	}
 	answer := make(relation.Tuple, len(idx.head))
-	idx.subtreeAccess(idx.root, idx.root.buckets[""], j, answer)
+	idx.subtreeAccess(idx.root, 0, j, answer)
 	return answer, nil
 }
 
-// AccessInto is Access writing into a caller-provided buffer (len == arity),
-// avoiding the per-call allocation in tight loops.
+// AccessInto is Access writing into a caller-provided buffer (len == arity).
+// It performs no allocations (asserted by testing.AllocsPerRun).
 func (idx *Index) AccessInto(j int64, answer relation.Tuple) error {
 	if j < 0 || j >= idx.count {
 		return ErrOutOfBounds
 	}
-	idx.subtreeAccess(idx.root, idx.root.buckets[""], j, answer)
+	idx.subtreeAccess(idx.root, 0, j, answer)
 	return nil
 }
 
@@ -327,7 +392,9 @@ const batchSerialThreshold = 256
 // parallel.Workers(); small batches run serially either way). The whole
 // batch is validated first: any out-of-range position fails the call with
 // ErrOutOfBounds before any tuple is assembled. Duplicate positions are
-// allowed and yield equal answers.
+// allowed and yield equal answers. Answers of one chunk share a single
+// contiguous backing array, so a batch of k probes costs O(1) allocations
+// per chunk instead of k.
 func (idx *Index) AccessBatch(js []int64, workers int) ([]relation.Tuple, error) {
 	for _, j := range js {
 		if j < 0 || j >= idx.count {
@@ -335,15 +402,15 @@ func (idx *Index) AccessBatch(js []int64, workers int) ([]relation.Tuple, error)
 		}
 	}
 	out := make([]relation.Tuple, len(js))
-	root := idx.root
 	if len(js) == 0 {
 		return out, nil
 	}
-	rb := root.buckets[""]
+	arity := len(idx.head)
 	fill := func(lo, hi int) error {
+		backing := make([]relation.Value, (hi-lo)*arity)
 		for i := lo; i < hi; i++ {
-			answer := make(relation.Tuple, len(idx.head))
-			idx.subtreeAccess(root, rb, js[i], answer)
+			answer := relation.Tuple(backing[(i-lo)*arity : (i-lo+1)*arity : (i-lo+1)*arity])
+			idx.subtreeAccess(idx.root, 0, js[i], answer)
 			out[i] = answer
 		}
 		return nil
@@ -358,35 +425,46 @@ func (idx *Index) AccessBatch(js []int64, workers int) ([]relation.Tuple, error)
 	return out, nil
 }
 
-func (idx *Index) subtreeAccess(n *node, b *bucket, j int64, answer relation.Tuple) {
-	// Find t with startIndex(t) ≤ j < startIndex(t) + w(t). Binary search on
+// subtreeAccess resolves index j within bucket g of node n, writing the
+// node's output columns and recursing into the children. Pure array
+// arithmetic: no hashing, no allocation.
+func (idx *Index) subtreeAccess(n *node, g uint32, j int64, answer relation.Tuple) {
+	// Find t with startIndex(t) ≤ j < startIndex(t) + w(t): binary search on
 	// the non-decreasing sequence start[i]+weight[i] (zero-weight tuples have
 	// empty ranges and are skipped naturally).
-	i := sort.Search(len(b.start), func(k int) bool { return b.start[k]+b.weight[k] > j })
-	t := n.rel.Tuple(b.tuples[i])
+	lo, hi := int(n.bucketOff[g]), int(n.bucketOff[g+1])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.start[mid]+n.weight[mid] > j {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
+	pos := n.tupleIdx[i]
 	for k, col := range n.outCols {
-		answer[col] = t[n.outPos[k]]
+		answer[col] = n.outVals[k][pos]
 	}
 	if len(n.children) == 0 {
 		return
 	}
 	// SplitIndex (Algorithm 3 lines 12-13): mixed-radix decomposition, last
-	// child least significant.
-	rem := j - b.start[i]
-	childBuckets := make([]*bucket, len(n.children))
-	for ci, c := range n.children {
-		childBuckets[ci] = c.buckets[t.ProjectKey(n.childKeyPos[ci])]
-	}
+	// child least significant. Child buckets were resolved at build time.
+	rem := j - n.start[i]
 	for ci := len(n.children) - 1; ci >= 0; ci-- {
-		cb := childBuckets[ci]
-		ji := rem % cb.total
-		rem /= cb.total
-		idx.subtreeAccess(n.children[ci], cb, ji, answer)
+		c := n.children[ci]
+		cg := uint32(n.childGroup[ci][pos])
+		ct := c.total[cg]
+		ji := rem % ct
+		rem /= ct
+		idx.subtreeAccess(c, cg, ji, answer)
 	}
 }
 
 // InvertedAccess returns the index j with Access(j) == answer, or ok=false if
-// answer is not in Q(D) (Algorithm 4). Constant time in data complexity.
+// answer is not in Q(D) (Algorithm 4). Constant time in data complexity and
+// allocation-free (asserted by testing.AllocsPerRun).
 func (idx *Index) InvertedAccess(answer relation.Tuple) (int64, bool) {
 	if len(answer) != len(idx.head) {
 		return 0, false
@@ -395,17 +473,15 @@ func (idx *Index) InvertedAccess(answer relation.Tuple) (int64, bool) {
 }
 
 func (idx *Index) invertedSubtree(n *node, answer relation.Tuple) (int64, bool) {
-	// Reconstruct this node's tuple from the answer and locate it.
-	t := make(relation.Tuple, len(n.schemaHeadPos))
-	for i, hp := range n.schemaHeadPos {
-		t[i] = answer[hp]
-	}
-	pos := n.rel.Position(t)
+	// Locate this node's tuple directly from the answer (no intermediate
+	// tuple: the relation's position index is probed with a packed or
+	// stack-buffered key).
+	pos := n.rel.PositionProjected(answer, n.schemaHeadPos)
 	if pos < 0 {
 		return 0, false
 	}
-	b := n.tupleBucket[pos]
-	ord := n.tupleOrdinal[pos]
+	g := n.grouping.GroupOf[pos]
+	slot := n.bucketOff[g] + n.tupleOrd[pos]
 	// CombineIndex (inverse of SplitIndex): left fold, last child least
 	// significant.
 	var offset int64
@@ -414,18 +490,18 @@ func (idx *Index) invertedSubtree(n *node, answer relation.Tuple) (int64, bool) 
 		if !ok {
 			return 0, false
 		}
-		cb := c.buckets[t.ProjectKey(n.childKeyPos[ci])]
-		if cb == nil {
+		cg := n.childGroup[ci][pos]
+		if cg < 0 {
 			return 0, false
 		}
-		offset = offset*cb.total + ji
+		offset = offset*c.total[cg] + ji
 	}
-	if b.weight[ord] == 0 {
+	if n.weight[slot] == 0 {
 		// Dangling tuple (possible when full reduction was skipped): the
 		// combination is not a real answer.
 		return 0, false
 	}
-	return b.start[ord] + offset, true
+	return n.start[slot] + offset, true
 }
 
 // Contains reports whether answer ∈ Q(D).

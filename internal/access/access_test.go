@@ -75,21 +75,22 @@ func TestExample44(t *testing.T) {
 		t.Fatalf("InvertedAccess = %d,%v, want 13,true", j, ok)
 	}
 
-	// The paper's startIndex table for R1: 0, 6, 8, 14.
+	// The paper's startIndex table for R1: 0, 6, 8, 14. The root has a single
+	// bucket (group 0), so its slots are the first bucketLen(0) entries of the
+	// flattened start/weight arrays.
 	wantStarts := []int64{0, 6, 8, 14}
-	rb := idx.root.buckets[""]
-	if len(rb.start) != 4 {
-		t.Fatalf("root bucket has %d tuples", len(rb.start))
+	if idx.root.grouping.NumGroups() != 1 || idx.root.bucketLen(0) != 4 {
+		t.Fatalf("root bucket has %d tuples in %d groups", idx.root.bucketLen(0), idx.root.grouping.NumGroups())
 	}
 	for i, s := range wantStarts {
-		if rb.start[i] != s {
-			t.Fatalf("startIndex[%d] = %d, want %d", i, rb.start[i], s)
+		if idx.root.start[i] != s {
+			t.Fatalf("startIndex[%d] = %d, want %d", i, idx.root.start[i], s)
 		}
 	}
 	wantWeights := []int64{6, 2, 6, 2}
 	for i, w := range wantWeights {
-		if rb.weight[i] != w {
-			t.Fatalf("weight[%d] = %d, want %d", i, rb.weight[i], w)
+		if idx.root.weight[i] != w {
+			t.Fatalf("weight[%d] = %d, want %d", i, idx.root.weight[i], w)
 		}
 	}
 }

@@ -47,16 +47,16 @@ func (idx *Index) SampleEOTrial(rng *rand.Rand) (relation.Tuple, bool) {
 	if idx.count == 0 {
 		return nil, false
 	}
-	b := idx.root.buckets[""]
-	i := rng.Intn(len(b.tuples))
-	w := b.weight[i]
-	if w == 0 || (w < b.maxW && rng.Int63n(b.maxW) >= w) {
+	root := idx.root
+	i := rng.Intn(root.bucketLen(0)) // root bucket 0 starts at slot 0
+	w := root.weight[i]
+	if w == 0 || (w < root.maxW[0] && rng.Int63n(root.maxW[0]) >= w) {
 		return nil, false
 	}
 	// Complete exactly: a uniform index within this tuple's range.
-	j := b.start[i] + rng.Int63n(w)
+	j := root.start[i] + rng.Int63n(w)
 	answer := make(relation.Tuple, len(idx.head))
-	idx.subtreeAccess(idx.root, b, j, answer)
+	idx.subtreeAccess(root, 0, j, answer)
 	return answer, true
 }
 
@@ -71,7 +71,7 @@ func (idx *Index) SampleOETrial(rng *rand.Rand) (relation.Tuple, bool) {
 	}
 	answer := make(relation.Tuple, len(idx.head))
 	prob := 1.0
-	if !idx.wanderWalk(idx.root, idx.root.buckets[""], rng, answer, &prob) {
+	if !idx.wanderWalk(idx.root, 0, rng, answer, &prob) {
 		return nil, false
 	}
 	// Accept with probability ∏ |B| / ∏ maxBucketSize (tracked as a float64;
@@ -82,23 +82,27 @@ func (idx *Index) SampleOETrial(rng *rand.Rand) (relation.Tuple, bool) {
 	return answer, true
 }
 
-func (idx *Index) wanderWalk(n *node, b *bucket, rng *rand.Rand, answer relation.Tuple, prob *float64) bool {
-	if b == nil || len(b.tuples) == 0 {
+func (idx *Index) wanderWalk(n *node, g uint32, rng *rand.Rand, answer relation.Tuple, prob *float64) bool {
+	sz := n.bucketLen(g)
+	if sz == 0 {
 		return false
 	}
-	i := rng.Intn(len(b.tuples))
-	if b.weight[i] == 0 {
+	slot := int(n.bucketOff[g]) + rng.Intn(sz)
+	if n.weight[slot] == 0 {
 		// Dangling tuple (only without full reduction): dead end, reject.
 		return false
 	}
-	*prob *= float64(len(b.tuples)) / float64(n.maxBucketLen)
-	t := n.rel.Tuple(b.tuples[i])
+	*prob *= float64(sz) / float64(n.maxBucketLen)
+	pos := n.tupleIdx[slot]
 	for k, col := range n.outCols {
-		answer[col] = t[n.outPos[k]]
+		answer[col] = n.outVals[k][pos]
 	}
 	for ci, c := range n.children {
-		cb := c.buckets[t.ProjectKey(n.childKeyPos[ci])]
-		if !idx.wanderWalk(c, cb, rng, answer, prob) {
+		cg := n.childGroup[ci][pos]
+		if cg < 0 {
+			return false
+		}
+		if !idx.wanderWalk(c, uint32(cg), rng, answer, prob) {
 			return false
 		}
 	}
@@ -113,25 +117,25 @@ func (idx *Index) SampleRSTrial(rng *rand.Rand) (relation.Tuple, bool) {
 	if idx.count == 0 {
 		return nil, false
 	}
-	answer := make(relation.Tuple, len(idx.head))
-	picks := make([]relation.Tuple, len(idx.nodes))
+	picks := make([]int, len(idx.nodes))
 	for i, n := range idx.nodes {
 		if n.rel.Len() == 0 {
 			return nil, false
 		}
-		picks[i] = n.rel.Tuple(rng.Intn(n.rel.Len()))
+		picks[i] = rng.Intn(n.rel.Len())
 	}
-	pickOf := make(map[*node]relation.Tuple, len(idx.nodes))
-	for i, n := range idx.nodes {
-		pickOf[n] = picks[i]
-	}
+	// Join consistency along every tree edge: compare the shared-attribute
+	// columns directly (no key encoding needed).
 	var check func(n *node) bool
 	check = func(n *node) bool {
-		t := pickOf[n]
+		pos := picks[n.ord]
 		for ci, c := range n.children {
-			ct := pickOf[c]
-			if t.ProjectKey(n.childKeyPos[ci]) != ct.ProjectKey(c.pAttPos) {
-				return false
+			cpos := picks[c.ord]
+			keyPos := n.childKeyPos[ci]
+			for k := range keyPos {
+				if n.rel.At(pos, keyPos[k]) != c.rel.At(cpos, c.pAttPos[k]) {
+					return false
+				}
 			}
 			if !check(c) {
 				return false
@@ -145,10 +149,11 @@ func (idx *Index) SampleRSTrial(rng *rand.Rand) (relation.Tuple, bool) {
 	// A consistent combination may still involve weight-zero (dangling)
 	// tuples when full reduction was skipped; consistency along all tree
 	// edges already implies a real answer, so no extra check is needed.
+	answer := make(relation.Tuple, len(idx.head))
 	for _, n := range idx.nodes {
-		t := pickOf[n]
+		pos := picks[n.ord]
 		for k, col := range n.outCols {
-			answer[col] = t[n.outPos[k]]
+			answer[col] = n.outVals[k][pos]
 		}
 	}
 	return answer, true

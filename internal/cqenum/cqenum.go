@@ -39,11 +39,18 @@ type CQ struct {
 // Prepare runs the Proposition 4.2 reduction and builds the Theorem 4.3
 // index. It fails for cyclic or non-free-connex queries.
 func Prepare(db *relation.Database, q *query.CQ, opts reduce.Options) (*CQ, error) {
+	return PrepareWithOptions(db, q, opts, access.BuildOptions{})
+}
+
+// PrepareWithOptions is Prepare with explicit control over the index build's
+// parallelism (worker count and serial threshold) — the hook the experiment
+// harness and CLIs use to pin the builder's fan-out.
+func PrepareWithOptions(db *relation.Database, q *query.CQ, opts reduce.Options, build access.BuildOptions) (*CQ, error) {
 	fj, err := reduce.BuildFullJoin(db, q, opts)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := access.New(fj)
+	idx, err := access.NewWithOptions(fj, build)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,16 @@
 // linear — consistent with the known lower bounds: sublinear update time for
 // all free-connex CQs would contradict the OMv-based hardness results of
 // [6], so a structure like this cannot do better in general.
+//
+// # Representation
+//
+// Because tuples arrive dynamically, buckets cannot be addressed by the
+// dense prebuilt group IDs the static index uses. Instead, every tuple
+// caches direct *bucket pointers* to its matching child buckets (buckets are
+// created once and never removed — deletions are tombstones — so the
+// pointers are stable): the probe paths never re-encode a join key. Keys are
+// encoded only on the mutation path, and exclusively through the canonical
+// relation encoders (Tuple.Key / Tuple.ProjectKey / AppendProjectedKey).
 package dynaccess
 
 import (
@@ -57,11 +67,22 @@ type Index struct {
 	byBase map[string][]*node // base relation name → nodes fed by it
 }
 
+// constCheck is a precompiled constant-selection condition of an atom.
+type constCheck struct {
+	pos int
+	val relation.Value
+}
+
 type node struct {
 	atom     query.Atom
 	baseName string
 	schema   relation.Schema
 	varPos   []int // positions in the base tuple providing each schema var
+
+	// Precompiled instantiation conditions (replacing the per-tuple
+	// first-occurrence map the load path used to rebuild for every row).
+	constChecks []constCheck
+	eqChecks    [][2]int // raw[a] must equal raw[b] (repeated variables)
 
 	parent      *node
 	children    []*node
@@ -80,6 +101,15 @@ type node struct {
 	buckets     map[string]*bucket
 	tupleBucket []*bucket
 	tupleOrd    []int
+
+	// childBkt[ci][pos]: cached pointer to the bucket of child ci matching
+	// this node's tuple pos, nil while the child has no such bucket yet.
+	// Buckets are never removed, so a non-nil pointer stays valid forever;
+	// the nil → bucket transition happens during the cascade that the
+	// child-bucket creation triggers (see cascade). This is the dynamic
+	// counterpart of the static index's precomputed child group IDs: probes
+	// follow pointers instead of hashing keys.
+	childBkt [][]*bucket
 
 	// childRev[i]: child-bucket key → positions of this node's tuples whose
 	// projection equals the key (the reverse index driving update cascades).
@@ -124,20 +154,25 @@ func New(db *relation.Database, q *query.CQ) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		firstPos := make(map[string]int)
-		for pos, t := range a.Terms {
-			if t.IsVar() {
-				if _, ok := firstPos[t.Var]; !ok {
-					firstPos[t.Var] = pos
-				}
-			}
-		}
 		n := &node{
 			atom:     a,
 			baseName: a.Relation,
 			schema:   schema,
 			byKey:    make(map[string]int),
 			buckets:  make(map[string]*bucket),
+		}
+		// Compile the atom's selection conditions once.
+		firstPos := make(map[string]int)
+		for pos, t := range a.Terms {
+			if !t.IsVar() {
+				n.constChecks = append(n.constChecks, constCheck{pos: pos, val: t.Const})
+				continue
+			}
+			if fp, ok := firstPos[t.Var]; ok {
+				n.eqChecks = append(n.eqChecks, [2]int{pos, fp})
+			} else {
+				firstPos[t.Var] = pos
+			}
 		}
 		n.varPos = make([]int, len(vars))
 		n.schemaHeadPos = make([]int, len(vars))
@@ -169,6 +204,7 @@ func New(db *relation.Database, q *query.CQ) (*Index, error) {
 		p.children = append(p.children, n)
 		p.childKeyPos = append(p.childKeyPos, keyPos)
 		p.childRev = append(p.childRev, make(map[string][]int))
+		p.childBkt = append(p.childBkt, nil)
 	}
 	idx.nodes = nodes
 
@@ -189,7 +225,9 @@ func New(db *relation.Database, q *query.CQ) (*Index, error) {
 		}
 	}
 
-	// Bulk load leaf-to-root so weights are available bottom-up.
+	// Bulk load leaf-to-root so weights are available bottom-up. The base
+	// relations are read column-wise through a reused scratch row — no
+	// per-tuple materialization.
 	var load func(n *node) error
 	load = func(n *node) error {
 		for _, c := range n.children {
@@ -201,8 +239,10 @@ func New(db *relation.Database, q *query.CQ) (*Index, error) {
 		if err != nil {
 			return err
 		}
-		for _, raw := range base.Tuples() {
-			if t, ok := n.instantiate(raw); ok {
+		scratch := make(relation.Tuple, base.Arity())
+		for i := 0; i < base.Len(); i++ {
+			base.ReadTuple(i, scratch)
+			if t, ok := n.instantiate(scratch); ok {
 				n.insertLocal(t) // bulk load: no cascade needed bottom-up
 			}
 		}
@@ -214,23 +254,18 @@ func New(db *relation.Database, q *query.CQ) (*Index, error) {
 	return idx, nil
 }
 
-// instantiate maps a base tuple through the atom (constants and repeated
-// variables filter; variable positions project).
+// instantiate maps a base tuple through the atom's precompiled conditions
+// (constants and repeated variables filter; variable positions project). The
+// returned tuple is freshly allocated — raw may be a reused scratch row.
 func (n *node) instantiate(raw relation.Tuple) (relation.Tuple, bool) {
-	firstPos := make(map[string]int, len(n.atom.Terms))
-	for pos, t := range n.atom.Terms {
-		if !t.IsVar() {
-			if raw[pos] != t.Const {
-				return nil, false
-			}
-			continue
+	for _, c := range n.constChecks {
+		if raw[c.pos] != c.val {
+			return nil, false
 		}
-		if fp, ok := firstPos[t.Var]; ok {
-			if raw[pos] != raw[fp] {
-				return nil, false
-			}
-		} else {
-			firstPos[t.Var] = pos
+	}
+	for _, e := range n.eqChecks {
+		if raw[e[0]] != raw[e[1]] {
+			return nil, false
 		}
 	}
 	out := make(relation.Tuple, len(n.varPos))
@@ -240,16 +275,15 @@ func (n *node) instantiate(raw relation.Tuple) (relation.Tuple, bool) {
 	return out, true
 }
 
-// weightOf computes the current weight of the tuple at pos from the child
-// bucket totals.
+// weightOf computes the current weight of the tuple at pos from the cached
+// child bucket totals.
 func (n *node) weightOf(pos int) int64 {
 	if !n.alive[pos] {
 		return 0
 	}
-	t := n.tuples[pos]
 	w := int64(1)
-	for ci, c := range n.children {
-		cb := c.buckets[t.ProjectKey(n.childKeyPos[ci])]
+	for ci := range n.children {
+		cb := n.childBkt[ci][pos]
 		if cb == nil || cb.w.Total() == 0 {
 			return 0
 		}
@@ -285,22 +319,31 @@ func (n *node) insertLocal(t relation.Tuple) *bucket {
 	n.tupleBucket = append(n.tupleBucket, b)
 	n.tupleOrd = append(n.tupleOrd, len(b.tuples))
 	b.tuples = append(b.tuples, pos)
-	for ci := range n.children {
+	for ci, c := range n.children {
 		ck := t.ProjectKey(n.childKeyPos[ci])
 		n.childRev[ci][ck] = append(n.childRev[ci][ck], pos)
+		// Cache the child bucket pointer now if the bucket already exists;
+		// otherwise the cascade fired by its creation will fill it in.
+		n.childBkt[ci] = append(n.childBkt[ci], c.buckets[ck])
 	}
 	b.w.Append(n.weightOf(pos))
 	return b
 }
 
 // cascade propagates a child-bucket total change to ancestors: every parent
-// tuple matching the changed bucket's key gets its weight recomputed.
+// tuple matching the changed bucket's key gets its weight recomputed. It
+// also completes the parents' bucket-pointer caches: a parent tuple that
+// predates the child bucket's creation still holds a nil pointer, and this
+// is exactly the moment (first total change = creation or revival) it gets
+// resolved.
 func (idx *Index) cascade(n *node, changed map[*bucket]bool) {
 	for len(changed) > 0 && n.parent != nil {
 		p := n.parent
 		parentChanged := make(map[*bucket]bool)
 		for b := range changed {
+			cache := p.childBkt[n.childIdx]
 			for _, pos := range p.childRev[n.childIdx][b.key] {
+				cache[pos] = b
 				pb := p.tupleBucket[pos]
 				old := pb.w.Value(p.tupleOrd[pos])
 				neww := p.weightOf(pos)
@@ -405,13 +448,30 @@ func (idx *Index) Access(j int64) (relation.Tuple, error) {
 	return idx.accessLocked(j)
 }
 
+// AccessInto is Access writing into a caller-provided buffer (len == arity),
+// avoiding the answer allocation in tight loops.
+func (idx *Index) AccessInto(j int64, answer relation.Tuple) error {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.accessIntoLocked(j, answer)
+}
+
 func (idx *Index) accessLocked(j int64) (relation.Tuple, error) {
-	if j < 0 || j >= idx.countLocked() {
-		return nil, access.ErrOutOfBounds
-	}
 	answer := make(relation.Tuple, len(idx.head))
-	idx.subtreeAccess(idx.root, idx.root.buckets[""], j, answer)
+	if err := idx.accessIntoLocked(j, answer); err != nil {
+		return nil, err
+	}
 	return answer, nil
+}
+
+// accessIntoLocked is the single bounds-checked probe both entry points
+// share; the caller holds at least the read lock.
+func (idx *Index) accessIntoLocked(j int64, answer relation.Tuple) error {
+	if j < 0 || j >= idx.countLocked() {
+		return access.ErrOutOfBounds
+	}
+	idx.subtreeAccess(idx.root, idx.root.buckets[""], j, answer)
+	return nil
 }
 
 func (idx *Index) subtreeAccess(n *node, b *bucket, j int64, answer relation.Tuple) {
@@ -424,13 +484,12 @@ func (idx *Index) subtreeAccess(n *node, b *bucket, j int64, answer relation.Tup
 	if len(n.children) == 0 {
 		return
 	}
+	// Child buckets come from the per-tuple pointer cache: a tuple with
+	// positive weight has all child buckets resolved (weightOf returned > 0
+	// through the same pointers).
 	rem := j - b.w.Prefix(ord)
-	childBuckets := make([]*bucket, len(n.children))
-	for ci, c := range n.children {
-		childBuckets[ci] = c.buckets[t.ProjectKey(n.childKeyPos[ci])]
-	}
 	for ci := len(n.children) - 1; ci >= 0; ci-- {
-		cb := childBuckets[ci]
+		cb := n.childBkt[ci][pos]
 		total := cb.w.Total()
 		ji := rem % total
 		rem /= total
@@ -453,11 +512,11 @@ func (idx *Index) invertedLocked(answer relation.Tuple) (int64, bool) {
 }
 
 func (idx *Index) invertedSubtree(n *node, answer relation.Tuple) (int64, bool) {
-	t := make(relation.Tuple, len(n.schemaHeadPos))
-	for i, hp := range n.schemaHeadPos {
-		t[i] = answer[hp]
-	}
-	pos, ok := n.byKey[t.Key()]
+	// Locate this node's tuple: encode the projected key into a stack buffer
+	// (the canonical encoder) — no intermediate tuple, no heap key.
+	var kb [relation.KeyBufCap]byte
+	key := answer.AppendProjectedKey(relation.KeyScratch(&kb, len(n.schemaHeadPos)), n.schemaHeadPos)
+	pos, ok := n.byKey[string(key)]
 	if !ok || !n.alive[pos] {
 		return 0, false
 	}
@@ -472,7 +531,7 @@ func (idx *Index) invertedSubtree(n *node, answer relation.Tuple) (int64, bool) 
 		if !ok {
 			return 0, false
 		}
-		cb := c.buckets[t.ProjectKey(n.childKeyPos[ci])]
+		cb := n.childBkt[ci][pos]
 		if cb == nil {
 			return 0, false
 		}

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/access"
 	"repro/internal/cqenum"
 	"repro/internal/query"
 	"repro/internal/reduce"
@@ -49,6 +50,12 @@ type Config struct {
 	Timeout time.Duration
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
+	// Workers caps the goroutines used by index construction (per-query
+	// join-tree builds and the mc-UCQ disjunct/intersection preparation).
+	// 0 means all cores; 1 forces serial builds — the paper's measurements
+	// are single-threaded, so use 1 when comparing against its absolute
+	// numbers.
+	Workers int
 }
 
 // Runner owns the generated database and configuration.
@@ -107,14 +114,20 @@ func (r *Runner) thresholds(n int64) []int64 {
 }
 
 // prepareCQ prepares a CQ, returning the prepared query and the preprocessing
-// wall time.
+// wall time. The index build honours Config.Workers (the parallel builder).
 func (r *Runner) prepareCQ(q *query.CQ) (*cqenum.CQ, float64, error) {
 	start := time.Now()
-	c, err := cqenum.Prepare(r.db, q, reduce.Options{})
+	c, err := cqenum.PrepareWithOptions(r.db, q, reduce.Options{}, r.buildOptions())
 	if err != nil {
 		return nil, 0, fmt.Errorf("exp: %s: %w", q.Name, err)
 	}
 	return c, time.Since(start).Seconds(), nil
+}
+
+// buildOptions returns the index-construction options used across the
+// harness.
+func (r *Runner) buildOptions() access.BuildOptions {
+	return access.BuildOptions{Workers: r.cfg.Workers}
 }
 
 // runThresholds drives next() until each threshold (cumulative answers) is

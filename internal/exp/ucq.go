@@ -78,7 +78,7 @@ func (r *Runner) cumulativeCQRow(u *query.UCQ) (UCQRow, error) {
 func (r *Runner) renumUCQRow(u *query.UCQ, deciles *[]Fig5Row) (UCQRow, error) {
 	row := UCQRow{Union: u.Name, Algorithm: "REnum(UCQ)"}
 	start := time.Now()
-	e, err := unionenum.NewFromUCQ(r.db, u, rand.New(rand.NewSource(r.cfg.Seed+19)), r.reduceOptions())
+	e, err := unionenum.NewFromUCQWorkers(r.db, u, rand.New(rand.NewSource(r.cfg.Seed+19)), r.reduceOptions(), r.cfg.Workers)
 	if err != nil {
 		return row, err
 	}
@@ -131,7 +131,7 @@ func (r *Runner) renumUCQRow(u *query.UCQ, deciles *[]Fig5Row) (UCQRow, error) {
 func (r *Runner) mcucqRow(u *query.UCQ) (UCQRow, error) {
 	row := UCQRow{Union: u.Name, Algorithm: "REnum(mcUCQ)"}
 	start := time.Now()
-	m, err := mcucq.New(r.db, u, mcucq.Options{Reduce: r.reduceOptions()})
+	m, err := mcucq.New(r.db, u, mcucq.Options{Reduce: r.reduceOptions(), Workers: r.cfg.Workers})
 	if err != nil {
 		return row, err
 	}
@@ -174,7 +174,7 @@ func (r *Runner) Fig4b() ([]Fig4bRow, error) {
 	var rows []Fig4bRow
 
 	// Determine the union cardinality once (for thresholds) via mc-UCQ count.
-	mPre, err := mcucq.New(r.db, u, mcucq.Options{Reduce: r.reduceOptions()})
+	mPre, err := mcucq.New(r.db, u, mcucq.Options{Reduce: r.reduceOptions(), Workers: r.cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +221,7 @@ func (r *Runner) Fig4b() ([]Fig4bRow, error) {
 	// REnum(UCQ).
 	{
 		start := time.Now()
-		e, err := unionenum.NewFromUCQ(r.db, u, rand.New(rand.NewSource(r.cfg.Seed+31)), r.reduceOptions())
+		e, err := unionenum.NewFromUCQWorkers(r.db, u, rand.New(rand.NewSource(r.cfg.Seed+31)), r.reduceOptions(), r.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -236,7 +236,7 @@ func (r *Runner) Fig4b() ([]Fig4bRow, error) {
 	// REnum(mcUCQ).
 	{
 		start := time.Now()
-		m, err := mcucq.New(r.db, u, mcucq.Options{Reduce: r.reduceOptions()})
+		m, err := mcucq.New(r.db, u, mcucq.Options{Reduce: r.reduceOptions(), Workers: r.cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

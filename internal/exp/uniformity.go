@@ -67,7 +67,7 @@ func (r *Runner) Uniformity() ([]UniformityRow, error) {
 			}
 			prepared = append(prepared, c)
 		}
-		m, err := mcucq.New(r.db, u, mcucq.Options{Reduce: r.reduceOptions()})
+		m, err := mcucq.New(r.db, u, mcucq.Options{Reduce: r.reduceOptions(), Workers: r.cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

@@ -270,9 +270,11 @@ func New(db *relation.Database, u *query.UCQ, opts Options) (*MCUCQ, error) {
 	}
 
 	// Phase 2 (parallel): prepare all indexes. Each job writes only its own
-	// slot; cqenum.Prepare only reads the shared database.
+	// slot; cqenum.Prepare only reads the shared database. Workers also caps
+	// each index's internal build fan-out, so Workers=1 is fully serial.
+	build := access.BuildOptions{Workers: opts.Workers}
 	if err := parallel.ForEach(len(jobs), opts.Workers, func(i int) error {
-		c, err := cqenum.Prepare(db, jobs[i].q, opts.Reduce)
+		c, err := cqenum.PrepareWithOptions(db, jobs[i].q, opts.Reduce, build)
 		if err != nil {
 			return fmt.Errorf("mcucq: %s %s: %w", jobs[i].kind, jobs[i].q.Name, err)
 		}

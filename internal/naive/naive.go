@@ -37,12 +37,13 @@ func Evaluate(db *relation.Database, q *query.CQ) ([]relation.Tuple, error) {
 	// positions whose variables are bound by earlier atoms (plus constants
 	// and repeated variables checked inline).
 	type step struct {
-		atom    query.Atom
-		rel     *relation.Relation
-		keyPos  []int    // positions in the atom keyed on bound vars
-		keyVars []string // the corresponding variable names
-		index   map[string][]relation.Tuple
-		allPass []relation.Tuple // used when keyPos is empty
+		atom       query.Atom
+		rel        *relation.Relation
+		keyPos     []int          // positions in the atom keyed on bound vars
+		keyVars    []string       // the corresponding variable names
+		keyScratch relation.Tuple // reused row for probe-key assembly
+		index      map[string][]relation.Tuple
+		allPass    []relation.Tuple // used when keyPos is empty
 	}
 	bound := make(map[string]bool)
 	steps := make([]*step, len(order))
@@ -91,6 +92,7 @@ func Evaluate(db *relation.Database, q *query.CQ) ([]relation.Tuple, error) {
 				}
 			}
 		}
+		st.keyScratch = make(relation.Tuple, len(st.keyVars))
 		for _, t := range a.Terms {
 			if t.IsVar() {
 				bound[t.Var] = true
@@ -101,6 +103,7 @@ func Evaluate(db *relation.Database, q *query.CQ) ([]relation.Tuple, error) {
 
 	assignment := make(map[string]relation.Value)
 	seen := make(map[string]bool)
+	var keyBuf []byte // reused probe-key buffer (canonical relation encoding)
 	var out []relation.Tuple
 
 	var rec func(si int)
@@ -122,11 +125,11 @@ func Evaluate(db *relation.Database, q *query.CQ) ([]relation.Tuple, error) {
 		if st.index == nil {
 			candidates = st.allPass
 		} else {
-			key := make(relation.Tuple, len(st.keyVars))
 			for i, v := range st.keyVars {
-				key[i] = assignment[v]
+				st.keyScratch[i] = assignment[v]
 			}
-			candidates = st.index[key.Key()]
+			keyBuf = st.keyScratch.AppendKey(keyBuf[:0])
+			candidates = st.index[string(keyBuf)]
 		}
 		for _, tu := range candidates {
 			// Bind new variables; remember which to unbind.

@@ -242,6 +242,12 @@ func (fj *FullJoin) Answers() []relation.Tuple {
 		}
 		out = append(out, t)
 	}
+	// Materialize each node's rows once up front (Tuples copies out of the
+	// columns; doing it inside the recursion would re-copy per branch).
+	rows := make(map[*Node][]relation.Tuple, len(fj.Nodes))
+	for _, n := range fj.Nodes {
+		rows[n] = n.Rel.Tuples()
+	}
 	var recAll func(pending []*Node, b binding)
 	recAll = func(pending []*Node, b binding) {
 		if len(pending) == 0 {
@@ -251,7 +257,7 @@ func (fj *FullJoin) Answers() []relation.Tuple {
 		n := pending[0]
 		rest := pending[1:]
 		schema := n.Rel.Schema()
-		for _, tu := range n.Rel.Tuples() {
+		for _, tu := range rows[n] {
 			ok := true
 			for i, v := range schema {
 				if val, bound := b[v]; bound && val != tu[i] {

@@ -59,17 +59,22 @@ func Instantiate(db *relation.Database, q *query.CQ, atomIdx int) (*relation.Rel
 
 	name := fmt.Sprintf("%s#%d[%s]", q.Name, atomIdx, a.Relation)
 	out := relation.NewRelation(name, schema)
-	for _, tu := range base.Tuples() {
+	// Columnar scan: selection conditions read the base columns in place and
+	// the projection gathers into a reused scratch row (Insert copies it) —
+	// no per-tuple materialization.
+	scratch := make(relation.Tuple, len(varPos))
+	n := base.Len()
+	for i := 0; i < n; i++ {
 		ok := true
 		for pos, t := range a.Terms {
 			if !t.IsVar() {
-				if tu[pos] != t.Const {
+				if base.At(i, pos) != t.Const {
 					ok = false
 					break
 				}
 				continue
 			}
-			if tu[pos] != tu[firstPos[t.Var]] {
+			if base.At(i, pos) != base.At(i, firstPos[t.Var]) {
 				ok = false
 				break
 			}
@@ -77,7 +82,10 @@ func Instantiate(db *relation.Database, q *query.CQ, atomIdx int) (*relation.Rel
 		if !ok {
 			continue
 		}
-		if _, err := out.Insert(tu.Project(varPos)); err != nil {
+		for k, p := range varPos {
+			scratch[k] = base.At(i, p)
+		}
+		if _, err := out.Insert(scratch); err != nil {
 			return nil, err
 		}
 	}

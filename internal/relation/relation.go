@@ -5,24 +5,47 @@ import (
 	"sort"
 )
 
-// Relation is a finite set of tuples over a schema. Insertion order is
-// preserved and duplicates are rejected; this determinism is what later lets
-// two access structures built from filtered versions of the same relation
-// have *compatible* enumeration orders (Section 5.2 of the paper).
+// Relation is a finite set of tuples over a schema, stored column-major: one
+// contiguous []Value per attribute. Insertion order is preserved and
+// duplicates are rejected; this determinism is what later lets two access
+// structures built from filtered versions of the same relation have
+// *compatible* enumeration orders (Section 5.2 of the paper).
+//
+// Duplicate detection is backed by a packed 64-bit key index for relations of
+// arity ≤ 2 (no per-tuple string allocation on load) and by the canonical
+// string-key index otherwise.
+//
+// # Concurrency
+//
+// A Relation is not synchronized. The contract used across the library is
+// build-then-share: mutations (Insert, SemijoinWith, SortTuples) happen
+// during preprocessing on one goroutine; after an index is built over the
+// relation, the column arrays are immutable and may be read — including via
+// Col, which exposes them directly — from any number of goroutines.
 type Relation struct {
 	name   string
 	schema Schema
-	tuples []Tuple
-	index  map[string]int // Tuple.Key() -> position in tuples
+	cols   [][]Value
+	n      int
+
+	// Full-tuple duplicate index: exactly one of pindex/windex is non-nil.
+	pindex map[uint64]int32
+	windex map[string]int32
 }
 
 // NewRelation creates an empty relation with the given name and schema.
 func NewRelation(name string, schema Schema) *Relation {
-	return &Relation{
+	r := &Relation{
 		name:   name,
 		schema: schema,
-		index:  make(map[string]int),
+		cols:   make([][]Value, len(schema)),
 	}
+	if len(schema) <= 2 {
+		r.pindex = make(map[uint64]int32)
+	} else {
+		r.windex = make(map[string]int32)
+	}
+	return r
 }
 
 // Name returns the relation's name.
@@ -35,21 +58,101 @@ func (r *Relation) Schema() Schema { return r.schema }
 func (r *Relation) Arity() int { return len(r.schema) }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.n }
 
-// Insert adds a tuple. It returns an error on arity mismatch and reports
-// whether the tuple was newly added (false means it was already present —
-// set semantics).
+// Col returns the column of attribute position a: Col(a)[i] is tuple i's
+// value at a. The slice aliases the relation's storage — callers must treat
+// it as read-only, and may share it freely once the relation is no longer
+// being mutated (see the concurrency contract above).
+func (r *Relation) Col(a int) []Value { return r.cols[a] }
+
+// At returns the value of tuple i at attribute position a.
+func (r *Relation) At(i, a int) Value { return r.cols[a][i] }
+
+// appendRow appends t's values to the columns (no duplicate check).
+func (r *Relation) appendRow(t Tuple) {
+	for a := range r.cols {
+		r.cols[a] = append(r.cols[a], t[a])
+	}
+	r.n++
+}
+
+// keyAt returns the canonical string key of row i's values at positions.
+func (r *Relation) keyAt(i int, positions []int) string {
+	b := make([]byte, 0, 8*len(positions))
+	for _, p := range positions {
+		b = appendValue(b, r.cols[p][i])
+	}
+	return string(b)
+}
+
+// packAt packs row i's values at positions (len ≤ 2) into a uint64 key.
+func (r *Relation) packAt(i int, positions []int) (uint64, bool) {
+	switch len(positions) {
+	case 0:
+		return 0, true
+	case 1:
+		return uint64(r.cols[positions[0]][i]), true
+	case 2:
+		a, b := r.cols[positions[0]][i], r.cols[positions[1]][i]
+		if !packable32(a) || !packable32(b) {
+			return 0, false
+		}
+		return packPair(a, b), true
+	}
+	return 0, false
+}
+
+// migrateWideIndex rebuilds the duplicate index with string keys (first
+// unpackable tuple on an arity-≤2 relation).
+func (r *Relation) migrateWideIndex() {
+	r.windex = make(map[string]int32, r.n)
+	var buf [KeyBufCap]byte
+	for i := 0; i < r.n; i++ {
+		b := KeyScratch(&buf, len(r.cols))
+		for a := range r.cols {
+			b = appendValue(b, r.cols[a][i])
+		}
+		r.windex[string(b)] = int32(i)
+	}
+	r.pindex = nil
+}
+
+// MaxTuples is the hard per-relation size limit: tuple positions are stored
+// as int32 throughout the engine (position indexes, groupings, the access
+// index's flattened bucket tables), so a relation must stay below 2^31-1
+// rows. Insert fails explicitly at the limit instead of wrapping silently.
+const MaxTuples = 1<<31 - 1
+
+// Insert adds a tuple. It returns an error on arity mismatch (or on a
+// relation at MaxTuples) and reports whether the tuple was newly added
+// (false means it was already present — set semantics). The tuple's values
+// are copied; callers may reuse t.
 func (r *Relation) Insert(t Tuple) (bool, error) {
 	if len(t) != len(r.schema) {
 		return false, fmt.Errorf("relation %s: tuple arity %d != schema arity %d", r.name, len(t), len(r.schema))
 	}
-	k := t.Key()
-	if _, dup := r.index[k]; dup {
+	if r.n >= MaxTuples {
+		return false, fmt.Errorf("relation %s: at the %d-tuple limit (positions are int32)", r.name, MaxTuples)
+	}
+	if r.pindex != nil {
+		if k, ok := packVals(t...); ok {
+			if _, dup := r.pindex[k]; dup {
+				return false, nil
+			}
+			r.pindex[k] = int32(r.n)
+			r.appendRow(t)
+			return true, nil
+		}
+		r.migrateWideIndex()
+	}
+	var buf [KeyBufCap]byte
+	b := t.AppendKey(KeyScratch(&buf, len(t)))
+	if _, dup := r.windex[string(b)]; dup {
 		return false, nil
 	}
-	r.index[k] = len(r.tuples)
-	r.tuples = append(r.tuples, t)
+	r.windex[string(b)] = int32(r.n)
+	r.appendRow(t)
 	return true, nil
 }
 
@@ -60,45 +163,139 @@ func (r *Relation) MustInsert(vals ...Value) {
 	}
 }
 
-// Tuple returns the i-th tuple in insertion order. Callers must not mutate it.
-func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
-
-// Tuples returns the underlying tuple slice. Callers must not mutate it.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
-
-// Contains reports whether t is in the relation.
-func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.index[t.Key()]
-	return ok
+// Tuple returns the i-th tuple in insertion order, gathered from the columns
+// into a fresh Tuple. Hot paths should read columns directly (Col, At,
+// ReadTuple) instead.
+func (r *Relation) Tuple(i int) Tuple {
+	t := make(Tuple, len(r.cols))
+	for a, col := range r.cols {
+		t[a] = col[i]
+	}
+	return t
 }
 
-// Position returns the insertion position of t, or -1.
+// ReadTuple gathers the i-th tuple into buf (len must equal the arity) —
+// the allocation-free form of Tuple.
+func (r *Relation) ReadTuple(i int, buf Tuple) {
+	for a, col := range r.cols {
+		buf[a] = col[i]
+	}
+}
+
+// Tuples materializes all tuples in insertion order (one contiguous backing
+// array, two allocations). It is a copy: intended for cold paths — oracles,
+// bulk loads, tests; hot paths iterate the columns. Callers must not mutate
+// the returned tuples (they may share backing with future calls' captures).
+func (r *Relation) Tuples() []Tuple {
+	arity := len(r.cols)
+	out := make([]Tuple, r.n)
+	if arity == 0 {
+		for i := range out {
+			out[i] = Tuple{}
+		}
+		return out
+	}
+	backing := make([]Value, r.n*arity)
+	for i := range out {
+		t := backing[i*arity : (i+1)*arity : (i+1)*arity]
+		for a, col := range r.cols {
+			t[a] = col[i]
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// Contains reports whether t is in the relation.
+func (r *Relation) Contains(t Tuple) bool { return r.Position(t) >= 0 }
+
+// Position returns the insertion position of t, or -1. Allocation-free for
+// packed indexes and for arities ≤ 32.
 func (r *Relation) Position(t Tuple) int {
-	if i, ok := r.index[t.Key()]; ok {
-		return i
+	if len(t) != len(r.schema) {
+		return -1
+	}
+	if r.pindex != nil {
+		k, ok := packVals(t...)
+		if !ok {
+			return -1 // every stored tuple is packable; t cannot be present
+		}
+		if p, ok := r.pindex[k]; ok {
+			return int(p)
+		}
+		return -1
+	}
+	var buf [KeyBufCap]byte
+	b := t.AppendKey(KeyScratch(&buf, len(t)))
+	if p, ok := r.windex[string(b)]; ok {
+		return int(p)
+	}
+	return -1
+}
+
+// PositionProjected returns the insertion position of the tuple whose i-th
+// value is src[proj[i]] — Position(src.Project(proj)) without the
+// intermediate tuple, and allocation-free on the same terms as Position.
+// len(proj) must equal the relation's arity. This is the constant-time
+// "locate the node tuple inside an answer" step of inverted access
+// (Algorithm 4 line 4).
+func (r *Relation) PositionProjected(src Tuple, proj []int) int {
+	if len(proj) != len(r.schema) {
+		return -1
+	}
+	if r.pindex != nil {
+		var k uint64
+		switch len(proj) {
+		case 0:
+			k = 0
+		case 1:
+			k = uint64(src[proj[0]])
+		default:
+			a, b := src[proj[0]], src[proj[1]]
+			if !packable32(a) || !packable32(b) {
+				return -1
+			}
+			k = packPair(a, b)
+		}
+		if p, ok := r.pindex[k]; ok {
+			return int(p)
+		}
+		return -1
+	}
+	var buf [KeyBufCap]byte
+	b := src.AppendProjectedKey(KeyScratch(&buf, len(proj)), proj)
+	if p, ok := r.windex[string(b)]; ok {
+		return int(p)
 	}
 	return -1
 }
 
 // Rename returns a view of r with a new name and schema (same tuples). The
-// new schema must have the same arity. Tuples are shared, not copied: this is
-// how a query atom R(x, y) binds relation attributes to query variables.
+// new schema must have the same arity. Columns and index are shared, not
+// copied: this is how a query atom R(x, y) binds relation attributes to
+// query variables. Mutating either relation afterwards corrupts the other;
+// renamed views are read-only by convention.
 func (r *Relation) Rename(name string, schema Schema) (*Relation, error) {
 	if len(schema) != len(r.schema) {
 		return nil, fmt.Errorf("relation %s: rename to arity %d != %d", r.name, len(schema), len(r.schema))
 	}
-	return &Relation{name: name, schema: schema, tuples: r.tuples, index: r.index}, nil
+	return &Relation{name: name, schema: schema, cols: r.cols, n: r.n, pindex: r.pindex, windex: r.windex}, nil
 }
 
 // Filter returns a new relation containing the tuples satisfying keep, in the
 // original relative order (order preservation is required for compatible
-// enumeration orders across selections of the same base relation).
+// enumeration orders across selections of the same base relation). The tuple
+// passed to keep is a scratch buffer reused between calls — read it, do not
+// retain it.
 func (r *Relation) Filter(name string, keep func(Tuple) bool) *Relation {
 	out := NewRelation(name, r.schema)
-	for _, t := range r.tuples {
-		if keep(t) {
-			out.index[t.Key()] = len(out.tuples)
-			out.tuples = append(out.tuples, t)
+	scratch := make(Tuple, len(r.cols))
+	for i := 0; i < r.n; i++ {
+		r.ReadTuple(i, scratch)
+		if keep(scratch) {
+			if _, err := out.Insert(scratch); err != nil {
+				panic(err) // unreachable: schemas are identical
+			}
 		}
 	}
 	return out
@@ -112,13 +309,14 @@ func (r *Relation) Project(name string, attrs []string) (*Relation, error) {
 		return nil, err
 	}
 	out := NewRelation(name, Schema(attrs))
-	for _, t := range r.tuples {
-		p := t.Project(pos)
-		if _, dup := out.index[p.Key()]; dup {
-			continue
+	scratch := make(Tuple, len(pos))
+	for i := 0; i < r.n; i++ {
+		for k, p := range pos {
+			scratch[k] = r.cols[p][i]
 		}
-		out.index[p.Key()] = len(out.tuples)
-		out.tuples = append(out.tuples, p)
+		if _, err := out.Insert(scratch); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -127,73 +325,151 @@ func (r *Relation) Project(name string, attrs []string) (*Relation, error) {
 // tuple in s on their shared attributes: r ← r ⋉ s. If the relations share no
 // attributes, r is unchanged when s is non-empty and emptied when s is empty
 // (the join with an empty relation is empty). It returns the number of tuples
-// removed. Linear time in |r| + |s|.
+// removed. Linear time in |r| + |s|: both sides are grouped on the shared
+// attributes once, a group-ID membership bitmap is computed with one lookup
+// per distinct r-side key (not per tuple), and surviving rows are compacted
+// column by column.
 func (r *Relation) SemijoinWith(s *Relation) int {
 	shared := r.schema.Intersect(s.schema)
 	if len(shared) == 0 {
 		if s.Len() > 0 {
 			return 0
 		}
-		n := len(r.tuples)
-		r.tuples = nil
-		r.index = make(map[string]int)
+		n := r.n
+		r.clear()
 		return n
 	}
 	rPos, _ := r.schema.Positions(shared)
 	sPos, _ := s.schema.Positions(shared)
-	present := make(map[string]bool, s.Len())
-	for _, t := range s.tuples {
-		present[t.ProjectKey(sPos)] = true
-	}
-	kept := r.tuples[:0]
+	rg := r.GroupBy(rPos)
+	sg := s.GroupBy(sPos)
+	keep := NewBitset(rg.NumGroups())
 	removed := 0
-	for _, t := range r.tuples {
-		if present[t.ProjectKey(rPos)] {
-			kept = append(kept, t)
-		} else {
-			removed++
+	for g := 0; g < rg.NumGroups(); g++ {
+		if _, ok := sg.LookupAt(r, int(rg.First[g]), rPos); ok {
+			keep.Set(g)
 		}
+	}
+	w := 0
+	for i := 0; i < r.n; i++ {
+		if !keep.Get(int(rg.GroupOf[i])) {
+			removed++
+			continue
+		}
+		if w != i {
+			for a := range r.cols {
+				r.cols[a][w] = r.cols[a][i]
+			}
+		}
+		w++
 	}
 	if removed > 0 {
-		r.tuples = kept
-		r.index = make(map[string]int, len(kept))
-		for i, t := range r.tuples {
-			r.index[t.Key()] = i
+		for a := range r.cols {
+			r.cols[a] = r.cols[a][:w]
 		}
+		r.n = w
+		r.reindex()
 	}
 	return removed
 }
 
-// Clone returns a deep-enough copy of r: the tuple slice and index are fresh,
-// tuple contents are shared (tuples are treated as immutable).
+// clear empties the relation in place.
+func (r *Relation) clear() {
+	for a := range r.cols {
+		r.cols[a] = nil
+	}
+	r.n = 0
+	if r.pindex != nil {
+		r.pindex = make(map[uint64]int32)
+	} else {
+		r.windex = make(map[string]int32)
+	}
+}
+
+// reindex rebuilds the duplicate index from the columns (positions changed).
+func (r *Relation) reindex() {
+	if r.pindex != nil {
+		all := r.allPositions()
+		r.pindex = make(map[uint64]int32, r.n)
+		for i := 0; i < r.n; i++ {
+			k, ok := r.packAt(i, all)
+			if !ok {
+				r.migrateWideIndex()
+				return
+			}
+			r.pindex[k] = int32(i)
+		}
+		return
+	}
+	r.windex = make(map[string]int32, r.n)
+	var buf [KeyBufCap]byte
+	for i := 0; i < r.n; i++ {
+		b := KeyScratch(&buf, len(r.cols))
+		for a := range r.cols {
+			b = appendValue(b, r.cols[a][i])
+		}
+		r.windex[string(b)] = int32(i)
+	}
+}
+
+// allPositions returns [0, 1, ..., arity-1].
+func (r *Relation) allPositions() []int {
+	out := make([]int, len(r.cols))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Clone returns a deep copy of r: columns and index are fresh.
 func (r *Relation) Clone() *Relation {
 	out := NewRelation(r.name, r.schema)
-	out.tuples = make([]Tuple, len(r.tuples))
-	copy(out.tuples, r.tuples)
-	for k, v := range r.index {
-		out.index[k] = v
+	for a := range r.cols {
+		out.cols[a] = append([]Value(nil), r.cols[a]...)
+	}
+	out.n = r.n
+	if r.pindex != nil {
+		out.pindex = make(map[uint64]int32, len(r.pindex))
+		for k, v := range r.pindex {
+			out.pindex[k] = v
+		}
+	} else {
+		out.pindex = nil
+		out.windex = make(map[string]int32, len(r.windex))
+		for k, v := range r.windex {
+			out.windex[k] = v
+		}
 	}
 	return out
 }
 
 // SortTuples sorts the tuples lexicographically and rebuilds the index. Used
-// by tests that need canonical order; the enumeration algorithms never
-// require sorted input.
+// by the canonical-order mode and by tests that need content-determined
+// order; the enumeration algorithms never require sorted input.
 func (r *Relation) SortTuples() {
-	sort.Slice(r.tuples, func(i, j int) bool {
-		a, b := r.tuples[i], r.tuples[j]
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
+	perm := make([]int, r.n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(x, y int) bool {
+		i, j := perm[x], perm[y]
+		for _, col := range r.cols {
+			if col[i] != col[j] {
+				return col[i] < col[j]
 			}
 		}
 		return false
 	})
-	for i, t := range r.tuples {
-		r.index[t.Key()] = i
+	for a, col := range r.cols {
+		nc := make([]Value, r.n)
+		for x, i := range perm {
+			nc[x] = col[i]
+		}
+		r.cols[a] = nc
 	}
+	r.reindex()
 }
 
 func (r *Relation) String() string {
-	return fmt.Sprintf("%s%v[%d tuples]", r.name, r.schema, len(r.tuples))
+	return fmt.Sprintf("%s%v[%d tuples]", r.name, r.schema, r.n)
 }

@@ -1,6 +1,8 @@
 package relation
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -86,6 +88,59 @@ func TestDictStringUninterned(t *testing.T) {
 	d := NewDict()
 	if got := d.String(12345); got != "#12345" {
 		t.Fatalf("uninterned String = %q", got)
+	}
+}
+
+// TestDictStringNoSlotCollision pins the bounds-check regression: the old
+// comparison converted the value to int before comparing against the slice
+// length, so a huge never-interned value (e.g. 2^32 + slot) truncates on
+// 32-bit platforms and renders a *real* intern slot's string. The rendering
+// of an out-of-range value must always be "#N", for any N.
+func TestDictStringNoSlotCollision(t *testing.T) {
+	d := NewDict()
+	d.Intern("a") // slot 1
+	d.Intern("b") // slot 2
+	for _, v := range []Value{
+		Value(1) << 32,       // truncates to 0 under int32 conversion
+		Value(1)<<32 + 2,     // truncates to real slot 2
+		Value(math.MaxInt64), // truncates to -1
+		-1,                   // negative: never a slot
+		Value(math.MinInt64), // negative extreme
+		3,                    // one past the last real slot
+	} {
+		want := fmt.Sprintf("#%d", int64(v))
+		if got := d.String(v); got != want {
+			t.Errorf("String(%d) = %q, want %q (collided with an intern slot)", int64(v), got, want)
+		}
+	}
+}
+
+// TestDictStringDuringGrowth exercises the race-adjacent lookup path: while
+// one goroutine interns new strings (growing byValue), concurrent String
+// calls on a value that is out of range at call time must return either the
+// stable "#N" rendering or — once the slot is filled — exactly the string
+// interned at N, never a different slot's string.
+func TestDictStringDuringGrowth(t *testing.T) {
+	d := NewDict()
+	const n = 2000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			d.Intern(fmt.Sprintf("s%d", i))
+		}
+	}()
+	probe := Value(n / 2) // becomes the slot of "s<n/2-1>" mid-run
+	wantLate := fmt.Sprintf("s%d", int(probe)-1)
+	wantEarly := fmt.Sprintf("#%d", int64(probe))
+	for i := 0; i < 10000; i++ {
+		if got := d.String(probe); got != wantEarly && got != wantLate {
+			t.Fatalf("String(%d) = %q mid-growth, want %q or %q", int64(probe), got, wantEarly, wantLate)
+		}
+	}
+	<-done
+	if got := d.String(probe); got != wantLate {
+		t.Fatalf("String(%d) = %q after growth, want %q", int64(probe), got, wantLate)
 	}
 }
 

@@ -3,9 +3,16 @@
 // and the linear-time operators (selection, projection, semijoin) required by
 // the enumeration algorithms.
 //
+// Storage is column-major (see Relation): one contiguous []Value per
+// attribute, with dense group IDs (see GroupBy) replacing string-keyed hash
+// maps on every hot path. String keys survive only as the fallback for wide
+// or non-packable tuples, and every string key in the codebase is produced by
+// the single canonical encoder in this file.
+//
 // The paper's computation model is the DRAM variant of the RAM model with
 // uniform cost measure, which permits constant-time lookup tables of
-// polynomial size. Go hash maps play that role here.
+// polynomial size. Go hash maps (and, after preprocessing, plain arrays
+// indexed by group ID) play that role here.
 package relation
 
 import (
@@ -42,27 +49,46 @@ func (t Tuple) Equal(u Tuple) bool {
 	return true
 }
 
+// appendValue appends the canonical fixed-width encoding of v (8 bytes,
+// big-endian) to dst. This is THE tuple-key encoder of the codebase: every
+// string-keyed map over tuples — relation indexes, dynamic-index buckets,
+// the naive evaluator's join indexes, the samplers' seen-sets — goes through
+// this function via Key / ProjectKey / AppendKey / AppendProjectedKey.
+// Do not re-implement the encoding elsewhere; distinct tuples of equal arity
+// must keep producing distinct keys, and mixed encoders would silently break
+// cross-package key comparisons.
+func appendValue(dst []byte, v Value) []byte {
+	u := uint64(v)
+	return append(dst,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+// AppendKey appends the canonical key encoding of t to dst and returns the
+// extended slice. Passing a stack buffer's [:0] slice keeps hot lookups
+// allocation-free: m[string(b)] map reads do not copy the key.
+func (t Tuple) AppendKey(dst []byte) []byte {
+	for _, v := range t {
+		dst = appendValue(dst, v)
+	}
+	return dst
+}
+
+// AppendProjectedKey appends the canonical key encoding of t's values at the
+// given positions to dst (Project followed by AppendKey without the
+// intermediate tuple).
+func (t Tuple) AppendProjectedKey(dst []byte, positions []int) []byte {
+	for _, pos := range positions {
+		dst = appendValue(dst, t[pos])
+	}
+	return dst
+}
+
 // Key encodes the tuple as a string usable as a hash-map key. The encoding is
 // fixed-width (8 bytes per value, big-endian) so distinct tuples of the same
 // arity always produce distinct keys.
 func (t Tuple) Key() string {
-	b := make([]byte, 8*len(t))
-	for i, v := range t {
-		putValue(b[8*i:], v)
-	}
-	return string(b)
-}
-
-func putValue(b []byte, v Value) {
-	u := uint64(v)
-	b[0] = byte(u >> 56)
-	b[1] = byte(u >> 48)
-	b[2] = byte(u >> 40)
-	b[3] = byte(u >> 32)
-	b[4] = byte(u >> 24)
-	b[5] = byte(u >> 16)
-	b[6] = byte(u >> 8)
-	b[7] = byte(u)
+	return string(t.AppendKey(make([]byte, 0, 8*len(t))))
 }
 
 // Project returns the sub-tuple at the given positions.
@@ -77,11 +103,55 @@ func (t Tuple) Project(positions []int) Tuple {
 // ProjectKey is Project followed by Key without allocating the intermediate
 // tuple.
 func (t Tuple) ProjectKey(positions []int) string {
-	b := make([]byte, 8*len(positions))
-	for i, pos := range positions {
-		putValue(b[8*i:], t[pos])
+	return string(t.AppendProjectedKey(make([]byte, 0, 8*len(positions)), positions))
+}
+
+// Packed 64-bit keys: a tuple key of one attribute is the value itself
+// (uint64(v) is a bijection on int64), and a key of two attributes packs both
+// values into one word when each fits 32 bits — true for every
+// dictionary-encoded value until the dictionary exceeds 4Gi entries. Wider or
+// non-packable keys fall back to the canonical string encoding above.
+
+// packable32 reports whether v fits the 32-bit half of a packed pair key.
+func packable32(v Value) bool { return v >= 0 && v < 1<<32 }
+
+// packPair packs two 32-bit-packable values into one uint64 key.
+func packPair(a, b Value) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// packVals packs up to two values into a uint64 key; ok is false when the
+// values do not fit the packed representation (the caller falls back to the
+// string encoding).
+func packVals(vals ...Value) (uint64, bool) {
+	switch len(vals) {
+	case 0:
+		return 0, true
+	case 1:
+		return uint64(vals[0]), true
+	case 2:
+		if !packable32(vals[0]) || !packable32(vals[1]) {
+			return 0, false
+		}
+		return packPair(vals[0], vals[1]), true
 	}
-	return string(b)
+	return 0, false
+}
+
+// KeyBufCap is the stack-buffer size used for allocation-free string-key
+// lookups: keys of up to KeyBufCap/8 attributes never touch the heap. The
+// constant is exported so other packages encoding probe keys (dynaccess) can
+// size their stack buffers to match.
+const KeyBufCap = 256
+
+// KeyScratch returns a key-encoding destination for n encoded values: the
+// caller's stack buffer when it fits, a heap slice otherwise. Every
+// stack-or-heap key site — here and in consumer packages (dynaccess) —
+// routes through this helper so the sizing rule lives in one place. It is
+// tiny enough to inline, so the buffer stays on the caller's stack.
+func KeyScratch(buf *[KeyBufCap]byte, n int) []byte {
+	if 8*n <= KeyBufCap {
+		return buf[:0]
+	}
+	return make([]byte, 0, 8*n)
 }
 
 // Dict interns strings as Values. It is safe for concurrent use. Value 0 is
@@ -127,12 +197,18 @@ func (d *Dict) Lookup(s string) (Value, bool) {
 	return v, ok
 }
 
-// String returns the string for an interned value, or a numeric rendering if
-// the value was never interned.
+// String returns the string for an interned value, or the stable numeric
+// rendering "#N" for a value outside the dictionary. The bounds check
+// compares in the Value domain: converting first (int(v) < len) truncates
+// huge values on 32-bit platforms, so a never-interned value like 2^32+3
+// would collide with real intern slot 3 and render a foreign string — worse
+// under concurrent growth, where the collision target shifts as other
+// goroutines intern. A value that is out of range at call time always
+// renders "#N", never another slot's string.
 func (d *Dict) String(v Value) string {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if v >= 0 && int(v) < len(d.byValue) {
+	if v >= 0 && v < Value(len(d.byValue)) {
 		return d.byValue[v]
 	}
 	return fmt.Sprintf("#%d", int64(v))

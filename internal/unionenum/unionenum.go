@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/access"
 	"repro/internal/cqenum"
 	"repro/internal/parallel"
 	"repro/internal/query"
@@ -70,9 +71,17 @@ func New(sets []Set, rng *rand.Rand) *Enumerator {
 // disjunct, disjuncts prepared concurrently on the default worker pool) and
 // returns the Algorithm 5 enumerator over their answer sets.
 func NewFromUCQ(db *relation.Database, u *query.UCQ, rng *rand.Rand, opts reduce.Options) (*Enumerator, error) {
+	return NewFromUCQWorkers(db, u, rng, opts, 0)
+}
+
+// NewFromUCQWorkers is NewFromUCQ with the preparation fan-out capped at
+// `workers` goroutines (0 means all cores; 1 prepares the disjuncts serially
+// with serial index builds — the paper's single-threaded setup).
+func NewFromUCQWorkers(db *relation.Database, u *query.UCQ, rng *rand.Rand, opts reduce.Options, workers int) (*Enumerator, error) {
 	sets := make([]Set, len(u.Disjuncts))
-	if err := parallel.ForEach(len(u.Disjuncts), 0, func(i int) error {
-		c, err := cqenum.Prepare(db, u.Disjuncts[i], opts)
+	build := access.BuildOptions{Workers: workers}
+	if err := parallel.ForEach(len(u.Disjuncts), workers, func(i int) error {
+		c, err := cqenum.PrepareWithOptions(db, u.Disjuncts[i], opts, build)
 		if err != nil {
 			return err
 		}

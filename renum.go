@@ -198,7 +198,17 @@ func NewRandomAccessCanonical(db *Database, q *CQ) (*RandomAccess, error) {
 func (r *RandomAccess) Count() int64 { return r.c.Count() }
 
 // Access returns the j-th answer (0-based) of the fixed enumeration order.
+// Its only allocation is the returned tuple; use AccessInto to avoid it.
 func (r *RandomAccess) Access(j int64) (Tuple, error) { return r.c.Index.Access(j) }
+
+// AccessInto is Access writing into a caller-provided buffer of length
+// Count's arity (len(Head())). It is allocation-free — the probe walks the
+// index's group-ID bucket tables with pure array arithmetic — and safe to
+// call concurrently with any other probes (each goroutine needs its own
+// buffer).
+func (r *RandomAccess) AccessInto(j int64, buf Tuple) error {
+	return r.c.Index.AccessInto(j, buf)
+}
 
 // AccessBatch returns Access(j) for every j in js, in order, fanning the
 // O(log |D|) probes out over up to `workers` goroutines (workers <= 0 picks
