@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkAccess/Q0-4         	 8503collector noise
+BenchmarkAccess/Q0-4         	    8503	    138.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAccessBatch-4       	       1	  202435 ns/op	  131160 B/op	       3 allocs/op
+BenchmarkParallelBuild/Serial-4 	       1	40500000 ns/op	27000000 B/op	  618000 allocs/op
+--- BENCH: BenchmarkSomething
+    some_test.go:10: noise
+PASS
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "repro" {
+		t.Fatalf("header = %+v", doc)
+	}
+	if doc.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d results, want 3 (malformed lines skipped)", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkAccess/Q0-4" || b.Runs != 8503 {
+		t.Fatalf("b0 = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 138.2 || b.Metrics["allocs/op"] != 0 {
+		t.Fatalf("b0 metrics = %v", b.Metrics)
+	}
+	if doc.Benchmarks[1].Metrics["B/op"] != 131160 {
+		t.Fatalf("b1 metrics = %v", doc.Benchmarks[1].Metrics)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	doc, err := Parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("got %d results from noise", len(doc.Benchmarks))
+	}
+	// Benchmarks must marshal as [], not null, for downstream consumers.
+	if doc.Benchmarks == nil {
+		t.Fatal("Benchmarks is nil")
+	}
+}

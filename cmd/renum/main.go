@@ -4,7 +4,8 @@
 // Each -table FILE registers a relation: the file's base name (minus .csv) is
 // the relation name, the header row is the schema, and every cell is
 // dictionary-interned (numbers included), so constants in queries must be
-// single-quoted: r(x, '42').
+// single-quoted: r(x, '42'). (The CSV dialect and program grouping rules are
+// shared with the renumd daemon via internal/load.)
 //
 // Usage:
 //
@@ -13,28 +14,30 @@
 //	renum -table r.csv -query "Q(x,y) :- r(x,'42')." -mode access -k 3
 //	renum -table r.csv -query 'Q(x,y) :- r(x,y).' -mode batch -js 5,0,5
 //	renum -table r.csv -query 'Q(x,y) :- r(x,y).' -mode page -offset 1000 -k 50 -workers 4
+//	renum -table r.csv -query 'Q(x,y) :- r(x,y).' -mode explain
 //
 // Modes: count, enum (deterministic order), random (uniform random order),
 // sample (k distinct uniform answers, probes fanned out), access (print the
 // -k-th answer), batch (print the -js positions via AccessBatch), page
-// (PageParallel rows offset..offset+k-1). Multiple rules with the same head
-// form a UCQ (modes count/enum/batch use the mc-UCQ structure; random uses
-// REnum(UCQ)). -workers caps the per-call fan-out of the batch/page modes
-// (0 = all cores).
+// (PageParallel rows offset..offset+k-1), explain (print the compiled plan:
+// the reduced full-join tree with node schemas, cardinalities and join
+// attributes — CQs only). Multiple rules with the same head form a UCQ
+// (modes count/enum/batch use the mc-UCQ structure; random uses REnum(UCQ)).
+// -workers caps the per-call fan-out of the batch/page modes (0 = all
+// cores).
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro"
-	"repro/internal/parser"
+	"repro/internal/load"
 )
 
 type tableList []string
@@ -43,51 +46,62 @@ func (t *tableList) String() string     { return strings.Join(*t, ",") }
 func (t *tableList) Set(s string) error { *t = append(*t, s); return nil }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable args and streams, so the CLI is testable
+// end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("renum", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var tables tableList
-	flag.Var(&tables, "table", "CSV file to load as a relation (repeatable)")
+	fs.Var(&tables, "table", "CSV file to load as a relation (repeatable)")
 	var (
-		queryText = flag.String("query", "", "datalog rule(s), e.g. 'Q(x,y) :- r(x,y).'")
-		mode      = flag.String("mode", "random", "count | enum | random | sample | access | batch | page | explain")
-		k         = flag.Int64("k", 10, "answers to print (random/enum) or position (access)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		offset    = flag.Int64("offset", 0, "first row of the page (mode page)")
-		workers   = flag.Int("workers", 0, "goroutines for batched probes (0 = all cores)")
-		jsArg     = flag.String("js", "", "comma-separated answer positions (mode batch)")
+		queryText = fs.String("query", "", "datalog rule(s), e.g. 'Q(x,y) :- r(x,y).'")
+		mode      = fs.String("mode", "random", "count | enum | random | sample | access | batch | page | explain")
+		k         = fs.Int64("k", 10, "answers to print (random/enum) or position (access)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		offset    = fs.Int64("offset", 0, "first row of the page (mode page)")
+		workers   = fs.Int("workers", 0, "goroutines for batched probes (0 = all cores)")
+		jsArg     = fs.String("js", "", "comma-separated answer positions (mode batch)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *queryText == "" || len(tables) == 0 {
-		fmt.Fprintln(os.Stderr, "renum: -query and at least one -table are required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "renum: -query and at least one -table are required")
+		fs.Usage()
+		return 2
 	}
 
 	db := renum.NewDatabase()
-	for _, path := range tables {
-		if err := loadCSV(db, path); err != nil {
-			fatal(err)
-		}
+	if err := load.Tables(db, tables); err != nil {
+		fmt.Fprintf(stderr, "renum: %v\n", err)
+		return 1
 	}
 
-	rules, err := parser.ParseProgram(*queryText, db.Dict())
+	q, err := load.One(db.Dict(), *queryText)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "renum: %v\n", err)
+		return 1
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	if len(rules) == 1 {
-		runCQ(db, rules[0], *mode, *k, *offset, *jsArg, *workers, rng)
-		return
+	if q.CQ != nil {
+		err = runCQ(stdout, db, q.CQ, *mode, *k, *offset, *jsArg, *workers, rng)
+	} else {
+		err = runUCQ(stdout, db, q.UCQ, *mode, *k, *jsArg, *workers, rng)
 	}
-	u, err := parser.ParseUCQ(*queryText, db.Dict())
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "renum: %v\n", err)
+		return 1
 	}
-	runUCQ(db, u, *mode, *k, *jsArg, *workers, rng)
+	return 0
 }
 
 // parsePositions parses the -js flag ("3,0,17").
-func parsePositions(jsArg string) []int64 {
+func parsePositions(jsArg string) ([]int64, error) {
 	var js []int64
 	for _, part := range strings.Split(jsArg, ",") {
 		part = strings.TrimSpace(part)
@@ -96,29 +110,29 @@ func parsePositions(jsArg string) []int64 {
 		}
 		j, err := strconv.ParseInt(part, 10, 64)
 		if err != nil {
-			fatal(fmt.Errorf("-js: %w", err))
+			return nil, fmt.Errorf("-js: %w", err)
 		}
 		js = append(js, j)
 	}
-	return js
+	return js, nil
 }
 
-func runCQ(db *renum.Database, q *renum.CQ, mode string, k, offset int64, jsArg string, workers int, rng *rand.Rand) {
+func runCQ(out io.Writer, db *renum.Database, q *renum.CQ, mode string, k, offset int64, jsArg string, workers int, rng *rand.Rand) error {
 	ra, err := renum.NewRandomAccess(db, q)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	switch mode {
 	case "count":
-		fmt.Println(ra.Count())
+		fmt.Fprintln(out, ra.Count())
 	case "explain":
-		fmt.Print(ra.Explain())
+		fmt.Fprint(out, ra.Explain())
 	case "access":
 		t, err := ra.Access(k)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		printAnswer(db, ra.Head(), t)
+		printAnswer(out, db, t)
 	case "enum":
 		e := ra.Enumerate()
 		for i := int64(0); i < k; i++ {
@@ -126,7 +140,7 @@ func runCQ(db *renum.Database, q *renum.CQ, mode string, k, offset int64, jsArg 
 			if !ok {
 				break
 			}
-			printAnswer(db, ra.Head(), t)
+			printAnswer(out, db, t)
 		}
 	case "random":
 		p := ra.Permute(rng)
@@ -135,133 +149,103 @@ func runCQ(db *renum.Database, q *renum.CQ, mode string, k, offset int64, jsArg 
 			if !ok {
 				break
 			}
-			printAnswer(db, ra.Head(), t)
+			printAnswer(out, db, t)
 		}
 	case "sample":
 		// SampleN = SampleK with the probes fanned out across -workers.
 		ts, err := ra.SampleN(k, rng)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, t := range ts {
-			printAnswer(db, ra.Head(), t)
+			printAnswer(out, db, t)
 		}
 	case "batch":
-		ts, err := ra.AccessBatch(parsePositions(jsArg), workers)
+		js, err := parsePositions(jsArg)
 		if err != nil {
-			fatal(err)
+			return err
+		}
+		ts, err := ra.AccessBatch(js, workers)
+		if err != nil {
+			return err
 		}
 		for _, t := range ts {
-			printAnswer(db, ra.Head(), t)
+			printAnswer(out, db, t)
 		}
 	case "page":
 		ts, err := ra.PageParallel(offset, k, workers)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, t := range ts {
-			printAnswer(db, ra.Head(), t)
+			printAnswer(out, db, t)
 		}
 	default:
-		fatal(fmt.Errorf("unknown mode %q", mode))
+		return fmt.Errorf("unknown mode %q", mode)
 	}
+	return nil
 }
 
-func runUCQ(db *renum.Database, u *renum.UCQ, mode string, k int64, jsArg string, workers int, rng *rand.Rand) {
-	head := u.Disjuncts[0].Head
+func runUCQ(out io.Writer, db *renum.Database, u *renum.UCQ, mode string, k int64, jsArg string, workers int, rng *rand.Rand) error {
 	switch mode {
 	case "count", "enum", "access", "batch":
 		ua, err := renum.NewUnionAccess(db, u, false)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		switch mode {
 		case "count":
-			fmt.Println(ua.Count())
+			fmt.Fprintln(out, ua.Count())
 		case "access":
 			t, err := ua.Access(k)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			printAnswer(db, head, t)
+			printAnswer(out, db, t)
 		case "enum":
 			for j := int64(0); j < k && j < ua.Count(); j++ {
 				t, err := ua.Access(j)
 				if err != nil {
-					fatal(err)
+					return err
 				}
-				printAnswer(db, head, t)
+				printAnswer(out, db, t)
 			}
 		case "batch":
-			ts, err := ua.AccessBatch(parsePositions(jsArg), workers)
+			js, err := parsePositions(jsArg)
 			if err != nil {
-				fatal(err)
+				return err
+			}
+			ts, err := ua.AccessBatch(js, workers)
+			if err != nil {
+				return err
 			}
 			for _, t := range ts {
-				printAnswer(db, head, t)
+				printAnswer(out, db, t)
 			}
 		}
 	case "random":
 		e, err := renum.NewRandomOrderUnion(db, u, rng)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for i := int64(0); i < k; i++ {
 			t, ok := e.Next()
 			if !ok {
 				break
 			}
-			printAnswer(db, head, t)
+			printAnswer(out, db, t)
 		}
 	default:
-		fatal(fmt.Errorf("unknown mode %q", mode))
-	}
-}
-
-// loadCSV registers one CSV file (header = schema) as a relation named after
-// the file.
-func loadCSV(db *renum.Database, path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	rd := csv.NewReader(f)
-	rows, err := rd.ReadAll()
-	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	if len(rows) < 1 {
-		return fmt.Errorf("%s: empty file", path)
-	}
-	name := strings.TrimSuffix(filepath.Base(path), ".csv")
-	rel, err := db.Create(name, rows[0]...)
-	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	for _, row := range rows[1:] {
-		tup := make(renum.Tuple, len(row))
-		for i, cell := range row {
-			tup[i] = db.Intern(cell)
-		}
-		if _, err := rel.Insert(tup); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
+		return fmt.Errorf("unknown mode %q (unions support count, enum, random, access, batch)", mode)
 	}
 	return nil
 }
 
 // printAnswer renders values through the dictionary.
-func printAnswer(db *renum.Database, head []string, t renum.Tuple) {
+func printAnswer(out io.Writer, db *renum.Database, t renum.Tuple) {
 	parts := make([]string, len(t))
 	for i, v := range t {
 		parts[i] = db.Dict().String(v)
 	}
-	fmt.Printf("%s\n", strings.Join(parts, ", "))
-	_ = head
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "renum: %v\n", err)
-	os.Exit(1)
+	fmt.Fprintln(out, strings.Join(parts, ", "))
 }

@@ -1,0 +1,143 @@
+// Command renumd serves enumeration indexes over HTTP: it loads CSV tables,
+// compiles the -query programs into RandomAccess/UnionAccess/DynamicAccess
+// indexes, and exposes the whole probe surface as a JSON API — so consumers
+// that do not link the Go library can still count, page, sample and
+// enumerate query answers. See internal/server for the endpoint reference.
+//
+// Usage:
+//
+//	renumd -addr :8080 -table r.csv -table s.csv \
+//	       -query 'Q(x, y, z) :- r(x, y), s(y, z).'
+//
+// Each -table FILE registers a relation (base name = relation name, header
+// row = schema, cells interned verbatim). Each -query PROGRAM may hold any
+// number of rules; rules are grouped by head predicate, a multi-rule head
+// becoming a union query. With -dynamic, single-rule full CQs build dynamic
+// indexes that accept POST /v1/{query}/update.
+//
+// Concurrent GET /v1/{query}/access requests landing within
+// -coalesce-window are merged into one AccessBatch probe (0 disables).
+// Cursor sessions started via /v1/{query}/enum/start are evicted after
+// -cursor-ttl of inactivity. -workers caps probe fan-out (0 = all cores).
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get -drain-timeout to finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/load"
+	"repro/internal/server"
+)
+
+type stringList []string
+
+func (l *stringList) String() string     { return strings.Join(*l, ",") }
+func (l *stringList) Set(s string) error { *l = append(*l, s); return nil }
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable plumbing so tests can drive the daemon.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("renumd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var tables, queries stringList
+	fs.Var(&tables, "table", "CSV file to load as a relation (repeatable)")
+	fs.Var(&queries, "query", "datalog program to serve (repeatable)")
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		dynamic      = fs.Bool("dynamic", false, "build dynamic (updatable) indexes for single-rule full CQs")
+		workers      = fs.Int("workers", 0, "probe fan-out for batch/page/sample (0 = all cores)")
+		coalesceWin  = fs.Duration("coalesce-window", 500*time.Microsecond, "window for merging concurrent /access probes (0 disables)")
+		coalesceMax  = fs.Int("coalesce-max", 64, "flush a coalescing round early at this many pending probes")
+		cursorTTL    = fs.Duration("cursor-ttl", 5*time.Minute, "idle eviction of enumeration cursors")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+		noAdmin      = fs.Bool("no-admin", false, "disable the /admin endpoints")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(queries) == 0 || len(tables) == 0 {
+		fmt.Fprintln(stderr, "renumd: at least one -table and one -query are required")
+		fs.Usage()
+		return 2
+	}
+
+	db := renum.NewDatabase()
+	if err := load.Tables(db, tables); err != nil {
+		fmt.Fprintf(stderr, "renumd: %v\n", err)
+		return 1
+	}
+	reg := server.NewRegistry(db, server.CoalesceConfig{
+		Window:   *coalesceWin,
+		MaxBatch: *coalesceMax,
+	}, *workers)
+	for _, program := range queries {
+		names, err := reg.Register(program, *dynamic)
+		if err != nil {
+			fmt.Fprintf(stderr, "renumd: %v\n", err)
+			return 1
+		}
+		for _, name := range names {
+			e, _ := reg.Lookup(name)
+			fmt.Fprintf(stdout, "renumd: serving %s (%s, %d answers)\n", name, e.Kind, e.Count())
+		}
+	}
+
+	srv := server.New(reg, server.Config{
+		Workers:       *workers,
+		CursorTTL:     *cursorTTL,
+		AdminDisabled: *noAdmin,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(stdout, "renumd: listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// Listen failure (port in use, bad addr): nothing to drain.
+		fmt.Fprintf(stderr, "renumd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "renumd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(stderr, "renumd: drain: %v\n", err)
+		return 1
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "renumd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "renumd: bye")
+	return 0
+}

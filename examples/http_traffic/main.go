@@ -1,0 +1,164 @@
+// HTTP traffic: hammer a renumd-style server with mixed probe traffic.
+//
+// The scenario is the serving tier under load: a star-join index is built
+// once, put behind the HTTP API (the same internal/server handler that
+// cmd/renumd serves), and then N client goroutines fire a mixed workload —
+// point accesses (which the server coalesces into batches), explicit
+// batches, pages, counts and samples — over real sockets. At the end the
+// example fetches /metrics and prints the per-endpoint latency summary and
+// the coalescer's merge ratio.
+//
+// Run with: go run ./examples/http_traffic [-clients 8] [-ops 400]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		clients  = flag.Int("clients", 8, "concurrent client goroutines")
+		ops      = flag.Int("ops", 400, "requests per client")
+		tuples   = flag.Int("tuples", 20_000, "tuples per relation")
+		coalesce = flag.Duration("coalesce-window", 300*time.Microsecond, "server access-coalescing window")
+	)
+	flag.Parse()
+
+	// --- Build the dataset and the serving stack --------------------------
+	db, q, err := synth.Star(synth.Config{
+		Relations: 4, TuplesPerRelation: *tuples, KeyDomain: 2_000, SkewS: 1.2, Seed: 7,
+	})
+	if err != nil {
+		fail(err)
+	}
+	// Render the star CQ as program text for the registry (the daemon path).
+	var atoms []string
+	for _, a := range q.Body {
+		terms := make([]string, len(a.Terms))
+		for i, t := range a.Terms {
+			terms[i] = t.Var
+		}
+		atoms = append(atoms, fmt.Sprintf("%s(%s)", a.Relation, strings.Join(terms, ", ")))
+	}
+	program := fmt.Sprintf("Q(%s) :- %s.", strings.Join(q.Head, ", "), strings.Join(atoms, ", "))
+
+	reg := server.NewRegistry(db, server.CoalesceConfig{Window: *coalesce, MaxBatch: 64}, 0)
+	t0 := time.Now()
+	if _, err := reg.Register(program, false); err != nil {
+		fail(err)
+	}
+	entry, _ := reg.Lookup("Q")
+	n := entry.Count()
+	fmt.Printf("index built in %v: %d answers over %d tuples\n", time.Since(t0).Round(time.Millisecond), n, db.Size())
+
+	srv := server.New(reg, server.Config{})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n", base)
+
+	// --- Mixed traffic ----------------------------------------------------
+	var requests, failures atomic.Int64
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *clients}}
+	get := func(url string) {
+		requests.Add(1)
+		resp, err := client.Get(url)
+		if err != nil {
+			failures.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			failures.Add(1)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			for i := 0; i < *ops; i++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // point lookups dominate: the coalescer's diet
+					get(fmt.Sprintf("%s/v1/Q/access?j=%d", base, rng.Int63n(n)))
+				case 4, 5:
+					js := make([]string, 16)
+					for k := range js {
+						js[k] = fmt.Sprint(rng.Int63n(n))
+					}
+					get(fmt.Sprintf("%s/v1/Q/batch?js=%s", base, strings.Join(js, ",")))
+				case 6:
+					get(fmt.Sprintf("%s/v1/Q/page?offset=%d&limit=25", base, rng.Int63n(n)))
+				case 7:
+					get(fmt.Sprintf("%s/v1/Q/sample?k=8&seed=%d", base, rng.Int63()))
+				default:
+					get(base + "/v1/Q/count")
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("\n%d requests from %d clients in %v (%.0f req/s), %d failures\n",
+		requests.Load(), *clients, elapsed.Round(time.Millisecond),
+		float64(requests.Load())/elapsed.Seconds(), failures.Load())
+
+	// --- Report /metrics --------------------------------------------------
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Endpoints []server.EndpointSummary `json:"endpoints"`
+		Coalescer []struct {
+			Query  string `json:"query"`
+			Rounds int64  `json:"rounds"`
+			Served int64  `json:"served"`
+		} `json:"coalescer"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n%-10s %8s %8s %9s %9s %9s %9s\n", "endpoint", "count", "errors", "p50 ms", "p90 ms", "p99 ms", "max ms")
+	for _, ep := range m.Endpoints {
+		fmt.Printf("%-10s %8d %8d %9.3f %9.3f %9.3f %9.3f\n",
+			ep.Endpoint, ep.Count, ep.Errors, ep.MedianMs, ep.P90Ms, ep.P99Ms, ep.MaxMs)
+	}
+	for _, c := range m.Coalescer {
+		if c.Served > 0 {
+			fmt.Printf("\ncoalescer[%s]: %d accesses served by %d batch probes (%.2f per probe)\n",
+				c.Query, c.Served, c.Rounds, float64(c.Served)/float64(c.Rounds))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "http_traffic:", err)
+	os.Exit(1)
+}

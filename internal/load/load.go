@@ -1,0 +1,152 @@
+// Package load turns external inputs — CSV files and datalog query text —
+// into the library's data model. It is the single code path behind both the
+// renum CLI and the renumd daemon, so the CSV dialect and the program
+// grouping rules live here instead of in a main package.
+//
+// # CSV dialect
+//
+// A CSV file registers one relation: the file's base name (minus .csv) is
+// the relation name, the header row is the schema, and every cell is
+// dictionary-interned verbatim (numbers included), so constants in queries
+// must be single-quoted: r(x, '42'). Duplicate rows are deduplicated by
+// Relation.Insert; an empty file (no header) is an error. Registering a name
+// that already exists replaces the previous relation (Database.Add
+// semantics) — indexes built against the old relation keep working, which is
+// what the daemon's load-then-rebuild dataset refresh relies on.
+//
+// # Programs
+//
+// A program is a sequence of datalog rules. Rules are grouped by head
+// predicate, preserving first-appearance order: a head with one rule is a
+// conjunctive query, a head with several rules is a union of CQs (the same
+// convention the parser's ParseUCQ applies, including the #i disjunct
+// renaming for diagnostics).
+package load
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// CSVFile registers the file at path as a relation named after the file
+// (base name minus .csv).
+func CSVFile(db *relation.Database, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), ".csv")
+	if err := CSV(db, name, f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// Tables registers every path in order. It stops at the first error.
+func Tables(db *relation.Database, paths []string) error {
+	for _, path := range paths {
+		if err := CSVFile(db, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV registers one relation from CSV content: the first record is the
+// schema, every later record is a tuple with each cell interned.
+func CSV(db *relation.Database, name string, r io.Reader) error {
+	rd := csv.NewReader(r)
+	rows, err := rd.ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(rows) < 1 {
+		return fmt.Errorf("empty file")
+	}
+	rel, err := db.Create(name, rows[0]...)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows[1:] {
+		tup := make(relation.Tuple, len(row))
+		for i, cell := range row {
+			tup[i] = db.Intern(cell)
+		}
+		if _, err := rel.Insert(tup); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query is one named query of a program: exactly one of CQ or UCQ is set.
+type Query struct {
+	// Name is the head predicate shared by the query's rules.
+	Name string
+	// CQ is the single rule of a one-rule head.
+	CQ *query.CQ
+	// UCQ is the union of a multi-rule head.
+	UCQ *query.UCQ
+}
+
+// Queries parses a datalog program and groups its rules by head predicate
+// (first-appearance order). Constants in the rules are interned into dict.
+func Queries(dict *relation.Dict, text string) ([]Query, error) {
+	rules, err := parser.ParseProgram(text, dict)
+	if err != nil {
+		return nil, err
+	}
+	var order []string
+	byHead := make(map[string][]*query.CQ)
+	for _, q := range rules {
+		if _, seen := byHead[q.Name]; !seen {
+			order = append(order, q.Name)
+		}
+		byHead[q.Name] = append(byHead[q.Name], q)
+	}
+	out := make([]Query, 0, len(order))
+	for _, name := range order {
+		group := byHead[name]
+		if len(group) == 1 {
+			out = append(out, Query{Name: name, CQ: group[0]})
+			continue
+		}
+		// Disambiguate disjunct names for diagnostics, matching ParseUCQ.
+		for i, q := range group {
+			q.Name = fmt.Sprintf("%s#%d", name, i)
+		}
+		u, err := query.NewUCQ(name, group...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Query{Name: name, UCQ: u})
+	}
+	return out, nil
+}
+
+// One parses a program that must define exactly one query (any number of
+// rules, all sharing one head predicate) — the CLI contract of cmd/renum.
+func One(dict *relation.Dict, text string) (Query, error) {
+	qs, err := Queries(dict, text)
+	if err != nil {
+		return Query{}, err
+	}
+	if len(qs) != 1 {
+		names := make([]string, len(qs))
+		for i, q := range qs {
+			names[i] = q.Name
+		}
+		return Query{}, fmt.Errorf("program defines %d queries (%s), want exactly one",
+			len(qs), strings.Join(names, ", "))
+	}
+	return qs[0], nil
+}

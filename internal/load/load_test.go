@@ -1,0 +1,111 @@
+package load
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestCSVFile(t *testing.T) {
+	db := relation.NewDatabase()
+	if err := Tables(db, []string{
+		filepath.Join("testdata", "r.csv"),
+		filepath.Join("testdata", "s.csv"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Relation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Schema().String(), "(a, b)"; got != want {
+		t.Fatalf("r schema = %s, want %s", got, want)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("r has %d tuples, want 4", r.Len())
+	}
+	s, err := db.Relation("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("s has %d tuples, want 4", s.Len())
+	}
+	// Cells are interned verbatim: "1" in r.a and "1" in s.b share a Value.
+	v, ok := db.Dict().Lookup("1")
+	if !ok {
+		t.Fatal(`"1" not interned`)
+	}
+	if got := db.Dict().String(v); got != "1" {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	db := relation.NewDatabase()
+	if err := CSV(db, "empty", strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV: want error")
+	}
+	if err := CSV(db, "r", strings.NewReader("a,b\n1,2\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registering a name replaces the relation (dataset refresh).
+	if err := CSV(db, "r", strings.NewReader("a,b\n3,4\n5,6\n")); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := db.Relation("r"); r.Len() != 2 {
+		t.Fatalf("replaced r has %d tuples, want 2", r.Len())
+	}
+	// Ragged rows are a CSV error.
+	if err := CSV(db, "bad", strings.NewReader("a,b\n1,2,3\n")); err == nil {
+		t.Fatal("ragged row: want error")
+	}
+}
+
+func TestQueriesGrouping(t *testing.T) {
+	db := relation.NewDatabase()
+	qs, err := Queries(db.Dict(), `
+		Q(x, y) :- r(x, y).
+		P(x) :- r(x, y), s(y, z).
+		Q(x, y) :- s(x, y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("got %d queries, want 2", len(qs))
+	}
+	// First-appearance order: Q (two rules → UCQ), then P (one rule → CQ).
+	if qs[0].Name != "Q" || qs[0].UCQ == nil || qs[0].CQ != nil {
+		t.Fatalf("qs[0] = %+v, want UCQ named Q", qs[0])
+	}
+	if len(qs[0].UCQ.Disjuncts) != 2 {
+		t.Fatalf("Q has %d disjuncts, want 2", len(qs[0].UCQ.Disjuncts))
+	}
+	if qs[1].Name != "P" || qs[1].CQ == nil || qs[1].UCQ != nil {
+		t.Fatalf("qs[1] = %+v, want CQ named P", qs[1])
+	}
+}
+
+func TestQueriesArityMismatch(t *testing.T) {
+	db := relation.NewDatabase()
+	if _, err := Queries(db.Dict(), "Q(x, y) :- r(x, y). Q(x) :- s(x, y)."); err == nil {
+		t.Fatal("mismatched disjunct arity: want error")
+	}
+}
+
+func TestOne(t *testing.T) {
+	db := relation.NewDatabase()
+	q, err := One(db.Dict(), "Q(x, y) :- r(x, y). Q(y, x) :- r(x, y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.UCQ == nil {
+		t.Fatal("want UCQ")
+	}
+	if _, err := One(db.Dict(), "Q(x) :- r(x, y). P(x) :- r(x, y)."); err == nil {
+		t.Fatal("two heads: want error")
+	}
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+// coalescer merges concurrent single-position access requests into one
+// AccessBatch call. The first request of a round opens a window; requests
+// arriving while it is open join the round, and when the window elapses (or
+// the round reaches maxBatch) one batch probe answers all of them. The
+// positions keep their identity — request i receives exactly the tuple that
+// a direct Access(j_i) would return (AccessBatch ≡ Access is a pinned
+// library property), so coalesced and uncoalesced responses are
+// byte-identical; only the probe fan-out cost is amortized.
+//
+// Positions must be validated against Count before Do is called: the
+// underlying AccessBatch fails the whole batch on one out-of-range
+// position, and an unvalidated straggler would poison its round-mates.
+type coalescer struct {
+	window   time.Duration
+	maxBatch int
+	workers  int
+	batch    func(js []int64, workers int) ([]renum.Tuple, error)
+
+	mu      sync.Mutex
+	pending []coalWaiter
+	round   uint64 // increments per flush; lets a timer detect a stale round
+
+	// Counters, exported via /metrics: rounds is the number of AccessBatch
+	// calls issued, served the number of requests answered through them.
+	rounds atomic.Int64
+	served atomic.Int64
+}
+
+type coalWaiter struct {
+	j  int64
+	ch chan coalResult
+}
+
+type coalResult struct {
+	t   renum.Tuple
+	err error
+}
+
+func newCoalescer(cfg CoalesceConfig, workers int, batch func([]int64, int) ([]renum.Tuple, error)) *coalescer {
+	mb := cfg.MaxBatch
+	if mb <= 0 {
+		mb = 64
+	}
+	return &coalescer{window: cfg.Window, maxBatch: mb, workers: workers, batch: batch}
+}
+
+// Do answers Access(j) through the current round, blocking until the round
+// flushes.
+func (c *coalescer) Do(j int64) (renum.Tuple, error) {
+	ch := make(chan coalResult, 1)
+	c.mu.Lock()
+	c.pending = append(c.pending, coalWaiter{j: j, ch: ch})
+	if len(c.pending) >= c.maxBatch {
+		batch := c.takeLocked()
+		c.mu.Unlock()
+		c.flush(batch)
+	} else {
+		if len(c.pending) == 1 {
+			round := c.round
+			time.AfterFunc(c.window, func() { c.flushRound(round) })
+		}
+		c.mu.Unlock()
+	}
+	res := <-ch
+	return res.t, res.err
+}
+
+// flushRound flushes the pending round if it is still the one the timer was
+// armed for (a maxBatch flush may have raced ahead and already served it).
+func (c *coalescer) flushRound(round uint64) {
+	c.mu.Lock()
+	if c.round != round || len(c.pending) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	c.flush(batch)
+}
+
+func (c *coalescer) takeLocked() []coalWaiter {
+	batch := c.pending
+	c.pending = nil
+	c.round++
+	return batch
+}
+
+// flush issues one AccessBatch for the round and distributes the answers.
+func (c *coalescer) flush(batch []coalWaiter) {
+	js := make([]int64, len(batch))
+	for i, w := range batch {
+		js[i] = w.j
+	}
+	ts, err := c.batch(js, c.workers)
+	c.rounds.Add(1)
+	c.served.Add(int64(len(batch)))
+	for i, w := range batch {
+		if err != nil {
+			w.ch <- coalResult{err: err}
+			continue
+		}
+		w.ch <- coalResult{t: ts[i]}
+	}
+}
+
+// Stats reports lifetime round and served-request counts.
+func (c *coalescer) Stats() (rounds, served int64) {
+	return c.rounds.Load(), c.served.Load()
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestCoalescerMergesConcurrentAccess is the acceptance-criterion test: two
+// concurrent /access requests must be served by a single AccessBatch call,
+// and the HTTP responses must be byte-identical to an uncoalesced server's.
+//
+// Determinism: the coalesced server's window is effectively infinite and
+// MaxBatch is 2, so the first request can only be released by the second
+// joining its round — the merge is forced, not timing-dependent.
+func TestCoalescerMergesConcurrentAccess(t *testing.T) {
+	coalesced, regC := newTestServer(t, CoalesceConfig{Window: time.Hour, MaxBatch: 2}, Config{})
+	plain, _ := newTestServer(t, CoalesceConfig{}, Config{})
+
+	e, _ := regC.Lookup("Q")
+	if e.coal == nil {
+		t.Fatal("static entry has no coalescer")
+	}
+
+	const n = 2
+	responses := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			raw, status := doRaw(coalesced, "GET", fmt.Sprintf("/v1/Q/access?j=%d", j), "")
+			if status != 200 {
+				t.Errorf("access j=%d status %d: %s", j, status, raw)
+			}
+			responses[j] = raw
+		}(i)
+	}
+	wg.Wait()
+
+	rounds, served := e.coal.Stats()
+	if rounds != 1 {
+		t.Fatalf("2 concurrent accesses used %d AccessBatch calls, want exactly 1", rounds)
+	}
+	if served != n {
+		t.Fatalf("coalescer served %d requests, want %d", served, n)
+	}
+
+	for j := 0; j < n; j++ {
+		want, status := doRaw(plain, "GET", fmt.Sprintf("/v1/Q/access?j=%d", j), "")
+		if status != 200 {
+			t.Fatalf("uncoalesced access j=%d status %d", j, status)
+		}
+		if string(responses[j]) != string(want) {
+			t.Fatalf("j=%d: coalesced response %q differs from uncoalesced %q", j, responses[j], want)
+		}
+	}
+}
+
+// TestCoalescerWindowFlush covers the timer path: a lone request below
+// MaxBatch is released when its window elapses.
+func TestCoalescerWindowFlush(t *testing.T) {
+	var calls atomic.Int64
+	c := newCoalescer(CoalesceConfig{Window: 2 * time.Millisecond, MaxBatch: 64}, 1,
+		func(js []int64, _ int) ([]renum.Tuple, error) {
+			calls.Add(1)
+			out := make([]renum.Tuple, len(js))
+			for i, j := range js {
+				out[i] = renum.Tuple{renum.Value(j)}
+			}
+			return out, nil
+		})
+	tup, err := c.Do(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tup) != 1 || tup[0] != 42 {
+		t.Fatalf("Do(42) = %v", tup)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("batch calls = %d", calls.Load())
+	}
+}
+
+// TestCoalescerKeepsPositionIdentity drives many concurrent positions
+// (several rounds, duplicates included) and checks every waiter got exactly
+// its own answer back.
+func TestCoalescerKeepsPositionIdentity(t *testing.T) {
+	c := newCoalescer(CoalesceConfig{Window: time.Millisecond, MaxBatch: 8}, 1,
+		func(js []int64, _ int) ([]renum.Tuple, error) {
+			out := make([]renum.Tuple, len(js))
+			for i, j := range js {
+				out[i] = renum.Tuple{renum.Value(j)}
+			}
+			return out, nil
+		})
+	const clients = 64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(j int64) {
+			defer wg.Done()
+			tup, err := c.Do(j)
+			if err != nil {
+				t.Errorf("Do(%d): %v", j, err)
+				return
+			}
+			if len(tup) != 1 || int64(tup[0]) != j {
+				t.Errorf("Do(%d) = %v: got someone else's answer", j, tup)
+			}
+		}(int64(i % 16)) // duplicates on purpose
+	}
+	wg.Wait()
+	rounds, served := c.Stats()
+	if served != clients {
+		t.Fatalf("served %d, want %d", served, clients)
+	}
+	if rounds < 1 || rounds > clients {
+		t.Fatalf("implausible round count %d", rounds)
+	}
+}
+
+// TestCoalescerBatchError: a failing batch probe must fail every waiter of
+// its round, not hang them.
+func TestCoalescerBatchError(t *testing.T) {
+	boom := errors.New("boom")
+	c := newCoalescer(CoalesceConfig{Window: time.Hour, MaxBatch: 2}, 1,
+		func(js []int64, _ int) ([]renum.Tuple, error) { return nil, boom })
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(j int64) {
+			defer wg.Done()
+			if _, err := c.Do(j); !errors.Is(err, boom) {
+				t.Errorf("Do(%d) err = %v, want boom", j, err)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+}

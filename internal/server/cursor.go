@@ -1,0 +1,159 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// Cursor-session errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrNoCursor: unknown or expired cursor id.
+	ErrNoCursor = errors.New("server: unknown or expired cursor")
+	// ErrCursorBusy: a second consumer tried to read a cursor mid-call.
+	ErrCursorBusy = errors.New("server: cursor is in use by another request")
+)
+
+// cursor is one stateful enumeration session. Cursors are single-consumer
+// (the library contract for Enumerator/Permutation): instead of queueing a
+// second reader behind the first, Next fails fast with ErrCursorBusy so a
+// misbehaving client cannot pin a server goroutine.
+//
+// A cursor captures the entry it was started on: a registry rebuild does not
+// disturb it — it keeps draining the snapshot it began with, which is the
+// only coherent reading of "enumerate without repetitions" across a swap.
+type cursor struct {
+	id      string
+	query   string // owning query: a cursor is only valid under its own path
+	nextN   func(n int64) ([]renum.Tuple, error)
+	busy    sync.Mutex
+	expires time.Time // guarded by store.mu
+}
+
+// cursorStore owns the live cursors and their TTL accounting. Expiry is
+// enforced both lazily (Get rejects an expired cursor) and by a janitor
+// goroutine that frees abandoned sessions' memory.
+type cursorStore struct {
+	mu   sync.Mutex
+	m    map[string]*cursor
+	ttl  time.Duration
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newCursorStore(ttl time.Duration, sweep time.Duration) *cursorStore {
+	if ttl <= 0 {
+		ttl = 5 * time.Minute
+	}
+	if sweep <= 0 {
+		sweep = ttl / 4
+		if sweep < time.Second {
+			sweep = time.Second
+		}
+	}
+	s := &cursorStore{m: make(map[string]*cursor), ttl: ttl, stop: make(chan struct{})}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		tick := time.NewTicker(sweep)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case now := <-tick.C:
+				s.evict(now)
+			}
+		}
+	}()
+	return s
+}
+
+// Start registers a new session owned by the named query and returns its
+// id.
+func (s *cursorStore) Start(query string, nextN func(int64) ([]renum.Tuple, error)) string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	id := hex.EncodeToString(b[:])
+	c := &cursor{id: id, query: query, nextN: nextN}
+	s.mu.Lock()
+	c.expires = time.Now().Add(s.ttl)
+	s.m[id] = c
+	s.mu.Unlock()
+	return id
+}
+
+// Next draws up to n answers from the cursor, refreshing its TTL. The
+// cursor must belong to query (a cursor id presented under another query's
+// path is treated as unknown). done reports that the enumeration is
+// exhausted (the session is then removed); a probe error leaves the cursor
+// alive so the client can retry.
+func (s *cursorStore) Next(id, query string, n int64) (ts []renum.Tuple, done bool, err error) {
+	now := time.Now()
+	s.mu.Lock()
+	c, ok := s.m[id]
+	if !ok || c.query != query || now.After(c.expires) {
+		s.mu.Unlock()
+		return nil, false, ErrNoCursor
+	}
+	c.expires = now.Add(s.ttl) // refresh while the consumer is active
+	s.mu.Unlock()
+
+	if !c.busy.TryLock() {
+		return nil, false, ErrCursorBusy
+	}
+	defer c.busy.Unlock()
+	ts, err = c.nextN(n)
+	if err != nil {
+		return nil, false, err
+	}
+	if int64(len(ts)) < n {
+		s.mu.Lock()
+		delete(s.m, id)
+		s.mu.Unlock()
+		return ts, true, nil
+	}
+	return ts, false, nil
+}
+
+// Close drops a session explicitly (DELETE /enum). Like Next, it only acts
+// on cursors owned by query.
+func (s *cursorStore) Close(id, query string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.m[id]
+	if !ok || c.query != query {
+		return false
+	}
+	delete(s.m, id)
+	return true
+}
+
+// Len reports the number of live sessions.
+func (s *cursorStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+func (s *cursorStore) evict(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, c := range s.m {
+		if now.After(c.expires) {
+			delete(s.m, id)
+		}
+	}
+}
+
+// Shutdown stops the janitor.
+func (s *cursorStore) Shutdown() {
+	close(s.stop)
+	s.wg.Wait()
+}

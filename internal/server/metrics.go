@@ -1,0 +1,102 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// latencySamples bounds the per-endpoint latency reservoir: quantiles are
+// computed over the most recent window of this many requests.
+const latencySamples = 2048
+
+// endpointMetrics accumulates one endpoint's counters and a ring of recent
+// latencies.
+type endpointMetrics struct {
+	count  int64
+	errors int64
+	ring   [latencySamples]float64 // milliseconds
+	n      int                     // filled slots
+	next   int                     // ring cursor
+}
+
+// metricsRecorder aggregates per-endpoint request counts and latency
+// summaries. One mutex guards everything: the critical section is a few
+// stores, so contention stays negligible next to the probes themselves.
+type metricsRecorder struct {
+	mu    sync.Mutex
+	start time.Time
+	byEP  map[string]*endpointMetrics
+}
+
+func newMetricsRecorder() *metricsRecorder {
+	return &metricsRecorder{start: time.Now(), byEP: make(map[string]*endpointMetrics)}
+}
+
+// observe records one request against the named endpoint.
+func (m *metricsRecorder) observe(endpoint string, d time.Duration, isErr bool) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	ep := m.byEP[endpoint]
+	if ep == nil {
+		ep = &endpointMetrics{}
+		m.byEP[endpoint] = ep
+	}
+	ep.count++
+	if isErr {
+		ep.errors++
+	}
+	ep.ring[ep.next] = ms
+	ep.next = (ep.next + 1) % latencySamples
+	if ep.n < latencySamples {
+		ep.n++
+	}
+	m.mu.Unlock()
+}
+
+// EndpointSummary is the exported per-endpoint metrics document.
+type EndpointSummary struct {
+	Endpoint string  `json:"endpoint"`
+	Count    int64   `json:"count"`
+	Errors   int64   `json:"errors"`
+	Window   int     `json:"latency_window"` // samples behind the quantiles
+	MeanMs   float64 `json:"mean_ms"`
+	MedianMs float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	StdDevMs float64 `json:"stddev_ms"`
+}
+
+// snapshot summarizes every endpoint seen so far, sorted by endpoint name.
+func (m *metricsRecorder) snapshot() (uptime time.Duration, eps []EndpointSummary) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, ep := range m.byEP {
+		xs := make([]float64, ep.n)
+		copy(xs, ep.ring[:ep.n])
+		s := stats.Summarize(xs)
+		sort.Float64s(xs)
+		p90, p99 := 0.0, 0.0
+		if len(xs) > 0 {
+			p90 = stats.Quantile(xs, 0.90)
+			p99 = stats.Quantile(xs, 0.99)
+		}
+		eps = append(eps, EndpointSummary{
+			Endpoint: name,
+			Count:    ep.count,
+			Errors:   ep.errors,
+			Window:   ep.n,
+			MeanMs:   s.Mean,
+			MedianMs: s.Median,
+			P90Ms:    p90,
+			P99Ms:    p99,
+			MaxMs:    s.Max,
+			StdDevMs: s.StdDev,
+		})
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i].Endpoint < eps[j].Endpoint })
+	return time.Since(m.start), eps
+}

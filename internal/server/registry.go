@@ -1,0 +1,271 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/load"
+)
+
+// Entry is one served query: a name, the index kind, and exactly one built
+// index. Entries are immutable once published — a rebuild produces fresh
+// entries and swaps the whole snapshot, it never mutates a live one — so
+// probe handlers read them without locks.
+type Entry struct {
+	// Name is the head predicate the entry is served under.
+	Name string
+	// Kind is "cq", "ucq" or "dynamic".
+	Kind string
+	// Text renders the query for /v1/{query} metadata responses.
+	Text string
+	// src is the parsed query, kept so Rebuild can recompile the entry
+	// against the current database without reparsing.
+	src load.Query
+
+	// Exactly one of the three indexes is non-nil, matching Kind.
+	RA *renum.RandomAccess
+	UA *renum.UnionAccess
+	DA *renum.DynamicAccess
+
+	// coal merges concurrent single-position access requests into batches.
+	// Nil when coalescing is disabled or the kind has no batch primitive.
+	coal *coalescer
+}
+
+// Count returns the entry's current answer count.
+func (e *Entry) Count() int64 {
+	switch e.Kind {
+	case "cq":
+		return e.RA.Count()
+	case "ucq":
+		return e.UA.Count()
+	default:
+		return e.DA.Count()
+	}
+}
+
+// Head returns the entry's output variable order.
+func (e *Entry) Head() []string {
+	switch e.Kind {
+	case "cq":
+		return e.RA.Head()
+	case "ucq":
+		// The mc-UCQ structure exposes no head; all disjuncts share the
+		// first's output order.
+		return e.src.UCQ.Disjuncts[0].Head
+	default:
+		return e.DA.Head()
+	}
+}
+
+// access returns the j-th answer directly, bypassing the coalescer.
+func (e *Entry) access(j int64) (renum.Tuple, error) {
+	switch e.Kind {
+	case "cq":
+		return e.RA.Access(j)
+	case "ucq":
+		return e.UA.Access(j)
+	default:
+		return e.DA.Access(j)
+	}
+}
+
+// accessBatch probes every position in js, fanning out across workers.
+// Dynamic entries have no batch primitive, so they probe serially (each
+// probe takes the index's shared read lock).
+func (e *Entry) accessBatch(js []int64, workers int) ([]renum.Tuple, error) {
+	switch e.Kind {
+	case "cq":
+		return e.RA.AccessBatch(js, workers)
+	case "ucq":
+		return e.UA.AccessBatch(js, workers)
+	default:
+		out := make([]renum.Tuple, len(js))
+		for i, j := range js {
+			t, err := e.DA.Access(j)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = t
+		}
+		return out, nil
+	}
+}
+
+// snapshot is one immutable generation of the registry: a database plus the
+// entries compiled against it. Readers grab the current snapshot with one
+// atomic load and keep using it even if a writer swaps in a successor.
+type snapshot struct {
+	db      *renum.Database
+	entries map[string]*Entry
+	gen     uint64
+}
+
+// Registry owns the served datasets and queries. Reads (Lookup, Snapshot)
+// are lock-free: they atomically load the current snapshot. Writes
+// (LoadTable, Register, Rebuild) serialize on a mutex, build a fresh
+// snapshot aside, and publish it with one atomic swap — in-flight requests
+// on the old snapshot finish undisturbed, new requests see the new
+// generation. This is the concurrency contract the hammer tests enforce.
+type Registry struct {
+	mu   sync.Mutex // serializes writers
+	snap atomic.Pointer[snapshot]
+
+	// coalesce configures the per-entry request coalescer applied to newly
+	// built entries; the zero config disables coalescing.
+	coalesce CoalesceConfig
+	workers  int
+}
+
+// CoalesceConfig tunes the per-entry access coalescer. The zero value
+// disables coalescing (every /access probes the index directly).
+type CoalesceConfig struct {
+	// Window is how long the first request of a batch waits for companions.
+	Window time.Duration
+	// MaxBatch flushes early once this many requests are pending (0 = 64).
+	MaxBatch int
+}
+
+// NewRegistry returns a registry serving db with no queries yet.
+func NewRegistry(db *renum.Database, coalesce CoalesceConfig, workers int) *Registry {
+	r := &Registry{coalesce: coalesce, workers: workers}
+	r.snap.Store(&snapshot{db: db, entries: map[string]*Entry{}})
+	return r
+}
+
+// Snapshot returns the current generation. The result is immutable.
+func (r *Registry) Snapshot() (db *renum.Database, gen uint64) {
+	s := r.snap.Load()
+	return s.db, s.gen
+}
+
+// Lookup returns the entry served under name in the current snapshot.
+func (r *Registry) Lookup(name string) (*Entry, bool) {
+	e, ok := r.snap.Load().entries[name]
+	return e, ok
+}
+
+// Names returns the served query names, sorted.
+func (r *Registry) Names() []string {
+	s := r.snap.Load()
+	out := make([]string, 0, len(s.entries))
+	for n := range s.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadTable registers CSV content as a relation named name in the database.
+// Existing entries keep serving their already-built indexes (they snapshot
+// the data at build time); call Rebuild to recompile them against the new
+// table. Loading a name that already exists replaces that relation.
+func (r *Registry) LoadTable(name string, csv io.Reader) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.snap.Load()
+	if err := load.CSV(cur.db, name, csv); err != nil {
+		return err
+	}
+	// The database object is shared across generations (only writers touch
+	// it, under r.mu; probe paths never read it), but bump the generation so
+	// observers can tell the dataset changed.
+	r.publish(cur.db, cur.entries)
+	return nil
+}
+
+// Register compiles the program text (any number of queries, grouped by
+// head) and publishes a snapshot serving them, replacing same-named entries.
+// With dynamic true, single-rule full CQs build DynamicAccess instead of
+// RandomAccess. It returns the registered query names.
+func (r *Registry) Register(text string, dynamic bool) ([]string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.snap.Load()
+	qs, err := load.Queries(cur.db.Dict(), text)
+	if err != nil {
+		return nil, err
+	}
+	entries := cloneEntries(cur.entries)
+	names := make([]string, 0, len(qs))
+	for _, q := range qs {
+		e, err := r.build(cur.db, q, dynamic)
+		if err != nil {
+			return nil, fmt.Errorf("query %s: %w", q.Name, err)
+		}
+		entries[e.Name] = e
+		names = append(names, e.Name)
+	}
+	r.publish(cur.db, entries)
+	return names, nil
+}
+
+// Rebuild recompiles every entry from its source text against the current
+// database and swaps the whole snapshot atomically. In-flight requests keep
+// reading the generation they started on.
+func (r *Registry) Rebuild() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.snap.Load()
+	entries := make(map[string]*Entry, len(cur.entries))
+	for name, old := range cur.entries {
+		e, err := r.build(cur.db, old.src, old.Kind == "dynamic")
+		if err != nil {
+			return fmt.Errorf("rebuild %s: %w", name, err)
+		}
+		entries[e.Name] = e
+	}
+	r.publish(cur.db, entries)
+	return nil
+}
+
+// build compiles one query into an Entry (no snapshot mutation).
+func (r *Registry) build(db *renum.Database, q load.Query, dynamic bool) (*Entry, error) {
+	e := &Entry{Name: q.Name, src: q}
+	switch {
+	case q.UCQ != nil:
+		ua, err := renum.NewUnionAccess(db, q.UCQ, false)
+		if err != nil {
+			return nil, err
+		}
+		e.Kind, e.UA, e.Text = "ucq", ua, q.UCQ.String()
+	case dynamic:
+		da, err := renum.NewDynamicAccess(db, q.CQ)
+		if err != nil {
+			return nil, err
+		}
+		e.Kind, e.DA, e.Text = "dynamic", da, q.CQ.String()
+	default:
+		ra, err := renum.NewRandomAccess(db, q.CQ)
+		if err != nil {
+			return nil, err
+		}
+		e.Kind, e.RA, e.Text = "cq", ra, q.CQ.String()
+	}
+	// Dynamic entries stay uncoalesced: a concurrent delete can invalidate a
+	// position after the handler validated it, and one stale position would
+	// fail the whole merged batch for its round-mates. Static counts cannot
+	// change, so the up-front validation there is airtight.
+	if r.coalesce.Window > 0 && e.Kind != "dynamic" {
+		e.coal = newCoalescer(r.coalesce, r.workers, e.accessBatch)
+	}
+	return e, nil
+}
+
+func (r *Registry) publish(db *renum.Database, entries map[string]*Entry) {
+	gen := r.snap.Load().gen + 1
+	r.snap.Store(&snapshot{db: db, entries: entries, gen: gen})
+}
+
+func cloneEntries(m map[string]*Entry) map[string]*Entry {
+	out := make(map[string]*Entry, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,665 @@
+// Package server puts the enumeration indexes behind a network socket: a
+// long-lived daemon (cmd/renumd) owning a registry of immutable indexes,
+// serving the whole probe surface over HTTP/JSON to clients that do not
+// link the Go library.
+//
+// # API
+//
+// Probe endpoints (all JSON; {query} is a registered head predicate):
+//
+//	GET  /v1                          → {"queries": [...names]}
+//	GET  /v1/{query}                  → metadata: kind, count, head, rule text
+//	GET  /v1/{query}/count            → {"count": n}
+//	GET  /v1/{query}/access?j=N       → {"j": N, "answer": [...strings]}
+//	GET  /v1/{query}/batch?js=0,5,3   → {"answers": [[...], ...]}   (also POST {"js":[...]})
+//	GET  /v1/{query}/page?offset=&limit= → {"offset": o, "answers": [...]}
+//	GET  /v1/{query}/sample?k=&seed=  → {"answers": [...]} (distinct for cq/ucq,
+//	                                    with replacement for dynamic)
+//	POST /v1/{query}/contains  {"tuple": [...]}  → {"contains": bool}
+//	POST /v1/{query}/inverted  {"tuple": [...]}  → {"j": N, "found": bool}
+//	POST /v1/{query}/update    {"op": "insert"|"delete", "relation": r, "tuple": [...]}
+//	                                  (dynamic entries only)
+//
+// Cursor sessions (stateful enumeration; single-consumer, TTL-evicted):
+//
+//	POST   /v1/{query}/enum/start?order=enum|random&seed=S → {"cursor": id, "ttl_ms": t}
+//	GET    /v1/{query}/enum/next?cursor=&n=               → {"answers": [...], "done": bool}
+//	DELETE /v1/{query}/enum?cursor=                        → {"closed": true}
+//
+// Operations:
+//
+//	GET  /healthz                      → {"ok": true}
+//	GET  /metrics                      → per-endpoint counts + latency quantiles,
+//	                                     coalescer rounds, live cursors, generation
+//	POST /admin/load     {"name": r, "csv": "a,b\n1,2\n"}  → load/replace a table
+//	POST /admin/register {"program": "...", "dynamic": bool} → compile + publish queries
+//	POST /admin/rebuild                → recompile every entry, swap the snapshot
+//
+// # Concurrency
+//
+// Probe handlers are lock-free against the registry: they atomically load
+// the current snapshot and use its immutable indexes. Admin writes build a
+// new snapshot aside and publish it with one atomic swap; requests that
+// started on the old generation finish on it. Cursors capture the snapshot
+// they started on and are single-consumer (a concurrent read of the same
+// cursor fails fast with 409 rather than queueing).
+//
+// Concurrent /access requests for the same query arriving within the
+// coalescing window are merged into one AccessBatch probe; responses are
+// byte-identical to the uncoalesced path (AccessBatch ≡ Access is a pinned
+// library property).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// Config tunes a Server. The access coalescer is configured on the
+// Registry (NewRegistry), which owns entry construction.
+type Config struct {
+	// Workers caps probe fan-out of batch/page/sample (0 = all cores).
+	Workers int
+	// CursorTTL evicts idle enumeration sessions (0 = 5 minutes).
+	CursorTTL time.Duration
+	// CursorSweep is the janitor period (0 = TTL/4, min 1s).
+	CursorSweep time.Duration
+	// MaxBatch bounds the positions of one /batch or /page request (0 = 1<<16).
+	MaxBatch int64
+	// MaxCursorDraw bounds n of one /enum/next call (0 = 1<<16).
+	MaxCursorDraw int64
+	// AdminDisabled turns the /admin endpoints off (serve-only daemon).
+	AdminDisabled bool
+}
+
+// Server is the HTTP face of a Registry.
+type Server struct {
+	reg     *Registry
+	cfg     Config
+	cursors *cursorStore
+	metrics *metricsRecorder
+	mux     *http.ServeMux
+}
+
+// New wires a server around reg. Call Close when done to stop the cursor
+// janitor.
+func New(reg *Registry, cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1 << 16
+	}
+	if cfg.MaxCursorDraw <= 0 {
+		cfg.MaxCursorDraw = 1 << 16
+	}
+	s := &Server{
+		reg:     reg,
+		cfg:     cfg,
+		cursors: newCursorStore(cfg.CursorTTL, cfg.CursorSweep),
+		metrics: newMetricsRecorder(),
+		mux:     http.NewServeMux(),
+	}
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	s.route("GET /v1", "list", s.handleList)
+	s.route("GET /v1/{query}", "meta", s.entry(s.handleMeta))
+	s.route("GET /v1/{query}/count", "count", s.entry(s.handleCount))
+	s.route("GET /v1/{query}/access", "access", s.entry(s.handleAccess))
+	s.route("GET /v1/{query}/batch", "batch", s.entry(s.handleBatch))
+	s.route("POST /v1/{query}/batch", "batch", s.entry(s.handleBatch))
+	s.route("GET /v1/{query}/page", "page", s.entry(s.handlePage))
+	s.route("GET /v1/{query}/sample", "sample", s.entry(s.handleSample))
+	s.route("POST /v1/{query}/contains", "contains", s.entry(s.handleContains))
+	s.route("POST /v1/{query}/inverted", "inverted", s.entry(s.handleInverted))
+	s.route("POST /v1/{query}/update", "update", s.entry(s.handleUpdate))
+	s.route("POST /v1/{query}/enum/start", "enum_start", s.entry(s.handleEnumStart))
+	s.route("GET /v1/{query}/enum/next", "enum_next", s.entry(s.handleEnumNext))
+	s.route("DELETE /v1/{query}/enum", "enum_close", s.entry(s.handleEnumClose))
+	if !cfg.AdminDisabled {
+		s.route("POST /admin/load", "admin_load", s.handleAdminLoad)
+		s.route("POST /admin/register", "admin_register", s.handleAdminRegister)
+		s.route("POST /admin/rebuild", "admin_rebuild", s.handleAdminRebuild)
+	}
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops background work (cursor janitor). In-flight requests are the
+// http.Server's business.
+func (s *Server) Close() { s.cursors.Shutdown() }
+
+// httpError carries a status code through the handler plumbing.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrorf(status int, format string, args ...any) error {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// route installs a handler with metrics instrumentation.
+func (s *Server) route(pattern, name string, h func(w http.ResponseWriter, r *http.Request) error) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		err := h(w, r)
+		if err != nil {
+			status, msg := http.StatusInternalServerError, err.Error()
+			var he *httpError
+			switch {
+			case errors.As(err, &he):
+				status = he.status
+			case errors.Is(err, renum.ErrOutOfBounds):
+				status = http.StatusBadRequest
+			case errors.Is(err, ErrNoCursor):
+				status = http.StatusNotFound
+			case errors.Is(err, ErrCursorBusy):
+				status = http.StatusConflict
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]string{"error": msg})
+		}
+		s.metrics.observe(name, time.Since(t0), err != nil)
+	})
+}
+
+// entry resolves {query} against the current snapshot before the handler.
+func (s *Server) entry(h func(w http.ResponseWriter, r *http.Request, e *Entry) error) func(http.ResponseWriter, *http.Request) error {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		name := r.PathValue("query")
+		e, ok := s.reg.Lookup(name)
+		if !ok {
+			return httpErrorf(http.StatusNotFound, "no query %q (serving: %s)", name, strings.Join(s.reg.Names(), ", "))
+		}
+		return h(w, r, e)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// renderTuple maps a tuple to its strings through the dictionary.
+func (s *Server) renderTuple(t renum.Tuple) []string {
+	dict, _ := s.dict()
+	return renderWith(dict, t)
+}
+
+func renderWith(dict *renum.Dict, t renum.Tuple) []string {
+	out := make([]string, len(t))
+	for i, v := range t {
+		out[i] = dict.String(v)
+	}
+	return out
+}
+
+// renderTuples fetches the dictionary once per response, not per tuple —
+// this sits on the hot path of large /batch and /page responses.
+func (s *Server) renderTuples(ts []renum.Tuple) [][]string {
+	dict, _ := s.dict()
+	out := make([][]string, len(ts))
+	for i, t := range ts {
+		out[i] = renderWith(dict, t)
+	}
+	return out
+}
+
+func (s *Server) dict() (*renum.Dict, uint64) {
+	db, gen := s.reg.Snapshot()
+	return db.Dict(), gen
+}
+
+// parseTuple interns nothing: a value absent from the dictionary cannot be
+// part of any answer, so ok=false short-circuits contains/inverted to
+// "not an answer" without growing the dictionary on attacker-chosen input.
+func (s *Server) parseTuple(cells []string, arity int) (renum.Tuple, bool, error) {
+	if len(cells) != arity {
+		return nil, false, httpErrorf(http.StatusBadRequest, "tuple has %d values, query arity is %d", len(cells), arity)
+	}
+	dict, _ := s.dict()
+	t := make(renum.Tuple, len(cells))
+	for i, c := range cells {
+		v, ok := dict.Lookup(c)
+		if !ok {
+			return nil, false, nil
+		}
+		t[i] = v
+	}
+	return t, true, nil
+}
+
+func queryInt64(r *http.Request, name string, def int64) (int64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, httpErrorf(http.StatusBadRequest, "%s: %v", name, err)
+	}
+	return v, nil
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return httpErrorf(http.StatusBadRequest, "body: %v", err)
+	}
+	return nil
+}
+
+// rngFor builds the request's random source: deterministic when the client
+// passes ?seed=, time-seeded otherwise.
+func rngFor(r *http.Request) (*rand.Rand, error) {
+	seed, err := queryInt64(r, "seed", time.Now().UnixNano())
+	if err != nil {
+		return nil, err
+	}
+	return rand.New(rand.NewSource(seed)), nil
+}
+
+// ---------------------------------------------------------------- handlers
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, map[string]any{"ok": true})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) error {
+	_, gen := s.reg.Snapshot()
+	return writeJSON(w, map[string]any{"queries": s.reg.Names(), "generation": gen})
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request, e *Entry) error {
+	return writeJSON(w, map[string]any{
+		"name":  e.Name,
+		"kind":  e.Kind,
+		"count": e.Count(),
+		"head":  e.Head(),
+		"query": e.Text,
+	})
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, e *Entry) error {
+	return writeJSON(w, map[string]any{"count": e.Count()})
+}
+
+func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request, e *Entry) error {
+	j, err := queryInt64(r, "j", -1)
+	if err != nil {
+		return err
+	}
+	// Validate before coalescing: AccessBatch fails a whole batch on one bad
+	// position, and a bad j must not poison the requests it is merged with.
+	if j < 0 || j >= e.Count() {
+		return httpErrorf(http.StatusBadRequest, "j=%d out of range [0, %d)", j, e.Count())
+	}
+	var t renum.Tuple
+	if e.coal != nil {
+		t, err = e.coal.Do(j)
+	} else {
+		t, err = e.access(j)
+	}
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]any{"j": j, "answer": s.renderTuple(t)})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *Entry) error {
+	var js []int64
+	if r.Method == http.MethodPost {
+		var body struct {
+			Js []int64 `json:"js"`
+		}
+		if err := decodeBody(r, &body); err != nil {
+			return err
+		}
+		js = body.Js
+	} else {
+		for _, part := range strings.Split(r.URL.Query().Get("js"), ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			j, err := strconv.ParseInt(part, 10, 64)
+			if err != nil {
+				return httpErrorf(http.StatusBadRequest, "js: %v", err)
+			}
+			js = append(js, j)
+		}
+	}
+	if int64(len(js)) > s.cfg.MaxBatch {
+		return httpErrorf(http.StatusBadRequest, "batch of %d exceeds limit %d", len(js), s.cfg.MaxBatch)
+	}
+	ts, err := e.accessBatch(js, s.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]any{"answers": s.renderTuples(ts)})
+}
+
+func (s *Server) handlePage(w http.ResponseWriter, r *http.Request, e *Entry) error {
+	offset, err := queryInt64(r, "offset", 0)
+	if err != nil {
+		return err
+	}
+	limit, err := queryInt64(r, "limit", 10)
+	if err != nil {
+		return err
+	}
+	if limit > s.cfg.MaxBatch {
+		return httpErrorf(http.StatusBadRequest, "limit %d exceeds %d", limit, s.cfg.MaxBatch)
+	}
+	if offset < 0 || limit < 0 {
+		return httpErrorf(http.StatusBadRequest, "offset and limit must be non-negative")
+	}
+	// Clamp to the tail (Page semantics: short pages, never an error).
+	n := e.Count()
+	if offset > n {
+		offset = n
+	}
+	if limit > n-offset {
+		limit = n - offset
+	}
+	js := make([]int64, limit)
+	for i := range js {
+		js[i] = offset + int64(i)
+	}
+	ts, err := e.accessBatch(js, s.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]any{"offset": offset, "answers": s.renderTuples(ts)})
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request, e *Entry) error {
+	k, err := queryInt64(r, "k", 1)
+	if err != nil {
+		return err
+	}
+	if k < 0 || k > s.cfg.MaxBatch {
+		return httpErrorf(http.StatusBadRequest, "k=%d out of range [0, %d]", k, s.cfg.MaxBatch)
+	}
+	rng, err := rngFor(r)
+	if err != nil {
+		return err
+	}
+	var ts []renum.Tuple
+	replacement := false
+	switch e.Kind {
+	case "cq":
+		ts, err = e.RA.SampleN(k, rng)
+	case "ucq":
+		ts = e.UA.Permute(rng).NextN(k)
+	default:
+		ts = e.DA.SampleN(k, rng)
+		replacement = true
+	}
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]any{"answers": s.renderTuples(ts), "with_replacement": replacement})
+}
+
+type tupleBody struct {
+	Tuple []string `json:"tuple"`
+}
+
+func (s *Server) handleContains(w http.ResponseWriter, r *http.Request, e *Entry) error {
+	var body tupleBody
+	if err := decodeBody(r, &body); err != nil {
+		return err
+	}
+	t, ok, err := s.parseTuple(body.Tuple, len(e.Head()))
+	if err != nil {
+		return err
+	}
+	contains := false
+	if ok {
+		switch e.Kind {
+		case "cq":
+			contains = e.RA.Contains(t)
+		case "ucq":
+			contains = e.UA.Contains(t)
+		default:
+			contains = e.DA.Contains(t)
+		}
+	}
+	return writeJSON(w, map[string]any{"contains": contains})
+}
+
+func (s *Server) handleInverted(w http.ResponseWriter, r *http.Request, e *Entry) error {
+	if e.Kind == "ucq" {
+		return httpErrorf(http.StatusNotImplemented, "inverted access is not defined for union queries")
+	}
+	var body tupleBody
+	if err := decodeBody(r, &body); err != nil {
+		return err
+	}
+	t, ok, err := s.parseTuple(body.Tuple, len(e.Head()))
+	if err != nil {
+		return err
+	}
+	if ok {
+		var j int64
+		var found bool
+		if e.Kind == "cq" {
+			j, found = e.RA.InvertedAccess(t)
+		} else {
+			j, found = e.DA.InvertedAccess(t)
+		}
+		if found {
+			return writeJSON(w, map[string]any{"j": j, "found": true})
+		}
+	}
+	return writeJSON(w, map[string]any{"found": false})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, e *Entry) error {
+	if e.Kind != "dynamic" {
+		return httpErrorf(http.StatusNotImplemented, "query %q is a static index; register it with dynamic=true to accept updates", e.Name)
+	}
+	var body struct {
+		Op       string   `json:"op"`
+		Relation string   `json:"relation"`
+		Tuple    []string `json:"tuple"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		return err
+	}
+	dict, _ := s.dict()
+	var changed bool
+	var err error
+	switch body.Op {
+	case "insert":
+		// Inserts may introduce genuinely new values: intern them.
+		t := make(renum.Tuple, len(body.Tuple))
+		for i, c := range body.Tuple {
+			t[i] = dict.Intern(c)
+		}
+		changed, err = e.DA.Insert(body.Relation, t)
+	case "delete":
+		// Deletes must not intern: a value the dictionary has never seen
+		// cannot be in any relation, and the dictionary is append-only — an
+		// attacker looping deletes of random strings would otherwise grow
+		// server memory without bound.
+		t := make(renum.Tuple, len(body.Tuple))
+		known := true
+		for i, c := range body.Tuple {
+			v, ok := dict.Lookup(c)
+			if !ok {
+				known = false
+				break
+			}
+			t[i] = v
+		}
+		if !known {
+			return writeJSON(w, map[string]any{"changed": false, "count": e.DA.Count()})
+		}
+		changed, err = e.DA.Delete(body.Relation, t)
+	default:
+		return httpErrorf(http.StatusBadRequest, "op must be insert or delete, got %q", body.Op)
+	}
+	if err != nil {
+		return httpErrorf(http.StatusBadRequest, "%v", err)
+	}
+	return writeJSON(w, map[string]any{"changed": changed, "count": e.DA.Count()})
+}
+
+func (s *Server) handleEnumStart(w http.ResponseWriter, r *http.Request, e *Entry) error {
+	if e.Kind == "dynamic" {
+		return httpErrorf(http.StatusNotImplemented, "cursors require an immutable index; dynamic entries have none")
+	}
+	order := r.URL.Query().Get("order")
+	if order == "" {
+		order = "enum"
+	}
+	var nextN func(int64) ([]renum.Tuple, error)
+	switch order {
+	case "enum":
+		// Deterministic order = access order: drain sequential positions via
+		// the batched probe. Probe errors surface to the client (and leave
+		// the cursor alive) rather than masquerading as exhaustion.
+		var pos int64
+		n := e.Count()
+		workers := s.cfg.Workers
+		batch := e.accessBatch
+		nextN = func(k int64) ([]renum.Tuple, error) {
+			if pos >= n {
+				return nil, nil
+			}
+			if k > n-pos {
+				k = n - pos
+			}
+			js := make([]int64, k)
+			for i := range js {
+				js[i] = pos + int64(i)
+			}
+			ts, err := batch(js, workers)
+			if err != nil {
+				return nil, err
+			}
+			pos += int64(len(ts))
+			return ts, nil
+		}
+	case "random":
+		rng, err := rngFor(r)
+		if err != nil {
+			return err
+		}
+		var p *renum.Permutation
+		if e.Kind == "cq" {
+			p = e.RA.Permute(rng)
+		} else {
+			p = e.UA.Permute(rng)
+		}
+		nextN = func(k int64) ([]renum.Tuple, error) { return p.NextN(k), nil }
+	default:
+		return httpErrorf(http.StatusBadRequest, "order must be enum or random, got %q", order)
+	}
+	id := s.cursors.Start(e.Name, nextN)
+	return writeJSON(w, map[string]any{
+		"cursor": id,
+		"ttl_ms": s.cursors.ttl.Milliseconds(),
+	})
+}
+
+func (s *Server) handleEnumNext(w http.ResponseWriter, r *http.Request, e *Entry) error {
+	id := r.URL.Query().Get("cursor")
+	n, err := queryInt64(r, "n", 1)
+	if err != nil {
+		return err
+	}
+	if n <= 0 || n > s.cfg.MaxCursorDraw {
+		return httpErrorf(http.StatusBadRequest, "n=%d out of range [1, %d]", n, s.cfg.MaxCursorDraw)
+	}
+	ts, done, err := s.cursors.Next(id, e.Name, n)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]any{"answers": s.renderTuples(ts), "done": done})
+}
+
+func (s *Server) handleEnumClose(w http.ResponseWriter, r *http.Request, e *Entry) error {
+	if !s.cursors.Close(r.URL.Query().Get("cursor"), e.Name) {
+		return ErrNoCursor
+	}
+	return writeJSON(w, map[string]any{"closed": true})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	uptime, eps := s.metrics.snapshot()
+	_, gen := s.reg.Snapshot()
+	type coalStats struct {
+		Query  string `json:"query"`
+		Rounds int64  `json:"rounds"`
+		Served int64  `json:"served"`
+	}
+	var coal []coalStats
+	for _, name := range s.reg.Names() {
+		if e, ok := s.reg.Lookup(name); ok && e.coal != nil {
+			rounds, served := e.coal.Stats()
+			coal = append(coal, coalStats{Query: name, Rounds: rounds, Served: served})
+		}
+	}
+	return writeJSON(w, map[string]any{
+		"uptime_ms":  uptime.Milliseconds(),
+		"generation": gen,
+		"cursors":    s.cursors.Len(),
+		"endpoints":  eps,
+		"coalescer":  coal,
+	})
+}
+
+func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) error {
+	var body struct {
+		Name string `json:"name"`
+		CSV  string `json:"csv"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		return err
+	}
+	if body.Name == "" {
+		return httpErrorf(http.StatusBadRequest, "name is required")
+	}
+	if err := s.reg.LoadTable(body.Name, strings.NewReader(body.CSV)); err != nil {
+		return httpErrorf(http.StatusBadRequest, "%v", err)
+	}
+	return writeJSON(w, map[string]any{"loaded": body.Name})
+}
+
+func (s *Server) handleAdminRegister(w http.ResponseWriter, r *http.Request) error {
+	var body struct {
+		Program string `json:"program"`
+		Dynamic bool   `json:"dynamic"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		return err
+	}
+	names, err := s.reg.Register(body.Program, body.Dynamic)
+	if err != nil {
+		return httpErrorf(http.StatusBadRequest, "%v", err)
+	}
+	return writeJSON(w, map[string]any{"registered": names})
+}
+
+func (s *Server) handleAdminRebuild(w http.ResponseWriter, r *http.Request) error {
+	if err := s.reg.Rebuild(); err != nil {
+		return httpErrorf(http.StatusBadRequest, "%v", err)
+	}
+	_, gen := s.reg.Snapshot()
+	return writeJSON(w, map[string]any{"rebuilt": true, "generation": gen})
+}
