@@ -1,0 +1,222 @@
+package renum
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The exported-API baseline: every exported declaration of the root package,
+// one normalized line each, recorded in api/renum.txt. TestAPIBaseline is
+// the offline stand-in for golang.org/x/exp/cmd/apidiff (not vendorable in
+// this environment): CI fails when a declaration disappears or changes shape
+// (a breaking change — shrink the API deliberately, then regenerate) and
+// when new API appears unrecorded (so additions are reviewed, not
+// accidental).
+//
+// Regenerate after an intentional change with:
+//
+//	go test -run TestAPIBaseline -update-api-baseline .
+var updateAPIBaseline = flag.Bool("update-api-baseline", false, "rewrite api/renum.txt from the current source")
+
+const apiBaselineFile = "api/renum.txt"
+
+func TestAPIBaseline(t *testing.T) {
+	got := exportedAPI(t)
+
+	if *updateAPIBaseline {
+		if err := os.MkdirAll("api", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiBaselineFile, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d declarations)", apiBaselineFile, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(apiBaselineFile)
+	if err != nil {
+		t.Fatalf("no API baseline (run `go test -run TestAPIBaseline -update-api-baseline .` once): %v", err)
+	}
+	want := strings.Split(strings.TrimSpace(string(raw)), "\n")
+
+	gotSet := make(map[string]bool, len(got))
+	for _, l := range got {
+		gotSet[l] = true
+	}
+	wantSet := make(map[string]bool, len(want))
+	for _, l := range want {
+		wantSet[l] = true
+	}
+
+	var broken, added []string
+	for _, l := range want {
+		if !gotSet[l] {
+			broken = append(broken, l)
+		}
+	}
+	for _, l := range got {
+		if !wantSet[l] {
+			added = append(added, l)
+		}
+	}
+	if len(broken) > 0 {
+		t.Errorf("BREAKING: %d baseline declarations missing or changed:\n  %s",
+			len(broken), strings.Join(broken, "\n  "))
+	}
+	if len(added) > 0 {
+		t.Errorf("unrecorded API additions (regenerate the baseline if intended):\n  %s",
+			strings.Join(added, "\n  "))
+	}
+}
+
+// exportedAPI parses the package sources (tests excluded) and renders every
+// exported declaration as one canonical line.
+func exportedAPI(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["renum"]
+	if !ok {
+		t.Fatalf("package renum not found in %v", pkgs)
+	}
+
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if l, ok := renderFunc(fset, d); ok {
+					lines = append(lines, l)
+				}
+			case *ast.GenDecl:
+				lines = append(lines, renderGen(fset, d)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func renderFunc(fset *token.FileSet, d *ast.FuncDecl) (string, bool) {
+	if !d.Name.IsExported() {
+		return "", false
+	}
+	if d.Recv != nil {
+		if name, ok := recvTypeName(d.Recv.List[0].Type); !ok || !ast.IsExported(name) {
+			return "", false
+		}
+	}
+	clone := *d
+	clone.Doc, clone.Body = nil, nil
+	return printNode(fset, &clone), true
+}
+
+func renderGen(fset *token.FileSet, d *ast.GenDecl) []string {
+	var out []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			clone := *s
+			clone.Doc, clone.Comment = nil, nil
+			clone.Type = pruneType(s.Type)
+			out = append(out, "type "+printNode(fset, &clone))
+		case *ast.ValueSpec:
+			kw := "var"
+			if d.Tok == token.CONST {
+				kw = "const"
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					// Names only: initializer expressions are implementation.
+					out = append(out, fmt.Sprintf("%s %s", kw, n.Name))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pruneType drops unexported members from struct and interface types — they
+// are not API — leaving everything else as written.
+func pruneType(e ast.Expr) ast.Expr {
+	switch tt := e.(type) {
+	case *ast.StructType:
+		kept := &ast.FieldList{}
+		for _, f := range tt.Fields.List {
+			if len(f.Names) == 0 { // embedded
+				if name, ok := recvTypeName(f.Type); ok && ast.IsExported(name) {
+					kept.List = append(kept.List, &ast.Field{Type: f.Type})
+				}
+				continue
+			}
+			var names []*ast.Ident
+			for _, n := range f.Names {
+				if n.IsExported() {
+					names = append(names, ast.NewIdent(n.Name))
+				}
+			}
+			if len(names) > 0 {
+				kept.List = append(kept.List, &ast.Field{Names: names, Type: f.Type})
+			}
+		}
+		return &ast.StructType{Struct: tt.Struct, Fields: kept}
+	case *ast.InterfaceType:
+		kept := &ast.FieldList{}
+		for _, m := range tt.Methods.List {
+			if len(m.Names) > 0 && !m.Names[0].IsExported() {
+				continue
+			}
+			kept.List = append(kept.List, &ast.Field{Names: m.Names, Type: m.Type})
+		}
+		return &ast.InterfaceType{Interface: tt.Interface, Methods: kept}
+	default:
+		return e
+	}
+}
+
+// recvTypeName unwraps *T / pkg.T / T to the base type name.
+func recvTypeName(e ast.Expr) (string, bool) {
+	for {
+		switch tt := e.(type) {
+		case *ast.StarExpr:
+			e = tt.X
+		case *ast.SelectorExpr:
+			return tt.Sel.Name, true
+		case *ast.Ident:
+			return tt.Name, true
+		case *ast.IndexExpr: // generic instantiation
+			e = tt.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// printNode renders a node and collapses it to one whitespace-normalized
+// line, so formatting churn never shows up as an API change.
+func printNode(fset *token.FileSet, n any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<print error: %v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

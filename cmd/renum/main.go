@@ -19,11 +19,17 @@
 // Modes: count, enum (deterministic order), random (uniform random order),
 // sample (k distinct uniform answers, probes fanned out), access (print the
 // -k-th answer), batch (print the -js positions via AccessBatch), page
-// (PageParallel rows offset..offset+k-1), explain (print the compiled plan:
-// the reduced full-join tree with node schemas, cardinalities and join
-// attributes — CQs only). Multiple rules with the same head form a UCQ
-// (modes count/enum/batch use the mc-UCQ structure; random uses REnum(UCQ)).
-// -workers caps the per-call fan-out of the batch/page modes (0 = all
+// (rows offset..offset+k-1), explain (print the compiled plan — a
+// capability of CQ indexes only).
+//
+// The CLI is a thin shell over renum.Open: one handle serves every mode,
+// and modes that need an optional capability (sample, explain) discover it
+// on the handle — a query whose backend lacks the capability fails with the
+// library's ErrUnsupported text. Multiple rules with the same head form a
+// UCQ served by the mc-UCQ handle; mode random on a union instead uses
+// REnum(UCQ) (Algorithm 5), which works for every union of free-connex CQs,
+// including ones the mc-UCQ handle rejects as incompatible. -workers caps
+// both the index build and the per-call fan-out of batched probes (0 = all
 // cores).
 package main
 
@@ -62,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		k         = fs.Int64("k", 10, "answers to print (random/enum) or position (access)")
 		seed      = fs.Int64("seed", 1, "random seed")
 		offset    = fs.Int64("offset", 0, "first row of the page (mode page)")
-		workers   = fs.Int("workers", 0, "goroutines for batched probes (0 = all cores)")
+		workers   = fs.Int("workers", 0, "goroutines for index build and batched probes (0 = all cores)")
 		jsArg     = fs.String("js", "", "comma-separated answer positions (mode batch)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -88,10 +94,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	if q.CQ != nil {
-		err = runCQ(stdout, db, q.CQ, *mode, *k, *offset, *jsArg, *workers, rng)
+	if q.UCQ != nil && *mode == "random" {
+		// Algorithm 5 rather than the mc-UCQ handle: random-order
+		// enumeration of *any* union of free-connex CQs, with no mutual
+		// compatibility requirement.
+		err = runUnionRandom(stdout, db, q.UCQ, *k, rng)
 	} else {
-		err = runUCQ(stdout, db, q.UCQ, *mode, *k, *jsArg, *workers, rng)
+		err = runQuery(stdout, db, q, *mode, *k, *offset, *jsArg, *workers, rng)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "renum: %v\n", err)
@@ -117,43 +126,59 @@ func parsePositions(jsArg string) ([]int64, error) {
 	return js, nil
 }
 
-func runCQ(out io.Writer, db *renum.Database, q *renum.CQ, mode string, k, offset int64, jsArg string, workers int, rng *rand.Rand) error {
-	ra, err := renum.NewRandomAccess(db, q)
+// runQuery serves every mode from one renum.Handle — CQs and unions take
+// the same code path; capability misses surface as the library's
+// ErrUnsupported errors.
+func runQuery(out io.Writer, db *renum.Database, q load.Query, mode string, k, offset int64, jsArg string, workers int, rng *rand.Rand) error {
+	h, err := renum.Open(db, q.Src(), renum.WithWorkers(workers))
 	if err != nil {
 		return err
 	}
 	switch mode {
 	case "count":
-		fmt.Fprintln(out, ra.Count())
+		fmt.Fprintln(out, h.Count())
 	case "explain":
-		fmt.Fprint(out, ra.Explain())
+		plan, err := h.Explain()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, plan)
 	case "access":
-		t, err := ra.Access(k)
+		t, err := h.Access(k)
 		if err != nil {
 			return err
 		}
 		printAnswer(out, db, t)
 	case "enum":
-		e := ra.Enumerate()
-		for i := int64(0); i < k; i++ {
-			t, ok := e.Next()
-			if !ok {
+		printed := int64(0)
+		for t, err := range h.All() {
+			if err != nil {
+				return err
+			}
+			if printed >= k {
 				break
 			}
 			printAnswer(out, db, t)
+			printed++
 		}
 	case "random":
-		p := ra.Permute(rng)
-		for i := int64(0); i < k; i++ {
-			t, ok := p.Next()
-			if !ok {
+		printed := int64(0)
+		for t, err := range h.Shuffled(rng) {
+			if err != nil {
+				return err
+			}
+			if printed >= k {
 				break
 			}
 			printAnswer(out, db, t)
+			printed++
 		}
 	case "sample":
-		// SampleN = SampleK with the probes fanned out across -workers.
-		ts, err := ra.SampleN(k, rng)
+		smp, err := h.Sampler()
+		if err != nil {
+			return err
+		}
+		ts, err := smp.SampleN(k, rng)
 		if err != nil {
 			return err
 		}
@@ -165,7 +190,7 @@ func runCQ(out io.Writer, db *renum.Database, q *renum.CQ, mode string, k, offse
 		if err != nil {
 			return err
 		}
-		ts, err := ra.AccessBatch(js, workers)
+		ts, err := h.AccessBatch(js)
 		if err != nil {
 			return err
 		}
@@ -173,7 +198,7 @@ func runCQ(out io.Writer, db *renum.Database, q *renum.CQ, mode string, k, offse
 			printAnswer(out, db, t)
 		}
 	case "page":
-		ts, err := ra.PageParallel(offset, k, workers)
+		ts, err := h.Page(offset, k)
 		if err != nil {
 			return err
 		}
@@ -186,57 +211,18 @@ func runCQ(out io.Writer, db *renum.Database, q *renum.CQ, mode string, k, offse
 	return nil
 }
 
-func runUCQ(out io.Writer, db *renum.Database, u *renum.UCQ, mode string, k int64, jsArg string, workers int, rng *rand.Rand) error {
-	switch mode {
-	case "count", "enum", "access", "batch":
-		ua, err := renum.NewUnionAccess(db, u, false)
-		if err != nil {
-			return err
+// runUnionRandom drains k answers of REnum(UCQ) (Algorithm 5).
+func runUnionRandom(out io.Writer, db *renum.Database, u *renum.UCQ, k int64, rng *rand.Rand) error {
+	e, err := renum.NewRandomOrderUnion(db, u, rng)
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < k; i++ {
+		t, ok := e.Next()
+		if !ok {
+			break
 		}
-		switch mode {
-		case "count":
-			fmt.Fprintln(out, ua.Count())
-		case "access":
-			t, err := ua.Access(k)
-			if err != nil {
-				return err
-			}
-			printAnswer(out, db, t)
-		case "enum":
-			for j := int64(0); j < k && j < ua.Count(); j++ {
-				t, err := ua.Access(j)
-				if err != nil {
-					return err
-				}
-				printAnswer(out, db, t)
-			}
-		case "batch":
-			js, err := parsePositions(jsArg)
-			if err != nil {
-				return err
-			}
-			ts, err := ua.AccessBatch(js, workers)
-			if err != nil {
-				return err
-			}
-			for _, t := range ts {
-				printAnswer(out, db, t)
-			}
-		}
-	case "random":
-		e, err := renum.NewRandomOrderUnion(db, u, rng)
-		if err != nil {
-			return err
-		}
-		for i := int64(0); i < k; i++ {
-			t, ok := e.Next()
-			if !ok {
-				break
-			}
-			printAnswer(out, db, t)
-		}
-	default:
-		return fmt.Errorf("unknown mode %q (unions support count, enum, random, access, batch)", mode)
+		printAnswer(out, db, t)
 	}
 	return nil
 }

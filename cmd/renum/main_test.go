@@ -52,6 +52,16 @@ func TestModesGolden(t *testing.T) {
 		{"ucq count", []string{"-query", "U(a, b) :- r(a, b). U(a, b) :- s(a, b).", "-mode", "count"}, "8\n"},
 		{"ucq random", []string{"-query", "U(a, b) :- r(a, b). U(a, b) :- s(a, b).", "-mode", "random", "-k", "3", "-seed", "2"},
 			"1, w\n1, 2\n1, 3\n"},
+		// sample and page on unions ride the mc-UCQ handle's capability
+		// surface (API-parity satellite): distinct draws, positional pages.
+		{"ucq sample", []string{"-query", "U(a, b) :- r(a, b). U(a, b) :- s(a, b).", "-mode", "sample", "-k", "3", "-seed", "2"},
+			"1, w\n3, 1\n3, z\n"},
+		// k = 0 prints nothing (regression: the iterator loops must check
+		// the budget before printing, not after).
+		{"enum k=0", []string{"-query", testQ, "-mode", "enum", "-k", "0"}, ""},
+		{"random k=0", []string{"-query", testQ, "-mode", "random", "-k", "0", "-seed", "1"}, ""},
+		{"ucq page", []string{"-query", "U(a, b) :- r(a, b). U(a, b) :- s(a, b).", "-mode", "page", "-offset", "5", "-k", "3"},
+			"3, y\n3, z\n1, w\n"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -97,10 +107,11 @@ func TestCLIErrors(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("bad js: exit %d, want 1", code)
 	}
-	// explain is CQ-only: unions reject it with the supported-mode list.
+	// explain is a CQ-only capability: the union handle rejects it with the
+	// library's uniform ErrUnsupported text.
 	_, stderr, code = runCLI(t, append(tableArgs(),
 		"-query", "U(a, b) :- r(a, b). U(a, b) :- s(a, b).", "-mode", "explain")...)
-	if code != 1 || !strings.Contains(stderr, "unions support") {
+	if code != 1 || !strings.Contains(stderr, "unsupported") {
 		t.Fatalf("ucq explain: exit %d, stderr %q", code, stderr)
 	}
 }

@@ -18,7 +18,8 @@
 // Concurrent GET /v1/{query}/access requests landing within
 // -coalesce-window are merged into one AccessBatch probe (0 disables).
 // Cursor sessions started via /v1/{query}/enum/start are evicted after
-// -cursor-ttl of inactivity. -workers caps probe fan-out (0 = all cores).
+// -cursor-ttl of inactivity. -workers is each entry's worker budget — index
+// build parallelism and batch/page/sample probe fan-out (0 = all cores).
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get -drain-timeout to finish, then the process exits 0.
@@ -60,7 +61,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	var (
 		addr         = fs.String("addr", ":8080", "listen address")
 		dynamic      = fs.Bool("dynamic", false, "build dynamic (updatable) indexes for single-rule full CQs")
-		workers      = fs.Int("workers", 0, "probe fan-out for batch/page/sample (0 = all cores)")
+		workers      = fs.Int("workers", 0, "worker budget per entry: index build and batch/page/sample fan-out (0 = all cores)")
 		coalesceWin  = fs.Duration("coalesce-window", 500*time.Microsecond, "window for merging concurrent /access probes (0 disables)")
 		coalesceMax  = fs.Int("coalesce-max", 64, "flush a coalescing round early at this many pending probes")
 		cursorTTL    = fs.Duration("cursor-ttl", 5*time.Minute, "idle eviction of enumeration cursors")
@@ -93,12 +94,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		for _, name := range names {
 			e, _ := reg.Lookup(name)
-			fmt.Fprintf(stdout, "renumd: serving %s (%s, %d answers)\n", name, e.Kind, e.Count())
+			fmt.Fprintf(stdout, "renumd: serving %s (%s, %d answers)\n", name, e.Kind(), e.Count())
 		}
 	}
 
 	srv := server.New(reg, server.Config{
-		Workers:       *workers,
 		CursorTTL:     *cursorTTL,
 		AdminDisabled: *noAdmin,
 	})

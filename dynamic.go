@@ -72,17 +72,27 @@ func (d *DynamicAccess) InvertedAccess(t Tuple) (int64, bool) {
 // Contains reports whether t is currently an answer.
 func (d *DynamicAccess) Contains(t Tuple) bool { return d.idx.Contains(t) }
 
-// Sample returns a uniformly random current answer (ok=false when empty).
+// Sample returns a uniformly random current answer (ok=false when empty —
+// an empty index is a result, not an error).
 func (d *DynamicAccess) Sample(rng *rand.Rand) (Tuple, bool) {
 	return d.idx.Sample(rng)
 }
 
 // SampleN returns k independent uniform samples (with replacement — the
 // dynamic index has no cheap distinct-sampling primitive) drawn against one
-// consistent snapshot: no update interleaves inside the batch. It returns
-// nil when the index is empty.
-func (d *DynamicAccess) SampleN(k int64, rng *rand.Rand) []Tuple {
-	return d.idx.SampleN(k, rng)
+// consistent snapshot: no update interleaves inside the batch.
+//
+// The signature matches the Sampler capability shared with
+// RandomAccess.SampleN and UnionAccess.SampleN: a negative k is
+// ErrOutOfBounds, and an *empty index* yields an empty sample with a nil
+// error — emptiness is a result, not a failure. (Before the capability
+// unification this method returned a bare []Tuple, leaving callers to guess
+// whether nil meant "empty" or "invalid k".)
+func (d *DynamicAccess) SampleN(k int64, rng *rand.Rand) ([]Tuple, error) {
+	if k < 0 {
+		return nil, ErrOutOfBounds
+	}
+	return d.idx.SampleN(k, rng), nil
 }
 
 // Head returns the output variable order.

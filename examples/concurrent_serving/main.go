@@ -67,11 +67,21 @@ func main() {
 		runtime.GOMAXPROCS(0), parDur.Round(time.Millisecond), parIdx.Count())
 
 	// --- Concurrent read serving ------------------------------------------
-	ra, err := renum.NewRandomAccess(db, q)
+	// One capability handle shared by every client: static backends are
+	// immutable, so probes need no locking.
+	h, err := renum.Open(db, q)
 	if err != nil {
 		fail(err)
 	}
-	n := ra.Count()
+	inv, err := h.Inverter()
+	if err != nil {
+		fail(err)
+	}
+	smp, err := h.Sampler()
+	if err != nil {
+		fail(err)
+	}
+	n := h.Count()
 	var ops, checked atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -84,11 +94,11 @@ func main() {
 				switch i % 4 {
 				case 0: // point lookup + membership round trip
 					j := rng.Int63n(n)
-					t, err := ra.Access(j)
+					t, err := h.Access(j)
 					if err != nil {
 						fail(err)
 					}
-					if jj, ok := ra.InvertedAccess(t); !ok || jj != j {
+					if jj, ok := inv.InvertedAccess(t); !ok || jj != j {
 						fail(fmt.Errorf("inverted access mismatch at %d", j))
 					}
 					checked.Add(1)
@@ -97,15 +107,15 @@ func main() {
 					for k := range js {
 						js[k] = rng.Int63n(n)
 					}
-					if _, err := ra.AccessBatch(js, 0); err != nil {
+					if _, err := h.AccessBatch(js); err != nil {
 						fail(err)
 					}
 				case 2: // a deep page, probes fanned out
-					if _, err := ra.PageParallel(rng.Int63n(n), 128, 0); err != nil {
+					if _, err := h.Page(rng.Int63n(n), 128); err != nil {
 						fail(err)
 					}
 				case 3: // distinct uniform samples
-					if _, err := ra.SampleN(32, rng); err != nil {
+					if _, err := smp.SampleN(32, rng); err != nil {
 						fail(err)
 					}
 				}
@@ -132,7 +142,19 @@ func main() {
 		r.MustInsert(renum.Value(seedRng.Intn(2_000)), renum.Value(seedRng.Intn(400)))
 		s.MustInsert(renum.Value(seedRng.Intn(400)), renum.Value(seedRng.Intn(2_000)))
 	}
-	dyn, err := renum.NewDynamicAccess(ddb, dq)
+	dh, err := renum.Open(ddb, dq, renum.WithDynamic())
+	if err != nil {
+		fail(err)
+	}
+	upd, err := dh.Updater()
+	if err != nil {
+		fail(err)
+	}
+	dsmp, err := dh.Sampler()
+	if err != nil {
+		fail(err)
+	}
+	dcont, err := dh.Container()
 	if err != nil {
 		fail(err)
 	}
@@ -147,19 +169,21 @@ func main() {
 				if seed%4 == 0 { // one writer per four clients
 					tu := renum.Tuple{renum.Value(rng.Intn(2_000)), renum.Value(rng.Intn(400))}
 					if i%2 == 0 {
-						if _, err := dyn.Insert("R", tu); err != nil {
+						if _, err := upd.Insert("R", tu); err != nil {
 							fail(err)
 						}
 					} else {
-						if _, err := dyn.Delete("R", tu); err != nil {
+						if _, err := upd.Delete("R", tu); err != nil {
 							fail(err)
 						}
 					}
 					writes.Add(1)
 					continue
 				}
-				if ts := dyn.SampleN(8, rng); len(ts) > 0 {
-					if !dyn.Contains(ts[0]) {
+				if ts, err := dsmp.SampleN(8, rng); err != nil {
+					fail(err)
+				} else if len(ts) > 0 {
+					if !dcont.Contains(ts[0]) {
 						// A concurrent delete may have removed it — Contains
 						// false is legal; just keep the read pressure up.
 						_ = ts
@@ -171,7 +195,7 @@ func main() {
 	}
 	wg.Wait()
 	fmt.Printf("dynamic index: %d sample batches + %d updates concurrently in %v, final count %d\n",
-		reads.Load(), writes.Load(), time.Since(start).Round(time.Millisecond), dyn.Count())
+		reads.Load(), writes.Load(), time.Since(start).Round(time.Millisecond), dh.Count())
 }
 
 // fullChainQuery is the projection-free 2-chain the dynamic index requires.

@@ -6,8 +6,10 @@
 //   - a uniform random sample of incidents to display (Sample), and
 //   - membership probes ("is this incident still live?", Contains),
 //
-// while deployments and alerts come and go. DynamicAccess maintains all of
-// this under insertions and deletions without rebuilding the index.
+// while deployments and alerts come and go. A handle opened with
+// renum.WithDynamic maintains all of this under insertions and deletions
+// without rebuilding the index: the update and sampling facilities are
+// discovered through its capabilities (Updater, Sampler, Container).
 package main
 
 import (
@@ -27,15 +29,31 @@ func main() {
 		renum.NewAtom("deployed", renum.V("service"), renum.V("host")),
 		renum.NewAtom("alerts", renum.V("host"), renum.V("alert")),
 	)
-	dyn, err := renum.NewDynamicAccess(db, q)
+	h, err := renum.Open(db, q, renum.WithDynamic())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("backend: %s, capabilities: %v\n", h.Kind(), h.Capabilities())
+	// The dashboard needs updates, samples and membership probes — all
+	// optional capabilities, checked once here instead of assumed.
+	upd, err := h.Updater()
+	if err != nil {
+		panic(err)
+	}
+	smp, err := h.Sampler()
+	if err != nil {
+		panic(err)
+	}
+	cont, err := h.Container()
 	if err != nil {
 		panic(err)
 	}
 
 	svc := func(s string) renum.Value { return db.Intern(s) }
 	report := func(when string) {
-		fmt.Printf("%-28s live incidents: %d", when, dyn.Count())
-		if t, ok := dyn.Sample(rand.New(rand.NewSource(1))); ok {
+		fmt.Printf("%-28s live incidents: %d", when, h.Count())
+		if ts, err := smp.SampleN(1, rand.New(rand.NewSource(1))); err == nil && len(ts) > 0 {
+			t := ts[0]
 			fmt.Printf("   e.g. %s on %s: %s",
 				db.Dict().String(t[0]), db.Dict().String(t[1]), db.Dict().String(t[2]))
 		}
@@ -48,31 +66,31 @@ func main() {
 	for _, d := range [][2]string{
 		{"api", "host1"}, {"api", "host2"}, {"web", "host2"}, {"db", "host3"},
 	} {
-		dyn.Insert("deployed", renum.Tuple{svc(d[0]), svc(d[1])})
+		upd.Insert("deployed", renum.Tuple{svc(d[0]), svc(d[1])})
 	}
 	report("after rollout:")
 
 	// Alerts fire on host2: every service on host2 becomes an incident.
-	dyn.Insert("alerts", renum.Tuple{svc("host2"), svc("cpu-high")})
-	dyn.Insert("alerts", renum.Tuple{svc("host2"), svc("disk-full")})
+	upd.Insert("alerts", renum.Tuple{svc("host2"), svc("cpu-high")})
+	upd.Insert("alerts", renum.Tuple{svc("host2"), svc("disk-full")})
 	report("host2 alerting:")
 
 	// host3 joins the party.
-	dyn.Insert("alerts", renum.Tuple{svc("host3"), svc("cpu-high")})
+	upd.Insert("alerts", renum.Tuple{svc("host3"), svc("cpu-high")})
 	report("host3 alerting too:")
 
 	// The web service is drained off host2 — its incidents disappear.
-	dyn.Delete("deployed", renum.Tuple{svc("web"), svc("host2")})
+	upd.Delete("deployed", renum.Tuple{svc("web"), svc("host2")})
 	report("web drained from host2:")
 
 	// The disk alert resolves.
-	dyn.Delete("alerts", renum.Tuple{svc("host2"), svc("disk-full")})
+	upd.Delete("alerts", renum.Tuple{svc("host2"), svc("disk-full")})
 	report("disk alert resolved:")
 
 	// Membership probe.
 	probe := renum.Tuple{svc("api"), svc("host2"), svc("cpu-high")}
-	fmt.Printf("\nis api/host2/cpu-high still live? %v\n", dyn.Contains(probe))
-	dyn.Delete("alerts", renum.Tuple{svc("host2"), svc("cpu-high")})
-	fmt.Printf("after resolving it:             %v\n", dyn.Contains(probe))
+	fmt.Printf("\nis api/host2/cpu-high still live? %v\n", cont.Contains(probe))
+	upd.Delete("alerts", renum.Tuple{svc("host2"), svc("cpu-high")})
+	fmt.Printf("after resolving it:             %v\n", cont.Contains(probe))
 	report("\nfinal state:")
 }

@@ -1,6 +1,6 @@
-// Quickstart: build a small database, prepare a free-connex CQ, and use all
-// three facilities of the paper — counting, random access, and uniformly
-// random-order enumeration.
+// Quickstart: build a small database, open a handle on a free-connex CQ,
+// and use the paper's facilities — counting, random access, and uniformly
+// random-order enumeration — through the one-constructor API.
 package main
 
 import (
@@ -37,27 +37,33 @@ func main() {
 	fmt.Printf("query: %v\n", q)
 	fmt.Printf("free-connex: %v\n", renum.IsFreeConnex(q))
 
-	// Linear-time preprocessing builds the Theorem 4.3 index.
-	ra, err := renum.NewRandomAccess(db, q)
+	// One constructor: linear-time preprocessing behind a capability-based
+	// handle (renum.Open takes a *CQ or a *UCQ plus functional options).
+	h, err := renum.Open(db, q)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("answers: %d (counted in O(1))\n", ra.Count())
+	fmt.Printf("backend: %s, capabilities: %v\n", h.Kind(), h.Capabilities())
+	fmt.Printf("answers: %d (counted in O(1))\n", h.Count())
 
 	// Random access: jump straight to any position of the enumeration order.
-	mid, _ := ra.Access(ra.Count() / 2)
+	mid, _ := h.Access(h.Count() / 2)
 	fmt.Printf("middle answer: %s\n", render(db, mid))
-	j, _ := ra.InvertedAccess(mid)
-	fmt.Printf("...and its position again via inverted access: %d\n", j)
 
-	// Random permutation: every answer exactly once, uniformly random order,
-	// O(log) delay — intermediate prefixes are unbiased samples.
+	// Optional facilities are discovered, not assumed: the inverted-access
+	// capability maps an answer back to its position.
+	if inv, err := h.Inverter(); err == nil {
+		j, _ := inv.InvertedAccess(mid)
+		fmt.Printf("...and its position again via inverted access: %d\n", j)
+	}
+
+	// Random permutation as a native iterator: every answer exactly once,
+	// uniformly random order, O(log) delay — intermediate prefixes are
+	// unbiased samples.
 	fmt.Println("random-order enumeration:")
-	perm := ra.Permute(rand.New(rand.NewSource(42)))
-	for {
-		t, ok := perm.Next()
-		if !ok {
-			break
+	for t, err := range h.Shuffled(rand.New(rand.NewSource(42))) {
+		if err != nil {
+			panic(err)
 		}
 		fmt.Printf("  %s\n", render(db, t))
 	}

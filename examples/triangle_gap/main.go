@@ -44,20 +44,20 @@ func main() {
 	u := renum.MustUCQ("Q∪", q1, q2)
 
 	// Each CQ alone: random access is easy (Theorem 4.3).
-	ra1, err := renum.NewRandomAccess(db, q1)
+	h1, err := renum.Open(db, q1)
 	if err != nil {
 		panic(err)
 	}
-	ra2, err := renum.NewRandomAccess(db, q2)
+	h2, err := renum.Open(db, q2)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("|Q1| = %d, |Q2| = %d  (each counted in O(1) after linear preprocessing)\n",
-		ra1.Count(), ra2.Count())
+		h1.Count(), h2.Count())
 
-	// The union: mc-UCQ random access must fail — the intersection is the
-	// triangle query, which is cyclic.
-	if _, err := renum.NewUnionAccess(db, u, false); err != nil {
+	// The union: opening the mc-UCQ access handle must fail — the
+	// intersection is the triangle query, which is cyclic.
+	if _, err := renum.Open(db, u); err != nil {
 		fmt.Printf("mc-UCQ random access rejected, as Example 5.1 predicts:\n  %v\n", err)
 	} else {
 		fmt.Println("unexpected: union access succeeded")
@@ -80,7 +80,7 @@ func main() {
 	// And the inclusion–exclusion identity recovers the triangle count —
 	// which is why a *linear-time* union count cannot exist under the
 	// Triangle hypothesis.
-	triangles := ra1.Count() + ra2.Count() - union
+	triangles := h1.Count() + h2.Count() - union
 	fmt.Printf("triangles in (R,S,T): |Q1|+|Q2|-|Q∪| = %d\n", triangles)
 
 	tri := renum.MustCQ("tri", []string{"x", "y", "z"},

@@ -65,12 +65,15 @@ func main() {
 	)
 	u := renum.MustUCQ("search", qHot, qLocal)
 
-	// mc-UCQ access gives the exact result count right after preprocessing.
-	ua, err := renum.NewUnionAccess(db, u, true)
+	// One Open serves the union: the mc-UCQ backend gives the exact result
+	// count right after preprocessing (WithVerify checks order
+	// compatibility explicitly).
+	h, err := renum.Open(db, u, renum.WithVerify())
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("search matches: %d (counted via mc-UCQ inclusion–exclusion)\n\n", ua.Count())
+	fmt.Printf("search matches: %d (counted via mc-UCQ inclusion–exclusion; capabilities %v)\n\n",
+		h.Count(), h.Capabilities())
 
 	// Random-order paging via REnum(UCQ).
 	enum, err := renum.NewRandomOrderUnion(db, u, rand.New(rand.NewSource(9)))

@@ -249,3 +249,112 @@ func TestGoldenEnumerationHash(t *testing.T) {
 		t.Fatalf("sequence hash %s, golden %s (enumeration order changed)", got, wantHash)
 	}
 }
+
+// goldenHandles rebuilds the same recorded instances through the public
+// Open API — the capability-handle counterpart of goldenIndexes.
+func goldenHandles(t *testing.T) map[string]*Handle {
+	t.Helper()
+	out := make(map[string]*Handle)
+
+	db, q, err := synth.Star(synth.Config{Relations: 3, TuplesPerRelation: 60, KeyDomain: 25, SkewS: 1.3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out[q.Name] = mustOpen(t, db, q)
+
+	db2, q2, err := synth.Chain(synth.Config{Relations: 3, TuplesPerRelation: 150, KeyDomain: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out[q2.Name] = mustOpen(t, db2, q2, WithCanonical())
+
+	q3, err := query.NewCQ("proj", []string{"x0", "x1"}, q2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out[q3.Name] = mustOpen(t, db2, q3)
+
+	db4 := relation.NewDatabase()
+	nat := db4.MustCreate("N", "a", "b")
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 3; j++ {
+			nat.MustInsert(relation.Value(i), relation.Value((i+j)%4))
+		}
+	}
+	db4.Add(nat.Filter("N0", func(tu relation.Tuple) bool { return tu[1] <= 1 }))
+	db4.Add(nat.Filter("N1", func(tu relation.Tuple) bool { return tu[1] >= 1 }))
+	qa := query.MustCQ("QA", []string{"a", "b"}, query.NewAtom("N0", query.V("a"), query.V("b")))
+	qb := query.MustCQ("QB", []string{"a", "b"}, query.NewAtom("N1", query.V("a"), query.V("b")))
+	u, err := query.NewUCQ("U", qa, qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out[u.Name] = mustOpen(t, db4, u, WithVerify())
+
+	return out
+}
+
+// TestGoldenEnumerationOrderViaIterator replays the recorded sequences
+// through the iterator-native API: Handle.All() must walk every golden
+// query's enumeration byte for byte — the new surface cannot perturb the
+// order contract the old recordings pin.
+func TestGoldenEnumerationOrderViaIterator(t *testing.T) {
+	f, err := os.Open(goldenOrderFile)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate against the previous implementation): %v", err)
+	}
+	defer f.Close()
+
+	handles := goldenHandles(t)
+
+	// Collect the recorded sequences per query, then drain each handle's
+	// iterator against its recording.
+	want := make(map[string][]string)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# hash ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# query ") {
+			cur = strings.Fields(line)[2]
+			order = append(order, cur)
+			continue
+		}
+		want[cur] = append(want[cur], line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(handles) {
+		t.Fatalf("golden file records %d queries, handles rebuilt %d", len(order), len(handles))
+	}
+
+	var buf []byte
+	for _, name := range order {
+		h, ok := handles[name]
+		if !ok {
+			t.Fatalf("golden query %q not rebuilt via Open", name)
+		}
+		if h.Count() != int64(len(want[name])) {
+			t.Fatalf("query %s: Count = %d, golden %d", name, h.Count(), len(want[name]))
+		}
+		var j int
+		for tu, err := range h.All() {
+			if err != nil {
+				t.Fatalf("query %s: All()[%d]: %v", name, j, err)
+			}
+			buf = formatAnswer(buf, tu)
+			if string(buf) != want[name][j] {
+				t.Fatalf("query %s: All()[%d] = %s, golden %s (enumeration order changed)", name, j, buf, want[name][j])
+			}
+			j++
+		}
+		if j != len(want[name]) {
+			t.Fatalf("query %s: iterator yielded %d answers, golden %d", name, j, len(want[name]))
+		}
+	}
+}

@@ -1,0 +1,620 @@
+package renum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/cqenum"
+	"repro/internal/mcucq"
+	"repro/internal/query"
+	"repro/internal/reduce"
+)
+
+// Query is the sealed interface over the two query forms Open accepts:
+// exactly *CQ and *UCQ implement it. Pass the query you built with
+// NewCQ/MustCQ or NewUCQ/MustUCQ straight through.
+type Query = query.Query
+
+// ErrUnsupported reports that a handle's backend does not implement the
+// requested capability — inverted access on a union, updates on a static
+// index, enumeration cursors on a dynamic one. It is a sentinel (alongside
+// ErrOutOfBounds): test with errors.Is and branch on the capability, instead
+// of type-switching on concrete index types.
+var ErrUnsupported = errors.New("renum: operation unsupported by this handle")
+
+// IsUnsupported reports whether err indicates a missing capability.
+func IsUnsupported(err error) bool { return errors.Is(err, ErrUnsupported) }
+
+// Kind names the backend family serving a Handle. It is diagnostic metadata
+// (logs, /v1/{query} responses); dispatch on Capabilities, not Kind.
+type Kind string
+
+// The backend families of Open.
+const (
+	// KindCQ: the Theorem 4.3 single-CQ index.
+	KindCQ Kind = "cq"
+	// KindUCQ: the Theorem 5.5 mc-UCQ union index.
+	KindUCQ Kind = "ucq"
+	// KindDynamic: the update-maintaining index (WithDynamic).
+	KindDynamic Kind = "dynamic"
+)
+
+// Capability identifies one optional facility of a Handle.
+type Capability string
+
+// The capability lattice. Every handle supports the shared surface (Count,
+// Access, AccessInto, AccessBatch, Page, Head); the rest is discoverable.
+const (
+	// CapEnumerate: the enumeration order is stable, so All, Shuffled,
+	// Enumerate, Permute and server-side cursors are meaningful. Static
+	// backends have it; dynamic ones do not (updates shift positions, so
+	// "each answer exactly once" cannot be promised across a sequence of
+	// probes).
+	CapEnumerate Capability = "enumerate"
+	// CapInvert: answer → position (Algorithm 4 / Fenwick rank).
+	CapInvert Capability = "invert"
+	// CapUpdate: Insert/Delete on base relations.
+	CapUpdate Capability = "update"
+	// CapSample: uniform sampling (distinct or with replacement — ask the
+	// Sampler).
+	CapSample Capability = "sample"
+	// CapContains: membership testing.
+	CapContains Capability = "contains"
+	// CapExplain: a human-readable compiled plan.
+	CapExplain Capability = "explain"
+)
+
+// Inverter is the inverted-access capability: answer → position in the
+// enumeration order (ok=false if t is not an answer).
+type Inverter interface {
+	InvertedAccess(t Tuple) (int64, bool)
+}
+
+// Updater is the dynamic-maintenance capability: tuple insertions and
+// deletions on the base relations, with all derived weights maintained.
+type Updater interface {
+	Insert(baseRelation string, t Tuple) (changed bool, err error)
+	Delete(baseRelation string, t Tuple) (changed bool, err error)
+}
+
+// Sampler is the uniform-sampling capability. All backends share one error
+// shape: k < 0 is ErrOutOfBounds, and an empty answer set yields an empty
+// sample with a nil error — emptiness is a result, not a failure.
+type Sampler interface {
+	// SampleN returns k uniform samples (clamped to Count() when Distinct).
+	SampleN(k int64, rng *rand.Rand) ([]Tuple, error)
+	// Distinct reports whether SampleN draws without replacement (static
+	// backends: lazy Fisher–Yates, distinct; dynamic: independent draws,
+	// with replacement).
+	Distinct() bool
+}
+
+// Container is the membership-testing capability.
+type Container interface {
+	Contains(t Tuple) bool
+}
+
+// backend is the shared probe surface every Handle backend implements; the
+// optional capabilities are discovered by interface assertion on the same
+// value, so adding a backend never adds a dispatch site.
+type backend interface {
+	kind() Kind
+	Count() int64
+	Head() []string
+	Access(j int64) (Tuple, error)
+	AccessInto(j int64, buf Tuple) error
+	accessBatchContext(ctx context.Context, js []int64, workers int) ([]Tuple, error)
+}
+
+// permuter marks backends with a stable enumeration order (CapEnumerate).
+type permuter interface {
+	Permute(rng *rand.Rand) *Permutation
+}
+
+// explainer marks backends that can render their compiled plan.
+type explainer interface {
+	Explain() string
+}
+
+// config collects the functional options of Open.
+type config struct {
+	canonical bool
+	dynamic   bool
+	verify    bool
+	workers   int
+}
+
+// Option configures Open. Options replace the boolean and variant
+// constructors of the pre-Handle API (see the README migration table).
+type Option func(*config)
+
+// WithCanonical sorts node relations before indexing so the enumeration
+// order depends only on database *content*, not insertion order (O(n log n)
+// preprocessing instead of linear). Not supported together with WithDynamic.
+func WithCanonical() Option { return func(c *config) { c.canonical = true } }
+
+// WithDynamic builds the update-maintaining index (CapUpdate) instead of the
+// static one. It requires a single projection-free CQ: unions fail with
+// ErrUnsupported, non-full CQs with ErrNotFull.
+func WithDynamic() Option { return func(c *config) { c.dynamic = true } }
+
+// WithVerify checks mc-UCQ order compatibility explicitly after preparing a
+// union (costs an enumeration of every intersection). It is a no-op for CQs.
+func WithVerify() Option { return func(c *config) { c.verify = true } }
+
+// WithWorkers caps the goroutines used both for index construction and as
+// the default fan-out of the handle's batched probes (AccessBatch, Page).
+// n <= 0 means one worker per core.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// Open builds the probe structure for q over db and wraps it in a Handle:
+// the single entry point of the library. q is a *CQ or a *UCQ; options pick
+// the backend variant. Open fails with ErrCyclic / ErrNotFreeConnex /
+// ErrIncompatible / ErrNotFull exactly as the underlying preparation does.
+func Open(db *Database, q Query, opts ...Option) (*Handle, error) {
+	if db == nil {
+		return nil, errors.New("renum: Open: nil database")
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	switch q := q.(type) {
+	case *CQ:
+		if cfg.dynamic {
+			if cfg.canonical {
+				return nil, fmt.Errorf("renum: WithCanonical with WithDynamic: %w", ErrUnsupported)
+			}
+			da, err := NewDynamicAccess(db, q)
+			if err != nil {
+				return nil, err
+			}
+			return &Handle{b: daBackend{da}, workers: cfg.workers}, nil
+		}
+		c, err := cqenum.PrepareWithOptions(db, q,
+			reduce.Options{CanonicalOrder: cfg.canonical},
+			access.BuildOptions{Workers: cfg.workers})
+		if err != nil {
+			return nil, err
+		}
+		return &Handle{b: raBackend{&RandomAccess{c: c}}, workers: cfg.workers}, nil
+	case *UCQ:
+		if cfg.dynamic {
+			return nil, fmt.Errorf("renum: WithDynamic requires a single full CQ, got a union: %w", ErrUnsupported)
+		}
+		ua, err := newUnionAccess(db, q, mcucq.Options{
+			Reduce:  reduce.Options{CanonicalOrder: cfg.canonical},
+			Verify:  cfg.verify,
+			Workers: cfg.workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Handle{b: uaBackend{ua}, workers: cfg.workers}, nil
+	default:
+		// Unreachable while Query stays sealed (q == nil aside).
+		return nil, fmt.Errorf("renum: Open: unsupported query type %T", q)
+	}
+}
+
+// Handle is a prepared query with a uniform probe surface. The shared
+// operations — Count, Access, AccessInto, AccessBatch, Page, Head — work on
+// every handle; optional facilities are discovered through Capabilities or
+// the typed accessors (Inverter, Updater, Sampler, Container), which fail
+// with ErrUnsupported instead of forcing callers to know the backend type.
+//
+// Handles over static backends (KindCQ, KindUCQ) are immutable and freely
+// shareable across goroutines with no locking; a KindDynamic handle is
+// internally synchronized. The iterators returned by All and Shuffled are
+// single-consumer cursors over the shared index: give each consumer its own.
+type Handle struct {
+	b       backend
+	workers int
+}
+
+// Kind names the backend family. Use it for diagnostics; branch on
+// Capabilities for behavior.
+func (h *Handle) Kind() Kind { return h.b.kind() }
+
+// Count returns |Q(D)| in constant time.
+func (h *Handle) Count() int64 { return h.b.Count() }
+
+// Head returns the output variable order.
+func (h *Handle) Head() []string { return h.b.Head() }
+
+// Access returns the j-th answer (0-based) of the enumeration order, or
+// ErrOutOfBounds outside [0, Count()).
+func (h *Handle) Access(j int64) (Tuple, error) { return h.b.Access(j) }
+
+// AccessInto is Access writing into a caller-provided buffer, which must
+// have length len(Head()) — a mismatched buffer is rejected with a
+// descriptive error on every backend. On the CQ backend the probe itself is
+// allocation-free.
+func (h *Handle) AccessInto(j int64, buf Tuple) error {
+	if err := checkBufArity(buf, len(h.b.Head())); err != nil {
+		return err
+	}
+	return h.b.AccessInto(j, buf)
+}
+
+// AccessBatch returns Access(j) for every j in js, in order, fanning the
+// probes out over the handle's worker budget (WithWorkers). The batch is
+// validated up front: one out-of-range position fails the whole call with
+// ErrOutOfBounds before any answer is assembled. (On a dynamic handle the
+// validation reads the count at entry; a concurrent delete can still
+// invalidate a position mid-batch, surfacing as ErrOutOfBounds.) Duplicates
+// are allowed and yield equal answers.
+func (h *Handle) AccessBatch(js []int64) ([]Tuple, error) {
+	return h.b.accessBatchContext(context.Background(), js, h.workers)
+}
+
+// AccessBatchContext is AccessBatch honoring cancellation between probe
+// chunks: when ctx is cancelled mid-batch, the remaining chunks are dropped
+// and ctx.Err() is returned; chunks already in flight complete into their
+// own buffers, so no partial or torn answer ever escapes and concurrent
+// batches are unaffected.
+func (h *Handle) AccessBatchContext(ctx context.Context, js []int64) ([]Tuple, error) {
+	return h.b.accessBatchContext(orBackground(ctx), js, h.workers)
+}
+
+// Page returns answers offset..offset+limit-1 of the enumeration order with
+// O(log |D|) cost per row regardless of offset. Short pages at the end are
+// returned without error; an offset at or past Count() yields an empty page;
+// a negative offset or limit is ErrOutOfBounds. On a dynamic handle the
+// count may move between the clamp and the probes, in which case the shifted
+// positions surface as ErrOutOfBounds.
+func (h *Handle) Page(offset, limit int64) ([]Tuple, error) {
+	return h.PageContext(context.Background(), offset, limit)
+}
+
+// PageContext is Page honoring cancellation between probe chunks.
+func (h *Handle) PageContext(ctx context.Context, offset, limit int64) ([]Tuple, error) {
+	js, err := pagePositions(offset, limit, h.Count())
+	if err != nil || js == nil {
+		return nil, err
+	}
+	return h.b.accessBatchContext(orBackground(ctx), js, h.workers)
+}
+
+// orBackground normalizes a nil context: every public context-aware entry
+// point tolerates nil the way the stdlib's http does, taking the
+// never-cancellable fast path.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// Explain renders the compiled plan (CapExplain), or ErrUnsupported.
+func (h *Handle) Explain() (string, error) {
+	if ex, ok := h.b.(explainer); ok {
+		return ex.Explain(), nil
+	}
+	return "", fmt.Errorf("explain: %w (kind %s)", ErrUnsupported, h.Kind())
+}
+
+// capabilityOrder fixes the (stable) order Capabilities reports.
+var capabilityOrder = []Capability{
+	CapEnumerate, CapContains, CapInvert, CapSample, CapUpdate, CapExplain,
+}
+
+// Has reports whether the handle supports c.
+func (h *Handle) Has(c Capability) bool {
+	switch c {
+	case CapEnumerate:
+		_, ok := h.b.(permuter)
+		return ok
+	case CapInvert:
+		_, ok := h.b.(Inverter)
+		return ok
+	case CapUpdate:
+		_, ok := h.b.(Updater)
+		return ok
+	case CapSample:
+		_, ok := h.b.(samplerBackend)
+		return ok
+	case CapContains:
+		_, ok := h.b.(Container)
+		return ok
+	case CapExplain:
+		_, ok := h.b.(explainer)
+		return ok
+	default:
+		return false
+	}
+}
+
+// Capabilities lists the optional facilities this handle supports, in a
+// stable order. The shared surface (Count/Access/AccessInto/AccessBatch/
+// Page/Head) is always present and not listed.
+func (h *Handle) Capabilities() []Capability {
+	out := make([]Capability, 0, len(capabilityOrder))
+	for _, c := range capabilityOrder {
+		if h.Has(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Inverter returns the inverted-access capability, or ErrUnsupported (e.g.
+// union backends: mc-UCQ has no inverted primitive).
+func (h *Handle) Inverter() (Inverter, error) {
+	if v, ok := h.b.(Inverter); ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("inverted access: %w (kind %s)", ErrUnsupported, h.Kind())
+}
+
+// Updater returns the update capability, or ErrUnsupported (static
+// backends; open with WithDynamic to accept updates).
+func (h *Handle) Updater() (Updater, error) {
+	if v, ok := h.b.(Updater); ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("update: %w (kind %s is a static index; open with WithDynamic)", ErrUnsupported, h.Kind())
+}
+
+// Sampler returns the uniform-sampling capability bound to the handle's
+// worker budget (WithWorkers), or ErrUnsupported.
+func (h *Handle) Sampler() (Sampler, error) {
+	if v, ok := h.b.(samplerBackend); ok {
+		return boundSampler{b: v, workers: h.workers}, nil
+	}
+	return nil, fmt.Errorf("sample: %w (kind %s)", ErrUnsupported, h.Kind())
+}
+
+// samplerBackend is the internal sampling surface: like Sampler but with an
+// explicit worker budget for the probe fan-out.
+type samplerBackend interface {
+	sampleN(k int64, rng *rand.Rand, workers int) ([]Tuple, error)
+	Distinct() bool
+}
+
+// boundSampler adapts a samplerBackend to the public Sampler, pinning the
+// handle's worker budget so WithWorkers(1) really serializes /sample-style
+// fan-out (the draws themselves are identical for any worker count).
+type boundSampler struct {
+	b       samplerBackend
+	workers int
+}
+
+func (s boundSampler) SampleN(k int64, rng *rand.Rand) ([]Tuple, error) {
+	return s.b.sampleN(k, rng, s.workers)
+}
+
+func (s boundSampler) Distinct() bool { return s.b.Distinct() }
+
+// Container returns the membership-testing capability, or ErrUnsupported.
+func (h *Handle) Container() (Container, error) {
+	if v, ok := h.b.(Container); ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("contains: %w (kind %s)", ErrUnsupported, h.Kind())
+}
+
+// All returns the answers in the enumeration order as an iterator:
+//
+//	for t, err := range h.All() {
+//	    if err != nil { ... }
+//	    ...
+//	}
+//
+// The sequence is byte-identical to Access(0..Count()-1) — and therefore to
+// the legacy Enumerator — with logarithmic delay per answer. It requires
+// CapEnumerate; on a dynamic handle the iterator yields a single
+// (nil, ErrUnsupported) pair, because updates shift positions and "each
+// answer exactly once" cannot be promised across probes. The iterator is a
+// single-consumer cursor; the handle itself may be shared.
+func (h *Handle) All() iter.Seq2[Tuple, error] {
+	return h.AllContext(context.Background())
+}
+
+// AllContext is All honoring cancellation: after ctx is cancelled the
+// iterator yields one (nil, ctx.Err()) pair and stops.
+func (h *Handle) AllContext(ctx context.Context) iter.Seq2[Tuple, error] {
+	ctx = orBackground(ctx)
+	return func(yield func(Tuple, error) bool) {
+		if !h.Has(CapEnumerate) {
+			yield(nil, fmt.Errorf("enumerate: %w (kind %s)", ErrUnsupported, h.Kind()))
+			return
+		}
+		done := ctx.Done()
+		n := h.Count()
+		for j := int64(0); j < n; j++ {
+			// One channel poll per answer: cheaper than ctx.Err()'s lock and
+			// exact enough — cancellation is observed before the next probe.
+			if done != nil {
+				select {
+				case <-done:
+					yield(nil, ctx.Err())
+					return
+				default:
+				}
+			}
+			t, err := h.b.Access(j)
+			if !yield(t, err) || err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Shuffled returns a uniformly random permutation of the answers as an
+// iterator (REnum: lazy Fisher–Yates over random access, logarithmic delay,
+// each answer exactly once). The sequence is byte-identical to draining
+// Permute(rng) with the same rng. Like All it requires CapEnumerate and the
+// iterator is single-consumer.
+func (h *Handle) Shuffled(rng *rand.Rand) iter.Seq2[Tuple, error] {
+	return h.ShuffledContext(context.Background(), rng)
+}
+
+// ShuffledContext is Shuffled honoring cancellation: after ctx is cancelled
+// the iterator yields one (nil, ctx.Err()) pair and stops.
+func (h *Handle) ShuffledContext(ctx context.Context, rng *rand.Rand) iter.Seq2[Tuple, error] {
+	ctx = orBackground(ctx)
+	return func(yield func(Tuple, error) bool) {
+		pm, ok := h.b.(permuter)
+		if !ok {
+			yield(nil, fmt.Errorf("shuffled enumeration: %w (kind %s)", ErrUnsupported, h.Kind()))
+			return
+		}
+		p := pm.Permute(rng)
+		done := ctx.Done()
+		for {
+			if done != nil {
+				select {
+				case <-done:
+					yield(nil, ctx.Err())
+					return
+				default:
+				}
+			}
+			t, ok := p.Next()
+			if !ok {
+				return
+			}
+			if !yield(t, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Enumerate adapts All to the legacy cursor shape, or ErrUnsupported
+// without CapEnumerate.
+func (h *Handle) Enumerate() (*Enumerator, error) {
+	if !h.Has(CapEnumerate) {
+		return nil, fmt.Errorf("enumerate: %w (kind %s)", ErrUnsupported, h.Kind())
+	}
+	var j int64
+	return &Enumerator{next: func() (Tuple, bool) {
+		t, err := h.b.Access(j)
+		if err != nil {
+			return nil, false
+		}
+		j++
+		return t, true
+	}}, nil
+}
+
+// Permute returns the legacy random-permutation cursor (with NextN /
+// NextNContext batch draining), or ErrUnsupported without CapEnumerate.
+func (h *Handle) Permute(rng *rand.Rand) (*Permutation, error) {
+	if pm, ok := h.b.(permuter); ok {
+		return pm.Permute(rng), nil
+	}
+	return nil, fmt.Errorf("permute: %w (kind %s)", ErrUnsupported, h.Kind())
+}
+
+// ---------------------------------------------------------------- backends
+
+// raBackend serves a Handle from a RandomAccess. The embedded value
+// contributes the shared surface plus the Inverter, Container, Sampler and
+// explainer capabilities by promotion.
+type raBackend struct {
+	*RandomAccess
+}
+
+func (raBackend) kind() Kind { return KindCQ }
+
+func (b raBackend) accessBatchContext(ctx context.Context, js []int64, workers int) ([]Tuple, error) {
+	return b.c.Index.AccessBatchContext(ctx, js, workers)
+}
+
+// Distinct completes the Sampler capability: SampleN draws a lazy
+// Fisher–Yates prefix — without replacement.
+func (raBackend) Distinct() bool { return true }
+
+// sampleN is the single implementation of distinct sampling for the CQ
+// backend; RandomAccess.SampleN delegates here with the default budget.
+func (b raBackend) sampleN(k int64, rng *rand.Rand, workers int) ([]Tuple, error) {
+	if k < 0 {
+		return nil, ErrOutOfBounds
+	}
+	if n := b.Count(); k > n {
+		k = n
+	}
+	return b.c.Permute(rng).NextN(k, workers), nil
+}
+
+// uaBackend serves a Handle from a UnionAccess (no Inverter: mc-UCQ has no
+// inverted-access primitive, which is exactly what ErrUnsupported surfaces).
+type uaBackend struct {
+	*UnionAccess
+}
+
+func (uaBackend) kind() Kind { return KindUCQ }
+
+func (b uaBackend) accessBatchContext(ctx context.Context, js []int64, workers int) ([]Tuple, error) {
+	return b.UnionAccess.accessBatchContext(ctx, js, workers)
+}
+
+func (uaBackend) Distinct() bool { return true }
+
+// sampleN is the single implementation of distinct sampling for the UCQ
+// backend; UnionAccess.SampleN delegates here with the default budget.
+func (b uaBackend) sampleN(k int64, rng *rand.Rand, workers int) ([]Tuple, error) {
+	if k < 0 {
+		return nil, ErrOutOfBounds
+	}
+	if n := b.Count(); k > n {
+		k = n
+	}
+	return b.m.Permute(rng).NextN(k, workers), nil
+}
+
+// daBackend serves a Handle from a DynamicAccess: Updater by promotion, no
+// permuter (positions shift under updates), batches probed serially under
+// the index's shared read lock.
+type daBackend struct {
+	*DynamicAccess
+}
+
+func (daBackend) kind() Kind { return KindDynamic }
+
+func (b daBackend) accessBatchContext(ctx context.Context, js []int64, _ int) ([]Tuple, error) {
+	ctx = orBackground(ctx)
+	// Fast-fail like the static backends: validate every position against
+	// the current count before probing. A concurrent delete can still
+	// shrink the count mid-batch, in which case the stale position
+	// surfaces as ErrOutOfBounds from the probe itself.
+	n := b.DynamicAccess.Count()
+	for _, j := range js {
+		if j < 0 || j >= n {
+			return nil, ErrOutOfBounds
+		}
+	}
+	done := ctx.Done()
+	out := make([]Tuple, len(js))
+	for i, j := range js {
+		if done != nil && i%64 == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		t, err := b.DynamicAccess.Access(j)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Distinct completes the Sampler capability: dynamic draws are independent —
+// with replacement.
+func (daBackend) Distinct() bool { return false }
+
+// sampleN ignores the worker budget: dynamic draws probe serially under the
+// index's shared read lock.
+func (b daBackend) sampleN(k int64, rng *rand.Rand, _ int) ([]Tuple, error) {
+	return b.DynamicAccess.SampleN(k, rng)
+}

@@ -1,0 +1,702 @@
+package renum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/synth"
+)
+
+// fixtureUCQ builds a mutually-compatible union over the fixtureDB
+// relations: U(x,y) = R(x,y) ∪ S(x,y).
+func fixtureUCQ(t testing.TB) (*Database, *UCQ) {
+	t.Helper()
+	db, _ := fixtureDB(t)
+	u, err := NewUCQ("U",
+		MustCQ("u1", []string{"x", "y"}, NewAtom("R", V("x"), V("y"))),
+		MustCQ("u2", []string{"x", "y"}, NewAtom("S", V("x"), V("y"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, u
+}
+
+func mustOpen(t testing.TB, db *Database, q Query, opts ...Option) *Handle {
+	t.Helper()
+	h, err := Open(db, q, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestOpenKindsAndCapabilities(t *testing.T) {
+	db, q := fixtureDB(t)
+	_, u := fixtureUCQ(t)
+
+	cq := mustOpen(t, db, q)
+	if cq.Kind() != KindCQ {
+		t.Fatalf("cq kind = %s", cq.Kind())
+	}
+	wantCQ := []Capability{CapEnumerate, CapContains, CapInvert, CapSample, CapExplain}
+	if got := cq.Capabilities(); len(got) != len(wantCQ) {
+		t.Fatalf("cq capabilities = %v, want %v", got, wantCQ)
+	} else {
+		for i := range got {
+			if got[i] != wantCQ[i] {
+				t.Fatalf("cq capabilities = %v, want %v", got, wantCQ)
+			}
+		}
+	}
+
+	ucq := mustOpen(t, db, u)
+	if ucq.Kind() != KindUCQ {
+		t.Fatalf("ucq kind = %s", ucq.Kind())
+	}
+	if ucq.Has(CapInvert) || ucq.Has(CapUpdate) || ucq.Has(CapExplain) {
+		t.Fatalf("ucq capabilities = %v: must not invert/update/explain", ucq.Capabilities())
+	}
+	if !ucq.Has(CapEnumerate) || !ucq.Has(CapSample) || !ucq.Has(CapContains) {
+		t.Fatalf("ucq capabilities = %v: missing enumerate/sample/contains", ucq.Capabilities())
+	}
+
+	dq := MustCQ("dq", []string{"a", "b"}, NewAtom("R", V("a"), V("b")))
+	dyn := mustOpen(t, db, dq, WithDynamic())
+	if dyn.Kind() != KindDynamic {
+		t.Fatalf("dynamic kind = %s", dyn.Kind())
+	}
+	if dyn.Has(CapEnumerate) || !dyn.Has(CapUpdate) || !dyn.Has(CapInvert) {
+		t.Fatalf("dynamic capabilities = %v", dyn.Capabilities())
+	}
+
+	// Typed accessors fail with the sentinel, never a type assertion burden
+	// on the caller.
+	if _, err := ucq.Inverter(); !IsUnsupported(err) {
+		t.Fatalf("union Inverter err = %v, want ErrUnsupported", err)
+	}
+	if _, err := cq.Updater(); !IsUnsupported(err) {
+		t.Fatalf("static Updater err = %v, want ErrUnsupported", err)
+	}
+	if _, err := dyn.Permute(rand.New(rand.NewSource(1))); !IsUnsupported(err) {
+		t.Fatalf("dynamic Permute err = %v, want ErrUnsupported", err)
+	}
+	if _, err := dyn.Enumerate(); !IsUnsupported(err) {
+		t.Fatalf("dynamic Enumerate err = %v, want ErrUnsupported", err)
+	}
+	if _, err := ucq.Explain(); !IsUnsupported(err) {
+		t.Fatalf("union Explain err = %v, want ErrUnsupported", err)
+	}
+	if plan, err := cq.Explain(); err != nil || plan == "" {
+		t.Fatalf("cq Explain = %q, %v", plan, err)
+	}
+
+	// Option combinations the backends cannot serve fail at Open.
+	if _, err := Open(db, u, WithDynamic()); !IsUnsupported(err) {
+		t.Fatalf("Open(UCQ, WithDynamic) err = %v, want ErrUnsupported", err)
+	}
+	if _, err := Open(db, dq, WithDynamic(), WithCanonical()); !IsUnsupported(err) {
+		t.Fatalf("Open(WithDynamic, WithCanonical) err = %v, want ErrUnsupported", err)
+	}
+	proj := MustCQ("proj", []string{"a"}, NewAtom("R", V("a"), V("b")))
+	if _, err := Open(db, proj, WithDynamic()); !errors.Is(err, ErrNotFull) {
+		t.Fatalf("Open(projection, WithDynamic) err = %v, want ErrNotFull", err)
+	}
+}
+
+// TestHandleCompatOldVsNew is the old-API-vs-new-API golden suite: every
+// probe of the legacy constructors must be byte-identical through the
+// Handle, including the iterator-native enumerations.
+func TestHandleCompatOldVsNew(t *testing.T) {
+	db, q := fixtureDB(t)
+	_, u := fixtureUCQ(t)
+
+	ra, err := NewRandomAccess(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := NewUnionAccess(db, u, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type legacy struct {
+		name  string
+		count int64
+		head  []string
+		acc   func(j int64) (Tuple, error)
+		batch func(js []int64) ([]Tuple, error)
+		page  func(off, lim int64) ([]Tuple, error)
+		perm  func(rng *rand.Rand) *Permutation
+		h     *Handle
+	}
+	cases := []legacy{
+		{
+			name: "cq", count: ra.Count(), head: ra.Head(),
+			acc:   ra.Access,
+			batch: func(js []int64) ([]Tuple, error) { return ra.AccessBatch(js, 0) },
+			page:  ra.Page,
+			perm:  ra.Permute,
+			h:     mustOpen(t, db, q),
+		},
+		{
+			name: "ucq", count: ua.Count(), head: ua.Head(),
+			acc:   ua.Access,
+			batch: func(js []int64) ([]Tuple, error) { return ua.AccessBatch(js, 0) },
+			page:  ua.Page,
+			perm:  ua.Permute,
+			h:     mustOpen(t, db, u),
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := tc.h
+			if h.Count() != tc.count {
+				t.Fatalf("Count = %d, want %d", h.Count(), tc.count)
+			}
+			if len(h.Head()) != len(tc.head) {
+				t.Fatalf("Head = %v, want %v", h.Head(), tc.head)
+			}
+			for i := range tc.head {
+				if h.Head()[i] != tc.head[i] {
+					t.Fatalf("Head = %v, want %v", h.Head(), tc.head)
+				}
+			}
+
+			// All() replays the legacy enumeration order exactly.
+			var j int64
+			for tu, err := range h.All() {
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := tc.acc(j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !tu.Equal(want) {
+					t.Fatalf("All[%d] = %v, legacy Access = %v", j, tu, want)
+				}
+				j++
+			}
+			if j != tc.count {
+				t.Fatalf("All yielded %d answers, want %d", j, tc.count)
+			}
+
+			// AccessInto matches Access through the handle.
+			buf := make(Tuple, len(tc.head))
+			for j := int64(0); j < tc.count; j++ {
+				if err := h.AccessInto(j, buf); err != nil {
+					t.Fatal(err)
+				}
+				want, _ := tc.acc(j)
+				if !buf.Equal(want) {
+					t.Fatalf("AccessInto(%d) = %v, want %v", j, buf, want)
+				}
+			}
+
+			// Shuffled replays the legacy permutation draw for draw.
+			old := tc.perm(rand.New(rand.NewSource(99)))
+			var got []Tuple
+			for tu, err := range h.Shuffled(rand.New(rand.NewSource(99))) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, tu)
+			}
+			for i := range got {
+				want, ok := old.Next()
+				if !ok {
+					t.Fatalf("legacy permutation ended at %d, Shuffled yielded %d", i, len(got))
+				}
+				if !got[i].Equal(want) {
+					t.Fatalf("Shuffled[%d] = %v, legacy Permutation = %v", i, got[i], want)
+				}
+			}
+			if _, ok := old.Next(); ok {
+				t.Fatal("legacy permutation outlived Shuffled")
+			}
+
+			// Batch and page agree with the legacy entry points.
+			js := []int64{0, tc.count - 1, 1, 1, tc.count / 2}
+			hb, err := h.AccessBatch(js)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb, err := tc.batch(js)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hb {
+				if !hb[i].Equal(lb[i]) {
+					t.Fatalf("AccessBatch[%d] = %v, legacy %v", i, hb[i], lb[i])
+				}
+			}
+			hp, err := h.Page(1, tc.count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp, err := tc.page(1, tc.count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hp) != len(lp) {
+				t.Fatalf("Page lengths %d vs %d", len(hp), len(lp))
+			}
+			for i := range hp {
+				if !hp[i].Equal(lp[i]) {
+					t.Fatalf("Page[%d] = %v, legacy %v", i, hp[i], lp[i])
+				}
+			}
+
+			// Enumerate is the thin adapter over the same order.
+			e, err := h.Enumerate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := int64(0); ; j++ {
+				tu, ok := e.Next()
+				if !ok {
+					if j != tc.count {
+						t.Fatalf("Enumerate ended at %d, want %d", j, tc.count)
+					}
+					break
+				}
+				want, _ := tc.acc(j)
+				if !tu.Equal(want) {
+					t.Fatalf("Enumerate[%d] = %v, want %v", j, tu, want)
+				}
+			}
+		})
+	}
+}
+
+// TestUnionAccessParityWithCQPath: a union whose disjuncts are the same CQ
+// twice is semantically that CQ, and the mc-UCQ backend must reproduce the
+// CQ path byte for byte across the parity surface added to UnionAccess —
+// AccessInto, Page, SampleN.
+func TestUnionAccessParityWithCQPath(t *testing.T) {
+	db, q := fixtureDB(t)
+	ra, err := NewRandomAccess(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := MustCQ("q2", q.Head, q.Body...)
+	u, err := NewUCQ("uu", q, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := NewUnionAccess(db, u, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ra.Count()
+	if ua.Count() != n {
+		t.Fatalf("union of Q with itself counts %d, CQ counts %d", ua.Count(), n)
+	}
+
+	buf := make(Tuple, len(ra.Head()))
+	for j := int64(0); j < n; j++ {
+		want, err := ra.Access(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ua.AccessInto(j, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !buf.Equal(want) {
+			t.Fatalf("union AccessInto(%d) = %v, CQ %v", j, buf, want)
+		}
+	}
+	if err := ua.AccessInto(n, buf); !IsOutOfBounds(err) {
+		t.Fatalf("union AccessInto(n) err = %v, want ErrOutOfBounds", err)
+	}
+
+	up, err := ua.Page(3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ra.Page(3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up) != len(rp) {
+		t.Fatalf("union Page %d rows, CQ %d", len(up), len(rp))
+	}
+	for i := range up {
+		if !up[i].Equal(rp[i]) {
+			t.Fatalf("union Page[%d] = %v, CQ %v", i, up[i], rp[i])
+		}
+	}
+	if _, err := ua.Page(-1, 5); !IsOutOfBounds(err) {
+		t.Fatalf("union Page(-1) err = %v", err)
+	}
+	if past, err := ua.Page(n+7, 5); err != nil || len(past) != 0 {
+		t.Fatalf("union Page(past end) = %d rows, err %v", len(past), err)
+	}
+
+	// SampleN: distinct, complete at k ≥ n, ErrOutOfBounds on k < 0 —
+	// identical contract to the CQ sampler.
+	if _, err := ua.SampleN(-1, rand.New(rand.NewSource(1))); !IsOutOfBounds(err) {
+		t.Fatalf("union SampleN(-1) err = %v", err)
+	}
+	got, err := ua.SampleN(n+100, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(got)) != n {
+		t.Fatalf("union SampleN clamped to %d, want %d", len(got), n)
+	}
+	seen := make(map[string]bool, n)
+	for _, tu := range got {
+		seen[fmt.Sprint(tu)] = true
+	}
+	if int64(len(seen)) != n {
+		t.Fatalf("union SampleN repeated answers: %d distinct of %d", len(seen), n)
+	}
+}
+
+// TestSamplerCapabilityUnified: every backend reaches sampling through the
+// one Sampler signature, with the same error shape — k < 0 is
+// ErrOutOfBounds, an empty answer set is an empty sample with a nil error —
+// and honestly reports replacement semantics.
+func TestSamplerCapabilityUnified(t *testing.T) {
+	db, q := fixtureDB(t)
+	_, u := fixtureUCQ(t)
+	dq := MustCQ("dq", []string{"a", "b"}, NewAtom("R", V("a"), V("b")))
+
+	for _, tc := range []struct {
+		name     string
+		h        *Handle
+		distinct bool
+	}{
+		{"cq", mustOpen(t, db, q), true},
+		{"ucq", mustOpen(t, db, u), true},
+		{"dynamic", mustOpen(t, db, dq, WithDynamic()), false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			smp, err := tc.h.Sampler()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if smp.Distinct() != tc.distinct {
+				t.Fatalf("Distinct = %v, want %v", smp.Distinct(), tc.distinct)
+			}
+			if _, err := smp.SampleN(-1, rand.New(rand.NewSource(1))); !IsOutOfBounds(err) {
+				t.Fatalf("SampleN(-1) err = %v, want ErrOutOfBounds", err)
+			}
+			ts, err := smp.SampleN(5, rand.New(rand.NewSource(2)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ts) != 5 {
+				t.Fatalf("SampleN(5) = %d answers", len(ts))
+			}
+			cont, err := tc.h.Container()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tu := range ts {
+				if !cont.Contains(tu) {
+					t.Fatalf("sampled non-answer %v", tu)
+				}
+			}
+		})
+	}
+
+	// The CQ sampler replays the legacy SampleK draws for the same rng.
+	ra, err := NewRandomAccess(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, _ := mustOpen(t, db, q).Sampler()
+	got, err := smp.SampleN(7, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ra.SampleK(7, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("Sampler[%d] = %v, legacy SampleK %v", i, got[i], want[i])
+		}
+	}
+
+	// Empty answer set: empty sample, nil error — on every backend.
+	empty := NewDatabase()
+	empty.MustCreate("R", "a", "b")
+	empty.MustCreate("S", "b", "c")
+	eq := MustCQ("eq", []string{"a", "b"}, NewAtom("R", V("a"), V("b")))
+	for _, h := range []*Handle{
+		mustOpen(t, empty, eq),
+		mustOpen(t, empty, eq, WithDynamic()),
+	} {
+		smp, err := h.Sampler()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := smp.SampleN(4, rand.New(rand.NewSource(3)))
+		if err != nil || len(ts) != 0 {
+			t.Fatalf("%s empty SampleN = %d answers, err %v", h.Kind(), len(ts), err)
+		}
+	}
+}
+
+// TestDynamicHandleSurface: the dynamic backend serves the shared surface
+// (including batches and pages, probed under its read lock) while the
+// stable-order iterators refuse with ErrUnsupported.
+func TestDynamicHandleSurface(t *testing.T) {
+	db, _ := fixtureDB(t)
+	dq := MustCQ("dq", []string{"a", "b"}, NewAtom("R", V("a"), V("b")))
+	h := mustOpen(t, db, dq, WithDynamic())
+	n := h.Count()
+	if n == 0 {
+		t.Fatal("empty fixture")
+	}
+
+	js := []int64{0, n - 1, 0}
+	ts, err := h.AccessBatch(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range js {
+		want, err := h.Access(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ts[i].Equal(want) {
+			t.Fatalf("dynamic AccessBatch[%d] = %v, want %v", i, ts[i], want)
+		}
+	}
+	if _, err := h.AccessBatch([]int64{n}); !IsOutOfBounds(err) {
+		t.Fatalf("dynamic AccessBatch out of range err = %v", err)
+	}
+	page, err := h.Page(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(page)) != n-1 {
+		t.Fatalf("dynamic Page = %d rows, want %d", len(page), n-1)
+	}
+
+	for _, err := range h.All() {
+		if !IsUnsupported(err) {
+			t.Fatalf("dynamic All yielded err = %v, want ErrUnsupported", err)
+		}
+	}
+	for _, err := range h.Shuffled(rand.New(rand.NewSource(1))) {
+		if !IsUnsupported(err) {
+			t.Fatalf("dynamic Shuffled yielded err = %v, want ErrUnsupported", err)
+		}
+	}
+
+	// The buffer-arity contract is uniform across backends: a mismatched
+	// AccessInto buffer is a descriptive error, never a panic and never
+	// ErrOutOfBounds (which means a bad position).
+	for _, hh := range []*Handle{h, mustOpen(t, db, MustCQ("q", []string{"a", "b"}, NewAtom("R", V("a"), V("b"))))} {
+		err := hh.AccessInto(0, make(Tuple, 5))
+		if err == nil || IsOutOfBounds(err) {
+			t.Fatalf("%s AccessInto with wrong buffer: err = %v, want a distinct arity error", hh.Kind(), err)
+		}
+	}
+
+	// A cancelled context stops a dynamic batch too (serial probe loop).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.AccessBatchContext(ctx, js); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dynamic cancelled batch err = %v", err)
+	}
+}
+
+// bigHandle builds a star-join handle large enough (≈493k answers) that a
+// multi-hundred-thousand-probe batch cannot finish before a cancellation a
+// few milliseconds in.
+func bigHandle(t testing.TB) (*Database, *Handle) {
+	t.Helper()
+	db, q, err := synth.Star(synth.Config{Relations: 3, TuplesPerRelation: 200, KeyDomain: 30, SkewS: 1.3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, mustOpen(t, db, q)
+}
+
+// TestAccessBatchContextCancellation is the cancellation acceptance test: a
+// cancelled context stops a large AccessBatch early, the call reports
+// ctx.Err(), and nothing is corrupted — the same positions probed again
+// (concurrently and after the fact) give exactly the per-position Access
+// answers.
+func TestAccessBatchContextCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large cancellation fixture skipped in -short mode")
+	}
+	_, h := bigHandle(t)
+	n := h.Count()
+
+	// A batch of 2M probes takes hundreds of milliseconds at ~300ns/probe;
+	// cancelling after 2ms must abort it long before completion.
+	js := make([]int64, 1<<21)
+	rng := rand.New(rand.NewSource(5))
+	for i := range js {
+		js[i] = rng.Int63n(n)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var concurrent []Tuple
+	var concurrentErr error
+	go func() {
+		// An innocent bystander on the same index and positions must be
+		// unaffected by its neighbor's cancellation.
+		defer wg.Done()
+		concurrent, concurrentErr = h.AccessBatch(js[:4096])
+	}()
+	time.AfterFunc(2*time.Millisecond, cancel)
+	start := time.Now()
+	out, err := h.AccessBatchContext(ctx, js)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch err = %v (out len %d, took %v), want context.Canceled", err, len(out), elapsed)
+	}
+	if out != nil {
+		t.Fatalf("cancelled batch leaked %d answers", len(out))
+	}
+	wg.Wait()
+	if concurrentErr != nil {
+		t.Fatal(concurrentErr)
+	}
+	for i, tu := range concurrent {
+		want, err := h.Access(js[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tu.Equal(want) {
+			t.Fatalf("concurrent batch corrupted at %d: %v, want %v", i, tu, want)
+		}
+	}
+
+	// The index still answers the very same batch correctly afterwards.
+	redo, err := h.AccessBatchContext(context.Background(), js[:8192])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tu := range redo {
+		want, _ := h.Access(js[i])
+		if !tu.Equal(want) {
+			t.Fatalf("post-cancel batch wrong at %d: %v, want %v", i, tu, want)
+		}
+	}
+
+	// Pre-cancelled contexts never probe at all.
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := h.AccessBatchContext(pre, js[:2]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled batch err = %v", err)
+	}
+	if _, err := h.PageContext(pre, 0, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled page err = %v", err)
+	}
+}
+
+// TestIteratorContextCancellation: AllContext and ShuffledContext observe
+// cancellation between yields, surfacing ctx.Err() as the final pair; a
+// permutation's NextNContext does the same between chunks.
+func TestIteratorContextCancellation(t *testing.T) {
+	db, q := fixtureDB(t)
+	h := mustOpen(t, db, q)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var yielded int
+	var last error
+	for tu, err := range h.AllContext(ctx) {
+		if err != nil {
+			last = err
+			break
+		}
+		_ = tu
+		if yielded++; yielded == 3 {
+			cancel()
+		}
+	}
+	if !errors.Is(last, context.Canceled) {
+		t.Fatalf("AllContext final err = %v, want context.Canceled", last)
+	}
+	if yielded != 3 {
+		t.Fatalf("AllContext yielded %d answers after cancel-at-3", yielded)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	yielded, last = 0, nil
+	for tu, err := range h.ShuffledContext(ctx2, rand.New(rand.NewSource(8))) {
+		if err != nil {
+			last = err
+			break
+		}
+		_ = tu
+		if yielded++; yielded == 2 {
+			cancel2()
+		}
+	}
+	if !errors.Is(last, context.Canceled) {
+		t.Fatalf("ShuffledContext final err = %v, want context.Canceled", last)
+	}
+
+	p, err := h.Permute(rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := p.NextNContext(pre, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("NextNContext pre-cancelled err = %v", err)
+	}
+	// The cursor survives a cancelled draw: a live context keeps draining.
+	ts, err := p.NextNContext(context.Background(), h.Count())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) == 0 {
+		t.Fatal("permutation dead after a cancelled NextNContext")
+	}
+}
+
+// TestHandleUpdaterRoundTrip: updates through the capability are the
+// legacy DynamicAccess semantics (change reporting, count maintenance).
+func TestHandleUpdaterRoundTrip(t *testing.T) {
+	db, _ := fixtureDB(t)
+	dq := MustCQ("dq", []string{"a", "b"}, NewAtom("R", V("a"), V("b")))
+	h := mustOpen(t, db, dq, WithDynamic())
+	upd, err := h.Updater()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := h.Count()
+	tu := Tuple{Value(9001), Value(9002)}
+	if changed, err := upd.Insert("R", tu); err != nil || !changed {
+		t.Fatalf("Insert = %v, %v", changed, err)
+	}
+	if h.Count() != n+1 {
+		t.Fatalf("count after insert = %d, want %d", h.Count(), n+1)
+	}
+	if changed, err := upd.Insert("R", tu); err != nil || changed {
+		t.Fatalf("duplicate Insert = %v, %v", changed, err)
+	}
+	cont, _ := h.Container()
+	if !cont.Contains(tu) {
+		t.Fatal("inserted tuple not contained")
+	}
+	if changed, err := upd.Delete("R", tu); err != nil || !changed {
+		t.Fatalf("Delete = %v, %v", changed, err)
+	}
+	if h.Count() != n {
+		t.Fatalf("count after delete = %d, want %d", h.Count(), n)
+	}
+}

@@ -40,6 +40,7 @@
 package access
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -396,6 +397,16 @@ const batchSerialThreshold = 256
 // contiguous backing array, so a batch of k probes costs O(1) allocations
 // per chunk instead of k.
 func (idx *Index) AccessBatch(js []int64, workers int) ([]relation.Tuple, error) {
+	return idx.AccessBatchContext(context.Background(), js, workers)
+}
+
+// AccessBatchContext is AccessBatch honoring cancellation between chunks:
+// when ctx is cancelled mid-batch the remaining chunks are dropped, ctx.Err()
+// is returned and no partial result escapes — chunks already running finish
+// into their own backing arrays, so the answers of a concurrent or later
+// batch are never corrupted. A background (never-cancellable) context takes
+// the exact AccessBatch fast path.
+func (idx *Index) AccessBatchContext(ctx context.Context, js []int64, workers int) ([]relation.Tuple, error) {
 	for _, j := range js {
 		if j < 0 || j >= idx.count {
 			return nil, ErrOutOfBounds
@@ -415,11 +426,16 @@ func (idx *Index) AccessBatch(js []int64, workers int) ([]relation.Tuple, error)
 		}
 		return nil
 	}
-	if workers == 1 || len(js) < batchSerialThreshold {
+	serial := workers == 1 || len(js) < batchSerialThreshold
+	cancellable := ctx != nil && ctx.Done() != nil
+	if !cancellable && serial {
 		_ = fill(0, len(js))
 		return out, nil
 	}
-	if err := parallel.ForEachChunk(len(js), workers, fill); err != nil {
+	if serial {
+		workers = 1
+	}
+	if err := parallel.ForEachChunkCtx(ctx, len(js), workers, fill); err != nil {
 		return nil, err
 	}
 	return out, nil

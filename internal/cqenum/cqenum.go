@@ -19,6 +19,7 @@
 package cqenum
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/access"
@@ -120,8 +121,23 @@ func (p *RandomPermutation) Remaining() int64 { return p.shuf.Remaining() }
 // goroutines (workers <= 0 means parallel.Workers()). The emitted sequence
 // is therefore byte-identical to the serial one for the same rng.
 func (p *RandomPermutation) NextN(k int64, workers int) []relation.Tuple {
+	out, _ := p.NextNContext(context.Background(), k, workers)
+	return out
+}
+
+// NextNContext is NextN honoring cancellation between probe chunks. The k
+// random positions are still drawn serially up front (so the rng consumption
+// is identical to NextN's); if ctx is cancelled while the batched probes
+// run, the call returns ctx.Err() and the drawn positions are consumed but
+// their answers discarded — the permutation cursor stays valid, it simply
+// skips the cancelled batch, which is the right semantics for an abandoned
+// network request.
+func (p *RandomPermutation) NextNContext(ctx context.Context, k int64, workers int) ([]relation.Tuple, error) {
 	if k < 0 {
-		return nil
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Callers may pass "drain everything" values of k; size by what is
 	// actually left so the allocation cannot explode.
@@ -136,12 +152,7 @@ func (p *RandomPermutation) NextN(k int64, workers int) []relation.Tuple {
 		}
 		js = append(js, j)
 	}
-	out, err := p.idx.AccessBatch(js, workers)
-	if err != nil {
-		// Unreachable: the shuffler only emits indexes below Count().
-		return nil
-	}
-	return out
+	return p.idx.AccessBatchContext(ctx, js, workers)
 }
 
 // DeletableSet implements Lemma 5.3: given counting, random access and

@@ -98,6 +98,15 @@ type Query struct {
 	UCQ *query.UCQ
 }
 
+// Src returns the parsed query as the sealed query.Query — the form
+// renum.Open takes — so consumers need no CQ-vs-UCQ branch of their own.
+func (q Query) Src() query.Query {
+	if q.CQ != nil {
+		return q.CQ
+	}
+	return q.UCQ
+}
+
 // Queries parses a datalog program and groups its rules by head predicate
 // (first-appearance order). Constants in the rules are interned into dict.
 func Queries(dict *relation.Dict, text string) ([]Query, error) {

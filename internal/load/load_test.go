@@ -87,6 +87,14 @@ func TestQueriesGrouping(t *testing.T) {
 	if qs[1].Name != "P" || qs[1].CQ == nil || qs[1].UCQ != nil {
 		t.Fatalf("qs[1] = %+v, want CQ named P", qs[1])
 	}
+	// Src exposes the sealed query form renum.Open consumes: the UCQ for
+	// multi-rule heads, the CQ otherwise.
+	if got, want := any(qs[0].Src()), any(qs[0].UCQ); got != want {
+		t.Fatalf("Src of a union = %T, want the UCQ", qs[0].Src())
+	}
+	if got, want := any(qs[1].Src()), any(qs[1].CQ); got != want {
+		t.Fatalf("Src of a single rule = %T, want the CQ", qs[1].Src())
+	}
 }
 
 func TestQueriesArityMismatch(t *testing.T) {

@@ -25,6 +25,7 @@
 package mcucq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -399,8 +400,21 @@ func (p *Permutation) Remaining() int64 { return p.shuf.Remaining() }
 // goroutines (workers <= 0 means parallel.Workers()), which amortizes the
 // O(2^m log²) per-probe cost across cores.
 func (p *Permutation) NextN(k int64, workers int) []relation.Tuple {
+	out, _ := p.NextNContext(context.Background(), k, workers)
+	return out
+}
+
+// NextNContext is NextN honoring cancellation between probe chunks. The
+// positions are drawn serially up front (identical rng consumption to
+// NextN); cancellation mid-probe returns ctx.Err() with the drawn positions
+// consumed and their answers discarded — the permutation stays valid and
+// simply skips the cancelled batch.
+func (p *Permutation) NextNContext(ctx context.Context, k int64, workers int) ([]relation.Tuple, error) {
 	if k < 0 {
-		return nil
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Size by what is actually left: k may be a "drain everything" value.
 	if r := p.shuf.Remaining(); k > r {
@@ -415,7 +429,7 @@ func (p *Permutation) NextN(k int64, workers int) []relation.Tuple {
 		js = append(js, j)
 	}
 	out := make([]relation.Tuple, len(js))
-	if err := parallel.ForEachChunk(len(js), workers, func(lo, hi int) error {
+	if err := parallel.ForEachChunkCtx(ctx, len(js), workers, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			t, err := p.m.Access(js[i])
 			if err != nil {
@@ -425,8 +439,9 @@ func (p *Permutation) NextN(k int64, workers int) []relation.Tuple {
 		}
 		return nil
 	}); err != nil {
-		// Unreachable: the shuffler only emits indexes below Count().
-		return nil
+		// Only reachable through cancellation: the shuffler never emits an
+		// index at or above Count().
+		return nil, err
 	}
-	return out
+	return out, nil
 }

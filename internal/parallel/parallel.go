@@ -8,6 +8,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -165,6 +166,84 @@ func ForEachChunk(n, workers int, fn func(lo, hi int) error) error {
 		}
 		lo, hi := lo, hi
 		g.Go(func() error { return fn(lo, hi) })
+	}
+	return g.Wait()
+}
+
+// ctxChunkSize bounds the chunk size of ForEachChunkCtx: a cancelled context
+// is observed after at most this many indexes of remaining work per worker,
+// whatever n is. 1024 keeps the per-chunk bookkeeping negligible next to the
+// O(log n) cost of one probe while still bounding cancellation latency to
+// microseconds-to-milliseconds of work.
+const ctxChunkSize = 1024
+
+// ForEachChunkCtx is ForEachChunk with cooperative cancellation: ctx is
+// consulted between chunks, and the index space is split into bounded chunks
+// (at most ctxChunkSize indexes each) rather than workers-many slabs, so a
+// large n cannot postpone the cancellation check to the end of the call.
+// When ctx is cancelled, workers stop dealing out new chunks and the first
+// error returned is ctx.Err(); chunks already running finish normally, so fn
+// never observes a torn chunk. A nil or never-cancellable ctx (no Done
+// channel) takes the exact ForEachChunk fast path.
+func ForEachChunkCtx(ctx context.Context, n, workers int, fn func(lo, hi int) error) error {
+	if ctx == nil || ctx.Done() == nil {
+		return ForEachChunk(n, workers, fn)
+	}
+	if n <= 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	size := (n + workers - 1) / workers
+	if size > ctxChunkSize {
+		size = ctxChunkSize
+	}
+	if workers == 1 {
+		for lo := 0; lo < n; lo += size {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			if err := fn(lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Chunks are dealt out dynamically: each worker claims the next chunk
+	// after re-checking the context, so cancellation stops the fleet within
+	// one chunk per worker.
+	var next atomic.Int64
+	g := NewGroup(workers)
+	for w := 0; w < workers; w++ {
+		g.Go(func() error {
+			for {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				lo := int(next.Add(int64(size))) - size
+				if lo >= n || g.Canceled() {
+					return nil
+				}
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				if err := fn(lo, hi); err != nil {
+					return err
+				}
+			}
+		})
 	}
 	return g.Wait()
 }

@@ -68,6 +68,19 @@ func (a Atom) String() string {
 	return a.Relation + "(" + strings.Join(parts, ", ") + ")"
 }
 
+// Query is the sealed interface over the two query forms the public API
+// accepts: exactly *CQ and *UCQ implement it. The root package re-exports it
+// as renum.Query, so renum.Open can take either form through one parameter
+// while the compiler still rules out everything else.
+type Query interface {
+	fmt.Stringer
+	// isQuery seals the interface to this package's query forms.
+	isQuery()
+}
+
+func (*CQ) isQuery()  {}
+func (*UCQ) isQuery() {}
+
 // CQ is a conjunctive query.
 type CQ struct {
 	// Name identifies the query in diagnostics and experiment output.

@@ -23,8 +23,7 @@ import (
 type coalescer struct {
 	window   time.Duration
 	maxBatch int
-	workers  int
-	batch    func(js []int64, workers int) ([]renum.Tuple, error)
+	batch    func(js []int64) ([]renum.Tuple, error)
 
 	mu      sync.Mutex
 	pending []coalWaiter
@@ -46,12 +45,12 @@ type coalResult struct {
 	err error
 }
 
-func newCoalescer(cfg CoalesceConfig, workers int, batch func([]int64, int) ([]renum.Tuple, error)) *coalescer {
+func newCoalescer(cfg CoalesceConfig, batch func([]int64) ([]renum.Tuple, error)) *coalescer {
 	mb := cfg.MaxBatch
 	if mb <= 0 {
 		mb = 64
 	}
-	return &coalescer{window: cfg.Window, maxBatch: mb, workers: workers, batch: batch}
+	return &coalescer{window: cfg.Window, maxBatch: mb, batch: batch}
 }
 
 // Do answers Access(j) through the current round, blocking until the round
@@ -101,7 +100,7 @@ func (c *coalescer) flush(batch []coalWaiter) {
 	for i, w := range batch {
 		js[i] = w.j
 	}
-	ts, err := c.batch(js, c.workers)
+	ts, err := c.batch(js)
 	c.rounds.Add(1)
 	c.served.Add(int64(len(batch)))
 	for i, w := range batch {

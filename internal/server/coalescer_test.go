@@ -66,8 +66,8 @@ func TestCoalescerMergesConcurrentAccess(t *testing.T) {
 // MaxBatch is released when its window elapses.
 func TestCoalescerWindowFlush(t *testing.T) {
 	var calls atomic.Int64
-	c := newCoalescer(CoalesceConfig{Window: 2 * time.Millisecond, MaxBatch: 64}, 1,
-		func(js []int64, _ int) ([]renum.Tuple, error) {
+	c := newCoalescer(CoalesceConfig{Window: 2 * time.Millisecond, MaxBatch: 64},
+		func(js []int64) ([]renum.Tuple, error) {
 			calls.Add(1)
 			out := make([]renum.Tuple, len(js))
 			for i, j := range js {
@@ -91,8 +91,8 @@ func TestCoalescerWindowFlush(t *testing.T) {
 // (several rounds, duplicates included) and checks every waiter got exactly
 // its own answer back.
 func TestCoalescerKeepsPositionIdentity(t *testing.T) {
-	c := newCoalescer(CoalesceConfig{Window: time.Millisecond, MaxBatch: 8}, 1,
-		func(js []int64, _ int) ([]renum.Tuple, error) {
+	c := newCoalescer(CoalesceConfig{Window: time.Millisecond, MaxBatch: 8},
+		func(js []int64) ([]renum.Tuple, error) {
 			out := make([]renum.Tuple, len(js))
 			for i, j := range js {
 				out[i] = renum.Tuple{renum.Value(j)}
@@ -129,8 +129,8 @@ func TestCoalescerKeepsPositionIdentity(t *testing.T) {
 // its round, not hang them.
 func TestCoalescerBatchError(t *testing.T) {
 	boom := errors.New("boom")
-	c := newCoalescer(CoalesceConfig{Window: time.Hour, MaxBatch: 2}, 1,
-		func(js []int64, _ int) ([]renum.Tuple, error) { return nil, boom })
+	c := newCoalescer(CoalesceConfig{Window: time.Hour, MaxBatch: 2},
+		func(js []int64) ([]renum.Tuple, error) { return nil, boom })
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ {
 		wg.Add(1)

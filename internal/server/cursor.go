@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -29,7 +30,7 @@ var (
 type cursor struct {
 	id      string
 	query   string // owning query: a cursor is only valid under its own path
-	nextN   func(n int64) ([]renum.Tuple, error)
+	nextN   func(ctx context.Context, n int64) ([]renum.Tuple, error)
 	busy    sync.Mutex
 	expires time.Time // guarded by store.mu
 }
@@ -75,7 +76,7 @@ func newCursorStore(ttl time.Duration, sweep time.Duration) *cursorStore {
 
 // Start registers a new session owned by the named query and returns its
 // id.
-func (s *cursorStore) Start(query string, nextN func(int64) ([]renum.Tuple, error)) string {
+func (s *cursorStore) Start(query string, nextN func(context.Context, int64) ([]renum.Tuple, error)) string {
 	var b [16]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		panic(err) // crypto/rand never fails on supported platforms
@@ -91,10 +92,14 @@ func (s *cursorStore) Start(query string, nextN func(int64) ([]renum.Tuple, erro
 
 // Next draws up to n answers from the cursor, refreshing its TTL. The
 // cursor must belong to query (a cursor id presented under another query's
-// path is treated as unknown). done reports that the enumeration is
-// exhausted (the session is then removed); a probe error leaves the cursor
-// alive so the client can retry.
-func (s *cursorStore) Next(id, query string, n int64) (ts []renum.Tuple, done bool, err error) {
+// path is treated as unknown). ctx is the requesting client's context; how
+// the draw honors it is the order's business (enum-order draws abort
+// between chunks without advancing, random-order draws are atomic), but in
+// every case a cancelled draw leaves the cursor alive — like any probe
+// error — so a later request can keep draining without losing answers.
+// done reports that the enumeration is exhausted (the session is then
+// removed); a probe error leaves the cursor alive so the client can retry.
+func (s *cursorStore) Next(ctx context.Context, id, query string, n int64) (ts []renum.Tuple, done bool, err error) {
 	now := time.Now()
 	s.mu.Lock()
 	c, ok := s.m[id]
@@ -109,7 +114,7 @@ func (s *cursorStore) Next(id, query string, n int64) (ts []renum.Tuple, done bo
 		return nil, false, ErrCursorBusy
 	}
 	defer c.busy.Unlock()
-	ts, err = c.nextN(n)
+	ts, err = c.nextN(ctx, n)
 	if err != nil {
 		return nil, false, err
 	}

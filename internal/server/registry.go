@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -12,89 +13,47 @@ import (
 	"repro/internal/load"
 )
 
-// Entry is one served query: a name, the index kind, and exactly one built
-// index. Entries are immutable once published — a rebuild produces fresh
+// Entry is one served query: a name and the capability-based handle serving
+// it. Entries are immutable once published — a rebuild produces fresh
 // entries and swaps the whole snapshot, it never mutates a live one — so
 // probe handlers read them without locks.
+//
+// There is deliberately no backend dispatch here: every probe goes through
+// the Handle's shared surface, and kind-specific behavior (inverted access,
+// updates, cursors) is discovered via capabilities in the handlers. A new
+// backend kind added to renum.Open is served without touching this file.
 type Entry struct {
 	// Name is the head predicate the entry is served under.
 	Name string
-	// Kind is "cq", "ucq" or "dynamic".
-	Kind string
 	// Text renders the query for /v1/{query} metadata responses.
 	Text string
+	// H is the prepared handle; all probes dispatch through it.
+	H *renum.Handle
 	// src is the parsed query, kept so Rebuild can recompile the entry
 	// against the current database without reparsing.
 	src load.Query
 
-	// Exactly one of the three indexes is non-nil, matching Kind.
-	RA *renum.RandomAccess
-	UA *renum.UnionAccess
-	DA *renum.DynamicAccess
-
 	// coal merges concurrent single-position access requests into batches.
-	// Nil when coalescing is disabled or the kind has no batch primitive.
+	// Nil when coalescing is disabled or unsafe for the backend.
 	coal *coalescer
 }
 
+// Kind names the handle's backend family (diagnostics/metadata only).
+func (e *Entry) Kind() string { return string(e.H.Kind()) }
+
 // Count returns the entry's current answer count.
-func (e *Entry) Count() int64 {
-	switch e.Kind {
-	case "cq":
-		return e.RA.Count()
-	case "ucq":
-		return e.UA.Count()
-	default:
-		return e.DA.Count()
-	}
-}
+func (e *Entry) Count() int64 { return e.H.Count() }
 
 // Head returns the entry's output variable order.
-func (e *Entry) Head() []string {
-	switch e.Kind {
-	case "cq":
-		return e.RA.Head()
-	case "ucq":
-		// The mc-UCQ structure exposes no head; all disjuncts share the
-		// first's output order.
-		return e.src.UCQ.Disjuncts[0].Head
-	default:
-		return e.DA.Head()
-	}
-}
+func (e *Entry) Head() []string { return e.H.Head() }
 
 // access returns the j-th answer directly, bypassing the coalescer.
-func (e *Entry) access(j int64) (renum.Tuple, error) {
-	switch e.Kind {
-	case "cq":
-		return e.RA.Access(j)
-	case "ucq":
-		return e.UA.Access(j)
-	default:
-		return e.DA.Access(j)
-	}
-}
+func (e *Entry) access(j int64) (renum.Tuple, error) { return e.H.Access(j) }
 
-// accessBatch probes every position in js, fanning out across workers.
-// Dynamic entries have no batch primitive, so they probe serially (each
-// probe takes the index's shared read lock).
-func (e *Entry) accessBatch(js []int64, workers int) ([]renum.Tuple, error) {
-	switch e.Kind {
-	case "cq":
-		return e.RA.AccessBatch(js, workers)
-	case "ucq":
-		return e.UA.AccessBatch(js, workers)
-	default:
-		out := make([]renum.Tuple, len(js))
-		for i, j := range js {
-			t, err := e.DA.Access(j)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = t
-		}
-		return out, nil
-	}
+// accessBatch probes every position in js through the handle, honoring the
+// request context between chunks.
+func (e *Entry) accessBatch(ctx context.Context, js []int64) ([]renum.Tuple, error) {
+	return e.H.AccessBatchContext(ctx, js)
 }
 
 // snapshot is one immutable generation of the registry: a database plus the
@@ -181,8 +140,9 @@ func (r *Registry) LoadTable(name string, csv io.Reader) error {
 
 // Register compiles the program text (any number of queries, grouped by
 // head) and publishes a snapshot serving them, replacing same-named entries.
-// With dynamic true, single-rule full CQs build DynamicAccess instead of
-// RandomAccess. It returns the registered query names.
+// With dynamic true, single-rule full CQs are opened with renum.WithDynamic
+// (the entry gains the update capability). It returns the registered query
+// names.
 func (r *Registry) Register(text string, dynamic bool) ([]string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -214,7 +174,7 @@ func (r *Registry) Rebuild() error {
 	cur := r.snap.Load()
 	entries := make(map[string]*Entry, len(cur.entries))
 	for name, old := range cur.entries {
-		e, err := r.build(cur.db, old.src, old.Kind == "dynamic")
+		e, err := r.build(cur.db, old.src, old.H.Has(renum.CapUpdate))
 		if err != nil {
 			return fmt.Errorf("rebuild %s: %w", name, err)
 		}
@@ -226,33 +186,25 @@ func (r *Registry) Rebuild() error {
 
 // build compiles one query into an Entry (no snapshot mutation).
 func (r *Registry) build(db *renum.Database, q load.Query, dynamic bool) (*Entry, error) {
-	e := &Entry{Name: q.Name, src: q}
-	switch {
-	case q.UCQ != nil:
-		ua, err := renum.NewUnionAccess(db, q.UCQ, false)
-		if err != nil {
-			return nil, err
-		}
-		e.Kind, e.UA, e.Text = "ucq", ua, q.UCQ.String()
-	case dynamic:
-		da, err := renum.NewDynamicAccess(db, q.CQ)
-		if err != nil {
-			return nil, err
-		}
-		e.Kind, e.DA, e.Text = "dynamic", da, q.CQ.String()
-	default:
-		ra, err := renum.NewRandomAccess(db, q.CQ)
-		if err != nil {
-			return nil, err
-		}
-		e.Kind, e.RA, e.Text = "cq", ra, q.CQ.String()
+	opts := []renum.Option{renum.WithWorkers(r.workers)}
+	// The dynamic flag applies to single-rule heads only; a union in the
+	// same program still builds the static mc-UCQ backend (WithDynamic on a
+	// UCQ is ErrUnsupported by contract).
+	if dynamic && q.CQ != nil {
+		opts = append(opts, renum.WithDynamic())
 	}
-	// Dynamic entries stay uncoalesced: a concurrent delete can invalidate a
-	// position after the handler validated it, and one stale position would
-	// fail the whole merged batch for its round-mates. Static counts cannot
-	// change, so the up-front validation there is airtight.
-	if r.coalesce.Window > 0 && e.Kind != "dynamic" {
-		e.coal = newCoalescer(r.coalesce, r.workers, e.accessBatch)
+	src := q.Src()
+	h, err := renum.Open(db, src, opts...)
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{Name: q.Name, Text: src.String(), H: h, src: q}
+	// Updatable entries stay uncoalesced: a concurrent delete can invalidate
+	// a position after the handler validated it, and one stale position
+	// would fail the whole merged batch for its round-mates. Static counts
+	// cannot change, so the up-front validation there is airtight.
+	if r.coalesce.Window > 0 && !h.Has(renum.CapUpdate) {
+		e.coal = newCoalescer(r.coalesce, h.AccessBatch)
 	}
 	return e, nil
 }

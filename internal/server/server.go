@@ -8,7 +8,8 @@
 // Probe endpoints (all JSON; {query} is a registered head predicate):
 //
 //	GET  /v1                          → {"queries": [...names]}
-//	GET  /v1/{query}                  → metadata: kind, count, head, rule text
+//	GET  /v1/{query}                  → metadata: kind, count, head, rule text,
+//	                                    capabilities (the renum.Handle set)
 //	GET  /v1/{query}/count            → {"count": n}
 //	GET  /v1/{query}/access?j=N       → {"j": N, "answer": [...strings]}
 //	GET  /v1/{query}/batch?js=0,5,3   → {"answers": [[...], ...]}   (also POST {"js":[...]})
@@ -35,6 +36,20 @@
 //	POST /admin/register {"program": "...", "dynamic": bool} → compile + publish queries
 //	POST /admin/rebuild                → recompile every entry, swap the snapshot
 //
+// # Dispatch
+//
+// Every entry is served through one *renum.Handle: handlers use the shared
+// probe surface and discover optional facilities via capabilities (Inverter,
+// Updater, Sampler, CapEnumerate). A probe the backend cannot serve fails
+// with renum.ErrUnsupported, which maps uniformly to 501 — there is no
+// backend type switch anywhere in this package, so new backend kinds are
+// served without handler changes. Request contexts propagate into batched
+// probes (/batch, /page, enum-order cursor draws): a disconnected client
+// stops burning cores at the next chunk boundary. Random-order cursor draws
+// are atomic — cancellation is only honored between draws, because a
+// permutation's positions are consumed up front and aborting mid-draw
+// would silently lose answers for subsequent requests.
+//
 // # Concurrency
 //
 // Probe handlers are lock-free against the registry: they atomically load
@@ -51,6 +66,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -63,11 +79,10 @@ import (
 	"repro"
 )
 
-// Config tunes a Server. The access coalescer is configured on the
-// Registry (NewRegistry), which owns entry construction.
+// Config tunes a Server. The access coalescer and the probe fan-out are
+// configured on the Registry (NewRegistry), which owns entry construction —
+// each entry's Handle carries its worker budget.
 type Config struct {
-	// Workers caps probe fan-out of batch/page/sample (0 = all cores).
-	Workers int
 	// CursorTTL evicts idle enumeration sessions (0 = 5 minutes).
 	CursorTTL time.Duration
 	// CursorSweep is the janitor period (0 = TTL/4, min 1s).
@@ -148,17 +163,33 @@ func httpErrorf(status int, format string, args ...any) error {
 	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the response. There is no stdlib constant for it.
+const statusClientClosedRequest = 499
+
 // route installs a handler with metrics instrumentation.
 func (s *Server) route(pattern, name string, h func(w http.ResponseWriter, r *http.Request) error) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		err := h(w, r)
+		// A cancelled request context means the *client* abandoned the
+		// probe mid-flight: report 499 (best effort — the client is gone)
+		// and keep it out of the server-error metric, or dashboards would
+		// read ordinary disconnects as faults.
+		clientGone := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 		if err != nil {
 			status, msg := http.StatusInternalServerError, err.Error()
 			var he *httpError
 			switch {
 			case errors.As(err, &he):
 				status = he.status
+			case clientGone:
+				status = statusClientClosedRequest
+			case renum.IsUnsupported(err):
+				// Capability discovery is uniform: any probe the backend
+				// cannot serve (inverted access on a union, updates or
+				// cursors on the wrong kind) is 501, never a type switch.
+				status = http.StatusNotImplemented
 			case errors.Is(err, renum.ErrOutOfBounds):
 				status = http.StatusBadRequest
 			case errors.Is(err, ErrNoCursor):
@@ -170,7 +201,7 @@ func (s *Server) route(pattern, name string, h func(w http.ResponseWriter, r *ht
 			w.WriteHeader(status)
 			json.NewEncoder(w).Encode(map[string]string{"error": msg})
 		}
-		s.metrics.observe(name, time.Since(t0), err != nil)
+		s.metrics.observe(name, time.Since(t0), err != nil && !clientGone)
 	})
 }
 
@@ -284,11 +315,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request, e *Entry) error {
 	return writeJSON(w, map[string]any{
-		"name":  e.Name,
-		"kind":  e.Kind,
-		"count": e.Count(),
-		"head":  e.Head(),
-		"query": e.Text,
+		"name":         e.Name,
+		"kind":         e.Kind(),
+		"count":        e.Count(),
+		"head":         e.Head(),
+		"query":        e.Text,
+		"capabilities": e.H.Capabilities(),
 	})
 }
 
@@ -344,7 +376,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *Entry) e
 	if int64(len(js)) > s.cfg.MaxBatch {
 		return httpErrorf(http.StatusBadRequest, "batch of %d exceeds limit %d", len(js), s.cfg.MaxBatch)
 	}
-	ts, err := e.accessBatch(js, s.cfg.Workers)
+	// The request context propagates into the batch: a client that
+	// disconnects mid-probe stops burning cores between chunks.
+	ts, err := e.accessBatch(r.Context(), js)
 	if err != nil {
 		return err
 	}
@@ -366,19 +400,9 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request, e *Entry) er
 	if offset < 0 || limit < 0 {
 		return httpErrorf(http.StatusBadRequest, "offset and limit must be non-negative")
 	}
-	// Clamp to the tail (Page semantics: short pages, never an error).
-	n := e.Count()
-	if offset > n {
-		offset = n
-	}
-	if limit > n-offset {
-		limit = n - offset
-	}
-	js := make([]int64, limit)
-	for i := range js {
-		js[i] = offset + int64(i)
-	}
-	ts, err := e.accessBatch(js, s.cfg.Workers)
+	// Handle.Page owns the tail clamping (short pages, never an error) and
+	// honors the request context between probe chunks.
+	ts, err := e.H.PageContext(r.Context(), offset, limit)
 	if err != nil {
 		return err
 	}
@@ -397,21 +421,15 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request, e *Entry) 
 	if err != nil {
 		return err
 	}
-	var ts []renum.Tuple
-	replacement := false
-	switch e.Kind {
-	case "cq":
-		ts, err = e.RA.SampleN(k, rng)
-	case "ucq":
-		ts = e.UA.Permute(rng).NextN(k)
-	default:
-		ts = e.DA.SampleN(k, rng)
-		replacement = true
-	}
+	smp, err := e.H.Sampler()
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{"answers": s.renderTuples(ts), "with_replacement": replacement})
+	ts, err := smp.SampleN(k, rng)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]any{"answers": s.renderTuples(ts), "with_replacement": !smp.Distinct()})
 }
 
 type tupleBody struct {
@@ -429,21 +447,21 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request, e *Entry
 	}
 	contains := false
 	if ok {
-		switch e.Kind {
-		case "cq":
-			contains = e.RA.Contains(t)
-		case "ucq":
-			contains = e.UA.Contains(t)
-		default:
-			contains = e.DA.Contains(t)
+		c, err := e.H.Container()
+		if err != nil {
+			return err
 		}
+		contains = c.Contains(t)
 	}
 	return writeJSON(w, map[string]any{"contains": contains})
 }
 
 func (s *Server) handleInverted(w http.ResponseWriter, r *http.Request, e *Entry) error {
-	if e.Kind == "ucq" {
-		return httpErrorf(http.StatusNotImplemented, "inverted access is not defined for union queries")
+	// Capability check before reading the body: a union (no inverted
+	// primitive in the mc-UCQ structure) is 501 via ErrUnsupported.
+	inv, err := e.H.Inverter()
+	if err != nil {
+		return err
 	}
 	var body tupleBody
 	if err := decodeBody(r, &body); err != nil {
@@ -454,14 +472,7 @@ func (s *Server) handleInverted(w http.ResponseWriter, r *http.Request, e *Entry
 		return err
 	}
 	if ok {
-		var j int64
-		var found bool
-		if e.Kind == "cq" {
-			j, found = e.RA.InvertedAccess(t)
-		} else {
-			j, found = e.DA.InvertedAccess(t)
-		}
-		if found {
+		if j, found := inv.InvertedAccess(t); found {
 			return writeJSON(w, map[string]any{"j": j, "found": true})
 		}
 	}
@@ -469,8 +480,9 @@ func (s *Server) handleInverted(w http.ResponseWriter, r *http.Request, e *Entry
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, e *Entry) error {
-	if e.Kind != "dynamic" {
-		return httpErrorf(http.StatusNotImplemented, "query %q is a static index; register it with dynamic=true to accept updates", e.Name)
+	upd, err := e.H.Updater()
+	if err != nil {
+		return err // static index: 501 via ErrUnsupported
 	}
 	var body struct {
 		Op       string   `json:"op"`
@@ -482,7 +494,6 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, e *Entry) 
 	}
 	dict, _ := s.dict()
 	var changed bool
-	var err error
 	switch body.Op {
 	case "insert":
 		// Inserts may introduce genuinely new values: intern them.
@@ -490,7 +501,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, e *Entry) 
 		for i, c := range body.Tuple {
 			t[i] = dict.Intern(c)
 		}
-		changed, err = e.DA.Insert(body.Relation, t)
+		changed, err = upd.Insert(body.Relation, t)
 	case "delete":
 		// Deletes must not intern: a value the dictionary has never seen
 		// cannot be in any relation, and the dictionary is append-only — an
@@ -507,37 +518,40 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, e *Entry) 
 			t[i] = v
 		}
 		if !known {
-			return writeJSON(w, map[string]any{"changed": false, "count": e.DA.Count()})
+			return writeJSON(w, map[string]any{"changed": false, "count": e.Count()})
 		}
-		changed, err = e.DA.Delete(body.Relation, t)
+		changed, err = upd.Delete(body.Relation, t)
 	default:
 		return httpErrorf(http.StatusBadRequest, "op must be insert or delete, got %q", body.Op)
 	}
 	if err != nil {
 		return httpErrorf(http.StatusBadRequest, "%v", err)
 	}
-	return writeJSON(w, map[string]any{"changed": changed, "count": e.DA.Count()})
+	return writeJSON(w, map[string]any{"changed": changed, "count": e.Count()})
 }
 
 func (s *Server) handleEnumStart(w http.ResponseWriter, r *http.Request, e *Entry) error {
-	if e.Kind == "dynamic" {
-		return httpErrorf(http.StatusNotImplemented, "cursors require an immutable index; dynamic entries have none")
+	// Cursors need a stable enumeration order across requests — exactly the
+	// enumerate capability (dynamic entries lack it: updates shift
+	// positions): 501 via ErrUnsupported.
+	if !e.H.Has(renum.CapEnumerate) {
+		return fmt.Errorf("enumeration cursors: %w (kind %s has no stable order)", renum.ErrUnsupported, e.Kind())
 	}
 	order := r.URL.Query().Get("order")
 	if order == "" {
 		order = "enum"
 	}
-	var nextN func(int64) ([]renum.Tuple, error)
+	var nextN func(context.Context, int64) ([]renum.Tuple, error)
 	switch order {
 	case "enum":
 		// Deterministic order = access order: drain sequential positions via
-		// the batched probe. Probe errors surface to the client (and leave
-		// the cursor alive) rather than masquerading as exhaustion.
+		// the batched probe. Probe errors — including a cancelled draw: the
+		// position cursor only advances on success — surface to the client
+		// (and leave the cursor alive) rather than masquerading as
+		// exhaustion.
 		var pos int64
 		n := e.Count()
-		workers := s.cfg.Workers
-		batch := e.accessBatch
-		nextN = func(k int64) ([]renum.Tuple, error) {
+		nextN = func(ctx context.Context, k int64) ([]renum.Tuple, error) {
 			if pos >= n {
 				return nil, nil
 			}
@@ -548,7 +562,7 @@ func (s *Server) handleEnumStart(w http.ResponseWriter, r *http.Request, e *Entr
 			for i := range js {
 				js[i] = pos + int64(i)
 			}
-			ts, err := batch(js, workers)
+			ts, err := e.accessBatch(ctx, js)
 			if err != nil {
 				return nil, err
 			}
@@ -560,13 +574,21 @@ func (s *Server) handleEnumStart(w http.ResponseWriter, r *http.Request, e *Entr
 		if err != nil {
 			return err
 		}
-		var p *renum.Permutation
-		if e.Kind == "cq" {
-			p = e.RA.Permute(rng)
-		} else {
-			p = e.UA.Permute(rng)
+		p, err := e.H.Permute(rng)
+		if err != nil {
+			return err
 		}
-		nextN = func(k int64) ([]renum.Tuple, error) { return p.NextN(k), nil }
+		// Random-order draws are atomic: the permutation consumes its
+		// shuffle positions up front, so aborting mid-batch would silently
+		// lose those answers for every later request — violating
+		// each-answer-exactly-once. Cancellation is honored *between*
+		// draws (bounded by MaxCursorDraw per draw), never inside one.
+		nextN = func(ctx context.Context, k int64) ([]renum.Tuple, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return p.NextN(k), nil
+		}
 	default:
 		return httpErrorf(http.StatusBadRequest, "order must be enum or random, got %q", order)
 	}
@@ -586,7 +608,7 @@ func (s *Server) handleEnumNext(w http.ResponseWriter, r *http.Request, e *Entry
 	if n <= 0 || n > s.cfg.MaxCursorDraw {
 		return httpErrorf(http.StatusBadRequest, "n=%d out of range [1, %d]", n, s.cfg.MaxCursorDraw)
 	}
-	ts, done, err := s.cursors.Next(id, e.Name, n)
+	ts, done, err := s.cursors.Next(r.Context(), id, e.Name, n)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
@@ -39,7 +40,7 @@ func newTestServer(t testing.TB, coal CoalesceConfig, cfg Config) (*Server, *Reg
 	if err := load.CSV(db, "s", strings.NewReader(sCSV)); err != nil {
 		t.Fatal(err)
 	}
-	reg := NewRegistry(db, coal, cfg.Workers)
+	reg := NewRegistry(db, coal, 0)
 	if _, err := reg.Register(joinQ+" "+unionQ, false); err != nil {
 		t.Fatal(err)
 	}
@@ -308,13 +309,13 @@ func TestCursorLifecycle(t *testing.T) {
 
 func TestCursorTTLEviction(t *testing.T) {
 	store := newCursorStore(10*time.Millisecond, time.Hour)
-	id := store.Start("Q", func(int64) ([]renum.Tuple, error) { return nil, nil })
+	id := store.Start("Q", func(context.Context, int64) ([]renum.Tuple, error) { return nil, nil })
 	if store.Len() != 1 {
 		t.Fatal("cursor not registered")
 	}
 	// Lazy expiry: after the TTL, Next refuses even before the janitor runs.
 	time.Sleep(20 * time.Millisecond)
-	if _, _, err := store.Next(id, "Q", 1); err != ErrNoCursor {
+	if _, _, err := store.Next(context.Background(), id, "Q", 1); err != ErrNoCursor {
 		t.Fatalf("expired Next err = %v, want ErrNoCursor", err)
 	}
 	// The janitor frees the memory.
@@ -451,5 +452,137 @@ func TestHealthz(t *testing.T) {
 	m := do(t, s, "GET", "/healthz", "", 200)
 	if m["ok"] != true {
 		t.Fatalf("healthz = %v", m)
+	}
+}
+
+// TestMetaReportsCapabilities: the metadata endpoint advertises each
+// entry's capability set, so clients discover what an entry supports
+// instead of inferring it from the kind string.
+func TestMetaReportsCapabilities(t *testing.T) {
+	s, _ := newTestServer(t, CoalesceConfig{}, Config{})
+	caps := func(name string) string {
+		m := do(t, s, "GET", "/v1/"+name, "", 200)
+		return fmt.Sprint(m["capabilities"])
+	}
+	if got := caps("Q"); got != "[enumerate contains invert sample explain]" {
+		t.Fatalf("Q capabilities = %s", got)
+	}
+	if got := caps("U"); got != "[enumerate contains sample]" {
+		t.Fatalf("U capabilities = %s", got)
+	}
+	if got := caps("D"); got != "[contains invert sample update]" {
+		t.Fatalf("D capabilities = %s", got)
+	}
+}
+
+// TestUnsupportedProbesAre501: every capability miss surfaces through
+// renum.ErrUnsupported and maps to 501 uniformly — /inverted on a union,
+// /update on a static entry, cursors on a dynamic one.
+func TestUnsupportedProbesAre501(t *testing.T) {
+	s, _ := newTestServer(t, CoalesceConfig{}, Config{})
+	for _, tc := range []struct{ method, url, body string }{
+		{"POST", "/v1/U/inverted", `{"tuple":["1","2"]}`},
+		{"POST", "/v1/Q/update", `{"op":"insert","relation":"r","tuple":["9","9"]}`},
+		{"POST", "/v1/U/update", `{"op":"insert","relation":"r","tuple":["9","9"]}`},
+		{"POST", "/v1/D/enum/start", ""},
+		{"POST", "/v1/D/enum/start?order=random", ""},
+	} {
+		m := do(t, s, tc.method, tc.url, tc.body, 501)
+		if !strings.Contains(fmt.Sprint(m["error"]), "unsupported") {
+			t.Fatalf("%s %s error = %v, want an ErrUnsupported-derived message", tc.method, tc.url, m["error"])
+		}
+	}
+}
+
+// TestBatchHonorsRequestContext: a request whose context is already
+// cancelled must not be served — the handler propagates ctx into the
+// batched probe and reports the cancellation instead of answers.
+func TestBatchHonorsRequestContext(t *testing.T) {
+	s, _ := newTestServer(t, CoalesceConfig{}, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/v1/Q/batch?js=0,1,2", strings.NewReader("")).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code == 200 {
+		t.Fatalf("cancelled batch served 200: %s", rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "context canceled") {
+		t.Fatalf("cancelled batch body = %s, want a context cancellation", rec.Body.String())
+	}
+	// The entry is unharmed: the same batch succeeds on a live context.
+	do(t, s, "GET", "/v1/Q/batch?js=0,1,2", "", 200)
+}
+
+// TestRandomCursorSurvivesCancelledDraw: a cancelled request on an
+// order=random cursor must not consume answers — draws are atomic, the
+// cursor stays alive, and a later full drain still delivers every answer
+// exactly once.
+func TestRandomCursorSurvivesCancelledDraw(t *testing.T) {
+	s, reg := newTestServer(t, CoalesceConfig{}, Config{})
+	e, _ := reg.Lookup("Q")
+	n := e.Count()
+
+	m := do(t, s, "POST", "/v1/Q/enum/start?order=random&seed=11", "", 200)
+	id := m["cursor"].(string)
+
+	// A request whose context is already cancelled fails without drawing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", fmt.Sprintf("/v1/Q/enum/next?cursor=%s&n=%d", id, n), strings.NewReader("")).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code == 200 {
+		t.Fatalf("cancelled cursor draw served 200: %s", rec.Body.String())
+	}
+
+	// The cursor is alive and nothing was lost: the full drain still yields
+	// every answer exactly once.
+	m = do(t, s, "GET", fmt.Sprintf("/v1/Q/enum/next?cursor=%s&n=%d", id, n+1), "", 200)
+	perm := m["answers"].([]any)
+	if int64(len(perm)) != n || m["done"] != true {
+		t.Fatalf("post-cancel drain = %d answers done=%v, want %d done", len(perm), m["done"], n)
+	}
+	seen := map[string]bool{}
+	for _, a := range perm {
+		seen[fmt.Sprint(a)] = true
+	}
+	if int64(len(seen)) != n {
+		t.Fatalf("post-cancel drain lost answers: %d distinct of %d", len(seen), n)
+	}
+}
+
+// TestUnionSampleAndPageParity: the UCQ entry serves /sample and /page with
+// the same semantics as the CQ path (distinct samples, page ≡ batch) — the
+// API-parity satellite surfaced over HTTP.
+func TestUnionSampleAndPageParity(t *testing.T) {
+	s, reg := newTestServer(t, CoalesceConfig{}, Config{})
+	e, _ := reg.Lookup("U")
+	n := e.Count()
+
+	m := do(t, s, "GET", fmt.Sprintf("/v1/U/sample?k=%d&seed=3", n+5), "", 200)
+	if m["with_replacement"] != false {
+		t.Fatalf("union sampling must be distinct, got %v", m)
+	}
+	got := m["answers"].([]any)
+	if int64(len(got)) != n {
+		t.Fatalf("union sample clamped to %d, want Count %d", len(got), n)
+	}
+	seen := map[string]bool{}
+	for _, a := range got {
+		seen[fmt.Sprint(a)] = true
+	}
+	if int64(len(seen)) != n {
+		t.Fatalf("union sample repeated answers: %d distinct of %d", len(seen), n)
+	}
+
+	js := make([]string, n)
+	for i := range js {
+		js[i] = fmt.Sprint(i)
+	}
+	batch := do(t, s, "GET", "/v1/U/batch?js="+strings.Join(js, ","), "", 200)
+	page := do(t, s, "GET", fmt.Sprintf("/v1/U/page?offset=0&limit=%d", n), "", 200)
+	if fmt.Sprint(batch["answers"]) != fmt.Sprint(page["answers"]) {
+		t.Fatal("union page != union batch over the same positions")
 	}
 }

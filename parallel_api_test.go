@@ -262,8 +262,8 @@ func TestDrainEverythingRequests(t *testing.T) {
 	// With-replacement sampling: a huge k must not pre-allocate k slots.
 	// 100k draws is enough to prove the capacity clamp without minutes of
 	// sampling.
-	if got := dyn.SampleN(100_000, rand.New(rand.NewSource(67))); len(got) != 100_000 {
-		t.Fatalf("dynamic SampleN drew %d", len(got))
+	if got, err := dyn.SampleN(100_000, rand.New(rand.NewSource(67))); err != nil || len(got) != 100_000 {
+		t.Fatalf("dynamic SampleN drew %d, err %v", len(got), err)
 	}
 }
 

@@ -26,6 +26,25 @@
 // samplers and figure-by-figure harness) lives under internal/ and is driven
 // by cmd/replicate; see DESIGN.md and EXPERIMENTS.md.
 //
+// # One constructor, capability discovery
+//
+// Open is the entry point: it takes a CQ or a UCQ plus functional options
+// (WithCanonical, WithDynamic, WithVerify, WithWorkers) and returns a
+// *Handle exposing the shared probe surface — Count, Access, AccessInto,
+// AccessBatch, Page, Head, Explain — uniformly over every backend. Optional
+// facilities are discovered through Handle.Capabilities or the typed
+// accessors (Inverter, Updater, Sampler, Container), which fail with the
+// ErrUnsupported sentinel instead of making callers type-switch on concrete
+// index types. Enumeration is iterator-native: Handle.All and
+// Handle.Shuffled return iter.Seq2[Tuple, error] cursors, with Enumerator
+// and Permutation kept as thin adapters. The batch, page and enumeration
+// entry points have context.Context variants that honor cancellation
+// between probe chunks.
+//
+// The concrete types below (RandomAccess, UnionAccess, DynamicAccess,
+// RandomOrderUnion) remain as the underlying machinery and for
+// code written against the pre-Handle API.
+//
 // # Concurrency
 //
 // The library is built to serve heavy concurrent read traffic:
@@ -64,14 +83,15 @@
 //	r.MustInsert(1, 2)
 //	// Q(a, b) :- R(a, b)
 //	q := renum.MustCQ("Q", []string{"a", "b"}, renum.NewAtom("R", renum.V("a"), renum.V("b")))
-//	ra, err := renum.NewRandomAccess(db, q)
+//	h, err := renum.Open(db, q)
 //	...
-//	perm := ra.Permute(rand.New(rand.NewSource(1)))
-//	for t, ok := perm.Next(); ok; t, ok = perm.Next() { ... }
+//	for t, err := range h.Shuffled(rand.New(rand.NewSource(1))) { ... }
 package renum
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 
 	"repro/internal/access"
@@ -256,15 +276,34 @@ func (r *RandomAccess) Page(offset, limit int64) ([]Tuple, error) {
 // Row order and content are identical to Page; only the wall-clock cost of
 // assembling a large page changes.
 func (r *RandomAccess) PageParallel(offset, limit int64, workers int) ([]Tuple, error) {
+	js, err := pagePositions(offset, limit, r.Count())
+	if err != nil || js == nil {
+		return nil, err
+	}
+	return r.c.Index.AccessBatch(js, workers)
+}
+
+// checkBufArity is the single definition of the AccessInto buffer contract:
+// the caller's buffer must match the output arity exactly.
+func checkBufArity(buf Tuple, arity int) error {
+	if len(buf) != arity {
+		return fmt.Errorf("renum: AccessInto: buffer length %d does not match arity %d", len(buf), arity)
+	}
+	return nil
+}
+
+// pagePositions is the single definition of the Page clamp contract shared
+// by every backend and the Handle: negative offset/limit is ErrOutOfBounds,
+// an offset at or past n is an empty page (nil, nil), and a tail page is
+// shortened. The clamp subtracts rather than adding offset+limit, which
+// could overflow for limits near MaxInt64.
+func pagePositions(offset, limit, n int64) ([]int64, error) {
 	if offset < 0 || limit < 0 {
 		return nil, ErrOutOfBounds
 	}
-	n := r.Count()
 	if offset >= n {
 		return nil, nil
 	}
-	// Clamp by subtraction, not offset+limit: limit may be near MaxInt64 and
-	// the sum would overflow.
 	if limit > n-offset {
 		limit = n - offset
 	}
@@ -272,12 +311,13 @@ func (r *RandomAccess) PageParallel(offset, limit int64, workers int) ([]Tuple, 
 	for i := range js {
 		js[i] = offset + int64(i)
 	}
-	return r.c.Index.AccessBatch(js, workers)
+	return js, nil
 }
 
 // Enumerate returns a deterministic logarithmic-delay enumerator.
 func (r *RandomAccess) Enumerate() *Enumerator {
-	return &Enumerator{e: r.c.Enumerate()}
+	e := r.c.Enumerate()
+	return &Enumerator{next: e.Next}
 }
 
 // Permute returns a uniformly random permutation of the answers with
@@ -285,8 +325,9 @@ func (r *RandomAccess) Enumerate() *Enumerator {
 func (r *RandomAccess) Permute(rng *rand.Rand) *Permutation {
 	p := r.c.Permute(rng)
 	return &Permutation{
-		next:  p.Next,
-		nextN: func(k int64) []Tuple { return p.NextN(k, 0) },
+		next:     p.Next,
+		nextN:    func(k int64) []Tuple { return p.NextN(k, 0) },
+		nextNCtx: func(ctx context.Context, k int64) ([]Tuple, error) { return p.NextNContext(ctx, k, 0) },
 	}
 }
 
@@ -320,29 +361,27 @@ func (r *RandomAccess) SampleK(k int64, rng *rand.Rand) ([]Tuple, error) {
 // O(log |D|) accesses then run concurrently. Use it when k is large enough
 // that random access dominates the draw.
 func (r *RandomAccess) SampleN(k int64, rng *rand.Rand) ([]Tuple, error) {
-	if k < 0 {
-		return nil, ErrOutOfBounds
-	}
-	if n := r.Count(); k > n {
-		k = n
-	}
-	return r.c.Permute(rng).NextN(k, 0), nil
+	return raBackend{r}.sampleN(k, rng, 0)
 }
 
-// Enumerator yields answers in the index's fixed order.
+// Enumerator yields answers in the index's fixed order. It is a thin
+// single-consumer adapter over the iterator-native Handle.All / the index's
+// sequential Access order; existing Next-loop call sites keep working
+// unchanged.
 type Enumerator struct {
-	e *cqenum.Enumerator
+	next func() (relation.Tuple, bool)
 }
 
 // Next returns the next answer; ok is false at the end.
-func (e *Enumerator) Next() (Tuple, bool) { return e.e.Next() }
+func (e *Enumerator) Next() (Tuple, bool) { return e.next() }
 
 // Permutation yields each answer exactly once, in uniformly random order.
 // It is a single-consumer cursor: drive it from one goroutine (the
 // underlying index may be shared freely).
 type Permutation struct {
-	next  func() (relation.Tuple, bool)
-	nextN func(k int64) []relation.Tuple
+	next     func() (relation.Tuple, bool)
+	nextN    func(k int64) []relation.Tuple
+	nextNCtx func(ctx context.Context, k int64) ([]relation.Tuple, error)
 }
 
 // Next returns the next answer of the permutation; ok is false at the end.
@@ -373,6 +412,27 @@ func (p *Permutation) NextN(k int64) []Tuple {
 	return out
 }
 
+// NextNContext is NextN honoring cancellation between probe chunks: when ctx
+// is cancelled mid-batch the call returns ctx.Err(). The k random draws are
+// made serially up front (identical rng consumption to NextN), so a
+// cancelled batch consumes its draws and discards the answers — the cursor
+// stays valid and simply skips them, which is the right behavior for an
+// abandoned network request draining a shared permutation.
+func (p *Permutation) NextNContext(ctx context.Context, k int64) ([]Tuple, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Every constructor wires the batched context path; the guard only
+	// protects a zero-value Permutation, whose draw is empty anyway.
+	if p.nextNCtx == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return p.NextN(k), nil
+	}
+	return p.nextNCtx(ctx, k)
+}
+
 // RandomOrderUnion is REnum(UCQ) (Algorithm 5): a single-use random-order
 // enumerator over a union of free-connex CQs, with expected-logarithmic
 // delay.
@@ -399,9 +459,13 @@ func (r *RandomOrderUnion) Next() (Tuple, bool) { return r.e.Next() }
 func (r *RandomOrderUnion) Rejections() int64 { return r.e.Rejections }
 
 // UnionAccess is REnum(mcUCQ) (Theorem 5.5): random access and random-order
-// enumeration for mutually-compatible UCQs.
+// enumeration for mutually-compatible UCQs. Its probe surface is at parity
+// with RandomAccess — Count, Access, AccessInto, AccessBatch, Page,
+// PageParallel, SampleN, Contains, Head — so UCQ and CQ backends are
+// interchangeable behind a Handle.
 type UnionAccess struct {
-	m *mcucq.MCUCQ
+	m    *mcucq.MCUCQ
+	head []string
 }
 
 // NewUnionAccess prepares the disjuncts and all intersection CQs and
@@ -409,11 +473,19 @@ type UnionAccess struct {
 // intersection is not free-connex. When verify is true, order compatibility
 // is checked explicitly (costs an enumeration of every intersection).
 func NewUnionAccess(db *Database, u *UCQ, verify bool) (*UnionAccess, error) {
-	m, err := mcucq.New(db, u, mcucq.Options{Verify: verify})
+	return newUnionAccess(db, u, mcucq.Options{Verify: verify})
+}
+
+func newUnionAccess(db *Database, u *UCQ, opts mcucq.Options) (*UnionAccess, error) {
+	m, err := mcucq.New(db, u, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &UnionAccess{m: m}, nil
+	// Every disjunct shares the first's output arity; position i of each
+	// disjunct head is output column i, so the first disjunct's names are
+	// the union's output order.
+	head := append([]string(nil), u.Disjuncts[0].Head...)
+	return &UnionAccess{m: m, head: head}, nil
 }
 
 // Count returns the number of answers of the union.
@@ -423,14 +495,39 @@ func (ua *UnionAccess) Count() int64 { return ua.m.Count() }
 // O(2^m log² |D|).
 func (ua *UnionAccess) Access(j int64) (Tuple, error) { return ua.m.Access(j) }
 
+// AccessInto is Access writing into a caller-provided buffer of length
+// Head() arity. Unlike RandomAccess.AccessInto it is not allocation-free —
+// the mc-UCQ access primitive materializes the answer while resolving which
+// disjunct serves position j — but the API contract (buffer reuse, identical
+// answers) is the same, so capability-generic callers need no special case.
+func (ua *UnionAccess) AccessInto(j int64, buf Tuple) error {
+	if err := checkBufArity(buf, len(ua.head)); err != nil {
+		return err
+	}
+	t, err := ua.m.Access(j)
+	if err != nil {
+		return err
+	}
+	copy(buf, t)
+	return nil
+}
+
 // Contains reports whether t is an answer of the union.
 func (ua *UnionAccess) Contains(t Tuple) bool { return ua.m.Test(t) }
+
+// Head returns the output variable order (the first disjunct's head names;
+// position i of every disjunct is output column i).
+func (ua *UnionAccess) Head() []string { return ua.head }
 
 // AccessBatch returns Access(j) for every j in js, in order, with the union
 // probes fanned out over up to `workers` goroutines (workers <= 0 picks a
 // default sized to the machine). Validation and duplicate semantics match
 // RandomAccess.AccessBatch.
 func (ua *UnionAccess) AccessBatch(js []int64, workers int) ([]Tuple, error) {
+	return ua.accessBatchContext(context.Background(), js, workers)
+}
+
+func (ua *UnionAccess) accessBatchContext(ctx context.Context, js []int64, workers int) ([]Tuple, error) {
 	n := ua.Count()
 	for _, j := range js {
 		if j < 0 || j >= n {
@@ -438,7 +535,7 @@ func (ua *UnionAccess) AccessBatch(js []int64, workers int) ([]Tuple, error) {
 		}
 	}
 	out := make([]Tuple, len(js))
-	if err := parallel.ForEachChunk(len(js), workers, func(lo, hi int) error {
+	if err := parallel.ForEachChunkCtx(ctx, len(js), workers, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			t, err := ua.m.Access(js[i])
 			if err != nil {
@@ -453,12 +550,40 @@ func (ua *UnionAccess) AccessBatch(js []int64, workers int) ([]Tuple, error) {
 	return out, nil
 }
 
+// Page returns answers offset..offset+limit-1 of the union's enumeration
+// order, with the same clamping semantics as RandomAccess.Page: short pages
+// at the end are returned without error, and an offset at or past Count()
+// yields an empty page.
+func (ua *UnionAccess) Page(offset, limit int64) ([]Tuple, error) {
+	return ua.PageParallel(offset, limit, 1)
+}
+
+// PageParallel is Page with the per-row union probes fanned out over up to
+// `workers` goroutines. Row order and content are identical to Page.
+func (ua *UnionAccess) PageParallel(offset, limit int64, workers int) ([]Tuple, error) {
+	js, err := pagePositions(offset, limit, ua.Count())
+	if err != nil || js == nil {
+		return nil, err
+	}
+	return ua.AccessBatch(js, workers)
+}
+
+// SampleN returns k uniformly random *distinct* answers of the union (all of
+// them if k ≥ Count()): the first k steps of a lazy Fisher–Yates permutation
+// over mc-UCQ random access, mirroring RandomAccess.SampleN — including the
+// error shape (k < 0 is ErrOutOfBounds; an empty union yields an empty
+// sample, not an error).
+func (ua *UnionAccess) SampleN(k int64, rng *rand.Rand) ([]Tuple, error) {
+	return uaBackend{ua}.sampleN(k, rng, 0)
+}
+
 // Permute returns a uniformly random permutation with O(log²) delay.
 func (ua *UnionAccess) Permute(rng *rand.Rand) *Permutation {
 	p := ua.m.Permute(rng)
 	return &Permutation{
-		next:  p.Next,
-		nextN: func(k int64) []Tuple { return p.NextN(k, 0) },
+		next:     p.Next,
+		nextN:    func(k int64) []Tuple { return p.NextN(k, 0) },
+		nextNCtx: func(ctx context.Context, k int64) ([]Tuple, error) { return p.NextNContext(ctx, k, 0) },
 	}
 }
 
