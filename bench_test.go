@@ -8,11 +8,14 @@ package renum
 
 import (
 	"context"
+	"encoding/csv"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -909,6 +912,136 @@ func init() {
 	if os.Getenv("REPRO_BENCH_SF") == "" {
 		fmt.Fprintf(os.Stderr, "bench: TPC-H scale factor %v (override with REPRO_BENCH_SF)\n", 0.01)
 	}
+}
+
+// BenchmarkColdStart measures what a process pays before it can serve its
+// first probe, on the 493k-answer golden star instance (the same one the
+// enumeration-order hash pins):
+//
+//   - FromCSV: the daemon's boot path before persistent snapshots — read
+//     the CSV tables from disk, intern every cell, and run the full
+//     preprocessing (what `renumd -table ... -query ...` pays);
+//   - Preprocess: preprocessing alone, over already-resident relations —
+//     the strict lower bound of any rebuild;
+//   - FromSnapshot: renum.OpenSnapshot on a catalog built once — open,
+//     checksum and validate the sections, wire the handles. No parsing, no
+//     hashing, no reduction, no weight computation.
+//
+// The FromCSV/FromSnapshot ratio is the headline number of the snapshot
+// subsystem (it is what a restart actually saves); CI records it in
+// BENCH_coldstart.json.
+func BenchmarkColdStart(b *testing.B) {
+	cfg := synth.Config{Relations: 3, TuplesPerRelation: 200, KeyDomain: 30, SkewS: 1.3, Seed: 9}
+	db2, q, err := synth.Star(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := Open(db2, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	path := filepath.Join(dir, "coldstart.snap")
+	if err := SaveSnapshot(path, db2, 0, []CatalogEntry{{Name: q.Name, Q: q, H: h}}); err != nil {
+		b.Fatal(err)
+	}
+	count := h.Count()
+
+	// Dump the instance as the CSV files a daemon would boot from.
+	var csvPaths []string
+	for _, name := range db2.Names() {
+		rel, err := db2.Relation(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sb strings.Builder
+		sb.WriteString(strings.Join(rel.Schema(), ","))
+		sb.WriteByte('\n')
+		row := make(relation.Tuple, rel.Arity())
+		for i := 0; i < rel.Len(); i++ {
+			rel.ReadTuple(i, row)
+			for a, v := range row {
+				if a > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(strconv.FormatInt(int64(v), 10))
+			}
+			sb.WriteByte('\n')
+		}
+		p := filepath.Join(dir, name+".csv")
+		if err := os.WriteFile(p, []byte(sb.String()), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		csvPaths = append(csvPaths, p)
+	}
+
+	// loadCSVs mirrors internal/load's CSV dialect (header = schema, every
+	// cell interned); the benchmark cannot import internal/load — it imports
+	// this package — so the five relevant lines live here.
+	loadCSVs := func() *Database {
+		dbi := NewDatabase()
+		for _, p := range csvPaths {
+			f, err := os.Open(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows, err := csv.NewReader(f).ReadAll()
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rel, err := dbi.Create(strings.TrimSuffix(filepath.Base(p), ".csv"), rows[0]...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, rowCells := range rows[1:] {
+				tup := make(relation.Tuple, len(rowCells))
+				for i, cell := range rowCells {
+					tup[i] = dbi.Intern(cell)
+				}
+				if _, err := rel.Insert(tup); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		return dbi
+	}
+
+	b.Run("FromCSV", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dbi := loadCSVs()
+			hi, err := Open(dbi, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if hi.Count() != count {
+				b.Fatalf("count %d, want %d", hi.Count(), count)
+			}
+		}
+	})
+	b.Run("Preprocess", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hi, err := Open(db2, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if hi.Count() != count {
+				b.Fatalf("count %d, want %d", hi.Count(), count)
+			}
+		}
+	})
+	b.Run("FromSnapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cat, err := OpenSnapshot(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := cat.Entries()[0].H.Count(); got != count {
+				b.Fatalf("count %d, want %d", got, count)
+			}
+			cat.Close()
+		}
+	})
 }
 
 // BenchmarkIterAll measures the iterator-native enumeration surface against

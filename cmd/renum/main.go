@@ -31,6 +31,27 @@
 // including ones the mc-UCQ handle rejects as incompatible. -workers caps
 // both the index build and the per-call fan-out of batched probes (0 = all
 // cores).
+//
+// # Snapshots
+//
+// The build subcommand compiles tables + programs once and persists the
+// whole catalog (dictionary, relations, every query's index) into the
+// versioned binary snapshot format:
+//
+//	renum build -table r.csv -table s.csv -query 'Q(x,y,z) :- r(x,y), s(y,z).' -o q.snap
+//
+// Any later invocation serves every mode straight from the file — cold
+// start is open+validate instead of load+preprocess:
+//
+//	renum -snapshot q.snap -mode count
+//	renum -snapshot q.snap -name Q -mode page -offset 1000 -k 50
+//
+// -name picks the entry when the snapshot holds several queries (optional
+// for single-entry snapshots). On a union entry, mode random enumerates via
+// the restored mc-UCQ permutation (REnum(mcUCQ)) — the Algorithm 5
+// enumerator needs fresh preprocessing, which is what a snapshot exists to
+// avoid. Mode explain is unavailable on restored entries (the compiled plan
+// is not persisted).
 package main
 
 import (
@@ -58,12 +79,17 @@ func main() {
 // run is main with injectable args and streams, so the CLI is testable
 // end to end.
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "build" {
+		return runBuild(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("renum", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var tables tableList
 	fs.Var(&tables, "table", "CSV file to load as a relation (repeatable)")
 	var (
 		queryText = fs.String("query", "", "datalog rule(s), e.g. 'Q(x,y) :- r(x,y).'")
+		snapFile  = fs.String("snapshot", "", "serve from a snapshot built with `renum build` instead of -table/-query")
+		name      = fs.String("name", "", "query to serve from the snapshot (default: its only entry)")
 		mode      = fs.String("mode", "random", "count | enum | random | sample | access | batch | page | explain")
 		k         = fs.Int64("k", 10, "answers to print (random/enum) or position (access)")
 		seed      = fs.Int64("seed", 1, "random seed")
@@ -75,8 +101,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	rng := rand.New(rand.NewSource(*seed))
+
+	if *snapFile != "" {
+		if *queryText != "" || len(tables) > 0 {
+			fmt.Fprintln(stderr, "renum: -snapshot replaces -table/-query (the snapshot holds both data and compiled queries)")
+			return 2
+		}
+		if err := runFromSnapshot(stdout, *snapFile, *name, *mode, *k, *offset, *jsArg, *workers, rng); err != nil {
+			fmt.Fprintf(stderr, "renum: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
 	if *queryText == "" || len(tables) == 0 {
-		fmt.Fprintln(stderr, "renum: -query and at least one -table are required")
+		fmt.Fprintln(stderr, "renum: -query and at least one -table are required (or -snapshot FILE)")
 		fs.Usage()
 		return 2
 	}
@@ -93,7 +133,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
 	if q.UCQ != nil && *mode == "random" {
 		// Algorithm 5 rather than the mc-UCQ handle: random-order
 		// enumeration of *any* union of free-connex CQs, with no mutual
@@ -107,6 +146,92 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runBuild is the `renum build` subcommand: compile once, persist the whole
+// catalog, serve many times (from this CLI via -snapshot, or from renumd
+// via -snapshot-dir).
+func runBuild(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("renum build", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var tables tableList
+	var queries tableList
+	fs.Var(&tables, "table", "CSV file to load as a relation (repeatable)")
+	fs.Var(&queries, "query", "datalog program to compile (repeatable; rules grouped by head)")
+	var (
+		out       = fs.String("o", "", "output snapshot file (required)")
+		workers   = fs.Int("workers", 0, "goroutines for index construction (0 = all cores)")
+		canonical = fs.Bool("canonical", false, "content-determined (sorted) enumeration order")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *out == "" || len(tables) == 0 || len(queries) == 0 {
+		fmt.Fprintln(stderr, "renum build: -o, -query and at least one -table are required")
+		fs.Usage()
+		return 2
+	}
+	db := renum.NewDatabase()
+	if err := load.Tables(db, tables); err != nil {
+		fmt.Fprintf(stderr, "renum build: %v\n", err)
+		return 1
+	}
+	entries, err := load.Compile(db, queries, *workers, *canonical)
+	if err != nil {
+		fmt.Fprintf(stderr, "renum build: %v\n", err)
+		return 1
+	}
+	if err := renum.SaveSnapshot(*out, db, 0, entries); err != nil {
+		fmt.Fprintf(stderr, "renum build: %v\n", err)
+		return 1
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		fmt.Fprintf(stderr, "renum build: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "renum build: wrote %s (%d bytes, format v%d)\n", *out, st.Size(), renum.SnapshotVersion)
+	for _, e := range entries {
+		fmt.Fprintf(stdout, "renum build: compiled %s (%s, %d answers)\n", e.Name, e.H.Kind(), e.H.Count())
+	}
+	return 0
+}
+
+// runFromSnapshot serves one mode from a catalog snapshot: cold start is
+// open+validate, no CSV parsing and no preprocessing.
+func runFromSnapshot(out io.Writer, path, name, mode string, k, offset int64, jsArg string, workers int, rng *rand.Rand) error {
+	cat, err := renum.OpenSnapshot(path, renum.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	defer cat.Close()
+	entries := cat.Entries()
+	var h *renum.Handle
+	switch {
+	case name != "":
+		for _, e := range entries {
+			if e.Name == name {
+				h = e.H
+				break
+			}
+		}
+		if h == nil {
+			names := make([]string, len(entries))
+			for i, e := range entries {
+				names[i] = e.Name
+			}
+			return fmt.Errorf("snapshot has no query %q (entries: %s)", name, strings.Join(names, ", "))
+		}
+	case len(entries) == 1:
+		h = entries[0].H
+	default:
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name
+		}
+		return fmt.Errorf("snapshot holds %d queries (%s): pick one with -name", len(entries), strings.Join(names, ", "))
+	}
+	return runModes(out, cat.DB(), h, mode, k, offset, jsArg, rng)
 }
 
 // parsePositions parses the -js flag ("3,0,17").
@@ -134,6 +259,12 @@ func runQuery(out io.Writer, db *renum.Database, q load.Query, mode string, k, o
 	if err != nil {
 		return err
 	}
+	return runModes(out, db, h, mode, k, offset, jsArg, rng)
+}
+
+// runModes dispatches one mode against a prepared handle — built or
+// restored from a snapshot, the dispatch is identical.
+func runModes(out io.Writer, db *renum.Database, h *renum.Handle, mode string, k, offset int64, jsArg string, rng *rand.Rand) error {
 	switch mode {
 	case "count":
 		fmt.Fprintln(out, h.Count())

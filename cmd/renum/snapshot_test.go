@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBuildAndServeFromSnapshot drives the build-once/serve-many split end
+// to end through the CLI: `renum build` persists the catalog, and every
+// serving mode run from -snapshot must print byte-identical output to the
+// same mode run from -table/-query (the goldens of TestModesGolden pin that
+// side, so this pins snapshot parity transitively).
+func TestBuildAndServeFromSnapshot(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "q.snap")
+	out, errOut, code := runCLI(t, append([]string{"build"},
+		append(tableArgs(), "-query", testQ, "-o", snap)...)...)
+	if code != 0 {
+		t.Fatalf("build exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "compiled Q (cq, 6 answers)") {
+		t.Fatalf("build output: %q", out)
+	}
+	if st, err := os.Stat(snap); err != nil || st.Size() == 0 {
+		t.Fatalf("snapshot file: %v (%v)", st, err)
+	}
+
+	modes := [][]string{
+		{"-mode", "count"},
+		{"-mode", "enum", "-k", "3"},
+		{"-mode", "access", "-k", "3"},
+		{"-mode", "random", "-k", "6", "-seed", "1"},
+		{"-mode", "sample", "-k", "3", "-seed", "1"},
+		{"-mode", "batch", "-js", "5,0,5"},
+		{"-mode", "page", "-offset", "2", "-k", "3"},
+	}
+	for _, m := range modes {
+		fromTables, errT, codeT := runCLI(t, append(append(tableArgs(), "-query", testQ), m...)...)
+		if codeT != 0 {
+			t.Fatalf("tables %v exit %d: %s", m, codeT, errT)
+		}
+		fromSnap, errS, codeS := runCLI(t, append([]string{"-snapshot", snap}, m...)...)
+		if codeS != 0 {
+			t.Fatalf("snapshot %v exit %d: %s", m, codeS, errS)
+		}
+		if fromSnap != fromTables {
+			t.Fatalf("mode %v diverged:\nsnapshot: %q\ntables:   %q", m, fromSnap, fromTables)
+		}
+	}
+
+	// Explain is honestly unsupported on a restored entry.
+	_, errS, codeS := runCLI(t, "-snapshot", snap, "-mode", "explain")
+	if codeS != 1 || !strings.Contains(errS, "unsupported") {
+		t.Fatalf("explain from snapshot: exit %d, stderr %q", codeS, errS)
+	}
+}
+
+// TestSnapshotEntrySelection pins -name resolution on multi-query catalogs.
+func TestSnapshotEntrySelection(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "two.snap")
+	program := testQ + " U(a, b) :- r(a, b). U(a, b) :- s(a, b)."
+	_, errOut, code := runCLI(t, append([]string{"build"},
+		append(tableArgs(), "-query", program, "-o", snap)...)...)
+	if code != 0 {
+		t.Fatalf("build exit %d: %s", code, errOut)
+	}
+
+	// Ambiguous without -name.
+	_, errOut, code = runCLI(t, "-snapshot", snap, "-mode", "count")
+	if code != 1 || !strings.Contains(errOut, "-name") {
+		t.Fatalf("ambiguous: exit %d, stderr %q", code, errOut)
+	}
+	// The union entry serves through the restored mc-UCQ structure.
+	out, _, code := runCLI(t, "-snapshot", snap, "-name", "U", "-mode", "count")
+	if code != 0 || out != "8\n" {
+		t.Fatalf("U count from snapshot = %q (exit %d)", out, code)
+	}
+	// Unknown names list what exists.
+	_, errOut, code = runCLI(t, "-snapshot", snap, "-name", "nope", "-mode", "count")
+	if code != 1 || !strings.Contains(errOut, "Q, U") {
+		t.Fatalf("unknown name: exit %d, stderr %q", code, errOut)
+	}
+	// -snapshot with -table is a usage error.
+	_, _, code = runCLI(t, append([]string{"-snapshot", snap}, tableArgs()...)...)
+	if code != 2 {
+		t.Fatalf("-snapshot with -table: exit %d, want 2", code)
+	}
+}
+
+// TestServeFromCorruptSnapshot: a flipped bit anywhere fails closed with
+// the typed decode error, not a crash or wrong answers.
+func TestServeFromCorruptSnapshot(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "q.snap")
+	if _, errOut, code := runCLI(t, append([]string{"build"},
+		append(tableArgs(), "-query", testQ, "-o", snap)...)...); code != 0 {
+		t.Fatalf("build exit %d: %s", code, errOut)
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := runCLI(t, "-snapshot", snap, "-mode", "count")
+	if code != 1 || !strings.Contains(errOut, "snapshot") {
+		t.Fatalf("corrupt snapshot: exit %d, stderr %q", code, errOut)
+	}
+}

@@ -21,6 +21,21 @@
 // -cursor-ttl of inactivity. -workers is each entry's worker budget — index
 // build parallelism and batch/page/sample probe fan-out (0 = all cores).
 //
+// # Snapshots
+//
+// With -snapshot-dir, the daemon boots from the newest catalog snapshot in
+// the directory (gen-<generation>.snap) when one exists: the compiled
+// indexes are mapped straight from disk — cold start is open+validate, not
+// load+preprocess — and the registry's generation numbering continues from
+// the saved value, so generations stay monotonic across restarts. Any
+// -table/-query flags are then applied on top of the restored state. When
+// the directory is empty (first boot), -table/-query are required as usual.
+// POST /admin/save persists the current generation into the directory, and
+// -persist-on-exit saves automatically after the graceful drain, so
+// SIGTERM → restart round-trips the served state. Dynamic (updatable)
+// entries have no snapshot form: saves report them skipped, and a restart
+// recreates them from -query/-dynamic flags or /admin/register.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get -drain-timeout to finish, then the process exits 0.
 package main
@@ -30,9 +45,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -52,7 +69,7 @@ func main() {
 }
 
 // run is main with injectable plumbing so tests can drive the daemon.
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("renumd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var tables, queries stringList
@@ -67,40 +84,91 @@ func run(args []string, stdout, stderr *os.File) int {
 		cursorTTL    = fs.Duration("cursor-ttl", 5*time.Minute, "idle eviction of enumeration cursors")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 		noAdmin      = fs.Bool("no-admin", false, "disable the /admin endpoints")
+		snapshotDir  = fs.String("snapshot-dir", "", "boot from the newest catalog snapshot here; /admin/save writes new ones")
+		persistExit  = fs.Bool("persist-on-exit", false, "save the current generation to -snapshot-dir after the graceful drain")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if len(queries) == 0 || len(tables) == 0 {
-		fmt.Fprintln(stderr, "renumd: at least one -table and one -query are required")
-		fs.Usage()
+	if *persistExit && *snapshotDir == "" {
+		fmt.Fprintln(stderr, "renumd: -persist-on-exit requires -snapshot-dir")
 		return 2
 	}
 
-	db := renum.NewDatabase()
-	if err := load.Tables(db, tables); err != nil {
-		fmt.Fprintf(stderr, "renumd: %v\n", err)
-		return 1
-	}
-	reg := server.NewRegistry(db, server.CoalesceConfig{
+	coalesce := server.CoalesceConfig{
 		Window:   *coalesceWin,
 		MaxBatch: *coalesceMax,
-	}, *workers)
-	for _, program := range queries {
-		names, err := reg.Register(program, *dynamic)
+	}
+
+	// Boot from the newest snapshot when one exists; otherwise from CSVs.
+	var reg *server.Registry
+	if *snapshotDir != "" {
+		path, gen, ok, err := load.LatestSnapshot(*snapshotDir)
 		if err != nil {
 			fmt.Fprintf(stderr, "renumd: %v\n", err)
 			return 1
 		}
-		for _, name := range names {
-			e, _ := reg.Lookup(name)
-			fmt.Fprintf(stdout, "renumd: serving %s (%s, %d answers)\n", name, e.Kind(), e.Count())
+		if ok {
+			cat, err := renum.OpenSnapshot(path, renum.WithWorkers(*workers))
+			if err != nil {
+				fmt.Fprintf(stderr, "renumd: open snapshot %s: %v\n", path, err)
+				return 1
+			}
+			// The catalog backs the served handles with its file mapping:
+			// hold it for the process lifetime.
+			defer cat.Close()
+			reg, err = server.NewRegistryFromCatalog(cat, coalesce, *workers)
+			if err != nil {
+				fmt.Fprintf(stderr, "renumd: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "renumd: restored snapshot %s (generation %d)\n", path, gen)
 		}
+	}
+	if reg == nil {
+		if len(queries) == 0 || len(tables) == 0 {
+			fmt.Fprintln(stderr, "renumd: at least one -table and one -query are required (or a -snapshot-dir holding a snapshot)")
+			fs.Usage()
+			return 2
+		}
+		db := renum.NewDatabase()
+		if err := load.Tables(db, tables); err != nil {
+			fmt.Fprintf(stderr, "renumd: %v\n", err)
+			return 1
+		}
+		reg = server.NewRegistry(db, coalesce, *workers)
+	} else {
+		// Snapshot boot: -table/-query apply on top of the restored state.
+		for _, path := range tables {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "renumd: %v\n", err)
+				return 1
+			}
+			name := strings.TrimSuffix(filepath.Base(path), ".csv")
+			err = reg.LoadTable(name, f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "renumd: %s: %v\n", path, err)
+				return 1
+			}
+		}
+	}
+	for _, program := range queries {
+		if _, err := reg.Register(program, *dynamic); err != nil {
+			fmt.Fprintf(stderr, "renumd: %v\n", err)
+			return 1
+		}
+	}
+	for _, name := range reg.Names() {
+		e, _ := reg.Lookup(name)
+		fmt.Fprintf(stdout, "renumd: serving %s (%s, %d answers)\n", name, e.Kind(), e.Count())
 	}
 
 	srv := server.New(reg, server.Config{
 		CursorTTL:     *cursorTTL,
 		AdminDisabled: *noAdmin,
+		SnapshotDir:   *snapshotDir,
 	})
 	defer srv.Close()
 
@@ -137,6 +205,21 @@ func run(args []string, stdout, stderr *os.File) int {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(stderr, "renumd: %v\n", err)
 		return 1
+	}
+	if *persistExit {
+		// After the drain: no requests are in flight, so the saved snapshot
+		// is exactly the state the last client observed. A failed save is a
+		// hard error — exiting 0 would silently drop state the operator
+		// asked to keep.
+		path, gen, skipped, err := reg.SaveSnapshot(*snapshotDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "renumd: persist-on-exit: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "renumd: saved %s (generation %d)\n", path, gen)
+		for _, name := range skipped {
+			fmt.Fprintf(stdout, "renumd: skipped %s (no snapshot form)\n", name)
+		}
 	}
 	fmt.Fprintln(stdout, "renumd: bye")
 	return 0

@@ -161,7 +161,7 @@ func ExampleHandle_Capabilities() {
 	smp, _ := h.Sampler()
 	fmt.Println("distinct sampling:", smp.Distinct())
 	// Output:
-	// capabilities: [enumerate contains sample]
+	// capabilities: [enumerate contains sample snapshot]
 	// can update: false
 	// inverted access: unsupported on unions
 	// distinct sampling: true

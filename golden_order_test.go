@@ -250,29 +250,38 @@ func TestGoldenEnumerationHash(t *testing.T) {
 	}
 }
 
-// goldenHandles rebuilds the same recorded instances through the public
-// Open API — the capability-handle counterpart of goldenIndexes.
-func goldenHandles(t *testing.T) map[string]*Handle {
+// goldenInstance is one recorded query instance rebuilt through the public
+// API: enough to Open it — and to save/reopen it as a snapshot.
+type goldenInstance struct {
+	name string
+	db   *Database
+	q    Query
+	opts []Option
+}
+
+// goldenInstances rebuilds, in golden-file order, the exact instances the
+// recording was made from (the public-API counterpart of goldenIndexes).
+func goldenInstances(t *testing.T) []goldenInstance {
 	t.Helper()
-	out := make(map[string]*Handle)
+	var out []goldenInstance
 
 	db, q, err := synth.Star(synth.Config{Relations: 3, TuplesPerRelation: 60, KeyDomain: 25, SkewS: 1.3, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out[q.Name] = mustOpen(t, db, q)
+	out = append(out, goldenInstance{name: q.Name, db: db, q: q})
 
 	db2, q2, err := synth.Chain(synth.Config{Relations: 3, TuplesPerRelation: 150, KeyDomain: 40, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out[q2.Name] = mustOpen(t, db2, q2, WithCanonical())
+	out = append(out, goldenInstance{name: q2.Name, db: db2, q: q2, opts: []Option{WithCanonical()}})
 
 	q3, err := query.NewCQ("proj", []string{"x0", "x1"}, q2.Body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out[q3.Name] = mustOpen(t, db2, q3)
+	out = append(out, goldenInstance{name: q3.Name, db: db2, q: q3})
 
 	db4 := relation.NewDatabase()
 	nat := db4.MustCreate("N", "a", "b")
@@ -289,8 +298,18 @@ func goldenHandles(t *testing.T) map[string]*Handle {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out[u.Name] = mustOpen(t, db4, u, WithVerify())
+	out = append(out, goldenInstance{name: u.Name, db: db4, q: u, opts: []Option{WithVerify()}})
 
+	return out
+}
+
+// goldenHandles opens every golden instance through the public Open API.
+func goldenHandles(t *testing.T) map[string]*Handle {
+	t.Helper()
+	out := make(map[string]*Handle)
+	for _, gi := range goldenInstances(t) {
+		out[gi.name] = mustOpen(t, gi.db, gi.q, gi.opts...)
+	}
 	return out
 }
 
@@ -299,13 +318,43 @@ func goldenHandles(t *testing.T) map[string]*Handle {
 // query's enumeration byte for byte — the new surface cannot perturb the
 // order contract the old recordings pin.
 func TestGoldenEnumerationOrderViaIterator(t *testing.T) {
+	replayGoldenAgainstHandles(t, goldenHandles(t))
+}
+
+// TestGoldenEnumerationOrderSnapshotRoundTrip replays the same recordings a
+// second way: every golden instance is built, saved into the versioned
+// snapshot format, reopened from disk, and the restored handle's All()
+// must walk the recorded sequence byte for byte. This pins the acceptance
+// contract that a save→reopen round trip preserves the enumeration order
+// exactly — built and restored indexes are interchangeable.
+func TestGoldenEnumerationOrderSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	handles := make(map[string]*Handle)
+	for i, gi := range goldenInstances(t) {
+		h := mustOpen(t, gi.db, gi.q, gi.opts...)
+		path := fmt.Sprintf("%s/golden-%d.snap", dir, i)
+		if err := SaveSnapshot(path, gi.db, 0, []CatalogEntry{{Name: gi.name, Q: gi.q, H: h}}); err != nil {
+			t.Fatalf("save %s: %v", gi.name, err)
+		}
+		cat, err := OpenSnapshot(path)
+		if err != nil {
+			t.Fatalf("open %s: %v", gi.name, err)
+		}
+		defer cat.Close()
+		handles[gi.name] = cat.Entries()[0].H
+	}
+	replayGoldenAgainstHandles(t, handles)
+}
+
+// replayGoldenAgainstHandles drains each handle's iterator against the
+// recorded sequences of the golden file.
+func replayGoldenAgainstHandles(t *testing.T, handles map[string]*Handle) {
+	t.Helper()
 	f, err := os.Open(goldenOrderFile)
 	if err != nil {
 		t.Fatalf("golden file missing (regenerate against the previous implementation): %v", err)
 	}
 	defer f.Close()
-
-	handles := goldenHandles(t)
 
 	// Collect the recorded sequences per query, then drain each handle's
 	// iterator against its recording.

@@ -66,6 +66,12 @@ const (
 	CapContains Capability = "contains"
 	// CapExplain: a human-readable compiled plan.
 	CapExplain Capability = "explain"
+	// CapSnapshot: the handle's index can be persisted into the versioned
+	// binary snapshot format (WriteSnapshot / SaveSnapshot) and restored
+	// with OpenSnapshot. Static backends have it; the dynamic backend stays
+	// heap-only — updates mutate structure the flat format does not
+	// represent — and reports the miss here.
+	CapSnapshot Capability = "snapshot"
 )
 
 // Inverter is the inverted-access capability: answer → position in the
@@ -300,7 +306,7 @@ func (h *Handle) Explain() (string, error) {
 
 // capabilityOrder fixes the (stable) order Capabilities reports.
 var capabilityOrder = []Capability{
-	CapEnumerate, CapContains, CapInvert, CapSample, CapUpdate, CapExplain,
+	CapEnumerate, CapContains, CapInvert, CapSample, CapUpdate, CapExplain, CapSnapshot,
 }
 
 // Has reports whether the handle supports c.
@@ -323,6 +329,9 @@ func (h *Handle) Has(c Capability) bool {
 		return ok
 	case CapExplain:
 		_, ok := h.b.(explainer)
+		return ok
+	case CapSnapshot:
+		_, ok := h.b.(snapshotter)
 		return ok
 	default:
 		return false

@@ -43,7 +43,7 @@ func TestOpenKindsAndCapabilities(t *testing.T) {
 	if cq.Kind() != KindCQ {
 		t.Fatalf("cq kind = %s", cq.Kind())
 	}
-	wantCQ := []Capability{CapEnumerate, CapContains, CapInvert, CapSample, CapExplain}
+	wantCQ := []Capability{CapEnumerate, CapContains, CapInvert, CapSample, CapExplain, CapSnapshot}
 	if got := cq.Capabilities(); len(got) != len(wantCQ) {
 		t.Fatalf("cq capabilities = %v, want %v", got, wantCQ)
 	} else {
@@ -61,8 +61,8 @@ func TestOpenKindsAndCapabilities(t *testing.T) {
 	if ucq.Has(CapInvert) || ucq.Has(CapUpdate) || ucq.Has(CapExplain) {
 		t.Fatalf("ucq capabilities = %v: must not invert/update/explain", ucq.Capabilities())
 	}
-	if !ucq.Has(CapEnumerate) || !ucq.Has(CapSample) || !ucq.Has(CapContains) {
-		t.Fatalf("ucq capabilities = %v: missing enumerate/sample/contains", ucq.Capabilities())
+	if !ucq.Has(CapEnumerate) || !ucq.Has(CapSample) || !ucq.Has(CapContains) || !ucq.Has(CapSnapshot) {
+		t.Fatalf("ucq capabilities = %v: missing enumerate/sample/contains/snapshot", ucq.Capabilities())
 	}
 
 	dq := MustCQ("dq", []string{"a", "b"}, NewAtom("R", V("a"), V("b")))
@@ -70,7 +70,7 @@ func TestOpenKindsAndCapabilities(t *testing.T) {
 	if dyn.Kind() != KindDynamic {
 		t.Fatalf("dynamic kind = %s", dyn.Kind())
 	}
-	if dyn.Has(CapEnumerate) || !dyn.Has(CapUpdate) || !dyn.Has(CapInvert) {
+	if dyn.Has(CapEnumerate) || !dyn.Has(CapUpdate) || !dyn.Has(CapInvert) || dyn.Has(CapSnapshot) {
 		t.Fatalf("dynamic capabilities = %v", dyn.Capabilities())
 	}
 

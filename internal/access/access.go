@@ -151,45 +151,17 @@ func New(fj *reduce.FullJoin) (*Index, error) {
 func NewWithOptions(fj *reduce.FullJoin, opts BuildOptions) (*Index, error) {
 	idx := &Index{head: fj.Head}
 
-	headPos := make(map[string]int, len(fj.Head))
-	for i, h := range fj.Head {
-		headPos[h] = i
-	}
-
 	// Build the mirrored node tree (fj.Nodes order for determinism).
 	nodeOf := make(map[*reduce.Node]*node, len(fj.Nodes))
 	for _, fn := range fj.Nodes {
-		n := &node{rel: fn.Rel}
-		schema := fn.Rel.Schema()
-		n.schemaHeadPos = make([]int, len(schema))
-		for i, attr := range schema {
-			hp, ok := headPos[attr]
-			if !ok {
-				return nil, fmt.Errorf("access: node attribute %q is not a head variable", attr)
-			}
-			n.schemaHeadPos[i] = hp
-		}
-		nodeOf[fn] = n
+		nodeOf[fn] = &node{rel: fn.Rel}
 	}
 	for _, fn := range fj.Nodes {
 		n := nodeOf[fn]
 		if fn.Parent == nil {
 			idx.root = n
-		} else {
-			p := nodeOf[fn.Parent]
-			// Shared attributes in child-schema order.
-			shared := fn.Rel.Schema().Intersect(fn.Parent.Rel.Schema())
-			var err error
-			n.pAttPos, err = fn.Rel.Schema().Positions(shared)
-			if err != nil {
-				return nil, err
-			}
-			keyPos, err := fn.Parent.Rel.Schema().Positions(shared)
-			if err != nil {
-				return nil, err
-			}
-			p.children = append(p.children, n)
-			p.childKeyPos = append(p.childKeyPos, keyPos)
+		} else if err := nodeOf[fn.Parent].linkChild(n); err != nil {
+			return nil, err
 		}
 		n.ord = len(idx.nodes)
 		idx.nodes = append(idx.nodes, n)
@@ -197,23 +169,8 @@ func NewWithOptions(fj *reduce.FullJoin, opts BuildOptions) (*Index, error) {
 	if idx.root == nil {
 		return nil, fmt.Errorf("access: full join has no root")
 	}
-
-	// Assign each output column to the first node (in fj.Nodes order) whose
-	// schema contains it.
-	assigned := make([]bool, len(fj.Head))
-	for _, n := range idx.nodes {
-		for i, hp := range n.schemaHeadPos {
-			if !assigned[hp] {
-				assigned[hp] = true
-				n.outCols = append(n.outCols, hp)
-				n.outPos = append(n.outPos, i)
-			}
-		}
-	}
-	for i, ok := range assigned {
-		if !ok {
-			return nil, fmt.Errorf("access: head variable %q not covered by any node", fj.Head[i])
-		}
+	if err := idx.wireOutputs(); err != nil {
+		return nil, err
 	}
 
 	// Algorithm 2: leaf-to-root weight computation. Each node's buckets
@@ -255,6 +212,64 @@ func NewWithOptions(fj *reduce.FullJoin, opts BuildOptions) (*Index, error) {
 		idx.count = idx.root.total[0]
 	}
 	return idx, nil
+}
+
+// linkChild wires one parent→child edge: the shared attributes (in child
+// schema order) become the child's bucket key, and the parent records where
+// to read that key in its own tuples. Shared by the builder and the
+// snapshot-restore path, so the wiring cannot drift between them.
+func (n *node) linkChild(c *node) error {
+	shared := c.rel.Schema().Intersect(n.rel.Schema())
+	var err error
+	c.pAttPos, err = c.rel.Schema().Positions(shared)
+	if err != nil {
+		return err
+	}
+	keyPos, err := n.rel.Schema().Positions(shared)
+	if err != nil {
+		return err
+	}
+	n.children = append(n.children, c)
+	n.childKeyPos = append(n.childKeyPos, keyPos)
+	return nil
+}
+
+// wireOutputs computes every node's schemaHeadPos and assigns each output
+// column to the first node (in idx.nodes order) whose schema contains it.
+// Shared by the builder and the snapshot-restore path.
+func (idx *Index) wireOutputs() error {
+	headPos := make(map[string]int, len(idx.head))
+	for i, h := range idx.head {
+		headPos[h] = i
+	}
+	for _, n := range idx.nodes {
+		schema := n.rel.Schema()
+		n.schemaHeadPos = make([]int, len(schema))
+		for i, attr := range schema {
+			hp, ok := headPos[attr]
+			if !ok {
+				return fmt.Errorf("access: node attribute %q is not a head variable", attr)
+			}
+			n.schemaHeadPos[i] = hp
+		}
+	}
+	assigned := make([]bool, len(idx.head))
+	for _, n := range idx.nodes {
+		n.outCols, n.outPos = nil, nil
+		for i, hp := range n.schemaHeadPos {
+			if !assigned[hp] {
+				assigned[hp] = true
+				n.outCols = append(n.outCols, hp)
+				n.outPos = append(n.outPos, i)
+			}
+		}
+	}
+	for i, ok := range assigned {
+		if !ok {
+			return fmt.Errorf("access: head variable %q not covered by any node", idx.head[i])
+		}
+	}
+	return nil
 }
 
 // build computes this node's grouping, flattened buckets, weights and prefix

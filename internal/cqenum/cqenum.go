@@ -58,6 +58,14 @@ func PrepareWithOptions(db *relation.Database, q *query.CQ, opts reduce.Options,
 	return &CQ{Query: q, FullJoin: fj, Index: idx}, nil
 }
 
+// Restore assembles a prepared CQ around an index restored from a snapshot:
+// no reduction runs and FullJoin is nil — the restored form serves every
+// probe (the index is self-contained) but cannot Explain its plan, which the
+// capability surface reports.
+func Restore(q *query.CQ, idx *access.Index) *CQ {
+	return &CQ{Query: q, Index: idx}
+}
+
 // Count returns |Q(D)|.
 func (c *CQ) Count() int64 { return c.Index.Count() }
 

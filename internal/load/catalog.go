@@ -1,0 +1,104 @@
+// Catalog plumbing: compiling CSV+program inputs into saved snapshot
+// catalogs and locating the newest catalog in a snapshot directory. This is
+// the load-layer half of the persistent-snapshot seam — cmd/renum's build
+// mode and the renumd daemon share it, the way they already share the CSV
+// dialect and program grouping rules above.
+
+package load
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/query"
+)
+
+// QueryFromSrc rebuilds the load-layer Query wrapper around a parsed query
+// — the inverse of Query.Src, used when entries come back out of a snapshot
+// (which persists queries structurally, not as text).
+func QueryFromSrc(name string, q query.Query) Query {
+	switch q := q.(type) {
+	case *query.CQ:
+		return Query{Name: name, CQ: q}
+	case *query.UCQ:
+		return Query{Name: name, UCQ: q}
+	}
+	return Query{Name: name}
+}
+
+// Compile parses every program, groups rules by head (the shared grouping
+// rules of this package) and opens one static handle per query: the
+// build-once half of a build/serve split. The returned entries are ready
+// for renum.SaveSnapshot. Dynamic indexes are deliberately not compiled
+// here — they have no snapshot form (CapSnapshot is absent on them).
+func Compile(db *renum.Database, programs []string, workers int, canonical bool) ([]renum.CatalogEntry, error) {
+	var entries []renum.CatalogEntry
+	seen := make(map[string]bool)
+	for _, program := range programs {
+		qs, err := Queries(db.Dict(), program)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range qs {
+			if seen[q.Name] {
+				return nil, fmt.Errorf("query %s defined more than once across programs", q.Name)
+			}
+			seen[q.Name] = true
+			opts := []renum.Option{renum.WithWorkers(workers)}
+			if canonical {
+				opts = append(opts, renum.WithCanonical())
+			}
+			h, err := renum.Open(db, q.Src(), opts...)
+			if err != nil {
+				return nil, fmt.Errorf("query %s: %w", q.Name, err)
+			}
+			entries = append(entries, renum.CatalogEntry{Name: q.Name, Q: q.Src(), H: h})
+		}
+	}
+	return entries, nil
+}
+
+// snapshotPrefix/snapshotExt name catalog files inside a snapshot
+// directory: gen-<generation>.snap, zero-padded so lexical and numeric
+// order agree.
+const (
+	snapshotPrefix = "gen-"
+	snapshotExt    = ".snap"
+)
+
+// SnapshotPath returns the catalog filename for a generation inside dir.
+func SnapshotPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", snapshotPrefix, gen, snapshotExt))
+}
+
+// LatestSnapshot scans dir for catalog files and returns the one with the
+// highest generation. ok is false when the directory holds none (including
+// when it does not exist — an empty snapshot dir on first boot is normal,
+// not an error).
+func LatestSnapshot(dir string) (path string, gen uint64, ok bool, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", 0, false, nil
+		}
+		return "", 0, false, err
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotExt) {
+			continue
+		}
+		g, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotExt), 10, 64)
+		if perr != nil {
+			continue
+		}
+		if !ok || g > gen {
+			ok, gen, path = true, g, filepath.Join(dir, name)
+		}
+	}
+	return path, gen, ok, nil
+}

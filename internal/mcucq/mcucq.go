@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -217,7 +218,21 @@ type MCUCQ struct {
 	// verification and diagnostics).
 	firsts []RankedSet
 	levels []*union
+
+	// indexes holds every prepared index in deterministic job order (the m
+	// disjuncts, then each level's intersections in mask order) — the
+	// serialization order Restore consumes.
+	indexes []*access.Index
 }
+
+// Indexes returns the prepared disjunct and intersection indexes in the
+// deterministic job order New built them: the m disjunct indexes first,
+// then level 0's intersections in mask order, then level 1's, and so on.
+// This is exactly the order Restore expects back.
+func (m *MCUCQ) Indexes() []*access.Index { return m.indexes }
+
+// NumDisjuncts returns m, the number of disjuncts of the union.
+func (m *MCUCQ) NumDisjuncts() int { return len(m.firsts) }
 
 // New prepares every disjunct and every required intersection CQ (all in
 // linear time each, mutually independent and hence run on a worker pool) and
@@ -290,22 +305,19 @@ func New(db *relation.Database, u *query.UCQ, opts Options) (*MCUCQ, error) {
 		firsts[i] = indexSet{j.prepared.Index}
 	}
 	out := &MCUCQ{u: u, firsts: firsts}
+	for _, j := range jobs {
+		out.indexes = append(out.indexes, j.prepared.Index)
+	}
 
 	// Phase 3 (serial): build bottom-up exactly as the serial construction —
 	// U_{m-1} = S_{m-1}; U_ℓ = union(S_ℓ, U_{ℓ+1}).
-	var rest SetAccess = firsts[m-1]
-	for l := m - 2; l >= 0; l-- {
-		un := &union{first: firsts[l], rest: rest, useLargest: opts.UseLargest}
-		for _, j := range levelJobs[l] {
-			un.ts = append(un.ts, signedSet{set: indexSet{j.prepared.Index}, sign: j.sign})
-			un.inter += j.sign * j.prepared.Index.Count()
+	levelSets := make([][]signedSet, m)
+	for l, lj := range levelJobs {
+		for _, j := range lj {
+			levelSets[l] = append(levelSets[l], signedSet{set: indexSet{j.prepared.Index}, sign: j.sign})
 		}
-		un.count = un.first.Count() + restCount(rest) - un.inter
-		out.levels = append(out.levels, un)
-		rest = un
 	}
-	out.top = rest
-	out.count = restCount(rest)
+	out.assemble(levelSets, opts.UseLargest)
 
 	if opts.Verify {
 		if err := out.VerifyCompatibility(); err != nil {
@@ -316,6 +328,75 @@ func New(db *relation.Database, u *query.UCQ, opts Options) (*MCUCQ, error) {
 }
 
 func restCount(s SetAccess) int64 { return s.Count() }
+
+// assemble builds the recursive union bottom-up — U_{m-1} = S_{m-1};
+// U_ℓ = union(S_ℓ, U_{ℓ+1}) — from the per-level intersection sets. Shared
+// by New and Restore so the assembled structure cannot drift between the
+// build and the snapshot-restore path.
+func (m *MCUCQ) assemble(levelSets [][]signedSet, useLargest bool) {
+	n := len(m.firsts)
+	var rest SetAccess = m.firsts[n-1]
+	for l := n - 2; l >= 0; l-- {
+		un := &union{first: m.firsts[l], rest: rest, useLargest: useLargest}
+		for _, ss := range levelSets[l] {
+			un.ts = append(un.ts, ss)
+			un.inter += ss.sign * ss.set.Count()
+		}
+		un.count = un.first.Count() + restCount(rest) - un.inter
+		m.levels = append(m.levels, un)
+		rest = un
+	}
+	m.top = rest
+	m.count = restCount(rest)
+}
+
+// RestoredIndexCount returns how many indexes a snapshot of an m-disjunct
+// union holds: the m disjuncts plus every level's 2^(m-1-ℓ) - 1
+// intersections.
+func RestoredIndexCount(m int) int {
+	n := m
+	for l := 0; l <= m-2; l++ {
+		n += (1 << (m - 1 - l)) - 1
+	}
+	return n
+}
+
+// Restore reassembles the Theorem 5.5 structure from indexes restored out
+// of a snapshot, in the job order Indexes() reported at save time. The
+// level layout and inclusion–exclusion signs are recomputed from m alone —
+// they are a pure function of the disjunct count — and the per-level counts
+// re-derive from the restored indexes' counts, so nothing else needs to be
+// persisted.
+func Restore(u *query.UCQ, indexes []*access.Index) (*MCUCQ, error) {
+	m := len(u.Disjuncts)
+	if m == 0 {
+		return nil, errors.New("mcucq: restore of an empty union")
+	}
+	if want := RestoredIndexCount(m); len(indexes) != want {
+		return nil, fmt.Errorf("mcucq: restore of %d-disjunct union needs %d indexes, got %d", m, want, len(indexes))
+	}
+	firsts := make([]RankedSet, m)
+	for i := 0; i < m; i++ {
+		firsts[i] = indexSet{indexes[i]}
+	}
+	out := &MCUCQ{u: u, firsts: firsts, indexes: indexes}
+	levelSets := make([][]signedSet, m)
+	pos := m
+	for l := 0; l <= m-2; l++ {
+		count := (1 << (m - 1 - l)) - 1
+		for mask := 1; mask <= count; mask++ {
+			// |I| = popcount(mask) members beyond ℓ; sign (-1)^{|I|+1}.
+			sign := int64(-1)
+			if bits.OnesCount(uint(mask))%2 == 1 {
+				sign = 1
+			}
+			levelSets[l] = append(levelSets[l], signedSet{set: indexSet{indexes[pos]}, sign: sign})
+			pos++
+		}
+	}
+	out.assemble(levelSets, false)
+	return out, nil
+}
 
 func intersectionName(u *query.UCQ, idx []int) string {
 	name := u.Name + "∩["

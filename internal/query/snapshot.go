@@ -1,0 +1,133 @@
+// Snapshot encoding of query syntax. Queries are persisted structurally —
+// name, head, atoms, terms — rather than as source text: constants are
+// dictionary Values whose rendered form is not re-parseable, and the
+// structural form round-trips exactly through the same NewCQ/NewUCQ
+// validation the parser uses.
+package query
+
+import (
+	"repro/internal/relation"
+	"repro/internal/snapshot"
+)
+
+const (
+	queryTagCQ  = 1
+	queryTagUCQ = 2
+)
+
+// MarshalQuery appends q (a *CQ or *UCQ) to a section writer.
+func MarshalQuery(s *snapshot.SectionWriter, q Query) {
+	switch q := q.(type) {
+	case *CQ:
+		s.U64(queryTagCQ)
+		marshalCQ(s, q)
+	case *UCQ:
+		s.U64(queryTagUCQ)
+		s.Str(q.Name)
+		s.U64(uint64(len(q.Disjuncts)))
+		for _, d := range q.Disjuncts {
+			marshalCQ(s, d)
+		}
+	}
+}
+
+func marshalCQ(s *snapshot.SectionWriter, q *CQ) {
+	s.Str(q.Name)
+	s.U64(uint64(len(q.Head)))
+	for _, h := range q.Head {
+		s.Str(h)
+	}
+	s.U64(uint64(len(q.Body)))
+	for _, a := range q.Body {
+		s.Str(a.Relation)
+		s.U64(uint64(len(a.Terms)))
+		for _, t := range a.Terms {
+			if t.IsVar() {
+				s.U64(1)
+				s.Str(t.Var)
+			} else {
+				s.U64(0)
+				s.I64(int64(t.Const))
+			}
+		}
+	}
+}
+
+// UnmarshalQuery restores a *CQ or *UCQ, revalidating it through the public
+// constructors so a corrupt-but-checksummed payload cannot produce a query
+// the rest of the library would reject.
+func UnmarshalQuery(r *snapshot.Reader) (Query, error) {
+	switch tag := r.U64(); tag {
+	case queryTagCQ:
+		return unmarshalCQ(r)
+	case queryTagUCQ:
+		name := r.Str()
+		n := r.U64()
+		if n > uint64(r.Remaining()/8) {
+			return nil, snapshot.Corruptf("ucq %s: disjunct count %d exceeds payload", name, n)
+		}
+		ds := make([]*CQ, n)
+		for i := range ds {
+			d, err := unmarshalCQ(r)
+			if err != nil {
+				return nil, err
+			}
+			ds[i] = d
+		}
+		u, err := NewUCQ(name, ds...)
+		if err != nil {
+			return nil, snapshot.Corruptf("%v", err)
+		}
+		return u, nil
+	default:
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, snapshot.Corruptf("unknown query tag %d", tag)
+	}
+}
+
+func unmarshalCQ(r *snapshot.Reader) (*CQ, error) {
+	name := r.Str()
+	nh := r.U64()
+	if nh > uint64(r.Remaining()/8) {
+		return nil, snapshot.Corruptf("cq %s: head count %d exceeds payload", name, nh)
+	}
+	head := make([]string, nh)
+	for i := range head {
+		head[i] = r.Str()
+	}
+	na := r.U64()
+	if na > uint64(r.Remaining()/8) {
+		return nil, snapshot.Corruptf("cq %s: atom count %d exceeds payload", name, na)
+	}
+	body := make([]Atom, na)
+	for i := range body {
+		rel := r.Str()
+		nt := r.U64()
+		if nt > uint64(r.Remaining()/16) {
+			return nil, snapshot.Corruptf("cq %s: term count %d exceeds payload", name, nt)
+		}
+		terms := make([]Term, nt)
+		for j := range terms {
+			if r.U64() == 1 {
+				v := r.Str()
+				if v == "" {
+					return nil, snapshot.Corruptf("cq %s: empty variable name", name)
+				}
+				terms[j] = V(v)
+			} else {
+				terms[j] = C(relation.Value(r.I64()))
+			}
+		}
+		body[i] = Atom{Relation: rel, Terms: terms}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	q, err := NewCQ(name, head, body)
+	if err != nil {
+		return nil, snapshot.Corruptf("%v", err)
+	}
+	return q, nil
+}

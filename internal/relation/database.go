@@ -17,6 +17,13 @@ func NewDatabase() *Database {
 	return &Database{relations: make(map[string]*Relation), dict: NewDict()}
 }
 
+// NewDatabaseWithDict returns an empty database owning an existing
+// dictionary — the restore path, where the dictionary was decoded from a
+// snapshot before its relations.
+func NewDatabaseWithDict(d *Dict) *Database {
+	return &Database{relations: make(map[string]*Relation), dict: d}
+}
+
 // Dict returns the database's string dictionary.
 func (d *Database) Dict() *Dict { return d.dict }
 

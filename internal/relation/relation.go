@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Relation is a finite set of tuples over a schema, stored column-major: one
@@ -28,9 +29,22 @@ type Relation struct {
 	cols   [][]Value
 	n      int
 
-	// Full-tuple duplicate index: exactly one of pindex/windex is non-nil.
+	// Full-tuple duplicate index: exactly one of pindex/windex is non-nil
+	// once the index exists. Snapshot-restored relations defer it (see
+	// lazyOnce): probes that never test membership never pay for it.
 	pindex map[uint64]int32
 	windex map[string]int32
+
+	// lazyOnce is non-nil for relations whose duplicate index is built on
+	// first use (FromColumns): cold-start restores stay O(open) instead of
+	// rehashing every tuple. ensureIndex routes through it; nil means the
+	// index is maintained eagerly as the relation mutates.
+	lazyOnce *sync.Once
+
+	// frozen marks a relation whose columns alias a read-only snapshot
+	// mapping: mutating it would fault on the mapped pages, so mutators
+	// refuse up front with a typed panic/error instead.
+	frozen bool
 }
 
 // NewRelation creates an empty relation with the given name and schema.
@@ -46,6 +60,78 @@ func NewRelation(name string, schema Schema) *Relation {
 		r.windex = make(map[string]int32)
 	}
 	return r
+}
+
+// FromColumns constructs a relation directly over existing column storage —
+// the restore half of the snapshot seam. The columns are adopted, not
+// copied (they typically alias a read-only file mapping), the relation is
+// marked immutable, and the duplicate index is deferred to first use
+// (Position / Contains / inverted access), so opening a snapshot costs no
+// per-tuple hashing. Rows are trusted to be duplicate-free: they were
+// written by a relation that enforced set semantics.
+func FromColumns(name string, schema Schema, cols [][]Value) (*Relation, error) {
+	if len(cols) != len(schema) {
+		return nil, fmt.Errorf("relation %s: %d columns for schema arity %d", name, len(cols), len(schema))
+	}
+	n := 0
+	if len(cols) > 0 {
+		n = len(cols[0])
+		for a, col := range cols {
+			if len(col) != n {
+				return nil, fmt.Errorf("relation %s: column %d has %d rows, column 0 has %d", name, a, len(col), n)
+			}
+		}
+		if n > MaxTuples {
+			return nil, fmt.Errorf("relation %s: %d tuples exceeds the %d-tuple limit", name, n, MaxTuples)
+		}
+	}
+	return &Relation{name: name, schema: schema, cols: cols, n: n, lazyOnce: new(sync.Once), frozen: true}, nil
+}
+
+// ensureIndex materializes a deferred duplicate index. Safe under concurrent
+// probes (sync.Once); a no-op for eagerly indexed relations.
+func (r *Relation) ensureIndex() {
+	if o := r.lazyOnce; o != nil {
+		o.Do(r.buildIndex)
+	}
+}
+
+// buildIndex (re)builds the duplicate index from the columns: packed keys
+// for arities ≤ 2 (falling back to string keys at the first unpackable
+// tuple), string keys otherwise.
+func (r *Relation) buildIndex() {
+	if len(r.schema) <= 2 {
+		all := r.allPositions()
+		r.windex = nil
+		r.pindex = make(map[uint64]int32, r.n)
+		for i := 0; i < r.n; i++ {
+			k, ok := r.packAt(i, all)
+			if !ok {
+				r.migrateWideIndex()
+				return
+			}
+			r.pindex[k] = int32(i)
+		}
+		return
+	}
+	r.pindex = nil
+	r.windex = make(map[string]int32, r.n)
+	var buf [KeyBufCap]byte
+	for i := 0; i < r.n; i++ {
+		b := KeyScratch(&buf, len(r.cols))
+		for a := range r.cols {
+			b = appendValue(b, r.cols[a][i])
+		}
+		r.windex[string(b)] = int32(i)
+	}
+}
+
+// mustBeMutable guards the in-place mutators: a frozen relation's columns
+// alias a read-only snapshot mapping, and writing them would fault.
+func (r *Relation) mustBeMutable(op string) {
+	if r.frozen {
+		panic(fmt.Sprintf("relation %s: %s on a snapshot-backed (immutable) relation", r.name, op))
+	}
 }
 
 // Name returns the relation's name.
@@ -132,6 +218,10 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	if len(t) != len(r.schema) {
 		return false, fmt.Errorf("relation %s: tuple arity %d != schema arity %d", r.name, len(t), len(r.schema))
 	}
+	if r.frozen {
+		return false, fmt.Errorf("relation %s: insert into a snapshot-backed (immutable) relation", r.name)
+	}
+	r.ensureIndex()
 	if r.n >= MaxTuples {
 		return false, fmt.Errorf("relation %s: at the %d-tuple limit (positions are int32)", r.name, MaxTuples)
 	}
@@ -215,6 +305,7 @@ func (r *Relation) Position(t Tuple) int {
 	if len(t) != len(r.schema) {
 		return -1
 	}
+	r.ensureIndex()
 	if r.pindex != nil {
 		k, ok := packVals(t...)
 		if !ok {
@@ -243,6 +334,7 @@ func (r *Relation) PositionProjected(src Tuple, proj []int) int {
 	if len(proj) != len(r.schema) {
 		return -1
 	}
+	r.ensureIndex()
 	if r.pindex != nil {
 		var k uint64
 		switch len(proj) {
@@ -279,7 +371,10 @@ func (r *Relation) Rename(name string, schema Schema) (*Relation, error) {
 	if len(schema) != len(r.schema) {
 		return nil, fmt.Errorf("relation %s: rename to arity %d != %d", r.name, len(schema), len(r.schema))
 	}
-	return &Relation{name: name, schema: schema, cols: r.cols, n: r.n, pindex: r.pindex, windex: r.windex}, nil
+	// The view shares the duplicate index, so a deferred index must exist
+	// before the maps are captured (the view has no lazy hook of its own).
+	r.ensureIndex()
+	return &Relation{name: name, schema: schema, cols: r.cols, n: r.n, pindex: r.pindex, windex: r.windex, frozen: r.frozen}, nil
 }
 
 // Filter returns a new relation containing the tuples satisfying keep, in the
@@ -330,6 +425,7 @@ func (r *Relation) Project(name string, attrs []string) (*Relation, error) {
 // per distinct r-side key (not per tuple), and surviving rows are compacted
 // column by column.
 func (r *Relation) SemijoinWith(s *Relation) int {
+	r.mustBeMutable("SemijoinWith")
 	shared := r.schema.Intersect(s.schema)
 	if len(shared) == 0 {
 		if s.Len() > 0 {
@@ -387,30 +483,7 @@ func (r *Relation) clear() {
 }
 
 // reindex rebuilds the duplicate index from the columns (positions changed).
-func (r *Relation) reindex() {
-	if r.pindex != nil {
-		all := r.allPositions()
-		r.pindex = make(map[uint64]int32, r.n)
-		for i := 0; i < r.n; i++ {
-			k, ok := r.packAt(i, all)
-			if !ok {
-				r.migrateWideIndex()
-				return
-			}
-			r.pindex[k] = int32(i)
-		}
-		return
-	}
-	r.windex = make(map[string]int32, r.n)
-	var buf [KeyBufCap]byte
-	for i := 0; i < r.n; i++ {
-		b := KeyScratch(&buf, len(r.cols))
-		for a := range r.cols {
-			b = appendValue(b, r.cols[a][i])
-		}
-		r.windex[string(b)] = int32(i)
-	}
-}
+func (r *Relation) reindex() { r.buildIndex() }
 
 // allPositions returns [0, 1, ..., arity-1].
 func (r *Relation) allPositions() []int {
@@ -421,8 +494,10 @@ func (r *Relation) allPositions() []int {
 	return out
 }
 
-// Clone returns a deep copy of r: columns and index are fresh.
+// Clone returns a deep copy of r: columns and index are fresh. Cloning a
+// snapshot-backed relation yields an ordinary mutable heap relation.
 func (r *Relation) Clone() *Relation {
+	r.ensureIndex()
 	out := NewRelation(r.name, r.schema)
 	for a := range r.cols {
 		out.cols[a] = append([]Value(nil), r.cols[a]...)
@@ -447,6 +522,7 @@ func (r *Relation) Clone() *Relation {
 // by the canonical-order mode and by tests that need content-determined
 // order; the enumeration algorithms never require sorted input.
 func (r *Relation) SortTuples() {
+	r.mustBeMutable("SortTuples")
 	perm := make([]int, r.n)
 	for i := range perm {
 		perm[i] = i

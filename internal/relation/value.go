@@ -156,9 +156,14 @@ func KeyScratch(buf *[KeyBufCap]byte, n int) []byte {
 
 // Dict interns strings as Values. It is safe for concurrent use. Value 0 is
 // reserved for the empty string so that zero values decode cleanly.
+//
+// A dictionary restored from a snapshot (NewDictFromStrings) defers its
+// reverse map: rendering values to strings needs only the byValue table, so
+// a cold start pays nothing; the byName map is hydrated under the lock on
+// the first Lookup or Intern.
 type Dict struct {
 	mu      sync.RWMutex
-	byName  map[string]Value
+	byName  map[string]Value // nil until hydrated for restored dictionaries
 	byValue []string
 }
 
@@ -170,16 +175,42 @@ func NewDict() *Dict {
 	return d
 }
 
+// NewDictFromStrings restores a dictionary from its value table: byValue[v]
+// is the string of Value v. The slice is adopted, not copied. The table must
+// start with the reserved empty string.
+func NewDictFromStrings(byValue []string) (*Dict, error) {
+	if len(byValue) == 0 || byValue[0] != "" {
+		return nil, fmt.Errorf("relation: dictionary table must start with the reserved empty string")
+	}
+	return &Dict{byValue: byValue}, nil
+}
+
+// hydrateLocked builds the deferred byName map. Caller holds d.mu for write.
+func (d *Dict) hydrateLocked() {
+	if d.byName != nil {
+		return
+	}
+	d.byName = make(map[string]Value, len(d.byValue))
+	for i, s := range d.byValue {
+		d.byName[s] = Value(i)
+	}
+}
+
 // Intern returns the Value for s, assigning a fresh one if needed.
 func (d *Dict) Intern(s string) Value {
 	d.mu.RLock()
-	v, ok := d.byName[s]
+	var v Value
+	var ok bool
+	if d.byName != nil {
+		v, ok = d.byName[s]
+	}
 	d.mu.RUnlock()
 	if ok {
 		return v
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.hydrateLocked()
 	if v, ok = d.byName[s]; ok {
 		return v
 	}
@@ -192,7 +223,15 @@ func (d *Dict) Intern(s string) Value {
 // Lookup returns the Value for s without interning.
 func (d *Dict) Lookup(s string) (Value, bool) {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
+	if d.byName != nil {
+		v, ok := d.byName[s]
+		d.mu.RUnlock()
+		return v, ok
+	}
+	d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hydrateLocked()
 	v, ok := d.byName[s]
 	return v, ok
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -95,6 +96,72 @@ func NewRegistry(db *renum.Database, coalesce CoalesceConfig, workers int) *Regi
 	r := &Registry{coalesce: coalesce, workers: workers}
 	r.snap.Store(&snapshot{db: db, entries: map[string]*Entry{}})
 	return r
+}
+
+// NewRegistryFromCatalog builds a registry around an opened snapshot
+// catalog: the restored database and handles are served as-is (no
+// recompilation — that is the whole point of booting from a snapshot), and
+// the registry's generation numbering continues from the catalog's, so
+// generations stay monotonic across daemon restarts. The catalog must stay
+// open for the registry's lifetime (its handles alias the file mapping).
+//
+// Restored entries keep their parsed queries, so later LoadTable+Rebuild
+// cycles recompile them against fresh data exactly like entries registered
+// over HTTP.
+func NewRegistryFromCatalog(cat *renum.Catalog, coalesce CoalesceConfig, workers int) (*Registry, error) {
+	r := &Registry{coalesce: coalesce, workers: workers}
+	entries := map[string]*Entry{}
+	for _, ce := range cat.Entries() {
+		src := load.QueryFromSrc(ce.Name, ce.Q)
+		if src.Src() == nil {
+			return nil, fmt.Errorf("catalog entry %s: unsupported query form", ce.Name)
+		}
+		e := &Entry{Name: ce.Name, Text: ce.Q.String(), H: ce.H, src: src}
+		if r.coalesce.Window > 0 && !ce.H.Has(renum.CapUpdate) {
+			e.coal = newCoalescer(r.coalesce, ce.H.AccessBatch)
+		}
+		entries[ce.Name] = e
+	}
+	r.snap.Store(&snapshot{db: cat.DB(), entries: entries, gen: cat.Generation()})
+	return r, nil
+}
+
+// SaveSnapshot persists the current generation into dir as
+// gen-<generation>.snap (atomic write), returning the path, the generation
+// saved, and the names of entries skipped because their backend has no
+// snapshot form (dynamic indexes). It serializes with admin writes on the
+// registry mutex: the snapshot on disk is always one the registry actually
+// published, never a torn mid-load state.
+func (r *Registry) SaveSnapshot(dir string) (path string, gen uint64, skipped []string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snap.Load()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, nil, err
+	}
+	var entries []renum.CatalogEntry
+	for _, name := range sortedNames(s.entries) {
+		e := s.entries[name]
+		if !e.H.Has(renum.CapSnapshot) {
+			skipped = append(skipped, name)
+			continue
+		}
+		entries = append(entries, renum.CatalogEntry{Name: name, Q: e.src.Src(), H: e.H})
+	}
+	path = load.SnapshotPath(dir, s.gen)
+	if err := renum.SaveSnapshot(path, s.db, s.gen, entries); err != nil {
+		return "", 0, skipped, err
+	}
+	return path, s.gen, skipped, nil
+}
+
+func sortedNames(m map[string]*Entry) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Snapshot returns the current generation. The result is immutable.

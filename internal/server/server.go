@@ -35,6 +35,9 @@
 //	POST /admin/load     {"name": r, "csv": "a,b\n1,2\n"}  → load/replace a table
 //	POST /admin/register {"program": "...", "dynamic": bool} → compile + publish queries
 //	POST /admin/rebuild                → recompile every entry, swap the snapshot
+//	POST /admin/save                   → persist the current generation to the
+//	                                     snapshot dir (entries without a snapshot
+//	                                     form — dynamic — are reported skipped)
 //
 // # Dispatch
 //
@@ -93,6 +96,9 @@ type Config struct {
 	MaxCursorDraw int64
 	// AdminDisabled turns the /admin endpoints off (serve-only daemon).
 	AdminDisabled bool
+	// SnapshotDir is where /admin/save persists catalog snapshots
+	// (gen-<generation>.snap). Empty disables saving with a descriptive 400.
+	SnapshotDir string
 }
 
 // Server is the HTTP face of a Registry.
@@ -140,6 +146,7 @@ func New(reg *Registry, cfg Config) *Server {
 		s.route("POST /admin/load", "admin_load", s.handleAdminLoad)
 		s.route("POST /admin/register", "admin_register", s.handleAdminRegister)
 		s.route("POST /admin/rebuild", "admin_rebuild", s.handleAdminRebuild)
+		s.route("POST /admin/save", "admin_save", s.handleAdminSave)
 	}
 	return s
 }
@@ -676,6 +683,20 @@ func (s *Server) handleAdminRegister(w http.ResponseWriter, r *http.Request) err
 		return httpErrorf(http.StatusBadRequest, "%v", err)
 	}
 	return writeJSON(w, map[string]any{"registered": names})
+}
+
+func (s *Server) handleAdminSave(w http.ResponseWriter, r *http.Request) error {
+	if s.cfg.SnapshotDir == "" {
+		return httpErrorf(http.StatusBadRequest, "snapshot saving is not configured (start the daemon with -snapshot-dir)")
+	}
+	path, gen, skipped, err := s.reg.SaveSnapshot(s.cfg.SnapshotDir)
+	if err != nil {
+		return err
+	}
+	if skipped == nil {
+		skipped = []string{}
+	}
+	return writeJSON(w, map[string]any{"saved": path, "generation": gen, "skipped": skipped})
 }
 
 func (s *Server) handleAdminRebuild(w http.ResponseWriter, r *http.Request) error {

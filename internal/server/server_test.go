@@ -464,10 +464,10 @@ func TestMetaReportsCapabilities(t *testing.T) {
 		m := do(t, s, "GET", "/v1/"+name, "", 200)
 		return fmt.Sprint(m["capabilities"])
 	}
-	if got := caps("Q"); got != "[enumerate contains invert sample explain]" {
+	if got := caps("Q"); got != "[enumerate contains invert sample explain snapshot]" {
 		t.Fatalf("Q capabilities = %s", got)
 	}
-	if got := caps("U"); got != "[enumerate contains sample]" {
+	if got := caps("U"); got != "[enumerate contains sample snapshot]" {
 		t.Fatalf("U capabilities = %s", got)
 	}
 	if got := caps("D"); got != "[contains invert sample update]" {

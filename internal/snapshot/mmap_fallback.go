@@ -1,0 +1,15 @@
+//go:build !unix
+
+package snapshot
+
+import "os"
+
+// mapFile on platforms without mmap support reads the whole file into an
+// 8-aligned heap buffer: same validation and views, one extra copy.
+func mapFile(path string) (data []byte, closer func() error, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return alignedCopy(b), func() error { return nil }, nil
+}

@@ -1,0 +1,190 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSample writes a two-section snapshot exercising every primitive.
+func buildSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	s := w.Section(1)
+	s.U64(42)
+	s.Str("hello")
+	s.I64s([]int64{-1, 2, 3})
+	s.Close()
+	s = w.Section(2)
+	s.I32s([]int32{7, -8, 9})
+	s.U32s([]uint32{10, 11})
+	s.Str("") // empty string round-trips
+	s.Close()
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := buildSample(t)
+	f, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	secs := f.Sections()
+	if len(secs) != 2 || secs[0].Tag != 1 || secs[1].Tag != 2 {
+		t.Fatalf("sections = %+v", secs)
+	}
+	r := secs[0].Reader()
+	if v := r.U64(); v != 42 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := r.Str(); v != "hello" {
+		t.Fatalf("Str = %q", v)
+	}
+	if got := r.I64s(); len(got) != 3 || got[0] != -1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("I64s = %v", got)
+	}
+	if !r.AtEnd() {
+		t.Fatalf("section 1 not fully consumed: %d left, err %v", r.Remaining(), r.Err())
+	}
+	r = secs[1].Reader()
+	if got := r.I32s(); len(got) != 3 || got[1] != -8 {
+		t.Fatalf("I32s = %v", got)
+	}
+	if got := r.U32s(); len(got) != 2 || got[1] != 11 {
+		t.Fatalf("U32s = %v", got)
+	}
+	if v := r.Str(); v != "" {
+		t.Fatalf("Str = %q", v)
+	}
+	if !r.AtEnd() {
+		t.Fatalf("section 2 not fully consumed: %d left, err %v", r.Remaining(), r.Err())
+	}
+}
+
+func TestOpenFileMmap(t *testing.T) {
+	data := buildSample(t)
+	path := filepath.Join(t.TempDir(), "s.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Sections()) != 2 {
+		t.Fatalf("sections = %d", len(f.Sections()))
+	}
+	r := f.Sections()[0].Reader()
+	if v := r.U64(); v != 42 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	data := buildSample(t)
+
+	check := func(name string, mutate func([]byte) []byte, want error) {
+		t.Run(name, func(t *testing.T) {
+			b := mutate(append([]byte(nil), data...))
+			_, err := OpenBytes(b)
+			if err == nil {
+				t.Fatal("open succeeded on corrupt input")
+			}
+			if !errors.Is(err, want) {
+				t.Fatalf("err = %v, want %v", err, want)
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("err = %v does not wrap ErrInvalid", err)
+			}
+		})
+	}
+
+	check("empty", func(b []byte) []byte { return nil }, ErrTruncated)
+	check("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrBadMagic)
+	check("version bump", func(b []byte) []byte { b[8] ^= 0x40; return b }, ErrVersion)
+	check("endian flip", func(b []byte) []byte { b[12], b[15] = b[15], b[12]; return b }, ErrEndian)
+	check("truncated tail", func(b []byte) []byte { return b[:len(b)-9] }, ErrTruncated)
+	check("truncated mid-section", func(b []byte) []byte { return b[:40] }, ErrTruncated)
+	check("payload bit flip", func(b []byte) []byte { b[headerLen+sectionHeaderLen] ^= 0x01; return b }, ErrChecksum)
+}
+
+func TestReaderOverread(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	s := w.Section(1)
+	s.U64(3)
+	s.Close()
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.Sections()[0].Reader()
+	r.U64()
+	if got := r.I64s(); got != nil {
+		t.Fatalf("overread returned %v", got)
+	}
+	if r.Err() == nil || !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("sticky error = %v, want ErrCorrupt", r.Err())
+	}
+	// A count that claims more elements than the payload holds must fail,
+	// not allocate or slice out of range.
+	var buf2 bytes.Buffer
+	w2 := NewWriter(&buf2)
+	s2 := w2.Section(1)
+	s2.U64(1 << 60) // absurd count with no data behind it
+	s2.Close()
+	if err := w2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := OpenBytes(buf2.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := f2.Sections()[0].Reader()
+	if got := r2.I64s(); got != nil || !errors.Is(r2.Err(), ErrCorrupt) {
+		t.Fatalf("huge count: got %v err %v", got, r2.Err())
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.snap")
+	data := buildSample(t)
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after atomic write")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp file left behind: %v", ents)
+	}
+}

@@ -45,6 +45,16 @@
 // RandomOrderUnion) remain as the underlying machinery and for
 // code written against the pre-Handle API.
 //
+// # Persistent snapshots
+//
+// Static handles persist: SaveSnapshot writes a whole compiled catalog
+// (dictionary, relations, indexes) into a versioned, checksummed binary
+// file, and OpenSnapshot restores it in O(open+validate) — numeric sections
+// are zero-copy views of the file mapping, so a process restart skips
+// preprocessing entirely. The save capability is discovered like every
+// other one (CapSnapshot); dynamic handles stay heap-only and report so.
+// Decode failures are typed (ErrSnapshotInvalid) and never panic.
+//
 // # Concurrency
 //
 // The library is built to serve heavy concurrent read traffic:

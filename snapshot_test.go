@@ -1,0 +1,468 @@
+package renum
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/snapshot"
+)
+
+// snapFixture builds a database with dictionary-interned (string) values —
+// so the dict round-trips too — plus a CQ with a projection and a constant.
+func snapFixture(t testing.TB) (*Database, *CQ, *UCQ) {
+	t.Helper()
+	db := NewDatabase()
+	r := db.MustCreate("R", "a", "b")
+	s := db.MustCreate("S", "b", "c")
+	rng := rand.New(rand.NewSource(11))
+	words := []string{"red", "green", "blue", "teal", "plum", "rust", "jade", "gold"}
+	for i := 0; i < 150; i++ {
+		r.MustInsert(db.Intern(words[rng.Intn(len(words))]), db.Intern(words[rng.Intn(4)]))
+		s.MustInsert(db.Intern(words[rng.Intn(4)]), db.Intern(words[rng.Intn(len(words))]))
+	}
+	// Free-connex projection: c is existential, {a, b} is covered by R.
+	q := MustCQ("q", []string{"a", "b"},
+		NewAtom("R", V("a"), V("b")),
+		NewAtom("S", V("b"), V("c")))
+	u := MustUCQ("U",
+		MustCQ("u1", []string{"x", "y"}, NewAtom("R", V("x"), V("y"))),
+		MustCQ("u2", []string{"x", "y"}, NewAtom("S", V("x"), V("y"))))
+	return db, q, u
+}
+
+// saveToTemp writes a catalog with both entries and returns its path.
+func saveToTemp(t *testing.T, db *Database, gen uint64, entries []CatalogEntry) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cat.snap")
+	if err := SaveSnapshot(path, db, gen, entries); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// assertProbeEqual drives the whole shared probe surface on both handles
+// and fails on the first divergence: Count, Head, every Access position,
+// the full All() enumeration, AccessBatch over random positions, Page, and
+// seeded Shuffled/Sampler draws.
+func assertProbeEqual(t *testing.T, built, restored *Handle) {
+	t.Helper()
+	if built.Count() != restored.Count() {
+		t.Fatalf("Count: built %d, restored %d", built.Count(), restored.Count())
+	}
+	bh, rh := built.Head(), restored.Head()
+	if len(bh) != len(rh) {
+		t.Fatalf("Head: %v vs %v", bh, rh)
+	}
+	for i := range bh {
+		if bh[i] != rh[i] {
+			t.Fatalf("Head[%d]: %q vs %q", i, bh[i], rh[i])
+		}
+	}
+	n := built.Count()
+	for j := int64(0); j < n; j++ {
+		bt, err := built.Access(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := restored.Access(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bt.Equal(rt) {
+			t.Fatalf("Access(%d): built %v, restored %v", j, bt, rt)
+		}
+	}
+	var bAll, rAll []Tuple
+	for tu, err := range built.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		bAll = append(bAll, tu)
+	}
+	for tu, err := range restored.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		rAll = append(rAll, tu)
+	}
+	if len(bAll) != len(rAll) {
+		t.Fatalf("All(): built %d answers, restored %d", len(bAll), len(rAll))
+	}
+	for i := range bAll {
+		if !bAll[i].Equal(rAll[i]) {
+			t.Fatalf("All()[%d]: built %v, restored %v", i, bAll[i], rAll[i])
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	js := make([]int64, 300)
+	for i := range js {
+		js[i] = rng.Int63n(n)
+	}
+	bb, err := built.AccessBatch(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := restored.AccessBatch(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bb {
+		if !bb[i].Equal(rb[i]) {
+			t.Fatalf("AccessBatch[%d]: %v vs %v", i, bb[i], rb[i])
+		}
+	}
+	bp, err := built.Page(n/3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := restored.Page(n/3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bp) != len(rp) {
+		t.Fatalf("Page: %d vs %d rows", len(bp), len(rp))
+	}
+	for i := range bp {
+		if !bp[i].Equal(rp[i]) {
+			t.Fatalf("Page[%d]: %v vs %v", i, bp[i], rp[i])
+		}
+	}
+	bi, ri := 0, 0
+	for tu, err := range built.Shuffled(rand.New(rand.NewSource(9))) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = tu
+		bi++
+	}
+	for tu, err := range restored.Shuffled(rand.New(rand.NewSource(9))) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = tu
+		ri++
+	}
+	if bi != ri {
+		t.Fatalf("Shuffled drained %d vs %d", bi, ri)
+	}
+	bs, err := built.Sampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := restored.Sampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bts, err := bs.SampleN(25, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts, err := rs.SampleN(25, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bts) != len(rts) {
+		t.Fatalf("SampleN: %d vs %d", len(bts), len(rts))
+	}
+	for i := range bts {
+		if !bts[i].Equal(rts[i]) {
+			t.Fatalf("SampleN[%d]: %v vs %v", i, bts[i], rts[i])
+		}
+	}
+}
+
+func TestSnapshotRoundTripCQ(t *testing.T) {
+	db, q, _ := snapFixture(t)
+	built := mustOpen(t, db, q)
+	path := saveToTemp(t, db, 7, []CatalogEntry{{Name: "q", Q: q, H: built}})
+
+	cat, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	if cat.Generation() != 7 {
+		t.Fatalf("Generation = %d, want 7", cat.Generation())
+	}
+	entries := cat.Entries()
+	if len(entries) != 1 || entries[0].Name != "q" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	restored := entries[0].H
+	if restored.Kind() != KindCQ {
+		t.Fatalf("restored kind = %s", restored.Kind())
+	}
+	assertProbeEqual(t, built, restored)
+
+	// Inverted access + membership survive the restore (and exercise the
+	// lazy duplicate-index path of snapshot-backed relations).
+	inv, err := restored.Inverter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := int64(0); j < built.Count(); j += 7 {
+		tu, err := built.Access(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := inv.InvertedAccess(tu)
+		if !ok || got != j {
+			t.Fatalf("InvertedAccess(Access(%d)) = (%d, %v)", j, got, ok)
+		}
+	}
+	c, err := restored.Container()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(mustAccess(t, built, 0)) {
+		t.Fatal("Contains(first answer) = false")
+	}
+
+	// Explain is the one capability a restored CQ honestly drops.
+	if restored.Has(CapExplain) {
+		t.Fatal("restored handle claims CapExplain")
+	}
+	if _, err := restored.Explain(); !IsUnsupported(err) {
+		t.Fatalf("Explain err = %v, want ErrUnsupported", err)
+	}
+	if !restored.Has(CapSnapshot) {
+		t.Fatal("restored handle lost CapSnapshot")
+	}
+
+	// The restored dictionary renders the same strings.
+	bt := mustAccess(t, built, 0)
+	for i, v := range mustAccess(t, cat.Entries()[0].H, 0) {
+		if db.Dict().String(bt[i]) != cat.DB().Dict().String(v) {
+			t.Fatalf("rendering diverged at column %d", i)
+		}
+	}
+	// And supports lookups (lazy reverse-map hydration).
+	if _, ok := cat.DB().Dict().Lookup("red"); !ok {
+		t.Fatal("restored dict cannot look up an interned string")
+	}
+}
+
+func mustAccess(t *testing.T, h *Handle, j int64) Tuple {
+	t.Helper()
+	tu, err := h.Access(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tu
+}
+
+func TestSnapshotRoundTripUCQ(t *testing.T) {
+	db, _, u := snapFixture(t)
+	built := mustOpen(t, db, u, WithVerify())
+	path := saveToTemp(t, db, 1, []CatalogEntry{{Name: "U", Q: u, H: built}})
+
+	cat, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	restored := cat.Entries()[0].H
+	if restored.Kind() != KindUCQ {
+		t.Fatalf("restored kind = %s", restored.Kind())
+	}
+	assertProbeEqual(t, built, restored)
+
+	// Save again FROM the restored handle (snapshot of a snapshot) and
+	// reopen: still byte-identical on the probe surface.
+	again := filepath.Join(t.TempDir(), "again.snap")
+	if err := SaveSnapshot(again, cat.DB(), cat.Generation()+1, cat.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := OpenSnapshot(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat2.Close()
+	assertProbeEqual(t, built, cat2.Entries()[0].H)
+}
+
+func TestSnapshotMultiEntryAndWorkers(t *testing.T) {
+	db, q, u := snapFixture(t)
+	hq := mustOpen(t, db, q)
+	hu := mustOpen(t, db, u)
+	path := saveToTemp(t, db, 0, []CatalogEntry{
+		{Name: "q", Q: q, H: hq},
+		{Name: "U", Q: u, H: hu},
+	})
+	cat, err := OpenSnapshot(path, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	if got := cat.Entries(); len(got) != 2 || got[0].Name != "q" || got[1].Name != "U" {
+		t.Fatalf("entries = %+v", got)
+	}
+	assertProbeEqual(t, hq, cat.Entries()[0].H)
+	assertProbeEqual(t, hu, cat.Entries()[1].H)
+}
+
+func TestSnapshotDynamicUnsupported(t *testing.T) {
+	db, _, _ := snapFixture(t)
+	dq := MustCQ("dq", []string{"a", "b"}, NewAtom("R", V("a"), V("b")))
+	dyn := mustOpen(t, db, dq, WithDynamic())
+	if dyn.Has(CapSnapshot) {
+		t.Fatal("dynamic handle claims CapSnapshot")
+	}
+	var buf bytes.Buffer
+	err := WriteSnapshot(&buf, db, 0, []CatalogEntry{{Name: "dq", Q: dq, H: dyn}})
+	if !IsUnsupported(err) {
+		t.Fatalf("WriteSnapshot(dynamic) err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestOpenSnapshotTypedErrors(t *testing.T) {
+	db, q, _ := snapFixture(t)
+	h := mustOpen(t, db, q)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, db, 0, []CatalogEntry{{Name: "q", Q: q, H: h}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"version", func(b []byte) []byte { b[8] ^= 0x7F; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)*2/3] }},
+		{"bitflip", func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b }},
+		{"tail cut", func(b []byte) []byte { return b[:len(b)-1] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cat, err := OpenSnapshotBytes(tc.mutate(append([]byte(nil), data...)))
+			if err == nil {
+				cat.Close()
+				t.Fatal("open succeeded on corrupt snapshot")
+			}
+			if !IsSnapshotInvalid(err) {
+				t.Fatalf("err = %v, not in the ErrSnapshotInvalid family", err)
+			}
+		})
+	}
+
+	// A valid snapshot written to disk opens via the file path too.
+	path := filepath.Join(t.TempDir(), "ok.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Close()
+
+	// A missing file is an os error, not a decode error.
+	if _, err := OpenSnapshot(filepath.Join(t.TempDir(), "absent.snap")); err == nil || IsSnapshotInvalid(err) {
+		t.Fatalf("missing file err = %v", err)
+	}
+}
+
+// TestSnapshotFrozenRelations pins the mutation guard: inserting into a
+// snapshot-backed relation must fail with an error (not fault on the
+// read-only mapping), while re-preparing a fresh index over the restored
+// database — which only reads the base relations — must work.
+func TestSnapshotFrozenRelations(t *testing.T) {
+	db, q, _ := snapFixture(t)
+	h := mustOpen(t, db, q)
+	path := saveToTemp(t, db, 0, []CatalogEntry{{Name: "q", Q: q, H: h}})
+	cat, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+
+	r, err := cat.DB().Relation("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Insert(Tuple{1, 2}); err == nil {
+		t.Fatal("Insert into snapshot-backed relation succeeded")
+	}
+
+	// Recompiling against the restored database is the daemon's rebuild
+	// path: reduction filters into fresh heap relations, so it must succeed
+	// and agree with the restored index.
+	fresh, err := Open(cat.DB(), cat.Entries()[0].Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertProbeEqual(t, fresh, cat.Entries()[0].H)
+}
+
+func TestSnapshotRejectsErrorFamily(t *testing.T) {
+	if !errors.Is(ErrSnapshotInvalid, ErrSnapshotInvalid) {
+		t.Fatal("sanity")
+	}
+}
+
+// TestOpenSnapshotRejectsCraftedCounts pins two decoder hardening cases a
+// blind bit-flip cannot reach (they need checksum-valid files with hostile
+// counts): meta section counts whose sum wraps to the real section count,
+// and a union entry whose index count is astronomically large. Both must
+// come back as typed errors, not a panic or a huge allocation.
+func TestOpenSnapshotRejectsCraftedCounts(t *testing.T) {
+	forge := func(build func(w *snapshot.Writer)) []byte {
+		var buf bytes.Buffer
+		w := snapshot.NewWriter(&buf)
+		build(w)
+		if err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	writeDict := func(w *snapshot.Writer) {
+		s := w.Section(2) // secDict
+		s.U64(1)
+		s.Str("")
+		s.Close()
+	}
+
+	// Meta counts that wrap: 2^63 + 2^63 ≡ 0 mod 2^64 == len(secs)-2.
+	overflow := forge(func(w *snapshot.Writer) {
+		s := w.Section(1) // secMeta
+		s.U64(0)
+		s.U64(1 << 63)
+		s.U64(1 << 63)
+		s.Close()
+		writeDict(w)
+	})
+	if _, err := OpenSnapshotBytes(overflow); !IsSnapshotInvalid(err) {
+		t.Fatalf("wrapping meta counts: err = %v", err)
+	}
+
+	// A 3-disjunct union entry claiming 2^61 indexes.
+	u := MustUCQ("U",
+		MustCQ("a", []string{"x"}, NewAtom("R", V("x"))),
+		MustCQ("b", []string{"x"}, NewAtom("S", V("x"))),
+		MustCQ("c", []string{"x"}, NewAtom("T", V("x"))))
+	hugeUnion := forge(func(w *snapshot.Writer) {
+		s := w.Section(1)
+		s.U64(0)
+		s.U64(0) // no relations
+		s.U64(1) // one entry
+		s.Close()
+		writeDict(w)
+		s = w.Section(4) // secEntry
+		s.Str("U")
+		query.MarshalQuery(s, u)
+		s.U64(2) // entryKindUCQ
+		s.U64(1 << 61)
+		s.Close()
+	})
+	if _, err := OpenSnapshotBytes(hugeUnion); !IsSnapshotInvalid(err) {
+		t.Fatalf("huge union index count: err = %v", err)
+	}
+}
