@@ -33,8 +33,26 @@
 // POST /admin/save persists the current generation into the directory, and
 // -persist-on-exit saves automatically after the graceful drain, so
 // SIGTERM → restart round-trips the served state. Dynamic (updatable)
-// entries have no snapshot form: saves report them skipped, and a restart
-// recreates them from -query/-dynamic flags or /admin/register.
+// entries persist their base contents like everything else and come back
+// updatable.
+//
+// # Durability (write-ahead log)
+//
+// With -wal-dir, every acknowledged POST /v1/{query}/update is appended to
+// wal-<generation>.log — fsynced under -wal-fsync=always, the default —
+// strictly before it is applied, so even a SIGKILL loses no acked update:
+// the next boot replays the segment paired with the generation it restores.
+// -compact-every folds the segment into a fresh snapshot generation on a
+// timer (POST /admin/compact does it on demand): updatable entries are
+// rebuilt aside, gen+1 is saved, the WAL rotates empty, and the new
+// generation is published without blocking probes.
+//
+// Crash recovery pairs the newest snapshot with its segment, so reboot a
+// WAL-enabled daemon from its -snapshot-dir (no -table/-query flags):
+// re-registering on top would rebuild entries from base CSVs and bump the
+// generation away from the segment that holds the acked updates. Admin
+// mutations (load/register/rebuild) are not logged; they become durable at
+// the next save or compaction.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get -drain-timeout to finish, then the process exits 0.
@@ -51,12 +69,14 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/load"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 type stringList []string
@@ -86,12 +106,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noAdmin      = fs.Bool("no-admin", false, "disable the /admin endpoints")
 		snapshotDir  = fs.String("snapshot-dir", "", "boot from the newest catalog snapshot here; /admin/save writes new ones")
 		persistExit  = fs.Bool("persist-on-exit", false, "save the current generation to -snapshot-dir after the graceful drain")
+		walDir       = fs.String("wal-dir", "", "write-ahead log directory: replay on boot, append every acked update")
+		walFsync     = fs.String("wal-fsync", "always", "WAL durability policy: always (fsync per record) or none")
+		compactEvery = fs.Duration("compact-every", 0, "fold the WAL into a new snapshot generation on this period (0 disables; requires -wal-dir and -snapshot-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *persistExit && *snapshotDir == "" {
 		fmt.Fprintln(stderr, "renumd: -persist-on-exit requires -snapshot-dir")
+		return 2
+	}
+	walPolicy, err := wal.ParseSyncPolicy(*walFsync)
+	if err != nil {
+		fmt.Fprintf(stderr, "renumd: %v\n", err)
+		return 2
+	}
+	if *compactEvery > 0 && (*walDir == "" || *snapshotDir == "") {
+		fmt.Fprintln(stderr, "renumd: -compact-every requires -wal-dir and -snapshot-dir")
 		return 2
 	}
 
@@ -165,6 +197,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "renumd: serving %s (%s, %d answers)\n", name, e.Kind(), e.Count())
 	}
 
+	// The WAL attaches after every entry is registered: replay needs the
+	// entries it targets, and the segment pairs with the generation the
+	// boot sequence lands on (deterministic for a fixed flag set).
+	if *walDir != "" {
+		replayed, skipped, err := reg.AttachWAL(*walDir, walPolicy)
+		if err != nil {
+			fmt.Fprintf(stderr, "renumd: attach WAL: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "renumd: WAL attached (%d records replayed, %d skipped)\n", replayed, skipped)
+		defer reg.CloseWAL()
+	}
+
 	srv := server.New(reg, server.Config{
 		CursorTTL:     *cursorTTL,
 		AdminDisabled: *noAdmin,
@@ -181,20 +226,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// Online compactor: fold the WAL into a fresh snapshot generation on a
+	// timer. Probes never block on it; an empty segment is a no-op.
+	var compactWG sync.WaitGroup
+	if *compactEvery > 0 {
+		compactWG.Add(1)
+		go func() {
+			defer compactWG.Done()
+			tick := time.NewTicker(*compactEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					gen, folded, err := reg.Compact(*snapshotDir)
+					if err != nil {
+						fmt.Fprintf(stderr, "renumd: compact: %v\n", err)
+						continue
+					}
+					if folded > 0 {
+						fmt.Fprintf(stdout, "renumd: compacted %d records into generation %d\n", folded, gen)
+					}
+				}
+			}
+		}()
+	}
+
+	fmt.Fprintf(stdout, "renumd: listening on %s\n", *addr)
 	errCh := make(chan error, 1)
-	go func() {
-		fmt.Fprintf(stdout, "renumd: listening on %s\n", *addr)
-		errCh <- httpSrv.ListenAndServe()
-	}()
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 
 	select {
 	case err := <-errCh:
-		// Listen failure (port in use, bad addr): nothing to drain.
+		// Listen failure (port in use, bad addr): nothing to drain. Stop
+		// the compactor before touching stderr from this goroutine.
+		stop()
+		compactWG.Wait()
 		fmt.Fprintf(stderr, "renumd: %v\n", err)
 		return 1
 	case <-ctx.Done():
 	}
 
+	// The compactor stops (and stops printing) before the main goroutine
+	// resumes writing to stdout.
+	compactWG.Wait()
 	fmt.Fprintln(stdout, "renumd: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

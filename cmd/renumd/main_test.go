@@ -150,3 +150,19 @@ func TestPersistOnExitRequiresDir(t *testing.T) {
 		t.Fatalf("exit %d: %s", code, out.String())
 	}
 }
+
+// TestWALFlagValidation pins the WAL flag usage errors: a bad fsync policy
+// and a compactor without the directories it folds between.
+func TestWALFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-wal-fsync", "sometimes"},
+		{"-compact-every", "1s"},
+		{"-compact-every", "1s", "-wal-dir", "w"},
+		{"-compact-every", "1s", "-snapshot-dir", "s"},
+	} {
+		var out bytes.Buffer
+		if code := run(args, &out, &out); code != 2 {
+			t.Fatalf("run(%v) = %d, want usage error 2: %s", args, code, out.String())
+		}
+	}
+}

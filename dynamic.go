@@ -53,6 +53,28 @@ func (d *DynamicAccess) Delete(baseRelation string, t Tuple) (bool, error) {
 	return d.idx.Delete(baseRelation, t)
 }
 
+// ValidateUpdate checks that an update targeting baseRelation with the
+// given tuple arity would be accepted — the relation is referenced by the
+// query and the arity matches — without touching any state. Callers that
+// stage side effects around an update (dictionary interning, WAL appends)
+// use this to reject garbage before paying them.
+func (d *DynamicAccess) ValidateUpdate(baseRelation string, arity int) error {
+	return d.idx.ValidateUpdate(baseRelation, arity)
+}
+
+// Rebuild constructs a fresh DynamicAccess over the same logical contents
+// — the compactor's rebuild-aside seam. The copy is assembled under the
+// source's shared read lock only, so probes continue while it builds, and
+// it enumerates byte-identically to the source (tombstone positions are
+// preserved, so even future re-inserts revive in the same places).
+func (d *DynamicAccess) Rebuild() (*DynamicAccess, error) {
+	idx, err := d.idx.Rebuild()
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicAccess{idx: idx}, nil
+}
+
 // Count returns the current |Q(D)| in constant time.
 func (d *DynamicAccess) Count() int64 { return d.idx.Count() }
 

@@ -87,6 +87,16 @@ type Updater interface {
 	Delete(baseRelation string, t Tuple) (changed bool, err error)
 }
 
+// UpdateValidator is an optional refinement of Updater: it checks that an
+// update's target (relation name and tuple arity) would be accepted
+// without applying anything. Callers that stage irreversible side effects
+// around an update — interning values into the append-only dictionary,
+// appending to a write-ahead log — probe for it to reject garbage before
+// paying those costs. DynamicAccess implements it.
+type UpdateValidator interface {
+	ValidateUpdate(baseRelation string, arity int) error
+}
+
 // Sampler is the uniform-sampling capability. All backends share one error
 // shape: k < 0 is ErrOutOfBounds, and an empty answer set yields an empty
 // sample with a nil error — emptiness is a result, not a failure.
@@ -369,6 +379,32 @@ func (h *Handle) Updater() (Updater, error) {
 	return nil, fmt.Errorf("update: %w (kind %s is a static index; open with WithDynamic)", ErrUnsupported, h.Kind())
 }
 
+// compactor is the internal rebuild-aside seam: backends that accumulate
+// garbage under updates (tombstones in the dynamic index) can produce a
+// fresh, equivalent backend for publication as a new generation.
+type compactor interface {
+	compactAside() (backend, error)
+}
+
+// CompactAside returns a freshly rebuilt handle over the same logical
+// contents, or ErrUnsupported for backends with nothing to compact (static
+// indexes never accumulate garbage). The rebuild happens aside — the
+// source handle keeps serving probes and updates while the copy is
+// assembled — and the result enumerates byte-identically to the source,
+// including the positions future re-inserts revive at. The registry's
+// compactor publishes the result with its usual atomic swap.
+func (h *Handle) CompactAside() (*Handle, error) {
+	c, ok := h.b.(compactor)
+	if !ok {
+		return nil, fmt.Errorf("compact: %w (kind %s)", ErrUnsupported, h.Kind())
+	}
+	b, err := c.compactAside()
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{b: b, workers: h.workers}, nil
+}
+
 // Sampler returns the uniform-sampling capability bound to the handle's
 // worker budget (WithWorkers), or ErrUnsupported.
 func (h *Handle) Sampler() (Sampler, error) {
@@ -626,4 +662,14 @@ func (daBackend) Distinct() bool { return false }
 // index's shared read lock.
 func (b daBackend) sampleN(k int64, rng *rand.Rand, _ int) ([]Tuple, error) {
 	return b.DynamicAccess.SampleN(k, rng)
+}
+
+// compactAside rebuilds the dynamic index from its base contents — the
+// registry compactor's seam for folding the WAL into a fresh generation.
+func (b daBackend) compactAside() (backend, error) {
+	da, err := b.DynamicAccess.Rebuild()
+	if err != nil {
+		return nil, err
+	}
+	return daBackend{da}, nil
 }

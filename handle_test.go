@@ -70,7 +70,7 @@ func TestOpenKindsAndCapabilities(t *testing.T) {
 	if dyn.Kind() != KindDynamic {
 		t.Fatalf("dynamic kind = %s", dyn.Kind())
 	}
-	if dyn.Has(CapEnumerate) || !dyn.Has(CapUpdate) || !dyn.Has(CapInvert) || dyn.Has(CapSnapshot) {
+	if dyn.Has(CapEnumerate) || !dyn.Has(CapUpdate) || !dyn.Has(CapInvert) || !dyn.Has(CapSnapshot) {
 		t.Fatalf("dynamic capabilities = %v", dyn.Capabilities())
 	}
 

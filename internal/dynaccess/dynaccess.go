@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"repro/internal/access"
@@ -61,10 +62,54 @@ var ErrCyclic = errors.New("dynaccess: query is cyclic")
 // atomic snapshot of the index (no torn reads mid-cascade).
 type Index struct {
 	mu     sync.RWMutex
+	q      *query.CQ
 	head   []string
 	nodes  []*node
 	root   *node
-	byBase map[string][]*node // base relation name → nodes fed by it
+	byBase map[string][]*node  // base relation name → nodes fed by it
+	bases  map[string]*baseSet // base relation name → its logical contents
+}
+
+// baseSet mirrors the logical contents of one base relation feeding the
+// index: raw tuples in arrival order, with tombstones that revive in place
+// exactly like node buckets do. Tombstones are kept (and persisted — see
+// Tables) deliberately: a restored or rebuilt index must reproduce the
+// live one's bucket layouts so that a later re-insert revives in the same
+// position and enumeration order stays byte-identical to a process that
+// never restarted.
+type baseSet struct {
+	arity  int
+	tuples []relation.Tuple
+	alive  []bool
+	byKey  map[string]int
+}
+
+func (b *baseSet) insert(raw relation.Tuple) {
+	key := raw.Key()
+	if pos, ok := b.byKey[key]; ok {
+		b.alive[pos] = true
+		return
+	}
+	b.byKey[key] = len(b.tuples)
+	b.tuples = append(b.tuples, raw.Clone()) // raw may be a caller-owned buffer
+	b.alive = append(b.alive, true)
+}
+
+func (b *baseSet) delete(raw relation.Tuple) {
+	if pos, ok := b.byKey[raw.Key()]; ok {
+		b.alive[pos] = false
+	}
+}
+
+// BaseTable is the exported logical contents of one base relation: every
+// tuple ever inserted in arrival order, with Dead listing the positions
+// currently tombstoned. This is the index's persistable form — see
+// NewFromTables for the round trip.
+type BaseTable struct {
+	Name   string
+	Arity  int
+	Tuples []relation.Tuple
+	Dead   []int64 // sorted, strictly increasing tombstone positions
 }
 
 // constCheck is a precompiled constant-selection condition of an atom.
@@ -122,9 +167,12 @@ type bucket struct {
 	w      fenwick.Tree
 }
 
-// New builds the dynamic index for a full acyclic CQ over the current
-// contents of db, in linear time.
-func New(db *relation.Database, q *query.CQ) (*Index, error) {
+// build assembles the index's static structure — nodes, join tree wiring,
+// output assignment, empty base sets — without loading any data. arityOf
+// reports the arity of each referenced base relation (from the database on
+// a fresh build, from exported tables on a rebuild) and errors on unknown
+// names.
+func build(q *query.CQ, arityOf func(name string) (int, error)) (*Index, error) {
 	if !q.IsFull() {
 		return nil, fmt.Errorf("%w: %s", ErrNotFull, q.Name)
 	}
@@ -133,7 +181,12 @@ func New(db *relation.Database, q *query.CQ) (*Index, error) {
 		return nil, fmt.Errorf("%w: %s", ErrCyclic, q.Name)
 	}
 
-	idx := &Index{head: append([]string(nil), q.Head...), byBase: make(map[string][]*node)}
+	idx := &Index{
+		q:      q,
+		head:   append([]string(nil), q.Head...),
+		byBase: make(map[string][]*node),
+		bases:  make(map[string]*baseSet),
+	}
 	headPos := make(map[string]int, len(q.Head))
 	for i, h := range q.Head {
 		headPos[h] = i
@@ -141,13 +194,16 @@ func New(db *relation.Database, q *query.CQ) (*Index, error) {
 
 	nodes := make([]*node, len(q.Body))
 	for i, a := range q.Body {
-		base, err := db.Relation(a.Relation)
+		arity, err := arityOf(a.Relation)
 		if err != nil {
 			return nil, err
 		}
-		if base.Arity() != len(a.Terms) {
+		if arity != len(a.Terms) {
 			return nil, fmt.Errorf("dynaccess: atom %s arity mismatch with relation (%d vs %d)",
-				a, len(a.Terms), base.Arity())
+				a, len(a.Terms), arity)
+		}
+		if idx.bases[a.Relation] == nil {
+			idx.bases[a.Relation] = &baseSet{arity: arity, byKey: make(map[string]int)}
 		}
 		vars := a.Vars()
 		schema, err := relation.NewSchema(vars...)
@@ -224,6 +280,22 @@ func New(db *relation.Database, q *query.CQ) (*Index, error) {
 			return nil, fmt.Errorf("dynaccess: head variable %q not covered", q.Head[i])
 		}
 	}
+	return idx, nil
+}
+
+// New builds the dynamic index for a full acyclic CQ over the current
+// contents of db, in linear time.
+func New(db *relation.Database, q *query.CQ) (*Index, error) {
+	idx, err := build(q, func(name string) (int, error) {
+		base, err := db.Relation(name)
+		if err != nil {
+			return 0, err
+		}
+		return base.Arity(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Bulk load leaf-to-root so weights are available bottom-up. The base
 	// relations are read column-wise through a reused scratch row — no
@@ -251,7 +323,130 @@ func New(db *relation.Database, q *query.CQ) (*Index, error) {
 	if err := load(idx.root); err != nil {
 		return nil, err
 	}
+	// Record the base contents (same scan order as the bulk load, so a
+	// rebuild from these tables replays tuples into nodes in the same
+	// per-node order and reproduces identical bucket layouts).
+	for name, bs := range idx.bases {
+		base, err := db.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		scratch := make(relation.Tuple, base.Arity())
+		for i := 0; i < base.Len(); i++ {
+			base.ReadTuple(i, scratch)
+			bs.insert(scratch)
+		}
+	}
 	return idx, nil
+}
+
+// NewFromTables rebuilds the index for q from previously exported base
+// contents (Tables, or a snapshot's dynamic base section): each table's
+// tuples are replayed in their original arrival order and the tombstones
+// re-applied. The result is structurally identical to the index that
+// exported the tables — same bucket layouts, same enumeration order, and
+// the same revive positions for future re-inserts — because per-node
+// layout depends only on its own relation's arrival order, which the
+// tables preserve, and instantiate is injective on matching raw tuples.
+func NewFromTables(q *query.CQ, tables []BaseTable) (*Index, error) {
+	arities := make(map[string]int, len(tables))
+	for _, tb := range tables {
+		arities[tb.Name] = tb.Arity
+	}
+	idx, err := build(q, func(name string) (int, error) {
+		ar, ok := arities[name]
+		if !ok {
+			return 0, fmt.Errorf("dynaccess: no table for relation %q", name)
+		}
+		return ar, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, tb := range tables {
+		if _, ok := idx.byBase[tb.Name]; !ok {
+			return nil, fmt.Errorf("dynaccess: table %q is not referenced by query %s", tb.Name, q.Name)
+		}
+		for _, t := range tb.Tuples {
+			if len(t) != tb.Arity {
+				return nil, fmt.Errorf("dynaccess: table %q tuple arity %d, want %d", tb.Name, len(t), tb.Arity)
+			}
+			if _, err := idx.insertLocked(tb.Name, t); err != nil {
+				return nil, err
+			}
+		}
+		for _, d := range tb.Dead {
+			if d < 0 || d >= int64(len(tb.Tuples)) {
+				return nil, fmt.Errorf("dynaccess: table %q dead position %d of %d", tb.Name, d, len(tb.Tuples))
+			}
+			if _, err := idx.deleteLocked(tb.Name, tb.Tuples[d]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return idx, nil
+}
+
+// Tables exports the index's base contents, sorted by relation name, for
+// persistence or rebuild. Tuples are shared with the index, not copied —
+// they are never mutated in place, so the export stays valid, but treat it
+// as read-only.
+func (idx *Index) Tables() []BaseTable {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.tablesLocked()
+}
+
+func (idx *Index) tablesLocked() []BaseTable {
+	names := make([]string, 0, len(idx.bases))
+	for name := range idx.bases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]BaseTable, 0, len(names))
+	for _, name := range names {
+		bs := idx.bases[name]
+		tb := BaseTable{
+			Name:   name,
+			Arity:  bs.arity,
+			Tuples: append([]relation.Tuple(nil), bs.tuples...),
+		}
+		for pos, ok := range bs.alive {
+			if !ok {
+				tb.Dead = append(tb.Dead, int64(pos))
+			}
+		}
+		out = append(out, tb)
+	}
+	return out
+}
+
+// Rebuild constructs a fresh index over the same logical contents — the
+// compactor's rebuild-aside seam. Only a read lock is taken (to export the
+// tables), so probes on the source continue while the copy is assembled.
+func (idx *Index) Rebuild() (*Index, error) {
+	return NewFromTables(idx.q, idx.Tables())
+}
+
+// ValidateUpdate checks that an update targeting the named base relation
+// with the given tuple arity would be accepted, without touching any
+// state. Callers that stage side effects around an update (dictionary
+// interning, WAL appends) use this to reject garbage before paying them.
+func (idx *Index) ValidateUpdate(baseRelation string, arity int) error {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.validateLocked(baseRelation, arity)
+}
+
+func (idx *Index) validateLocked(baseRelation string, arity int) error {
+	bs, ok := idx.bases[baseRelation]
+	if !ok {
+		return fmt.Errorf("dynaccess: no atom over relation %q", baseRelation)
+	}
+	if arity != bs.arity {
+		return fmt.Errorf("dynaccess: tuple arity %d, relation %q needs %d", arity, baseRelation, bs.arity)
+	}
+	return nil
 }
 
 // instantiate maps a base tuple through the atom's precompiled conditions
@@ -364,16 +559,19 @@ func (idx *Index) cascade(n *node, changed map[*bucket]bool) {
 func (idx *Index) Insert(baseRelation string, raw relation.Tuple) (bool, error) {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	nodes, ok := idx.byBase[baseRelation]
-	if !ok {
-		return false, fmt.Errorf("dynaccess: no atom over relation %q", baseRelation)
+	return idx.insertLocked(baseRelation, raw)
+}
+
+func (idx *Index) insertLocked(baseRelation string, raw relation.Tuple) (bool, error) {
+	if err := idx.validateLocked(baseRelation, len(raw)); err != nil {
+		return false, err
 	}
+	// The base set records the tuple even when no atom's conditions match
+	// it: logically it is in the relation, and a rebuild must replay it
+	// through the same filters.
+	idx.bases[baseRelation].insert(raw)
 	any := false
-	for _, n := range nodes {
-		if len(raw) != len(n.atom.Terms) {
-			return false, fmt.Errorf("dynaccess: tuple arity %d, relation %q needs %d",
-				len(raw), baseRelation, len(n.atom.Terms))
-		}
+	for _, n := range idx.byBase[baseRelation] {
 		t, match := n.instantiate(raw)
 		if !match {
 			continue
@@ -391,16 +589,16 @@ func (idx *Index) Insert(baseRelation string, raw relation.Tuple) (bool, error) 
 func (idx *Index) Delete(baseRelation string, raw relation.Tuple) (bool, error) {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	nodes, ok := idx.byBase[baseRelation]
-	if !ok {
-		return false, fmt.Errorf("dynaccess: no atom over relation %q", baseRelation)
+	return idx.deleteLocked(baseRelation, raw)
+}
+
+func (idx *Index) deleteLocked(baseRelation string, raw relation.Tuple) (bool, error) {
+	if err := idx.validateLocked(baseRelation, len(raw)); err != nil {
+		return false, err
 	}
+	idx.bases[baseRelation].delete(raw)
 	any := false
-	for _, n := range nodes {
-		if len(raw) != len(n.atom.Terms) {
-			return false, fmt.Errorf("dynaccess: tuple arity %d, relation %q needs %d",
-				len(raw), baseRelation, len(n.atom.Terms))
-		}
+	for _, n := range idx.byBase[baseRelation] {
 		t, match := n.instantiate(raw)
 		if !match {
 			continue

@@ -1,0 +1,96 @@
+// Snapshot encoding of a dynamic index's persistable form: its base
+// tables. Unlike the static index — whose prefix sums and groupings are
+// themselves serialized — the dynamic structure is *rebuilt* from the base
+// contents on restore (NewFromTables): Fenwick trees and bucket caches are
+// cheap relative to I/O, and replaying the original arrival order (with
+// tombstones) reproduces the live index's layouts exactly, so enumeration
+// order survives the round trip byte-for-byte.
+package dynaccess
+
+import (
+	"unsafe"
+
+	"repro/internal/relation"
+	"repro/internal/snapshot"
+)
+
+// MarshalBase appends the index's base tables to a snapshot section.
+// Layout, per table (sorted by name):
+//
+//	str name | u64 arity | u64 numTuples | i64s flat values | i64s dead positions
+func MarshalBase(s *snapshot.SectionWriter, idx *Index) {
+	tables := idx.Tables()
+	s.U64(uint64(len(tables)))
+	for _, tb := range tables {
+		s.Str(tb.Name)
+		s.U64(uint64(tb.Arity))
+		s.U64(uint64(len(tb.Tuples)))
+		flat := make([]int64, 0, len(tb.Tuples)*tb.Arity)
+		for _, t := range tb.Tuples {
+			for _, v := range t {
+				flat = append(flat, int64(v))
+			}
+		}
+		s.I64s(flat)
+		s.I64s(tb.Dead)
+	}
+}
+
+// UnmarshalBase reads base tables written by MarshalBase. Tuples view the
+// snapshot payload in place (no copy); NewFromTables clones what it keeps,
+// but the returned tables themselves stay valid only while the snapshot
+// mapping does.
+func UnmarshalBase(r *snapshot.Reader) ([]BaseTable, error) {
+	n := r.U64()
+	if n > uint64(r.Remaining()/8) {
+		return nil, snapshot.Corruptf("dynamic base: table count %d exceeds payload", n)
+	}
+	tables := make([]BaseTable, 0, n)
+	for i := uint64(0); i < n; i++ {
+		tb := BaseTable{Name: r.Str()}
+		arity := r.U64()
+		numTuples := r.U64()
+		flat := r.I64s()
+		dead := r.I64s()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if arity > uint64(len(flat)) && numTuples > 0 {
+			return nil, snapshot.Corruptf("dynamic base %q: arity %d exceeds payload", tb.Name, arity)
+		}
+		if arity == 0 {
+			if numTuples != 0 || len(flat) != 0 {
+				return nil, snapshot.Corruptf("dynamic base %q: %d tuples of arity 0", tb.Name, numTuples)
+			}
+		} else if numTuples != uint64(len(flat))/arity || uint64(len(flat))%arity != 0 {
+			return nil, snapshot.Corruptf("dynamic base %q: %d values for %d tuples of arity %d",
+				tb.Name, len(flat), numTuples, arity)
+		}
+		tb.Arity = int(arity)
+		vals := int64sAsValues(flat)
+		tb.Tuples = make([]relation.Tuple, numTuples)
+		for j := range tb.Tuples {
+			tb.Tuples[j] = vals[uint64(j)*arity : uint64(j+1)*arity]
+		}
+		prev := int64(-1)
+		for _, d := range dead {
+			if d <= prev || d >= int64(numTuples) {
+				return nil, snapshot.Corruptf("dynamic base %q: dead position %d (prev %d, %d tuples)",
+					tb.Name, d, prev, numTuples)
+			}
+			prev = d
+		}
+		tb.Dead = dead
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// int64sAsValues reinterprets a restored column (Value is a defined int64,
+// so the layouts are identical) — the same view relation's decoder uses.
+func int64sAsValues(v []int64) []relation.Value {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*relation.Value)(unsafe.Pointer(&v[0])), len(v))
+}

@@ -34,7 +34,9 @@ func QueryFromSrc(name string, q query.Query) Query {
 // rules of this package) and opens one static handle per query: the
 // build-once half of a build/serve split. The returned entries are ready
 // for renum.SaveSnapshot. Dynamic indexes are deliberately not compiled
-// here — they have no snapshot form (CapSnapshot is absent on them).
+// here — build mode produces static artifacts; updatable entries belong to
+// the serving daemon, which snapshots them through its own save/compact
+// paths.
 func Compile(db *renum.Database, programs []string, workers int, canonical bool) ([]renum.CatalogEntry, error) {
 	var entries []renum.CatalogEntry
 	seen := make(map[string]bool)
@@ -73,6 +75,13 @@ const (
 // SnapshotPath returns the catalog filename for a generation inside dir.
 func SnapshotPath(dir string, gen uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", snapshotPrefix, gen, snapshotExt))
+}
+
+// WALPath returns the write-ahead-log segment filename paired with a
+// snapshot generation: wal-<generation>.log extends gen-<generation>.snap.
+// Same zero-padding as SnapshotPath so lexical and numeric order agree.
+func WALPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016d.log", gen))
 }
 
 // LatestSnapshot scans dir for catalog files and returns the one with the

@@ -99,6 +99,11 @@ func (s *cursorStore) Start(query string, nextN func(context.Context, int64) ([]
 // error — so a later request can keep draining without losing answers.
 // done reports that the enumeration is exhausted (the session is then
 // removed); a probe error leaves the cursor alive so the client can retry.
+//
+// The TTL is refreshed twice: once when the draw is admitted and again
+// when it completes. The second refresh is the one that matters for slow
+// draws — a draw that itself outlives the TTL must not leave the cursor
+// already expired (or evicted mid-draw) the moment it returns.
 func (s *cursorStore) Next(ctx context.Context, id, query string, n int64) (ts []renum.Tuple, done bool, err error) {
 	now := time.Now()
 	s.mu.Lock()
@@ -114,6 +119,16 @@ func (s *cursorStore) Next(ctx context.Context, id, query string, n int64) (ts [
 		return nil, false, ErrCursorBusy
 	}
 	defer c.busy.Unlock()
+	// Refresh on completion, before releasing busy. The existence check
+	// matters: the exhausted path below removes the session, and a revived
+	// map entry would leak.
+	defer func() {
+		s.mu.Lock()
+		if _, ok := s.m[id]; ok {
+			c.expires = time.Now().Add(s.ttl)
+		}
+		s.mu.Unlock()
+	}()
 	ts, err = c.nextN(ctx, n)
 	if err != nil {
 		return nil, false, err
@@ -151,9 +166,20 @@ func (s *cursorStore) evict(now time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for id, c := range s.m {
-		if now.After(c.expires) {
-			delete(s.m, id)
+		if !now.After(c.expires) {
+			continue
 		}
+		// Never evict a cursor mid-draw: a draw consumes answers (a
+		// random-order permutation's positions are gone once drawn), so
+		// deleting the session under the consumer would silently lose them.
+		// TryLock is non-blocking, so holding store.mu here cannot deadlock
+		// against Next (which never takes busy while holding store.mu). A
+		// busy cursor is skipped; its completion refresh re-arms the TTL.
+		if !c.busy.TryLock() {
+			continue
+		}
+		delete(s.m, id)
+		c.busy.Unlock()
 	}
 }
 

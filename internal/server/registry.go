@@ -80,6 +80,10 @@ type Registry struct {
 	// built entries; the zero config disables coalescing.
 	coalesce CoalesceConfig
 	workers  int
+
+	// wal is the registry's write-ahead log state (see wal.go). Its zero
+	// value means no WAL is attached and updates are applied unlogged.
+	wal walState
 }
 
 // CoalesceConfig tunes the per-entry access coalescer. The zero value
@@ -129,12 +133,19 @@ func NewRegistryFromCatalog(cat *renum.Catalog, coalesce CoalesceConfig, workers
 // SaveSnapshot persists the current generation into dir as
 // gen-<generation>.snap (atomic write), returning the path, the generation
 // saved, and the names of entries skipped because their backend has no
-// snapshot form (dynamic indexes). It serializes with admin writes on the
-// registry mutex: the snapshot on disk is always one the registry actually
-// published, never a torn mid-load state.
+// snapshot form. It serializes with admin writes on the registry mutex:
+// the snapshot on disk is always one the registry actually published,
+// never a torn mid-load state.
+//
+// When a WAL is attached, the save also holds the update mutex — the saved
+// state then includes every acknowledged update, so the segment's records
+// are all folded in and the WAL rotates to an empty segment paired with
+// the saved generation.
 func (r *Registry) SaveSnapshot(dir string) (path string, gen uint64, skipped []string, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.wal.mu.Lock()
+	defer r.wal.mu.Unlock()
 	s := r.snap.Load()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", 0, nil, err
@@ -151,6 +162,11 @@ func (r *Registry) SaveSnapshot(dir string) (path string, gen uint64, skipped []
 	path = load.SnapshotPath(dir, s.gen)
 	if err := renum.SaveSnapshot(path, s.db, s.gen, entries); err != nil {
 		return "", 0, skipped, err
+	}
+	if r.wal.log != nil {
+		if err := r.rotateLocked(s.gen); err != nil {
+			return "", 0, skipped, err
+		}
 	}
 	return path, s.gen, skipped, nil
 }
@@ -174,6 +190,17 @@ func (r *Registry) Snapshot() (db *renum.Database, gen uint64) {
 func (r *Registry) Lookup(name string) (*Entry, bool) {
 	e, ok := r.snap.Load().entries[name]
 	return e, ok
+}
+
+// LookupView resolves an entry together with the database and generation
+// of the SAME snapshot, from one atomic load. Handlers that need both must
+// use this rather than separate Lookup/Snapshot calls — two loads can
+// straddle a concurrent rebuild and pair an old entry with a new
+// generation's dictionary.
+func (r *Registry) LookupView(name string) (e *Entry, db *renum.Database, gen uint64, ok bool) {
+	s := r.snap.Load()
+	e, ok = s.entries[name]
+	return e, s.db, s.gen, ok
 }
 
 // Names returns the served query names, sorted.

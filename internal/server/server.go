@@ -36,8 +36,22 @@
 //	POST /admin/register {"program": "...", "dynamic": bool} → compile + publish queries
 //	POST /admin/rebuild                → recompile every entry, swap the snapshot
 //	POST /admin/save                   → persist the current generation to the
-//	                                     snapshot dir (entries without a snapshot
-//	                                     form — dynamic — are reported skipped)
+//	                                     snapshot dir (dynamic entries included;
+//	                                     with a WAL attached, the segment rotates
+//	                                     empty — its records are now folded in)
+//	POST /admin/compact                → rebuild updatable entries aside, save
+//	                                     generation+1, rotate the WAL, publish
+//
+// # Durability
+//
+// With a WAL attached (renumd -wal-dir), every acknowledged /update is
+// appended — fsynced under the default policy — before it is applied, so a
+// SIGKILL loses no acked update: boot replays the newest snapshot
+// generation's segment on top of that snapshot. Compaction (periodic via
+// -compact-every, or on demand via /admin/compact) folds the segment into
+// a new snapshot generation without blocking probes. Admin mutations
+// (load/register/rebuild) are NOT logged; they are durable only through an
+// explicit /admin/save or /admin/compact.
 //
 // # Dispatch
 //
@@ -80,6 +94,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/wal"
 )
 
 // Config tunes a Server. The access coalescer and the probe fan-out are
@@ -147,6 +162,7 @@ func New(reg *Registry, cfg Config) *Server {
 		s.route("POST /admin/register", "admin_register", s.handleAdminRegister)
 		s.route("POST /admin/rebuild", "admin_rebuild", s.handleAdminRebuild)
 		s.route("POST /admin/save", "admin_save", s.handleAdminSave)
+		s.route("POST /admin/compact", "admin_compact", s.handleAdminCompact)
 	}
 	return s
 }
@@ -212,15 +228,28 @@ func (s *Server) route(pattern, name string, h func(w http.ResponseWriter, r *ht
 	})
 }
 
+// view is everything a handler needs from ONE atomic snapshot load: the
+// entry's generation-mates. Resolving the entry and the dictionary with
+// separate loads is a race — a concurrent /admin rebuild can publish a new
+// generation between them, pairing an old entry with a new database —
+// so the entry middleware builds the view once and handlers never go back
+// to the registry.
+type view struct {
+	e   *Entry
+	db  *renum.Database
+	gen uint64
+}
+
 // entry resolves {query} against the current snapshot before the handler.
-func (s *Server) entry(h func(w http.ResponseWriter, r *http.Request, e *Entry) error) func(http.ResponseWriter, *http.Request) error {
+// The handler receives the entry and its same-snapshot view.
+func (s *Server) entry(h func(w http.ResponseWriter, r *http.Request, e *Entry, v view) error) func(http.ResponseWriter, *http.Request) error {
 	return func(w http.ResponseWriter, r *http.Request) error {
 		name := r.PathValue("query")
-		e, ok := s.reg.Lookup(name)
+		e, db, gen, ok := s.reg.LookupView(name)
 		if !ok {
 			return httpErrorf(http.StatusNotFound, "no query %q (serving: %s)", name, strings.Join(s.reg.Names(), ", "))
 		}
-		return h(w, r, e)
+		return h(w, r, e, view{e: e, db: db, gen: gen})
 	}
 }
 
@@ -229,24 +258,23 @@ func writeJSON(w http.ResponseWriter, v any) error {
 	return json.NewEncoder(w).Encode(v)
 }
 
-// renderTuple maps a tuple to its strings through the dictionary.
-func (s *Server) renderTuple(t renum.Tuple) []string {
-	dict, _ := s.dict()
-	return renderWith(dict, t)
+// renderTuple maps a tuple to its strings through the view's dictionary.
+func (v view) renderTuple(t renum.Tuple) []string {
+	return renderWith(v.db.Dict(), t)
 }
 
 func renderWith(dict *renum.Dict, t renum.Tuple) []string {
 	out := make([]string, len(t))
-	for i, v := range t {
-		out[i] = dict.String(v)
+	for i, val := range t {
+		out[i] = dict.String(val)
 	}
 	return out
 }
 
 // renderTuples fetches the dictionary once per response, not per tuple —
 // this sits on the hot path of large /batch and /page responses.
-func (s *Server) renderTuples(ts []renum.Tuple) [][]string {
-	dict, _ := s.dict()
+func (v view) renderTuples(ts []renum.Tuple) [][]string {
+	dict := v.db.Dict()
 	out := make([][]string, len(ts))
 	for i, t := range ts {
 		out[i] = renderWith(dict, t)
@@ -254,26 +282,16 @@ func (s *Server) renderTuples(ts []renum.Tuple) [][]string {
 	return out
 }
 
-func (s *Server) dict() (*renum.Dict, uint64) {
-	db, gen := s.reg.Snapshot()
-	return db.Dict(), gen
-}
-
 // parseTuple interns nothing: a value absent from the dictionary cannot be
 // part of any answer, so ok=false short-circuits contains/inverted to
 // "not an answer" without growing the dictionary on attacker-chosen input.
-func (s *Server) parseTuple(cells []string, arity int) (renum.Tuple, bool, error) {
+func (v view) parseTuple(cells []string, arity int) (renum.Tuple, bool, error) {
 	if len(cells) != arity {
 		return nil, false, httpErrorf(http.StatusBadRequest, "tuple has %d values, query arity is %d", len(cells), arity)
 	}
-	dict, _ := s.dict()
-	t := make(renum.Tuple, len(cells))
-	for i, c := range cells {
-		v, ok := dict.Lookup(c)
-		if !ok {
-			return nil, false, nil
-		}
-		t[i] = v
+	t, known := lookupCells(v.db.Dict(), cells)
+	if !known {
+		return nil, false, nil
 	}
 	return t, true, nil
 }
@@ -320,7 +338,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, map[string]any{"queries": s.reg.Names(), "generation": gen})
 }
 
-func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request, e *Entry) error {
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
 	return writeJSON(w, map[string]any{
 		"name":         e.Name,
 		"kind":         e.Kind(),
@@ -331,11 +349,11 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request, e *Entry) er
 	})
 }
 
-func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, e *Entry) error {
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
 	return writeJSON(w, map[string]any{"count": e.Count()})
 }
 
-func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request, e *Entry) error {
+func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
 	j, err := queryInt64(r, "j", -1)
 	if err != nil {
 		return err
@@ -354,10 +372,10 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request, e *Entry) 
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{"j": j, "answer": s.renderTuple(t)})
+	return writeJSON(w, map[string]any{"j": j, "answer": v.renderTuple(t)})
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *Entry) error {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
 	var js []int64
 	if r.Method == http.MethodPost {
 		var body struct {
@@ -389,10 +407,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *Entry) e
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{"answers": s.renderTuples(ts)})
+	return writeJSON(w, map[string]any{"answers": v.renderTuples(ts)})
 }
 
-func (s *Server) handlePage(w http.ResponseWriter, r *http.Request, e *Entry) error {
+func (s *Server) handlePage(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
 	offset, err := queryInt64(r, "offset", 0)
 	if err != nil {
 		return err
@@ -413,10 +431,10 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request, e *Entry) er
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{"offset": offset, "answers": s.renderTuples(ts)})
+	return writeJSON(w, map[string]any{"offset": offset, "answers": v.renderTuples(ts)})
 }
 
-func (s *Server) handleSample(w http.ResponseWriter, r *http.Request, e *Entry) error {
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
 	k, err := queryInt64(r, "k", 1)
 	if err != nil {
 		return err
@@ -436,19 +454,19 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request, e *Entry) 
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{"answers": s.renderTuples(ts), "with_replacement": !smp.Distinct()})
+	return writeJSON(w, map[string]any{"answers": v.renderTuples(ts), "with_replacement": !smp.Distinct()})
 }
 
 type tupleBody struct {
 	Tuple []string `json:"tuple"`
 }
 
-func (s *Server) handleContains(w http.ResponseWriter, r *http.Request, e *Entry) error {
+func (s *Server) handleContains(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
 	var body tupleBody
 	if err := decodeBody(r, &body); err != nil {
 		return err
 	}
-	t, ok, err := s.parseTuple(body.Tuple, len(e.Head()))
+	t, ok, err := v.parseTuple(body.Tuple, len(e.Head()))
 	if err != nil {
 		return err
 	}
@@ -463,7 +481,7 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request, e *Entry
 	return writeJSON(w, map[string]any{"contains": contains})
 }
 
-func (s *Server) handleInverted(w http.ResponseWriter, r *http.Request, e *Entry) error {
+func (s *Server) handleInverted(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
 	// Capability check before reading the body: a union (no inverted
 	// primitive in the mc-UCQ structure) is 501 via ErrUnsupported.
 	inv, err := e.H.Inverter()
@@ -474,7 +492,7 @@ func (s *Server) handleInverted(w http.ResponseWriter, r *http.Request, e *Entry
 	if err := decodeBody(r, &body); err != nil {
 		return err
 	}
-	t, ok, err := s.parseTuple(body.Tuple, len(e.Head()))
+	t, ok, err := v.parseTuple(body.Tuple, len(e.Head()))
 	if err != nil {
 		return err
 	}
@@ -486,9 +504,8 @@ func (s *Server) handleInverted(w http.ResponseWriter, r *http.Request, e *Entry
 	return writeJSON(w, map[string]any{"found": false})
 }
 
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, e *Entry) error {
-	upd, err := e.H.Updater()
-	if err != nil {
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
+	if _, err := e.H.Updater(); err != nil {
 		return err // static index: 501 via ErrUnsupported
 	}
 	var body struct {
@@ -499,45 +516,34 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, e *Entry) 
 	if err := decodeBody(r, &body); err != nil {
 		return err
 	}
-	dict, _ := s.dict()
-	var changed bool
+	var op wal.Op
 	switch body.Op {
 	case "insert":
-		// Inserts may introduce genuinely new values: intern them.
-		t := make(renum.Tuple, len(body.Tuple))
-		for i, c := range body.Tuple {
-			t[i] = dict.Intern(c)
-		}
-		changed, err = upd.Insert(body.Relation, t)
+		op = wal.OpInsert
 	case "delete":
-		// Deletes must not intern: a value the dictionary has never seen
-		// cannot be in any relation, and the dictionary is append-only — an
-		// attacker looping deletes of random strings would otherwise grow
-		// server memory without bound.
-		t := make(renum.Tuple, len(body.Tuple))
-		known := true
-		for i, c := range body.Tuple {
-			v, ok := dict.Lookup(c)
-			if !ok {
-				known = false
-				break
-			}
-			t[i] = v
-		}
-		if !known {
-			return writeJSON(w, map[string]any{"changed": false, "count": e.Count()})
-		}
-		changed, err = upd.Delete(body.Relation, t)
+		op = wal.OpDelete
 	default:
 		return httpErrorf(http.StatusBadRequest, "op must be insert or delete, got %q", body.Op)
 	}
+	// ApplyUpdate validates the target relation and arity before interning,
+	// logging, or applying anything — an insert aimed at a relation the
+	// query never joins must not grow the append-only dictionary (the same
+	// unbounded-memory attack the delete path always defended against) —
+	// and uses the view's database, so the entry and the dictionary it
+	// updates come from the same generation even mid-rebuild. When a WAL is
+	// attached, the record is durable before the index changes and this
+	// response is the acknowledgment.
+	changed, err := s.reg.ApplyUpdate(e, v.db, op, body.Relation, body.Tuple)
 	if err != nil {
+		if errors.Is(err, errWALAppend) || renum.IsUnsupported(err) {
+			return err // 500 / 501 via the route error mapper
+		}
 		return httpErrorf(http.StatusBadRequest, "%v", err)
 	}
 	return writeJSON(w, map[string]any{"changed": changed, "count": e.Count()})
 }
 
-func (s *Server) handleEnumStart(w http.ResponseWriter, r *http.Request, e *Entry) error {
+func (s *Server) handleEnumStart(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
 	// Cursors need a stable enumeration order across requests — exactly the
 	// enumerate capability (dynamic entries lack it: updates shift
 	// positions): 501 via ErrUnsupported.
@@ -606,7 +612,7 @@ func (s *Server) handleEnumStart(w http.ResponseWriter, r *http.Request, e *Entr
 	})
 }
 
-func (s *Server) handleEnumNext(w http.ResponseWriter, r *http.Request, e *Entry) error {
+func (s *Server) handleEnumNext(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
 	id := r.URL.Query().Get("cursor")
 	n, err := queryInt64(r, "n", 1)
 	if err != nil {
@@ -619,10 +625,10 @@ func (s *Server) handleEnumNext(w http.ResponseWriter, r *http.Request, e *Entry
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{"answers": s.renderTuples(ts), "done": done})
+	return writeJSON(w, map[string]any{"answers": v.renderTuples(ts), "done": done})
 }
 
-func (s *Server) handleEnumClose(w http.ResponseWriter, r *http.Request, e *Entry) error {
+func (s *Server) handleEnumClose(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
 	if !s.cursors.Close(r.URL.Query().Get("cursor"), e.Name) {
 		return ErrNoCursor
 	}
@@ -650,6 +656,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 		"cursors":    s.cursors.Len(),
 		"endpoints":  eps,
 		"coalescer":  coal,
+		"wal":        s.reg.WALStats(),
 	})
 }
 
@@ -697,6 +704,19 @@ func (s *Server) handleAdminSave(w http.ResponseWriter, r *http.Request) error {
 		skipped = []string{}
 	}
 	return writeJSON(w, map[string]any{"saved": path, "generation": gen, "skipped": skipped})
+}
+
+// handleAdminCompact folds the WAL into a fresh snapshot generation (see
+// Registry.Compact). It needs both a WAL (-wal-dir) and a snapshot dir.
+func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) error {
+	if s.cfg.SnapshotDir == "" {
+		return httpErrorf(http.StatusBadRequest, "snapshot saving is not configured (start the daemon with -snapshot-dir)")
+	}
+	gen, folded, err := s.reg.Compact(s.cfg.SnapshotDir)
+	if err != nil {
+		return httpErrorf(http.StatusBadRequest, "%v", err)
+	}
+	return writeJSON(w, map[string]any{"generation": gen, "folded": folded})
 }
 
 func (s *Server) handleAdminRebuild(w http.ResponseWriter, r *http.Request) error {

@@ -52,6 +52,17 @@ func newTestServer(t testing.TB, coal CoalesceConfig, cfg Config) (*Server, *Reg
 	return s, reg
 }
 
+// renderTuple maps a tuple through the server's current dictionary (test
+// convenience; handlers use their per-request view instead).
+func (s *Server) renderTuple(t renum.Tuple) []string {
+	db, _ := s.reg.Snapshot()
+	out := make([]string, len(t))
+	for i, v := range t {
+		out[i] = db.Dict().String(v)
+	}
+	return out
+}
+
 // do issues one request against the handler and decodes the JSON response.
 func do(t testing.TB, s *Server, method, url, body string, wantStatus int) map[string]any {
 	t.Helper()
@@ -470,7 +481,7 @@ func TestMetaReportsCapabilities(t *testing.T) {
 	if got := caps("U"); got != "[enumerate contains sample snapshot]" {
 		t.Fatalf("U capabilities = %s", got)
 	}
-	if got := caps("D"); got != "[contains invert sample update]" {
+	if got := caps("D"); got != "[contains invert sample update snapshot]" {
 		t.Fatalf("D capabilities = %s", got)
 	}
 }

@@ -40,23 +40,38 @@ func saveAndReboot(t *testing.T, s *Server, dir string, cfg Config) *Server {
 // TestAdminSaveAndBootFromSnapshot pins the daemon's restart contract: the
 // probe surface of a server booted from a saved snapshot is byte-identical
 // to the server that saved it — count, every access position, batches,
-// cursors — and dynamic entries are reported skipped rather than silently
-// dropped or crashed on.
+// cursors — including dynamic entries, which persist their base contents
+// and come back updatable.
 func TestAdminSaveAndBootFromSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{SnapshotDir: dir}
 	s1, _ := newTestServer(t, CoalesceConfig{}, cfg)
 
 	m := do(t, s1, "POST", "/admin/save", "", 200)
-	if got := fmt.Sprint(m["skipped"]); got != "[D]" {
-		t.Fatalf("skipped = %v, want the dynamic entry D", got)
+	if got := fmt.Sprint(m["skipped"]); got != "[]" {
+		t.Fatalf("skipped = %v, want none (dynamic entries snapshot now)", got)
 	}
 
 	s2 := saveAndReboot(t, s1, dir, cfg)
 
-	// The dynamic entry has no snapshot form: gone after reboot.
-	if _, status := doRaw(s2, "GET", "/v1/D/count", ""); status != 404 {
-		t.Fatalf("/v1/D on rebooted server = %d, want 404", status)
+	// The dynamic entry survives the reboot, position for position, and is
+	// still updatable afterwards.
+	d1 := do(t, s1, "GET", "/v1/D/count", "", 200)
+	d2 := do(t, s2, "GET", "/v1/D/count", "", 200)
+	if d1["count"] != d2["count"] {
+		t.Fatalf("D count: %v vs %v", d1["count"], d2["count"])
+	}
+	for j := int64(0); j < int64(d1["count"].(float64)); j++ {
+		url := fmt.Sprintf("/v1/D/access?j=%d", j)
+		a1, st1 := doRaw(s1, "GET", url, "")
+		a2, st2 := doRaw(s2, "GET", url, "")
+		if st1 != 200 || st2 != 200 || string(a1) != string(a2) {
+			t.Fatalf("D access j=%d: %d %s vs %d %s", j, st1, a1, st2, a2)
+		}
+	}
+	upd := do(t, s2, "POST", "/v1/D/update", `{"op":"insert","relation":"r","tuple":["9","9"]}`, 200)
+	if upd["changed"] != true {
+		t.Fatalf("restored D rejects updates: %v", upd)
 	}
 
 	for _, name := range []string{"Q", "U"} {

@@ -1,0 +1,424 @@
+// Package wal implements the write-ahead log behind durable dynamic
+// entries.
+//
+// A dynamic entry's index lives on the heap; the snapshot catalog persists
+// its base contents only at explicit save/compaction points. The WAL closes
+// the gap between those points: every accepted /update is appended (and,
+// under the default policy, fsynced) to the log *before* it is applied to
+// the index, so an acknowledged update is always reconstructible as
+//
+//	newest gen-G.snap  +  replay of wal-G.log
+//
+// Records carry the update exactly as the server received it — op, target
+// query, base relation, and the tuple's cell *strings* (not interned
+// values). Replay re-interns the cells against the restored dictionary;
+// because interning is append-only and deterministic, this reproduces the
+// identical dictionary and value assignment without the log ever depending
+// on dictionary state.
+//
+// The on-disk format follows internal/snapshot's discipline: a magic +
+// version header, CRC-32C (Castagnoli) over every record payload, and a
+// typed error family under ErrInvalid so callers can distinguish "not a
+// WAL" from "a WAL with a torn tail". A torn or corrupt tail — the
+// signature of a crash mid-append — is truncated away on open, never
+// panicked on.
+//
+// Layout (all integers little-endian, independent of host order — the log
+// is rewritten on every compaction, so zero-copy native-order access buys
+// nothing here):
+//
+//	header (24 bytes): magic "RNMWAL01" | version u32 | policy u8 | reserved[11]
+//	record: payloadLen u32 | crc32c(payload) u32 | payload
+//	payload: op u8 | str query | str relation | ncells u32 | str*ncells
+//	str: len u32 | bytes
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+const (
+	magic = "RNMWAL01"
+
+	// Version is the current log format version. Mismatches fail with
+	// ErrVersion rather than being guessed at.
+	Version uint32 = 1
+
+	headerLen       = 24
+	recordHeaderLen = 8
+
+	// maxRecordLen bounds a single record's payload. A length prefix
+	// beyond it is framing garbage (a torn write or corruption), not a
+	// plausible update, and is treated as the end of the log.
+	maxRecordLen = 1 << 24
+)
+
+// castagnoli matches internal/snapshot's checksum choice.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed error family, mirroring internal/snapshot: every failure wraps
+// ErrInvalid, so errors.Is(err, ErrInvalid) catches them all while the
+// specific sentinels stay distinguishable.
+var (
+	// ErrInvalid is the root of the WAL error family.
+	ErrInvalid = errors.New("wal: invalid or corrupt log")
+	// ErrBadMagic: the file does not start with the WAL magic.
+	ErrBadMagic = fmt.Errorf("%w: bad magic", ErrInvalid)
+	// ErrVersion: the format version is one this build cannot read.
+	ErrVersion = fmt.Errorf("%w: unsupported version", ErrInvalid)
+	// ErrTruncated: the file ends inside the fixed header — there is no
+	// valid prefix to recover.
+	ErrTruncated = fmt.Errorf("%w: truncated header", ErrInvalid)
+	// ErrTornTail: the record stream ends in a torn or corrupt record.
+	// Unlike the errors above this one is recoverable: every record
+	// before the tear is intact, and Open truncates the tear away.
+	ErrTornTail = fmt.Errorf("%w: torn or corrupt tail record", ErrInvalid)
+)
+
+// Op is the kind of update a record carries.
+type Op uint8
+
+const (
+	// OpInsert adds a tuple to a base relation of the target entry.
+	OpInsert Op = 1
+	// OpDelete removes a tuple from a base relation of the target entry.
+	OpDelete Op = 2
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// SyncPolicy is the durability contract for appends, recorded in the log
+// header so an operator inspecting a segment knows what it promised.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged update
+	// survives SIGKILL and power loss. This is the default.
+	SyncAlways SyncPolicy = 0
+	// SyncNone leaves flushing to the OS page cache: fastest, but a
+	// crash may lose the most recent acknowledged updates.
+	SyncNone SyncPolicy = 1
+)
+
+// ParseSyncPolicy maps the flag spellings ("always", "none") to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always or none)", s)
+}
+
+// Record is one logged update, stored exactly as the server received it.
+type Record struct {
+	Op       Op
+	Query    string   // served entry the update addressed
+	Relation string   // base relation inside that entry
+	Tuple    []string // cell strings as received; replay re-interns them
+}
+
+// appendRecord marshals rec (framing + payload) onto dst.
+func appendRecord(dst []byte, rec Record) ([]byte, error) {
+	if rec.Op != OpInsert && rec.Op != OpDelete {
+		return nil, fmt.Errorf("wal: append: invalid op %d", rec.Op)
+	}
+	n := 1 + 4 + len(rec.Query) + 4 + len(rec.Relation) + 4
+	for _, c := range rec.Tuple {
+		n += 4 + len(c)
+	}
+	if n > maxRecordLen {
+		return nil, fmt.Errorf("wal: append: record of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, 0, n)
+	payload = append(payload, byte(rec.Op))
+	payload = appendStr(payload, rec.Query)
+	payload = appendStr(payload, rec.Relation)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.Tuple)))
+	for _, c := range rec.Tuple {
+		payload = appendStr(payload, c)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...), nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// payloadCursor decodes a record payload with a sticky error, in the style
+// of snapshot.Reader.
+type payloadCursor struct {
+	b   []byte
+	err bool
+}
+
+func (c *payloadCursor) u8() uint8 {
+	if c.err || len(c.b) < 1 {
+		c.err = true
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *payloadCursor) u32() uint32 {
+	if c.err || len(c.b) < 4 {
+		c.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+func (c *payloadCursor) str() string {
+	n := c.u32()
+	if c.err || uint64(n) > uint64(len(c.b)) {
+		c.err = true
+		return ""
+	}
+	v := string(c.b[:n])
+	c.b = c.b[n:]
+	return v
+}
+
+// decodeRecord parses one payload whose CRC already checked out.
+func decodeRecord(payload []byte) (Record, bool) {
+	c := payloadCursor{b: payload}
+	rec := Record{Op: Op(c.u8())}
+	rec.Query = c.str()
+	rec.Relation = c.str()
+	ncells := c.u32()
+	if c.err || uint64(ncells) > uint64(len(c.b)) { // each cell takes ≥ 4 bytes; cheap overflow guard
+		return Record{}, false
+	}
+	rec.Tuple = make([]string, 0, ncells)
+	for i := uint32(0); i < ncells; i++ {
+		rec.Tuple = append(rec.Tuple, c.str())
+	}
+	if c.err || len(c.b) != 0 {
+		return Record{}, false
+	}
+	if rec.Op != OpInsert && rec.Op != OpDelete {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// ScanBytes decodes a serialized log. It returns every intact record and
+// validLen, the byte offset of the end of the last intact record (at least
+// headerLen for a well-formed header). The error is nil for a clean log;
+// ErrTornTail (recoverable — recs and validLen still hold) when the stream
+// ends in a torn or corrupt record; or a fatal member of the ErrInvalid
+// family (validLen 0, no records) when the header itself is unreadable.
+func ScanBytes(b []byte) (recs []Record, validLen int64, err error) {
+	if len(b) < headerLen {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	if string(b[:8]) != magic {
+		return nil, 0, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != Version {
+		return nil, 0, fmt.Errorf("%w: %d (want %d)", ErrVersion, v, Version)
+	}
+	off := int64(headerLen)
+	rest := b[headerLen:]
+	for len(rest) > 0 {
+		if len(rest) < recordHeaderLen {
+			return recs, off, fmt.Errorf("%w: %d stray bytes at offset %d", ErrTornTail, len(rest), off)
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if plen > maxRecordLen || uint64(plen) > uint64(len(rest)-recordHeaderLen) {
+			return recs, off, fmt.Errorf("%w: record length %d at offset %d overruns the file", ErrTornTail, plen, off)
+		}
+		payload := rest[recordHeaderLen : recordHeaderLen+int(plen)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, off, fmt.Errorf("%w: checksum mismatch at offset %d", ErrTornTail, off)
+		}
+		rec, ok := decodeRecord(payload)
+		if !ok {
+			return recs, off, fmt.Errorf("%w: malformed record at offset %d", ErrTornTail, off)
+		}
+		recs = append(recs, rec)
+		step := int64(recordHeaderLen) + int64(plen)
+		off += step
+		rest = rest[step:]
+	}
+	return recs, off, nil
+}
+
+// Log is an append-only WAL segment open for writing.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	policy SyncPolicy
+	depth  int64 // records in the segment, replayed + appended
+	torn   error // ErrTornTail detail recovered by Open, if any
+	err    error // sticky write error: a failed append poisons the log
+}
+
+// header builds the 24-byte file header.
+func header(policy SyncPolicy) []byte {
+	h := make([]byte, headerLen)
+	copy(h, magic)
+	binary.LittleEndian.PutUint32(h[8:12], Version)
+	h[12] = byte(policy)
+	return h
+}
+
+// Create starts a fresh, empty segment at path, truncating anything that
+// was there. The header is written and synced before Create returns, so a
+// crash immediately after cannot leave an unparseable file.
+func Create(path string, policy SyncPolicy) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(header(policy)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, path: path, policy: policy}, nil
+}
+
+// Open opens the segment at path for appending, creating it if absent. It
+// replays the existing records first and returns them; a torn or corrupt
+// tail is truncated away (the file is physically shortened to the last
+// intact record) and remembered — see TornTail — but does not fail the
+// open. Fatal corruption (bad magic, unsupported version) does.
+func Open(path string, policy SyncPolicy) (*Log, []Record, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		l, cerr := Create(path, policy)
+		return l, nil, cerr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(b) == 0 {
+		// Created but never written (crash before the header sync
+		// landed): indistinguishable from absent.
+		l, cerr := Create(path, policy)
+		return l, nil, cerr
+	}
+	recs, validLen, scanErr := ScanBytes(b)
+	if scanErr != nil && !errors.Is(scanErr, ErrTornTail) {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, scanErr)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if scanErr != nil { // torn tail: drop it so appends extend a clean prefix
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Log{f: f, path: path, policy: policy, depth: int64(len(recs)), torn: scanErr}, recs, nil
+}
+
+// Append marshals rec and writes it to the segment, fsyncing per the
+// policy. It returns only after the record is durable to that policy's
+// standard — callers apply the update (and acknowledge it) strictly after.
+func (l *Log) Append(rec Record) error {
+	buf, err := appendRecord(nil, rec)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		// A partial write leaves a torn tail; the next Open truncates
+		// it. Poison the log so no later record can land after garbage.
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return l.err
+	}
+	if l.policy == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			l.err = fmt.Errorf("wal: sync: %w", err)
+			return l.err
+		}
+	}
+	l.depth++
+	return nil
+}
+
+// Sync forces the segment to disk regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	return l.f.Sync()
+}
+
+// Depth reports the number of records in the segment (replayed at open
+// plus appended since).
+func (l *Log) Depth() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.depth
+}
+
+// Path reports the segment's file path.
+func (l *Log) Path() string { return l.path }
+
+// TornTail reports the ErrTornTail detail recovered during Open, or nil if
+// the segment was clean.
+func (l *Log) TornTail() error { return l.torn }
+
+// Close syncs and closes the segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	serr := l.f.Sync()
+	cerr := l.f.Close()
+	l.f = nil
+	if l.err == nil {
+		l.err = errors.New("wal: log is closed")
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

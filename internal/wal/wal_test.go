@@ -1,0 +1,330 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Op: OpInsert, Query: "Q", Relation: "r", Tuple: []string{"5", "1"}},
+		{Op: OpInsert, Query: "Q", Relation: "r", Tuple: []string{"6", "2"}},
+		{Op: OpDelete, Query: "Q", Relation: "r", Tuple: []string{"1", "2"}},
+		{Op: OpInsert, Query: "U2", Relation: "s", Tuple: []string{"", "x y", "ünïcode"}},
+		{Op: OpDelete, Query: "Q", Relation: "r", Tuple: nil},
+	}
+}
+
+func writeLog(t *testing.T, path string, recs []Record) {
+	t.Helper()
+	l, err := Create(path, SyncAlways)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Op != b[i].Op || a[i].Query != b[i].Query || a[i].Relation != b[i].Relation {
+			return false
+		}
+		if len(a[i].Tuple) != len(b[i].Tuple) {
+			return false
+		}
+		for j := range a[i].Tuple {
+			if a[i].Tuple[j] != b[i].Tuple[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	want := testRecords()
+	writeLog(t, path, want)
+
+	l, got, err := Open(path, SyncAlways)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if !recordsEqual(got, want) {
+		t.Fatalf("replayed %+v, want %+v", got, want)
+	}
+	if l.TornTail() != nil {
+		t.Fatalf("clean log reported torn tail: %v", l.TornTail())
+	}
+	if l.Depth() != int64(len(want)) {
+		t.Fatalf("Depth = %d, want %d", l.Depth(), len(want))
+	}
+
+	// Appending after a reopen extends the same stream.
+	extra := Record{Op: OpInsert, Query: "Q", Relation: "r", Tuple: []string{"9", "9"}}
+	if err := l.Append(extra); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	l.Close()
+	_, got2, err := Open(path, SyncAlways)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if !recordsEqual(got2, append(want, extra)) {
+		t.Fatalf("after append got %+v", got2)
+	}
+}
+
+func TestOpenCreatesMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.log")
+	l, recs, err := Open(path, SyncNone)
+	if err != nil {
+		t.Fatalf("Open on missing file: %v", err)
+	}
+	defer l.Close()
+	if len(recs) != 0 || l.Depth() != 0 {
+		t.Fatalf("fresh log not empty: %d recs, depth %d", len(recs), l.Depth())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("file not created: %v", err)
+	}
+}
+
+// TestTornTailTruncation cuts a valid log at every possible byte length and
+// checks the invariant the crash-recovery path depends on: Open never
+// fails, never panics, recovers exactly the records whose bytes fully
+// landed, and physically truncates the file so subsequent appends extend a
+// clean prefix.
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	want := testRecords()
+	writeLog(t, full, want)
+	b, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record boundaries, to know how many records survive a cut at n.
+	var bounds []int64
+	{
+		off := int64(headerLen)
+		bounds = append(bounds, off)
+		for _, r := range want {
+			buf, err := appendRecord(nil, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off += int64(len(buf))
+			bounds = append(bounds, off)
+		}
+		if off != int64(len(b)) {
+			t.Fatalf("bounds drift: %d vs file %d", off, len(b))
+		}
+	}
+	survivors := func(n int64) int {
+		k := 0
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= n {
+				k = i
+			}
+		}
+		return k
+	}
+
+	for n := headerLen; n <= len(b); n++ {
+		path := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(path, b[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, recs, err := Open(path, SyncAlways)
+		if err != nil {
+			t.Fatalf("cut at %d: Open failed: %v", n, err)
+		}
+		wantK := survivors(int64(n))
+		if len(recs) != wantK {
+			t.Fatalf("cut at %d: recovered %d records, want %d", n, len(recs), wantK)
+		}
+		if !recordsEqual(recs, want[:wantK]) {
+			t.Fatalf("cut at %d: wrong records", n)
+		}
+		torn := int64(n) != bounds[wantK]
+		if torn && !errors.Is(l.TornTail(), ErrTornTail) {
+			t.Fatalf("cut at %d: TornTail = %v, want ErrTornTail", n, l.TornTail())
+		}
+		if !torn && l.TornTail() != nil {
+			t.Fatalf("cut at %d: clean cut reported torn: %v", n, l.TornTail())
+		}
+		// The tear must be physically gone: append, reopen, and the
+		// stream is the survivors plus the new record.
+		extra := Record{Op: OpInsert, Query: "Q", Relation: "r", Tuple: []string{"after", "tear"}}
+		if err := l.Append(extra); err != nil {
+			t.Fatalf("cut at %d: append after truncation: %v", n, err)
+		}
+		l.Close()
+		_, recs2, err := Open(path, SyncAlways)
+		if err != nil {
+			t.Fatalf("cut at %d: reopen: %v", n, err)
+		}
+		if !recordsEqual(recs2, append(append([]Record{}, want[:wantK]...), extra)) {
+			t.Fatalf("cut at %d: post-truncation stream wrong", n)
+		}
+	}
+}
+
+// Cuts inside the header are fatal — there is no valid prefix to recover.
+func TestTruncatedHeaderFatal(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	writeLog(t, full, testRecords())
+	b, _ := os.ReadFile(full)
+	for n := 1; n < headerLen; n++ {
+		path := filepath.Join(dir, "hdr.log")
+		os.WriteFile(path, b[:n], 0o644)
+		if _, _, err := Open(path, SyncAlways); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	dir := t.TempDir()
+
+	bad := filepath.Join(dir, "magic.log")
+	h := header(SyncAlways)
+	h[0] ^= 0xFF
+	os.WriteFile(bad, h, 0o644)
+	if _, _, err := Open(bad, SyncAlways); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+
+	vers := filepath.Join(dir, "version.log")
+	h = header(SyncAlways)
+	h[8] = 99
+	os.WriteFile(vers, h, 0o644)
+	_, _, err := Open(vers, SyncAlways)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: err = %v", err)
+	}
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("family: %v should wrap ErrInvalid", err)
+	}
+}
+
+// A flipped payload byte mid-file ends the recoverable stream at the flip:
+// everything before it replays, everything after is discarded.
+func TestChecksumMismatchEndsStream(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crc.log")
+	want := testRecords()
+	writeLog(t, path, want)
+	b, _ := os.ReadFile(path)
+
+	// Flip a byte inside the second record's payload.
+	buf1, _ := appendRecord(nil, want[0])
+	off := headerLen + len(buf1) + recordHeaderLen + 2
+	b[off] ^= 0x01
+	os.WriteFile(path, b, 0o644)
+
+	l, recs, err := Open(path, SyncAlways)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if !recordsEqual(recs, want[:1]) {
+		t.Fatalf("recovered %d records, want 1", len(recs))
+	}
+	if !errors.Is(l.TornTail(), ErrTornTail) {
+		t.Fatalf("TornTail = %v", l.TornTail())
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	writeLog(t, path, testRecords())
+	l, err := Create(path, SyncNone)
+	if err != nil {
+		t.Fatalf("Create over existing: %v", err)
+	}
+	l.Close()
+	_, recs, err := Open(path, SyncNone)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("Create did not truncate: %d recs, err %v", len(recs), err)
+	}
+}
+
+func TestAppendRejectsBadOp(t *testing.T) {
+	l, err := Create(filepath.Join(t.TempDir(), "w.log"), SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(Record{Op: 7, Query: "Q"}); err == nil {
+		t.Fatal("append of invalid op succeeded")
+	}
+	if l.Depth() != 0 {
+		t.Fatalf("rejected append changed depth: %d", l.Depth())
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	if p, err := ParseSyncPolicy("always"); err != nil || p != SyncAlways {
+		t.Fatalf("always: %v %v", p, err)
+	}
+	if p, err := ParseSyncPolicy("none"); err != nil || p != SyncNone {
+		t.Fatalf("none: %v %v", p, err)
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestScanBytesEmptyAndGarbage(t *testing.T) {
+	if _, _, err := ScanBytes(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, _, err := ScanBytes([]byte("not a wal file at all......")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("garbage: %v", err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpDelete.String() != "delete" {
+		t.Fatal("op strings")
+	}
+	if Op(9).String() == "" {
+		t.Fatal("unknown op should still print")
+	}
+}
+
+func TestRecordsIndependentOfLogBuffer(t *testing.T) {
+	// Records returned by Open must not alias the file read buffer in a
+	// way that mutation of one corrupts another.
+	path := filepath.Join(t.TempDir(), "w.log")
+	want := testRecords()
+	writeLog(t, path, want)
+	l, recs, err := Open(path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cp := make([]Record, len(recs))
+	copy(cp, recs)
+	if !reflect.DeepEqual(recs, cp) {
+		t.Fatal("copy mismatch")
+	}
+}

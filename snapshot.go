@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/cqenum"
+	"repro/internal/dynaccess"
 	"repro/internal/mcucq"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -37,8 +38,9 @@ const (
 
 // Backend kinds inside an entry section.
 const (
-	entryKindCQ  = 1
-	entryKindUCQ = 2
+	entryKindCQ      = 1
+	entryKindUCQ     = 2
+	entryKindDynamic = 3
 )
 
 // CatalogEntry pairs one served query with its prepared handle: the unit a
@@ -50,19 +52,21 @@ type CatalogEntry struct {
 	H    *Handle
 }
 
-// snapshotter is the save capability of a Handle backend: static CQ and UCQ
-// backends implement it (including restored ones, so a booted-from-snapshot
-// server can save again); the dynamic backend does not — updates mutate the
-// structure in ways the flat format does not represent, which CapSnapshot
-// reports.
+// snapshotter is the save capability of a Handle backend: static CQ and
+// UCQ backends persist their compiled indexes; the dynamic backend
+// persists its *base contents* (arrival-ordered tuples plus tombstones)
+// and is rebuilt from them on restore — cheaper than serializing Fenwick
+// trees and bucket caches, and exactly reproduces the live enumeration
+// order. Restored backends implement it too, so a booted-from-snapshot
+// server can save again. CapSnapshot reports this interface.
 type snapshotter interface {
 	marshalSnapshotEntry(s *snapshot.SectionWriter)
 }
 
 // WriteSnapshot writes a complete catalog — dictionary, base relations, and
-// every entry's compiled index — to w in the versioned binary snapshot
-// format. Every entry's handle must have CapSnapshot (dynamic handles do
-// not: ErrUnsupported) and a non-nil Q.
+// every entry's persistable form (compiled index for static entries, base
+// contents for dynamic ones) — to w in the versioned binary snapshot
+// format. Every entry's handle must have CapSnapshot and a non-nil Q.
 //
 // The writer must not race with mutations of db (admin writes); callers
 // serialize saves the same way they serialize loads.
@@ -313,6 +317,20 @@ func restoreEntry(r *snapshot.Reader, cfg config) (CatalogEntry, error) {
 		}
 		ua := &UnionAccess{m: m, head: append([]string(nil), u.Disjuncts[0].Head...)}
 		h = &Handle{b: uaBackend{ua}, workers: cfg.workers}
+	case entryKindDynamic:
+		cq, ok := q.(*query.CQ)
+		if !ok {
+			return CatalogEntry{}, snapshot.Corruptf("entry %s: dynamic payload with a union query", name)
+		}
+		tables, err := dynaccess.UnmarshalBase(r)
+		if err != nil {
+			return CatalogEntry{}, err
+		}
+		idx, err := dynaccess.NewFromTables(cq, tables)
+		if err != nil {
+			return CatalogEntry{}, snapshot.Corruptf("entry %s: %v", name, err)
+		}
+		h = &Handle{b: daBackend{&DynamicAccess{idx: idx}}, workers: cfg.workers}
 	default:
 		return CatalogEntry{}, snapshot.Corruptf("entry %s: unknown backend kind %d", name, kind)
 	}
@@ -331,6 +349,15 @@ func restoreEntry(r *snapshot.Reader, cfg config) (CatalogEntry, error) {
 func (b raBackend) marshalSnapshotEntry(s *snapshot.SectionWriter) {
 	s.U64(entryKindCQ)
 	b.c.Index.Marshal(s)
+}
+
+// marshalSnapshotEntry writes the dynamic backend: kind tag + the base
+// tables (arrival order plus tombstones). The index structure itself is
+// not serialized — NewFromTables reproduces it exactly on restore, and the
+// tombstones guarantee even future revive positions match the live index.
+func (b daBackend) marshalSnapshotEntry(s *snapshot.SectionWriter) {
+	s.U64(entryKindDynamic)
+	dynaccess.MarshalBase(s, b.DynamicAccess.idx)
 }
 
 // marshalSnapshotEntry writes the UCQ backend: kind tag + every disjunct and

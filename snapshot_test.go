@@ -306,17 +306,118 @@ func TestSnapshotMultiEntryAndWorkers(t *testing.T) {
 	assertProbeEqual(t, hu, cat.Entries()[1].H)
 }
 
-func TestSnapshotDynamicUnsupported(t *testing.T) {
+// assertDynamicEqual compares two dynamic handles over their full current
+// enumeration (Access position by position, plus inversion and
+// membership). Dynamic handles have no All(), so assertProbeEqual does not
+// apply.
+func assertDynamicEqual(t *testing.T, a, b *Handle) {
+	t.Helper()
+	if a.Count() != b.Count() {
+		t.Fatalf("Count: %d vs %d", a.Count(), b.Count())
+	}
+	inv, err := b.Inverter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := int64(0); j < a.Count(); j++ {
+		at, err := a.Access(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, err := b.Access(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !at.Equal(bt) {
+			t.Fatalf("Access(%d): %v vs %v", j, at, bt)
+		}
+		if p, ok := inv.InvertedAccess(at); !ok || p != j {
+			t.Fatalf("InvertedAccess(%v) = %d,%v, want %d", at, p, ok, j)
+		}
+	}
+}
+
+// TestSnapshotDynamicRoundTrip: dynamic entries persist their base
+// contents and restore to an equivalent, still-updatable index that can be
+// saved again (CapSnapshot survives the round trip).
+func TestSnapshotDynamicRoundTrip(t *testing.T) {
 	db, _, _ := snapFixture(t)
 	dq := MustCQ("dq", []string{"a", "b"}, NewAtom("R", V("a"), V("b")))
 	dyn := mustOpen(t, db, dq, WithDynamic())
-	if dyn.Has(CapSnapshot) {
-		t.Fatal("dynamic handle claims CapSnapshot")
+	if !dyn.Has(CapSnapshot) {
+		t.Fatal("dynamic handle lacks CapSnapshot")
 	}
+	upd, err := dyn.Updater()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate past the build: inserts, deletes, and a revive.
+	v1, v2 := db.Intern("fresh-one"), db.Intern("fresh-two")
+	if _, err := upd.Insert("R", Tuple{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upd.Delete("R", Tuple{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upd.Insert("R", Tuple{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upd.Insert("R", Tuple{v2, v1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upd.Delete("R", Tuple{v2, v1}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := saveToTemp(t, db, 7, []CatalogEntry{{Name: "dq", Q: dq, H: dyn}})
+	cat, err := OpenSnapshot(path, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	re := cat.Entries()[0].H
+	if re.Kind() != KindDynamic || !re.Has(CapUpdate) || !re.Has(CapSnapshot) {
+		t.Fatalf("restored dynamic entry: kind %s caps %v", re.Kind(), re.Capabilities())
+	}
+	assertDynamicEqual(t, dyn, re)
+
+	// Identical further updates keep them in lockstep — including the
+	// revive of the pre-save tombstone (v2, v1), which must come back at
+	// the same position on both sides.
+	reUpd, err := re.Updater()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdict := cat.DB().Dict()
+	w1, _ := rdict.Lookup("fresh-one")
+	w2, _ := rdict.Lookup("fresh-two")
+	for _, op := range []struct {
+		del bool
+		t   Tuple
+		rt  Tuple
+	}{
+		{false, Tuple{v2, v1}, Tuple{w2, w1}}, // revive
+		{true, Tuple{v1, v2}, Tuple{w1, w2}},
+		{false, Tuple{v1, v1}, Tuple{w1, w1}},
+	} {
+		var e1, e2 error
+		if op.del {
+			_, e1 = upd.Delete("R", op.t)
+			_, e2 = reUpd.Delete("R", op.rt)
+		} else {
+			_, e1 = upd.Insert("R", op.t)
+			_, e2 = reUpd.Insert("R", op.rt)
+		}
+		if e1 != nil || e2 != nil {
+			t.Fatal(e1, e2)
+		}
+	}
+	assertDynamicEqual(t, dyn, re)
+
+	// And the restored entry saves again.
 	var buf bytes.Buffer
-	err := WriteSnapshot(&buf, db, 0, []CatalogEntry{{Name: "dq", Q: dq, H: dyn}})
-	if !IsUnsupported(err) {
-		t.Fatalf("WriteSnapshot(dynamic) err = %v, want ErrUnsupported", err)
+	if err := WriteSnapshot(&buf, cat.DB(), 8, []CatalogEntry{{Name: "dq", Q: cat.Entries()[0].Q, H: re}}); err != nil {
+		t.Fatalf("re-save of restored dynamic entry: %v", err)
 	}
 }
 
