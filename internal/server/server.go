@@ -528,9 +528,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, e *Entry, 
 	// ApplyUpdate validates the target relation and arity before interning,
 	// logging, or applying anything — an insert aimed at a relation the
 	// query never joins must not grow the append-only dictionary (the same
-	// unbounded-memory attack the delete path always defended against) —
-	// and uses the view's database, so the entry and the dictionary it
-	// updates come from the same generation even mid-rebuild. When a WAL is
+	// unbounded-memory attack the delete path always defended against).
+	// Under its update mutex it re-resolves the entry and dictionary from
+	// one snapshot load, so a compaction or rebuild publishing between this
+	// handler's view and the apply cannot strand the update in a superseded
+	// handle or split entry and dictionary across generations. When a WAL is
 	// attached, the record is durable before the index changes and this
 	// response is the acknowledgment.
 	changed, err := s.reg.ApplyUpdate(e, v.db, op, body.Relation, body.Tuple)
@@ -714,7 +716,12 @@ func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) erro
 	}
 	gen, folded, err := s.reg.Compact(s.cfg.SnapshotDir)
 	if err != nil {
-		return httpErrorf(http.StatusBadRequest, "%v", err)
+		if errors.Is(err, errNoWAL) {
+			return httpErrorf(http.StatusBadRequest, "%v", err)
+		}
+		// Snapshot-write, rotation, or rebuild-aside failures are server
+		// faults, not client mistakes: 500 via the route error mapper.
+		return err
 	}
 	return writeJSON(w, map[string]any{"generation": gen, "folded": folded})
 }

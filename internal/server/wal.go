@@ -39,6 +39,10 @@ import (
 // not a 400.
 var errWALAppend = errors.New("server: WAL append failed; update not applied")
 
+// errNoWAL marks Compact called without an attached WAL — a configuration
+// mistake by the caller (400), unlike the internal fold/rotate failures.
+var errNoWAL = errors.New("server: no WAL attached (start the daemon with -wal-dir)")
+
 // walState couples the registry to its write-ahead log. The zero value is
 // "no WAL attached"; mu is meaningful either way — it serializes updates
 // so that log order always equals apply order.
@@ -53,6 +57,13 @@ type walState struct {
 	skipped     int64
 	compactions int64
 	folded      int64
+
+	// Rotation cleanup warnings: the rotation itself succeeded (new segment
+	// installed, old records folded) but closing or removing the superseded
+	// segment failed. Non-fatal, surfaced via /metrics so disk problems are
+	// not silent.
+	rotateWarns    int64
+	lastRotateWarn string
 }
 
 // AttachWAL opens (creating if absent) the WAL segment paired with the
@@ -158,17 +169,29 @@ func lookupCells(dict *renum.Dict, cells []string) (renum.Tuple, bool) {
 	return t, true
 }
 
-// ApplyUpdate runs one update through e's updater with the append-before-
-// apply contract: the record lands in the WAL (durable to the attached
-// policy's standard) strictly before the dictionary or the index change,
-// and the caller acknowledges the client strictly after. db must be the
-// database from the same snapshot load that resolved e — the handler's
-// view — so a concurrent rebuild cannot split the entry and the dictionary
-// across generations.
+// ApplyUpdate runs one update through the served entry's updater with the
+// append-before-apply contract: the record lands in the WAL (durable to
+// the attached policy's standard) strictly before the dictionary or the
+// index change, and the caller acknowledges the client strictly after.
+// e and db are the handler's lock-free view; under the update mutex they
+// are re-resolved from the snapshot current at apply time, because a
+// Compact can publish rebuilt-aside entries between the handler's load and
+// this lock — applying to the superseded handle would append the record to
+// the rotated segment yet leave the change invisible to every served read,
+// and the next compaction (which rebuilds from the served handle) would
+// drop it permanently. Entry and dictionary still come from ONE load, so a
+// concurrent rebuild cannot split them across generations.
 //
 // The update mutex spans append + apply, so WAL order equals apply order;
 // probes stay lock-free throughout.
 func (r *Registry) ApplyUpdate(e *Entry, db *renum.Database, op wal.Op, relName string, cells []string) (changed bool, err error) {
+	r.wal.mu.Lock()
+	defer r.wal.mu.Unlock()
+	// Compact holds this mutex across its pointer swap, so the snapshot
+	// loaded here is the generation the append will extend.
+	if s := r.snap.Load(); s.entries[e.Name] != nil {
+		e, db = s.entries[e.Name], s.db
+	}
 	upd, err := e.H.Updater()
 	if err != nil {
 		return false, err
@@ -180,8 +203,6 @@ func (r *Registry) ApplyUpdate(e *Entry, db *renum.Database, op wal.Op, relName 
 			return false, err
 		}
 	}
-	r.wal.mu.Lock()
-	defer r.wal.mu.Unlock()
 	dict := db.Dict()
 	switch op {
 	case wal.OpDelete:
@@ -223,6 +244,9 @@ func (r *Registry) appendLocked(op wal.Op, query, rel string, cells []string) er
 // rotateLocked starts a fresh, empty segment paired with gen and removes
 // the superseded one (both locks held). When the segment for gen is the
 // current file, Create truncates it in place and nothing is removed.
+// Close/remove failures on the superseded segment do not fail the rotation
+// — the new segment is already installed and the old records are folded —
+// but they are recorded as rotate warnings (see WALStats), not dropped.
 func (r *Registry) rotateLocked(gen uint64) error {
 	newLog, err := wal.Create(load.WALPath(r.wal.dir, gen), r.wal.policy)
 	if err != nil {
@@ -230,11 +254,22 @@ func (r *Registry) rotateLocked(gen uint64) error {
 	}
 	old, oldPath := r.wal.log, r.wal.log.Path()
 	r.wal.log, r.wal.gen = newLog, gen
-	old.Close()
+	if err := old.Close(); err != nil {
+		r.rotateWarnLocked(fmt.Sprintf("close superseded segment %s: %v", oldPath, err))
+	}
 	if oldPath != newLog.Path() {
-		os.Remove(oldPath)
+		if err := os.Remove(oldPath); err != nil {
+			r.rotateWarnLocked(fmt.Sprintf("remove superseded segment %s: %v", oldPath, err))
+		}
 	}
 	return nil
+}
+
+// rotateWarnLocked records a non-fatal rotation cleanup failure (wal.mu
+// held) for /metrics.
+func (r *Registry) rotateWarnLocked(msg string) {
+	r.wal.rotateWarns++
+	r.wal.lastRotateWarn = msg
 }
 
 // Compact folds the WAL into a new snapshot generation: every updatable
@@ -255,7 +290,7 @@ func (r *Registry) Compact(snapshotDir string) (gen uint64, folded int64, err er
 	r.wal.mu.Lock()
 	defer r.wal.mu.Unlock()
 	if r.wal.log == nil {
-		return 0, 0, errors.New("server: no WAL attached (start the daemon with -wal-dir)")
+		return 0, 0, errNoWAL
 	}
 	cur := r.snap.Load()
 	folded = r.wal.log.Depth()
@@ -287,10 +322,19 @@ func (r *Registry) Compact(snapshotDir string) (gen uint64, folded int64, err er
 		}
 		ces = append(ces, renum.CatalogEntry{Name: name, Q: e.src.Src(), H: e.H})
 	}
-	if err := renum.SaveSnapshot(load.SnapshotPath(snapshotDir, newGen), cur.db, newGen, ces); err != nil {
+	snapPath := load.SnapshotPath(snapshotDir, newGen)
+	if err := renum.SaveSnapshot(snapPath, cur.db, newGen, ces); err != nil {
 		return 0, 0, err
 	}
 	if err := r.rotateLocked(newGen); err != nil {
+		// The registry keeps serving gen cur.gen and acking updates into
+		// wal-<cur.gen>.log, but boot pairs the NEWEST snapshot with its own
+		// segment: leaving gen+1's snapshot behind would pair it with an
+		// empty wal-<gen+1>.log on the next boot and silently drop every
+		// update acked after this failure. Unpublish it before reporting.
+		if rmErr := os.Remove(snapPath); rmErr != nil {
+			return 0, 0, fmt.Errorf("rotate WAL: %w; orphaned snapshot %s not removed (%v) — remove it before restarting or updates acked after this point will be lost on boot", err, snapPath, rmErr)
+		}
 		return 0, 0, err
 	}
 	r.wal.compactions++
@@ -310,6 +354,11 @@ type WALStats struct {
 	TornTail      bool   `json:"torn_tail_recovered"`
 	Compactions   int64  `json:"compactions"`
 	Folded        int64  `json:"records_folded"`
+
+	// Non-fatal rotation cleanup failures (close/remove of a superseded
+	// segment); the fold itself succeeded.
+	RotateWarnings    int64  `json:"rotate_warnings,omitempty"`
+	LastRotateWarning string `json:"last_rotate_warning,omitempty"`
 }
 
 // WALStats reports the current WAL state for /metrics.
@@ -317,10 +366,12 @@ func (r *Registry) WALStats() WALStats {
 	r.wal.mu.Lock()
 	defer r.wal.mu.Unlock()
 	st := WALStats{
-		Replayed:      r.wal.replayed,
-		ReplaySkipped: r.wal.skipped,
-		Compactions:   r.wal.compactions,
-		Folded:        r.wal.folded,
+		Replayed:          r.wal.replayed,
+		ReplaySkipped:     r.wal.skipped,
+		Compactions:       r.wal.compactions,
+		Folded:            r.wal.folded,
+		RotateWarnings:    r.wal.rotateWarns,
+		LastRotateWarning: r.wal.lastRotateWarn,
 	}
 	if r.wal.log != nil {
 		st.Attached = true

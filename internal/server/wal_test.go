@@ -240,6 +240,71 @@ func TestCompactFoldsWALIntoNewGeneration(t *testing.T) {
 	}
 }
 
+// TestUpdateWithStaleViewAfterCompact is the ApplyUpdate-vs-Compact race
+// regression: a handler resolves its lock-free view, a compaction publishes
+// rebuilt-aside entries before the update reaches the mutex, and the update
+// must land in the PUBLISHED handle. The old code applied to the superseded
+// handle the view still pointed at — the acked change was invisible to
+// every served read, and the next compaction (rebuilding from the served
+// handle, then rotating away the segment holding the record) lost it
+// permanently.
+func TestUpdateWithStaleViewAfterCompact(t *testing.T) {
+	snapDir, walDir := t.TempDir(), t.TempDir()
+	cfg := Config{SnapshotDir: snapDir}
+	s, reg := newTestServer(t, CoalesceConfig{}, cfg)
+	if _, _, err := reg.AttachWAL(walDir, wal.SyncNone); err != nil {
+		t.Fatal(err)
+	}
+	// One logged record so the compaction below actually mints a generation.
+	do(t, s, "POST", "/v1/D/update", `{"op":"insert","relation":"r","tuple":["7","8"]}`, 200)
+
+	// The in-flight handler's lock-free view, resolved BEFORE the
+	// compaction publishes.
+	stale, staleDB, gen0, ok := reg.LookupView("D")
+	if !ok {
+		t.Fatal("no entry D")
+	}
+	if _, _, err := reg.Compact(snapDir); err != nil {
+		t.Fatal(err)
+	}
+
+	// The update reaches the mutex only after the swap: it must be applied
+	// to the served handle, not the one the stale view captured.
+	served, _ := reg.Lookup("D")
+	before := served.Count()
+	if changed, err := reg.ApplyUpdate(stale, staleDB, wal.OpInsert, "r", []string{"42", "42"}); err != nil || !changed {
+		t.Fatalf("stale-view update = (%v, %v), want applied", changed, err)
+	}
+	if got := served.Count(); got != before+1 {
+		t.Fatalf("served count = %d, want %d: acked update landed in the superseded handle", got, before+1)
+	}
+	want := sweepD(t, s)
+
+	// And it survives the next fold plus a cold boot: the record is in the
+	// rotated segment AND in the served state the next compaction rebuilds
+	// from, so generation gen0+2 reproduces it with an empty WAL.
+	if _, _, err := reg.Compact(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := renum.OpenSnapshot(load.SnapshotPath(snapDir, gen0+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	reg2, err := NewRegistryFromCatalog(cat, CoalesceConfig{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg2.AttachWAL(walDir, wal.SyncNone); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(reg2, cfg)
+	defer s2.Close()
+	if got := sweepD(t, s2); got != want {
+		t.Fatalf("cold boot after stale-view update diverges:\n%s\nvs\n%s", got, want)
+	}
+}
+
 // TestCompactUnderLiveTraffic runs probes and updates full tilt while
 // compactions execute (run under -race): probes must stay lock-free and
 // correct across the pointer swap, and no acknowledged update may be lost.
