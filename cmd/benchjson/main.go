@@ -1,17 +1,28 @@
 // Command benchjson converts `go test -bench` text output into a
-// machine-readable JSON document, so CI can publish benchmark results as an
-// artifact that later tooling (and later PRs) can diff without scraping
-// logs.
+// machine-readable JSON document, and diffs fresh runs against committed
+// baselines — so CI can publish benchmark results as artifacts AND fail a PR
+// that regresses a gated number, without scraping logs.
 //
 // Usage:
 //
 //	go test -bench . -benchmem | benchjson > bench.json
 //	benchjson -o bench.json bench.txt
+//	benchjson -diff BENCH_probe.json bench.txt
+//	benchjson -diff BENCH_serving.json fresh-serving.json
 //
 // Every `Benchmark*` result line becomes one record with the iteration
 // count and a metrics map keyed by unit ("ns/op", "B/op", "allocs/op",
 // "MB/s", and any custom ReportMetric unit). The goos/goarch/pkg/cpu header
-// lines are carried through as context.
+// lines are carried through as context. Input that already is a benchjson
+// document (cmd/renumload emits one directly) is detected by its leading
+// '{' and passed through unparsed.
+//
+// With -diff BASELINE the fresh run is compared against the committed
+// baseline instead of re-emitted: any benchmark the baseline pins at
+// 0 allocs/op must stay at 0, nonzero allocs/op and ns/op may not regress
+// past -max-ns-regress, and ns/op comparisons are skipped when the two
+// documents record different CPUs (wall clock does not transfer across
+// hardware; allocation counts do). Regressions print and exit 1.
 package main
 
 import (
@@ -21,50 +32,77 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
 
-// Result is one benchmark line.
-type Result struct {
-	Name    string             `json:"name"`
-	Runs    int64              `json:"runs"`
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Doc is the emitted document.
-type Doc struct {
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	Pkg        string   `json:"pkg,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
-}
-
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable plumbing so tests can drive the tool.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("o", "", "output file (default stdout)")
+		diff      = fs.String("diff", "", "baseline BENCH_*.json to gate against: print regressions and exit 1 instead of emitting JSON")
+		maxNs     = fs.Float64("max-ns-regress", 0.20, "-diff failure threshold: fraction by which ns/op (or a nonzero allocs/op) may regress")
+		strictCPU = fs.Bool("strict-cpu", false, "-diff: compare ns/op even when baseline and fresh record different CPUs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	in := io.Reader(os.Stdin)
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		in = f
 	}
-
-	doc, err := Parse(in)
+	doc, err := readDoc(in)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
 
-	w := io.Writer(os.Stdout)
+	if *diff != "" {
+		base, err := loadDoc(*diff)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: baseline: %v\n", err)
+			return 1
+		}
+		findings := benchfmt.Diff(base, doc, benchfmt.DiffOptions{
+			MaxNsRegress:        *maxNs,
+			SkipNsOnCPUMismatch: !*strictCPU,
+		})
+		failed := false
+		for _, f := range findings {
+			tag := "info"
+			if f.Fail {
+				tag = "FAIL"
+				failed = true
+			}
+			fmt.Fprintf(stdout, "%s %s: %s\n", tag, f.Name, f.Msg)
+		}
+		if failed {
+			fmt.Fprintf(stderr, "benchjson: regressions against %s\n", *diff)
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchjson: %d baseline benchmarks within thresholds of %s\n", len(base.Benchmarks), *diff)
+		return 0
+	}
+
+	w := io.Writer(stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		w = f
@@ -72,59 +110,53 @@ func main() {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
+	return 0
 }
 
-// Parse scans go-test bench output. Unrecognized lines (test framework
-// chatter, PASS/ok trailers) are skipped, not errors: bench output is
-// routinely interleaved with other noise.
-func Parse(r io.Reader) (*Doc, error) {
-	doc := &Doc{Benchmarks: []Result{}}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "pkg:"):
-			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "cpu:"):
-			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			if res, ok := parseResult(line); ok {
-				doc.Benchmarks = append(doc.Benchmarks, res)
-			}
-		}
-	}
-	return doc, sc.Err()
-}
-
-// parseResult decodes "BenchmarkName-P  N  v1 unit1  v2 unit2 ...".
-func parseResult(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Result{}, false
-	}
-	runs, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	res := Result{Name: fields[0], Runs: runs, Metrics: make(map[string]float64)}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
+// readDoc decodes bench input in either shape: go-test text, or an
+// already-converted JSON document (first non-space byte '{').
+func readDoc(r io.Reader) (*benchfmt.Doc, error) {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.Peek(1)
 		if err != nil {
-			return Result{}, false
+			if err == io.EOF {
+				return &benchfmt.Doc{Benchmarks: []benchfmt.Result{}}, nil
+			}
+			return nil, err
 		}
-		res.Metrics[fields[i+1]] = v
+		switch b[0] {
+		case ' ', '\t', '\r', '\n':
+			br.ReadByte()
+			continue
+		case '{':
+			doc := &benchfmt.Doc{}
+			if err := json.NewDecoder(br).Decode(doc); err != nil {
+				return nil, fmt.Errorf("decode JSON document: %w", err)
+			}
+			if doc.Benchmarks == nil {
+				doc.Benchmarks = []benchfmt.Result{}
+			}
+			return doc, nil
+		default:
+			return benchfmt.Parse(br)
+		}
 	}
-	return res, true
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-	os.Exit(1)
+// loadDoc reads a committed BENCH_*.json baseline.
+func loadDoc(path string) (*benchfmt.Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc := &benchfmt.Doc{}
+	if err := json.NewDecoder(f).Decode(doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
 }

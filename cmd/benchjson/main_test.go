@@ -1,60 +1,167 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/benchfmt"
 )
 
 const sample = `goos: linux
 goarch: amd64
 pkg: repro
 cpu: AMD EPYC 7B13
-BenchmarkAccess/Q0-4         	 8503collector noise
 BenchmarkAccess/Q0-4         	    8503	    138.2 ns/op	       0 B/op	       0 allocs/op
 BenchmarkAccessBatch-4       	       1	  202435 ns/op	  131160 B/op	       3 allocs/op
-BenchmarkParallelBuild/Serial-4 	       1	40500000 ns/op	27000000 B/op	  618000 allocs/op
---- BENCH: BenchmarkSomething
-    some_test.go:10: noise
 PASS
 ok  	repro	1.234s
 `
 
-func TestParse(t *testing.T) {
-	doc, err := Parse(strings.NewReader(sample))
+// runTool invokes run() with args and returns (exit code, stdout, stderr).
+func runTool(t *testing.T, args []string) (int, string, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConvertTextToJSON(t *testing.T) {
+	in := writeFile(t, "bench.txt", sample)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	code, _, errOut := runTool(t, []string{"-o", out, in})
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	data, err := os.ReadFile(out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "repro" {
-		t.Fatalf("header = %+v", doc)
+	doc := &benchfmt.Doc{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		t.Fatal(err)
 	}
-	if doc.CPU != "AMD EPYC 7B13" {
-		t.Fatalf("cpu = %q", doc.CPU)
+	if doc.CPU != "AMD EPYC 7B13" || len(doc.Benchmarks) != 2 {
+		t.Fatalf("doc = %+v", doc)
 	}
-	if len(doc.Benchmarks) != 3 {
-		t.Fatalf("parsed %d results, want 3 (malformed lines skipped)", len(doc.Benchmarks))
-	}
-	b := doc.Benchmarks[0]
-	if b.Name != "BenchmarkAccess/Q0-4" || b.Runs != 8503 {
-		t.Fatalf("b0 = %+v", b)
-	}
-	if b.Metrics["ns/op"] != 138.2 || b.Metrics["allocs/op"] != 0 {
-		t.Fatalf("b0 metrics = %v", b.Metrics)
-	}
-	if doc.Benchmarks[1].Metrics["B/op"] != 131160 {
-		t.Fatalf("b1 metrics = %v", doc.Benchmarks[1].Metrics)
+	if doc.Benchmarks[0].Metrics["ns/op"] != 138.2 {
+		t.Fatalf("metrics = %v", doc.Benchmarks[0].Metrics)
 	}
 }
 
-func TestParseEmpty(t *testing.T) {
-	doc, err := Parse(strings.NewReader("no benchmarks here\n"))
+// A document that is already JSON (renumload's output) enters through the
+// same front door and round-trips unchanged.
+func TestJSONInputPassThrough(t *testing.T) {
+	doc := benchfmt.Doc{
+		CPU: "whatever",
+		Benchmarks: []benchfmt.Result{
+			{Name: "BenchmarkServing/access", Runs: 100, Metrics: map[string]float64{"allocs/op": 0}},
+		},
+	}
+	in := writeFile(t, "fresh.json", "\n  "+mustJSON(t, doc))
+	out := filepath.Join(t.TempDir(), "out.json")
+	code, _, errOut := runTool(t, []string{"-o", out, in})
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	data, err := os.ReadFile(out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(doc.Benchmarks) != 0 {
-		t.Fatalf("got %d results from noise", len(doc.Benchmarks))
+	round := &benchfmt.Doc{}
+	if err := json.Unmarshal(data, round); err != nil {
+		t.Fatal(err)
 	}
-	// Benchmarks must marshal as [], not null, for downstream consumers.
-	if doc.Benchmarks == nil {
-		t.Fatal("Benchmarks is nil")
+	if round.CPU != doc.CPU || len(round.Benchmarks) != 1 || round.Benchmarks[0].Name != doc.Benchmarks[0].Name {
+		t.Fatalf("round trip = %+v", round)
 	}
+}
+
+func TestDiffPassesWithinThresholds(t *testing.T) {
+	baseline := writeFile(t, "base.json", mustJSON(t, benchfmt.Doc{
+		CPU: "cpuA",
+		Benchmarks: []benchfmt.Result{
+			{Name: "BenchmarkAccess/Q0-4", Runs: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0}},
+			{Name: "BenchmarkAccessBatch-4", Runs: 1, Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 3}},
+		},
+	}))
+	fresh := writeFile(t, "bench.txt", sample) // 138.2 ns vs 100 would fail, but the CPUs differ
+	code, out, _ := runTool(t, []string{"-diff", baseline, fresh})
+	if code != 0 {
+		t.Fatalf("exit %d, out %q", code, out)
+	}
+	if !strings.Contains(out, "cpu mismatch") {
+		t.Fatalf("expected informational cpu-mismatch finding, got %q", out)
+	}
+}
+
+func TestDiffFailsOnAllocRegression(t *testing.T) {
+	baseline := writeFile(t, "base.json", mustJSON(t, benchfmt.Doc{
+		CPU: "AMD EPYC 7B13",
+		Benchmarks: []benchfmt.Result{
+			{Name: "BenchmarkAccess/Q0", Runs: 1, Metrics: map[string]float64{"allocs/op": 0}},
+		},
+	}))
+	fresh := writeFile(t, "bench.txt", strings.ReplaceAll(sample, "       0 allocs/op", "       2 allocs/op"))
+	code, out, _ := runTool(t, []string{"-diff", baseline, fresh})
+	if code != 1 {
+		t.Fatalf("exit %d, out %q (pinned-zero alloc regression must fail)", code, out)
+	}
+	if !strings.Contains(out, "FAIL BenchmarkAccess/Q0") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestDiffStrictCPUComparesNs(t *testing.T) {
+	baseline := writeFile(t, "base.json", mustJSON(t, benchfmt.Doc{
+		CPU: "cpuA",
+		Benchmarks: []benchfmt.Result{
+			{Name: "BenchmarkAccess/Q0", Runs: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0}},
+		},
+	}))
+	fresh := writeFile(t, "bench.txt", sample) // CPUs differ AND 138.2 > 100*1.2
+	code, out, _ := runTool(t, []string{"-diff", baseline, "-strict-cpu", fresh})
+	if code != 1 {
+		t.Fatalf("exit %d, out %q (-strict-cpu must gate ns across CPUs)", code, out)
+	}
+	if !strings.Contains(out, "ns/op regressed") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestDiffMissingBenchmarkIsInformational(t *testing.T) {
+	baseline := writeFile(t, "base.json", mustJSON(t, benchfmt.Doc{
+		CPU: "AMD EPYC 7B13",
+		Benchmarks: []benchfmt.Result{
+			{Name: "BenchmarkGone", Runs: 1, Metrics: map[string]float64{"ns/op": 5, "allocs/op": 0}},
+		},
+	}))
+	fresh := writeFile(t, "bench.txt", sample)
+	code, out, _ := runTool(t, []string{"-diff", baseline, fresh})
+	if code != 0 {
+		t.Fatalf("exit %d, out %q (missing benchmark is informational, not gating)", code, out)
+	}
+	if !strings.Contains(out, "info BenchmarkGone") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
 }

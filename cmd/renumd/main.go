@@ -21,6 +21,12 @@
 // -cursor-ttl of inactivity. -workers is each entry's worker budget — index
 // build parallelism and batch/page/sample probe fan-out (0 = all cores).
 //
+// The serving port runs a pooled per-connection HTTP/1.1 loop by default
+// (-http fast) that answers the hot GET probe endpoints without allocating;
+// -http std swaps in net/http. Responses are byte-identical either way.
+// -debug-addr exposes net/http/pprof on a separate listener (off unless
+// set), so production profiling never rides the serving address.
+//
 // # Snapshots
 //
 // With -snapshot-dir, the daemon boots from the newest catalog snapshot in
@@ -64,7 +70,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -109,8 +117,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		walDir       = fs.String("wal-dir", "", "write-ahead log directory: replay on boot, append every acked update")
 		walFsync     = fs.String("wal-fsync", "always", "WAL durability policy: always (fsync per record) or none")
 		compactEvery = fs.Duration("compact-every", 0, "fold the WAL into a new snapshot generation on this period (0 disables; requires -wal-dir and -snapshot-dir)")
+		httpMode     = fs.String("http", "fast", "connection loop: fast (pooled per-connection loop, hot GETs allocation-free) or std (net/http)")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this address (off unless set)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *httpMode != "fast" && *httpMode != "std" {
+		fmt.Fprintf(stderr, "renumd: -http must be fast or std (got %q)\n", *httpMode)
 		return 2
 	}
 	if *persistExit && *snapshotDir == "" {
@@ -217,10 +231,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 	})
 	defer srv.Close()
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
+	// Profiling endpoints live on their own listener so they are reachable
+	// even when the serving port runs the fast loop, and are never exposed on
+	// the serving address.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		dbgLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "renumd: debug listener: %v\n", err)
+			return 1
+		}
+		go dbg.Serve(dbgLn)
+		defer dbg.Close()
+		fmt.Fprintf(stdout, "renumd: pprof on %s\n", dbgLn.Addr())
+	}
+
+	// Both loops share the shutdown contract: Serve returns
+	// http.ErrServerClosed after Shutdown, and Shutdown drains in-flight
+	// requests until its context expires.
+	var (
+		serve    func() error
+		shutdown func(context.Context) error
+	)
+	if *httpMode == "fast" {
+		fastSrv := server.NewFastServer(srv)
+		serve = func() error { return fastSrv.ListenAndServe(*addr) }
+		shutdown = fastSrv.Shutdown
+	} else {
+		httpSrv := &http.Server{
+			Addr:              *addr,
+			Handler:           srv.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		serve = httpSrv.ListenAndServe
+		shutdown = httpSrv.Shutdown
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -253,9 +303,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	fmt.Fprintf(stdout, "renumd: listening on %s\n", *addr)
+	fmt.Fprintf(stdout, "renumd: listening on %s (%s loop)\n", *addr, *httpMode)
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
+	go func() { errCh <- serve() }()
 
 	select {
 	case err := <-errCh:
@@ -274,7 +324,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintln(stdout, "renumd: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+	if err := shutdown(shutdownCtx); err != nil {
 		fmt.Fprintf(stderr, "renumd: drain: %v\n", err)
 		return 1
 	}

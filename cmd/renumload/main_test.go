@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+// TestSmoke drives the whole harness end to end at a tiny scale — build,
+// serve, hammer, emit — and checks the document it writes, not the absolute
+// numbers (which depend on the machine and, under -race, on instrumentation).
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a server and drives load")
+	}
+	out := filepath.Join(t.TempDir(), "serving.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{
+		"-tuples", "500", "-n", "200", "-rate", "4000", "-conns", "2",
+		"-phases", "access,count,batch16_wire,cursor64",
+		"-bench-json", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := &benchfmt.Doc{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Pkg != "repro/serving" {
+		t.Fatalf("pkg = %q", doc.Pkg)
+	}
+	want := []string{
+		"BenchmarkServing/access",
+		"BenchmarkServing/count",
+		"BenchmarkServing/batch16_wire",
+		"BenchmarkServing/cursor64",
+	}
+	if len(doc.Benchmarks) != len(want) {
+		t.Fatalf("benchmarks = %+v", doc.Benchmarks)
+	}
+	for i, name := range want {
+		b := doc.Benchmarks[i]
+		if b.Name != name {
+			t.Fatalf("benchmark %d = %q, want %q", i, b.Name, name)
+		}
+		if b.Runs != 200 {
+			t.Fatalf("%s runs = %d", name, b.Runs)
+		}
+		for _, unit := range []string{"ns/op", "p50-ns", "p99-ns", "req/s", "B/op", "allocs/op"} {
+			if _, ok := b.Metrics[unit]; !ok {
+				t.Fatalf("%s missing metric %q (have %v)", name, unit, b.Metrics)
+			}
+		}
+		if b.Metrics["req/s"] <= 0 || b.Metrics["p99-ns"] < b.Metrics["p50-ns"] {
+			t.Fatalf("%s metrics implausible: %v", name, b.Metrics)
+		}
+	}
+	// The phase table the operator sees names every phase that ran.
+	for _, phase := range []string{"access", "count", "batch16_wire", "cursor64"} {
+		if !strings.Contains(stdout.String(), phase) {
+			t.Fatalf("stdout missing phase %q:\n%s", phase, stdout.String())
+		}
+	}
+}
+
+func TestUnknownPhase(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-phases", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, stderr %q", code, stderr.String())
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/synth"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -80,6 +81,7 @@ func main() {
 
 	// --- Mixed traffic ----------------------------------------------------
 	var requests, failures atomic.Int64
+	var wireRows, wireBytes atomic.Int64
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *clients}}
 	get := func(url string) {
 		requests.Add(1)
@@ -93,6 +95,35 @@ func main() {
 		if resp.StatusCode != http.StatusOK {
 			failures.Add(1)
 		}
+	}
+	// getWire asks for the binary wire format (Accept negotiation) and
+	// decodes the frame with the shared client codec, checksum included.
+	getWire := func(url string) {
+		requests.Add(1)
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			failures.Add(1)
+			return
+		}
+		req.Header.Set("Accept", wire.ContentType)
+		resp, err := client.Do(req)
+		if err != nil {
+			failures.Add(1)
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != wire.ContentType {
+			failures.Add(1)
+			return
+		}
+		h, err := wire.ParseFunc(body, nil)
+		if err != nil {
+			failures.Add(1)
+			return
+		}
+		wireRows.Add(int64(h.Rows))
+		wireBytes.Add(int64(len(body)))
 	}
 
 	start := time.Now()
@@ -111,9 +142,19 @@ func main() {
 					for k := range js {
 						js[k] = fmt.Sprint(rng.Int63n(n))
 					}
-					get(fmt.Sprintf("%s/v1/Q/batch?js=%s", base, strings.Join(js, ",")))
+					url := fmt.Sprintf("%s/v1/Q/batch?js=%s", base, strings.Join(js, ","))
+					if rng.Intn(2) == 0 { // half the batches ride the binary format
+						getWire(url)
+					} else {
+						get(url)
+					}
 				case 6:
-					get(fmt.Sprintf("%s/v1/Q/page?offset=%d&limit=25", base, rng.Int63n(n)))
+					url := fmt.Sprintf("%s/v1/Q/page?offset=%d&limit=25", base, rng.Int63n(n))
+					if rng.Intn(2) == 0 {
+						getWire(url)
+					} else {
+						get(url)
+					}
 				case 7:
 					get(fmt.Sprintf("%s/v1/Q/sample?k=8&seed=%d", base, rng.Int63()))
 				default:
@@ -127,6 +168,10 @@ func main() {
 	fmt.Printf("\n%d requests from %d clients in %v (%.0f req/s), %d failures\n",
 		requests.Load(), *clients, elapsed.Round(time.Millisecond),
 		float64(requests.Load())/elapsed.Seconds(), failures.Load())
+	if rows := wireRows.Load(); rows > 0 {
+		fmt.Printf("binary wire format: %d rows decoded from %d frame bytes (CRC-checked)\n",
+			rows, wireBytes.Load())
+	}
 
 	// --- Report /metrics --------------------------------------------------
 	resp, err := client.Get(base + "/metrics")

@@ -434,6 +434,16 @@ func (idx *Index) AccessBatchContext(ctx context.Context, js []int64, workers in
 	arity := len(idx.head)
 	fill := func(lo, hi int) error {
 		backing := make([]relation.Value, (hi-lo)*arity)
+		// Warm the root bucket's first binary-search lines before the chunk
+		// loop: each parallel chunk starts on a cold worker stack, and the
+		// first midpoint of the root search is the same address for every
+		// probe, so one prefetch overlaps that miss with the backing-array
+		// zeroing above.
+		root := idx.root
+		if mid := int(uint32(root.bucketOff[0]+root.bucketOff[1]) >> 1); mid < len(root.start) {
+			prefetcht0(&root.start[mid])
+			prefetcht0(&root.weight[mid])
+		}
 		for i := lo; i < hi; i++ {
 			answer := relation.Tuple(backing[(i-lo)*arity : (i-lo+1)*arity : (i-lo+1)*arity])
 			idx.subtreeAccess(idx.root, 0, js[i], answer)
@@ -483,6 +493,32 @@ func (idx *Index) subtreeAccess(n *node, g uint32, j int64, answer relation.Tupl
 	// SplitIndex (Algorithm 3 lines 12-13): mixed-radix decomposition, last
 	// child least significant. Child buckets were resolved at build time.
 	rem := j - n.start[i]
+	if len(n.children) <= maxSplitChildren {
+		// Two-pass split: resolve every child's bucket and sub-index first,
+		// prefetching each child bucket's first binary-search lines as its
+		// split is computed. The recursive descent would serialize those
+		// cache misses — child ci's lines are not touched until children
+		// ci+1..m finished — whereas here all of them are in flight before
+		// the first recursion starts.
+		var cgs [maxSplitChildren]uint32
+		var jis [maxSplitChildren]int64
+		for ci := len(n.children) - 1; ci >= 0; ci-- {
+			c := n.children[ci]
+			cg := uint32(n.childGroup[ci][pos])
+			ct := c.total[cg]
+			jis[ci] = rem % ct
+			rem /= ct
+			cgs[ci] = cg
+			if mid := int(uint32(c.bucketOff[cg]+c.bucketOff[cg+1]) >> 1); mid < len(c.start) {
+				prefetcht0(&c.start[mid])
+				prefetcht0(&c.weight[mid])
+			}
+		}
+		for ci := len(n.children) - 1; ci >= 0; ci-- {
+			idx.subtreeAccess(n.children[ci], cgs[ci], jis[ci], answer)
+		}
+		return
+	}
 	for ci := len(n.children) - 1; ci >= 0; ci-- {
 		c := n.children[ci]
 		cg := uint32(n.childGroup[ci][pos])
@@ -492,6 +528,11 @@ func (idx *Index) subtreeAccess(n *node, g uint32, j int64, answer relation.Tupl
 		idx.subtreeAccess(c, cg, ji, answer)
 	}
 }
+
+// maxSplitChildren bounds the stack arrays of the two-pass split; a node
+// with more children (rare — join-tree fan-out is query-sized) takes the
+// one-pass loop.
+const maxSplitChildren = 8
 
 // InvertedAccess returns the index j with Access(j) == answer, or ok=false if
 // answer is not in Q(D) (Algorithm 4). Constant time in data complexity and

@@ -1,0 +1,11 @@
+//go:build amd64
+
+package access
+
+// prefetcht0 issues a PREFETCHT0 for the cache line holding p: a hint to
+// pull the line into all cache levels without stalling. Probes use it to
+// overlap the child buckets' cache misses that the recursive descent would
+// otherwise serialize. Implemented in prefetch_amd64.s.
+//
+//go:noescape
+func prefetcht0(p *int64)

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package access
+
+// prefetcht0 is a no-op on architectures without an explicit prefetch
+// helper; the two-pass probe restructure still overlaps misses through the
+// early loads themselves.
+func prefetcht0(p *int64) { _ = p }

@@ -1,0 +1,194 @@
+// Package benchfmt is the machine-readable benchmark document shared by
+// cmd/benchjson (text → JSON conversion, baseline diffing) and cmd/renumload
+// (which emits serving-tier results in the same shape): one Doc per run,
+// one Result per benchmark, metrics keyed by unit exactly as `go test
+// -bench` prints them ("ns/op", "B/op", "allocs/op", plus any custom
+// ReportMetric unit). The committed BENCH_*.json baselines at the repo root
+// are Docs.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Parse scans go-test bench output. Unrecognized lines (test framework
+// chatter, PASS/ok trailers) are skipped, not errors: bench output is
+// routinely interleaved with other noise.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseResult(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, res)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseResult decodes "BenchmarkName-P  N  v1 unit1  v2 unit2 ...".
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Runs: runs, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}
+
+// BaseName strips the -P GOMAXPROCS suffix go test appends on multi-core
+// machines (BenchmarkAccess/Q0-4 → BenchmarkAccess/Q0), so results from
+// runners with different core counts compare under one name.
+func BaseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	tail := name[i+1:]
+	if tail == "" {
+		return name
+	}
+	for _, c := range tail {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// DiffOptions tunes Diff's regression thresholds.
+type DiffOptions struct {
+	// MaxNsRegress fails a benchmark whose fresh ns/op exceeds the baseline
+	// by more than this fraction (0.20 = +20%). <= 0 means 0.20.
+	MaxNsRegress float64
+	// SkipNsOnCPUMismatch suppresses the ns/op comparison when the two docs
+	// record different cpu strings: wall-clock numbers from different
+	// hardware are not comparable, while allocs/op is hardware-independent
+	// and is always compared.
+	SkipNsOnCPUMismatch bool
+}
+
+// Finding is one regression (or informational note) from Diff.
+type Finding struct {
+	Name string
+	Msg  string
+	// Fail marks a gating regression; non-fail findings are informational
+	// (benchmark missing from the fresh run, ns comparison skipped).
+	Fail bool
+}
+
+// Diff compares a fresh run against a committed baseline, benchmark by
+// benchmark (matched on BaseName, so GOMAXPROCS suffixes do not defeat the
+// match). It gates on:
+//
+//   - allocs/op: a benchmark the baseline pins at 0 allocs/op must stay at
+//     0 — any alloc creeping into a pinned-zero probe path fails. A nonzero
+//     baseline fails only past the MaxNsRegress fraction (allocation counts
+//     are deterministic, but harness-measured allocs/req carry scheduler
+//     noise).
+//   - ns/op: fresh > baseline*(1+MaxNsRegress) fails, unless the cpu
+//     strings differ and SkipNsOnCPUMismatch is set.
+//
+// Benchmarks present only in the baseline are informational findings (a
+// renamed benchmark must be re-baselined deliberately, not silently
+// dropped); benchmarks present only in the fresh run are ignored.
+func Diff(baseline, fresh *Doc, opts DiffOptions) []Finding {
+	if opts.MaxNsRegress <= 0 {
+		opts.MaxNsRegress = 0.20
+	}
+	freshBy := make(map[string]Result, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshBy[BaseName(b.Name)] = b
+	}
+	cpuMismatch := opts.SkipNsOnCPUMismatch && baseline.CPU != fresh.CPU
+	var out []Finding
+	for _, base := range baseline.Benchmarks {
+		name := BaseName(base.Name)
+		fr, ok := freshBy[name]
+		if !ok {
+			out = append(out, Finding{Name: name, Msg: "missing from fresh run (re-baseline deliberately if renamed)"})
+			continue
+		}
+		if baseAllocs, ok := base.Metrics["allocs/op"]; ok {
+			if frAllocs, ok := fr.Metrics["allocs/op"]; ok {
+				switch {
+				case baseAllocs == 0 && frAllocs > 0:
+					out = append(out, Finding{
+						Name: name, Fail: true,
+						Msg: fmt.Sprintf("allocs/op regressed 0 → %g (pinned zero-alloc path)", frAllocs),
+					})
+				case baseAllocs > 0 && frAllocs > baseAllocs*(1+opts.MaxNsRegress):
+					out = append(out, Finding{
+						Name: name, Fail: true,
+						Msg: fmt.Sprintf("allocs/op regressed %g → %g (>%d%%)", baseAllocs, frAllocs, int(opts.MaxNsRegress*100)),
+					})
+				}
+			}
+		}
+		baseNs, okB := base.Metrics["ns/op"]
+		frNs, okF := fr.Metrics["ns/op"]
+		if okB && okF && baseNs > 0 {
+			if cpuMismatch {
+				continue // allocs compared above; wall clock not comparable
+			}
+			if frNs > baseNs*(1+opts.MaxNsRegress) {
+				out = append(out, Finding{
+					Name: name, Fail: true,
+					Msg: fmt.Sprintf("ns/op regressed %.0f → %.0f (>%d%%)", baseNs, frNs, int(opts.MaxNsRegress*100)),
+				})
+			}
+		}
+	}
+	if cpuMismatch {
+		out = append(out, Finding{
+			Name: "(doc)",
+			Msg:  fmt.Sprintf("cpu mismatch (%q vs %q): ns/op comparisons skipped, allocs/op still gated", baseline.CPU, fresh.CPU),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Fail && !out[j].Fail })
+	return out
+}

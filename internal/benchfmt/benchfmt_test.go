@@ -1,0 +1,164 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkAccess/Q0-4         	 8503collector noise
+BenchmarkAccess/Q0-4         	    8503	    138.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAccessBatch-4       	       1	  202435 ns/op	  131160 B/op	       3 allocs/op
+BenchmarkParallelBuild/Serial-4 	       1	40500000 ns/op	27000000 B/op	  618000 allocs/op
+--- BENCH: BenchmarkSomething
+    some_test.go:10: noise
+PASS
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "repro" {
+		t.Fatalf("header = %+v", doc)
+	}
+	if doc.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d results, want 3 (malformed lines skipped)", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkAccess/Q0-4" || b.Runs != 8503 {
+		t.Fatalf("b0 = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 138.2 || b.Metrics["allocs/op"] != 0 {
+		t.Fatalf("b0 metrics = %v", b.Metrics)
+	}
+	if doc.Benchmarks[1].Metrics["B/op"] != 131160 {
+		t.Fatalf("b1 metrics = %v", doc.Benchmarks[1].Metrics)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	doc, err := Parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("got %d results from noise", len(doc.Benchmarks))
+	}
+	// Benchmarks must marshal as [], not null, for downstream consumers.
+	if doc.Benchmarks == nil {
+		t.Fatal("Benchmarks is nil")
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkAccess/Q0-4":      "BenchmarkAccess/Q0",
+		"BenchmarkAccess/Q0":        "BenchmarkAccess/Q0",
+		"BenchmarkServing/batch16":  "BenchmarkServing/batch16",
+		"BenchmarkColdStart-128":    "BenchmarkColdStart",
+		"BenchmarkX/flat=true-4":    "BenchmarkX/flat=true",
+		"Benchmark-":                "Benchmark-",
+		"-4":                        "-4",
+		"BenchmarkServing/p99-tail": "BenchmarkServing/p99-tail",
+	}
+	for in, want := range cases {
+		if got := BaseName(in); got != want {
+			t.Errorf("BaseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func docWith(cpu string, results ...Result) *Doc {
+	return &Doc{CPU: cpu, Benchmarks: results}
+}
+
+func res(name string, ns, allocs float64) Result {
+	return Result{Name: name, Runs: 1, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestDiffGates(t *testing.T) {
+	base := docWith("cpuA",
+		res("BenchmarkA-4", 100, 0),
+		res("BenchmarkB-4", 100, 10),
+		res("BenchmarkC-4", 100, 0),
+	)
+
+	t.Run("clean", func(t *testing.T) {
+		fresh := docWith("cpuA", res("BenchmarkA-8", 110, 0), res("BenchmarkB-8", 95, 11), res("BenchmarkC-8", 100, 0))
+		if fs := Diff(base, fresh, DiffOptions{}); len(fs) != 0 {
+			t.Fatalf("findings = %+v", fs)
+		}
+	})
+
+	t.Run("pinned zero alloc regression fails", func(t *testing.T) {
+		fresh := docWith("cpuA", res("BenchmarkA-8", 100, 1), res("BenchmarkB-8", 100, 10), res("BenchmarkC-8", 100, 0))
+		fs := Diff(base, fresh, DiffOptions{})
+		if len(fs) != 1 || !fs[0].Fail || fs[0].Name != "BenchmarkA" {
+			t.Fatalf("findings = %+v", fs)
+		}
+	})
+
+	t.Run("nonzero allocs tolerate the fraction", func(t *testing.T) {
+		fresh := docWith("cpuA", res("BenchmarkA-8", 100, 0), res("BenchmarkB-8", 100, 11.9), res("BenchmarkC-8", 100, 0))
+		if fs := Diff(base, fresh, DiffOptions{}); len(fs) != 0 {
+			t.Fatalf("findings = %+v", fs)
+		}
+		fresh.Benchmarks[1].Metrics["allocs/op"] = 13
+		fs := Diff(base, fresh, DiffOptions{})
+		if len(fs) != 1 || !fs[0].Fail {
+			t.Fatalf("findings = %+v", fs)
+		}
+	})
+
+	t.Run("ns regression fails past threshold", func(t *testing.T) {
+		fresh := docWith("cpuA", res("BenchmarkA-8", 121, 0), res("BenchmarkB-8", 100, 10), res("BenchmarkC-8", 100, 0))
+		fs := Diff(base, fresh, DiffOptions{})
+		if len(fs) != 1 || !fs[0].Fail || !strings.Contains(fs[0].Msg, "ns/op") {
+			t.Fatalf("findings = %+v", fs)
+		}
+		// A looser threshold passes the same pair.
+		if fs := Diff(base, fresh, DiffOptions{MaxNsRegress: 0.25}); len(fs) != 0 {
+			t.Fatalf("findings = %+v", fs)
+		}
+	})
+
+	t.Run("cpu mismatch skips ns but still gates allocs", func(t *testing.T) {
+		fresh := docWith("cpuB", res("BenchmarkA-8", 500, 1), res("BenchmarkB-8", 500, 10), res("BenchmarkC-8", 500, 0))
+		fs := Diff(base, fresh, DiffOptions{SkipNsOnCPUMismatch: true})
+		var fails, infos int
+		for _, f := range fs {
+			if f.Fail {
+				fails++
+				if f.Name != "BenchmarkA" {
+					t.Fatalf("unexpected fail %+v", f)
+				}
+			} else {
+				infos++
+			}
+		}
+		if fails != 1 || infos != 1 {
+			t.Fatalf("findings = %+v", fs)
+		}
+		// Fails sort before informational findings.
+		if !fs[0].Fail {
+			t.Fatalf("ordering = %+v", fs)
+		}
+	})
+
+	t.Run("missing benchmark is informational", func(t *testing.T) {
+		fresh := docWith("cpuA", res("BenchmarkA-8", 100, 0), res("BenchmarkB-8", 100, 10))
+		fs := Diff(base, fresh, DiffOptions{})
+		if len(fs) != 1 || fs[0].Fail || fs[0].Name != "BenchmarkC" {
+			t.Fatalf("findings = %+v", fs)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package mcucq
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/relation"
+)
+
+// TestFlattenedDispatchMatchesRecursive pins MCUCQ.Access/Test (the
+// flattened level-array walk) against the recursive union chain they
+// replaced, position by position, on 2-, 3- and 4-way unions with
+// overlapping disjuncts.
+func TestFlattenedDispatchMatchesRecursive(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(seed int64) (*MCUCQ, error)
+	}{
+		{"two-way", func(seed int64) (*MCUCQ, error) {
+			return New(alignedDB(seed, 60), alignedUCQ2(), Options{Verify: true})
+		}},
+		{"three-way", func(seed int64) (*MCUCQ, error) {
+			return New(alignedDB(seed+50, 50), alignedUCQ3(), Options{Verify: true})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 4; seed++ {
+				m, err := tc.build(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := m.Count(), m.top.Count(); got != want {
+					t.Fatalf("seed %d: Count %d, recursive %d", seed, got, want)
+				}
+				for j := int64(-2); j < m.Count()+2; j++ {
+					flat, flatErr := m.Access(j)
+					rec, recErr := m.top.Access(j)
+					if (flatErr == nil) != (recErr == nil) {
+						t.Fatalf("seed %d Access(%d): flat err %v, recursive err %v", seed, j, flatErr, recErr)
+					}
+					if flatErr != nil {
+						if flatErr != access.ErrOutOfBounds || recErr != access.ErrOutOfBounds {
+							t.Fatalf("seed %d Access(%d): errors %v / %v", seed, j, flatErr, recErr)
+						}
+						continue
+					}
+					if flat.Key() != rec.Key() {
+						t.Fatalf("seed %d Access(%d): flat %v, recursive %v", seed, j, flat, rec)
+					}
+					if !m.Test(flat) || !m.top.Test(flat) {
+						t.Fatalf("seed %d: answer %v fails membership", seed, flat)
+					}
+				}
+				// Non-answers must be rejected by both dispatches.
+				for _, probe := range []relation.Tuple{
+					{relation.Value(999), relation.Value(999), relation.Value(999)},
+					{relation.Value(0), relation.Value(0), relation.Value(7)},
+				} {
+					if got, want := m.Test(probe), m.top.Test(probe); got != want {
+						t.Fatalf("seed %d Test(%v): flat %v, recursive %v", seed, probe, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFlattenedDispatchSingleDisjunct covers the degenerate union (m = 1,
+// no levels): the flat walk must delegate straight to the only disjunct.
+func TestFlattenedDispatchSingleDisjunct(t *testing.T) {
+	db := alignedDB(3, 40)
+	u := alignedUCQ2()
+	single := *u
+	single.Disjuncts = u.Disjuncts[:1]
+	m, err := New(db, &single, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() == 0 {
+		t.Fatal("fixture disjunct is empty")
+	}
+	for j := int64(0); j < m.Count(); j++ {
+		flat, err := m.Access(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := m.top.Access(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flat.Key() != rec.Key() {
+			t.Fatalf("Access(%d): %v vs %v", j, flat, rec)
+		}
+	}
+	if _, err := m.Access(m.Count()); err != access.ErrOutOfBounds {
+		t.Fatalf("out-of-range error = %v", err)
+	}
+}
+
+// BenchmarkUnionAccess compares the flattened and recursive dispatches on a
+// 3-way union (run with -bench to see the delta; correctness is pinned by
+// the tests above).
+func BenchmarkUnionAccess(b *testing.B) {
+	m, err := New(alignedDB(1, 2000), alignedUCQ3(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := m.Count()
+	for _, flat := range []bool{true, false} {
+		b.Run(fmt.Sprintf("flat=%v", flat), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				j := int64(i) % n
+				var err error
+				if flat {
+					_, err = m.Access(j)
+				} else {
+					_, err = m.top.Access(j)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -148,7 +148,23 @@ func (u *union) countUpTo(t RankedSet, j int64) int64 {
 		return u.countUpToViaLargest(t, j, n)
 	}
 	// Direct form (the implementation shortcut noted in Section 6.1): find
-	// the first r with rankA(T[r]) > j; that r is the count.
+	// the first r with rankA(T[r]) > j; that r is the count. When T is a
+	// plain index, the log n probe tuples of the search share one scratch
+	// buffer instead of allocating each.
+	if is, ok := t.(indexSet); ok {
+		scratch := make(relation.Tuple, len(is.idx.Head()))
+		r := sort.Search(int(n), func(r int) bool {
+			if err := is.idx.AccessInto(int64(r), scratch); err != nil {
+				return true
+			}
+			rank, ok := u.first.InvAcc(scratch)
+			if !ok {
+				return true
+			}
+			return rank > j
+		})
+		return int64(r)
+	}
 	r := sort.Search(int(n), func(r int) bool {
 		c, err := t.Access(int64(r))
 		if err != nil {
@@ -413,10 +429,58 @@ func intersectionName(u *query.UCQ, idx []int) string {
 func (m *MCUCQ) Count() int64 { return m.count }
 
 // Access returns the j-th answer of the union's enumeration order.
-func (m *MCUCQ) Access(j int64) (relation.Tuple, error) { return m.top.Access(j) }
+//
+// The dispatch is flattened: instead of recursing down the union chain
+// through two interface calls per level (rest.Access, rest.Test), the loop
+// walks the level array directly — Algorithm 7's tail recursion is just a
+// rewrite of j — and the membership probe against the rest of the union is
+// a linear OR-scan over the remaining disjunct indexes. The recursive form
+// survives on the union type itself; TestFlattenedDispatchMatchesRecursive
+// pins the two against each other.
+func (m *MCUCQ) Access(j int64) (relation.Tuple, error) {
+	n := len(m.firsts)
+	for l := 0; ; l++ {
+		if l == n-1 {
+			// Innermost level: the last disjunct serves the probe directly.
+			return m.firsts[l].Access(j)
+		}
+		// levels is built bottom-up, so the union whose first disjunct is
+		// S_l sits at levels[n-2-l].
+		u := m.levels[n-2-l]
+		if j < 0 || j >= u.count {
+			return nil, access.ErrOutOfBounds
+		}
+		nA := u.first.Count()
+		if j < nA {
+			a, err := u.first.Access(j)
+			if err != nil {
+				return nil, err
+			}
+			if !m.testFrom(l+1, a) {
+				return a, nil
+			}
+			// a ∈ A ∩ B: the j-th output is B's (k-1)-th element.
+			j = u.computeK(j) - 1
+			continue
+		}
+		// Phase 2: remaining elements of B after |A ∩ B| were consumed.
+		j = j - nA + u.inter
+	}
+}
 
-// Test reports whether t is an answer of the union.
-func (m *MCUCQ) Test(t relation.Tuple) bool { return m.top.Test(t) }
+// Test reports whether t is an answer of the union: a flat OR-scan over the
+// disjunct indexes (the recursive chain's Test unrolls to exactly this).
+func (m *MCUCQ) Test(t relation.Tuple) bool { return m.testFrom(0, t) }
+
+// testFrom reports whether t is an answer of S_l ∪ ... ∪ S_{m-1}.
+func (m *MCUCQ) testFrom(l int, t relation.Tuple) bool {
+	for ; l < len(m.firsts); l++ {
+		if m.firsts[l].Test(t) {
+			return true
+		}
+	}
+	return false
+}
 
 // VerifyCompatibility checks, for every level ℓ and every intersection set
 // T_{ℓ,I}, that T's enumeration order is a subsequence of S_ℓ's order (every

@@ -253,6 +253,19 @@ func (d *Dict) String(v Value) string {
 	return fmt.Sprintf("#%d", int64(v))
 }
 
+// StringInterned returns the interned string for v, or ok=false for a
+// value outside the dictionary. Unlike String it never formats: callers on
+// allocation-free paths render the out-of-dictionary "#N" form themselves
+// (strconv.AppendInt into their own buffer).
+func (d *Dict) StringInterned(v Value) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if v >= 0 && v < Value(len(d.byValue)) {
+		return d.byValue[v], true
+	}
+	return "", false
+}
+
 // Len reports the number of interned strings.
 func (d *Dict) Len() int {
 	d.mu.RLock()

@@ -1,0 +1,511 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+
+	"repro"
+	"repro/internal/wire"
+)
+
+// This file is the hand-rolled encoder tier: every hot probe response is
+// appended into a pooled buffer by a shape-specific builder instead of going
+// through encoding/json's reflection walk. The output is byte-identical to
+// what `json.NewEncoder(w).Encode(map[string]any{...})` produced before —
+// same alphabetical key order, same escaping table (HTML-escaped by default,
+// like the Encoder), same trailing newline — which the equivalence tests in
+// encode_test.go pin against encoding/json itself. Cold, reflection-shaped
+// endpoints (meta, list, metrics, admin) stay on writeJSON: their cost is
+// irrelevant and their payloads change shape with the registry.
+
+// enc is one request's encoder state: the response buffer plus probe scratch
+// (a tuple row for AccessInto, a position slice for batch parsing), pooled so
+// a steady-state request allocates nothing. The fast HTTP loop owns one per
+// connection; mux handlers borrow from the pool per request.
+type enc struct {
+	buf []byte
+	row renum.Tuple
+	js  []int64
+}
+
+// Retention caps: a pathological response (a 64k-position batch) must not pin
+// megabytes in the pool forever.
+const (
+	maxRetainedBuf = 1 << 20
+	maxRetainedJS  = 1 << 12
+)
+
+var encPool = sync.Pool{New: func() any { return &enc{buf: make([]byte, 0, 4096)} }}
+
+func getEnc() *enc {
+	e := encPool.Get().(*enc)
+	e.buf = e.buf[:0]
+	return e
+}
+
+func (e *enc) release() {
+	if cap(e.buf) > maxRetainedBuf {
+		e.buf = make([]byte, 0, 4096)
+	}
+	if cap(e.js) > maxRetainedJS {
+		e.js = nil
+	}
+	encPool.Put(e)
+}
+
+// rowFor returns the scratch tuple resized to arity.
+func (e *enc) rowFor(arity int) renum.Tuple {
+	if cap(e.row) < arity {
+		e.row = make(renum.Tuple, arity)
+	}
+	e.row = e.row[:arity]
+	return e.row
+}
+
+// jsFor returns the scratch position slice, emptied.
+func (e *enc) jsFor() []int64 { return e.js[:0] }
+
+// ---------------------------------------------------------- JSON primitives
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a quoted JSON string using exactly
+// encoding/json's default (HTML-escaping) table: `"` and `\` get a backslash,
+// \b \f \n \r \t their short escapes, other control bytes `\u00xx`, `<` `>` `&`
+// their `\u00xx` forms, U+2028/U+2029 their `\u202x` forms, and invalid
+// UTF-8 the literal `�` escape.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case c == utf8.RuneError && size == 1:
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			start = i
+		case c == '\u2028' || c == '\u2029':
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+		default:
+			i += size
+		}
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// appendCellString renders one value as a JSON string: the interned
+// dictionary string when there is one, otherwise Dict.String's stable "#N"
+// form rendered in place — '#' and decimal digits need no JSON escaping, so
+// the formatting allocation Dict.String would pay is avoided entirely.
+func appendCellString(dst []byte, dict *renum.Dict, v renum.Value) []byte {
+	if s, ok := dict.StringInterned(v); ok {
+		return appendJSONString(dst, s)
+	}
+	dst = append(dst, '"', '#')
+	dst = strconv.AppendInt(dst, int64(v), 10)
+	return append(dst, '"')
+}
+
+// appendTupleStrings renders one tuple as a JSON array of its dictionary
+// strings, straight from the value-typed row — no []string materialization.
+func appendTupleStrings(dst []byte, dict *renum.Dict, t renum.Tuple) []byte {
+	dst = append(dst, '[')
+	for i, v := range t {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendCellString(dst, dict, v)
+	}
+	return append(dst, ']')
+}
+
+func appendTuplesArray(dst []byte, dict *renum.Dict, ts []renum.Tuple) []byte {
+	dst = append(dst, '[')
+	for i, t := range ts {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendTupleStrings(dst, dict, t)
+	}
+	return append(dst, ']')
+}
+
+// ---------------------------------------------------------- response bodies
+//
+// One builder per response shape; keys appear in the alphabetical order
+// encoding/json gives map keys, and every body ends with the Encoder's '\n'.
+
+var (
+	healthzBody = []byte("{\"ok\":true}\n")
+	closedBody  = []byte("{\"closed\":true}\n")
+)
+
+func appendCountBody(dst []byte, n int64) []byte {
+	dst = append(dst, `{"count":`...)
+	dst = strconv.AppendInt(dst, n, 10)
+	return append(dst, '}', '\n')
+}
+
+func appendAccessBody(dst []byte, dict *renum.Dict, j int64, t renum.Tuple) []byte {
+	dst = append(dst, `{"answer":`...)
+	dst = appendTupleStrings(dst, dict, t)
+	dst = append(dst, `,"j":`...)
+	dst = strconv.AppendInt(dst, j, 10)
+	return append(dst, '}', '\n')
+}
+
+// Batch bodies stream row by row: openAnswers / appendAnswersRow / a closer.
+func openAnswersBody(dst []byte) []byte { return append(dst, `{"answers":[`...) }
+
+func appendAnswersRow(dst []byte, dict *renum.Dict, first bool, t renum.Tuple) []byte {
+	if !first {
+		dst = append(dst, ',')
+	}
+	return appendTupleStrings(dst, dict, t)
+}
+
+func closeAnswersBody(dst []byte) []byte { return append(dst, ']', '}', '\n') }
+
+func closeAnswersOffsetBody(dst []byte, offset int64) []byte {
+	dst = append(dst, `],"offset":`...)
+	dst = strconv.AppendInt(dst, offset, 10)
+	return append(dst, '}', '\n')
+}
+
+func closeAnswersDoneBody(dst []byte, done bool) []byte {
+	dst = append(dst, `],"done":`...)
+	dst = appendBool(dst, done)
+	return append(dst, '}', '\n')
+}
+
+func closeAnswersWithReplacementBody(dst []byte, withReplacement bool) []byte {
+	dst = append(dst, `],"with_replacement":`...)
+	dst = appendBool(dst, withReplacement)
+	return append(dst, '}', '\n')
+}
+
+func appendAnswersBody(dst []byte, dict *renum.Dict, ts []renum.Tuple) []byte {
+	dst = openAnswersBody(dst)
+	for i, t := range ts {
+		dst = appendAnswersRow(dst, dict, i == 0, t)
+	}
+	return closeAnswersBody(dst)
+}
+
+func appendContainsBody(dst []byte, contains bool) []byte {
+	dst = append(dst, `{"contains":`...)
+	dst = appendBool(dst, contains)
+	return append(dst, '}', '\n')
+}
+
+func appendInvertedBody(dst []byte, j int64, found bool) []byte {
+	if !found {
+		return append(dst, "{\"found\":false}\n"...)
+	}
+	dst = append(dst, `{"found":true,"j":`...)
+	dst = strconv.AppendInt(dst, j, 10)
+	return append(dst, '}', '\n')
+}
+
+func appendChangedBody(dst []byte, changed bool, count int64) []byte {
+	dst = append(dst, `{"changed":`...)
+	dst = appendBool(dst, changed)
+	dst = append(dst, `,"count":`...)
+	dst = strconv.AppendInt(dst, count, 10)
+	return append(dst, '}', '\n')
+}
+
+func appendCursorBody(dst []byte, id string, ttlMS int64) []byte {
+	dst = append(dst, `{"cursor":`...)
+	dst = appendJSONString(dst, id)
+	dst = append(dst, `,"ttl_ms":`...)
+	dst = strconv.AppendInt(dst, ttlMS, 10)
+	return append(dst, '}', '\n')
+}
+
+func appendErrorBody(dst []byte, msg string) []byte {
+	dst = append(dst, `{"error":`...)
+	dst = appendJSONString(dst, msg)
+	return append(dst, '}', '\n')
+}
+
+// Sentinel error responses recur verbatim (expired cursors under TTL churn,
+// busy cursors under racing readers): preformatted once, written directly.
+var (
+	noCursorBody   = appendErrorBody(nil, ErrNoCursor.Error())
+	cursorBusyBody = appendErrorBody(nil, ErrCursorBusy.Error())
+)
+
+// staticErrorBody returns the preformatted body for sentinel messages, nil
+// otherwise.
+func staticErrorBody(msg string) []byte {
+	switch msg {
+	case ErrNoCursor.Error():
+		return noCursorBody
+	case ErrCursorBusy.Error():
+		return cursorBusyBody
+	}
+	return nil
+}
+
+// --------------------------------------------------- shared body assembly
+//
+// The mux handlers and the fast HTTP loop build identical bodies through
+// these; divergence between the two serving paths would otherwise be an
+// easy bug to grow.
+
+// buildBatchBody probes js and renders the /batch response (JSON, or wire
+// when asWire) into enc's buffer. A small, fully in-range batch streams
+// sequentially through AccessInto into the pooled scratch row — the
+// library's own AccessBatch is serial below its chunk threshold anyway, so
+// no parallelism is lost and no []Tuple is materialized; larger batches
+// keep AccessBatchContext's parallel fan-out. An out-of-range position
+// takes the batch-probe path so the error is the probe's own.
+func buildBatchBody(ctx context.Context, e *Entry, dict *renum.Dict, enc *enc, js []int64, asWire bool) ([]byte, error) {
+	if len(js) <= streamBatchThreshold && jsInRange(js, e.Count()) {
+		// One streamed batch is one chunk: honor cancellation at its
+		// boundary, exactly like AccessBatchContext does between chunks.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		row := enc.rowFor(len(e.Head()))
+		if asWire {
+			buf := wire.AppendHeader(enc.buf, wire.Header{Arity: uint32(len(row)), Rows: uint64(len(js))})
+			for _, j := range js {
+				if err := e.H.AccessInto(j, row); err != nil {
+					return nil, err
+				}
+				for _, val := range row {
+					buf = appendWireCell(buf, dict, val)
+				}
+			}
+			return wire.Finish(buf, 0), nil
+		}
+		buf := openAnswersBody(enc.buf)
+		for i, j := range js {
+			if err := e.H.AccessInto(j, row); err != nil {
+				return nil, err
+			}
+			buf = appendAnswersRow(buf, dict, i == 0, row)
+		}
+		return closeAnswersBody(buf), nil
+	}
+	ts, err := e.accessBatch(ctx, js)
+	if err != nil {
+		return nil, err
+	}
+	if asWire {
+		return appendWireTuples(enc.buf, dict, ts, len(e.Head()), 0, 0), nil
+	}
+	return appendAnswersBody(enc.buf, dict, ts), nil
+}
+
+// buildPageBody renders the /page response. Tail clamping mirrors
+// Handle.Page: offset past the end is an empty page, an overshooting limit
+// is shortened, never an error.
+func buildPageBody(ctx context.Context, e *Entry, dict *renum.Dict, enc *enc, offset, limit int64, asWire bool) ([]byte, error) {
+	n := e.Count()
+	k := limit
+	if offset >= n {
+		k = 0
+	} else if k > n-offset {
+		k = n - offset
+	}
+	if k <= streamBatchThreshold {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		row := enc.rowFor(len(e.Head()))
+		if asWire {
+			buf := wire.AppendHeader(enc.buf, wire.Header{Arity: uint32(len(row)), Rows: uint64(k), Aux: uint64(offset)})
+			for i := int64(0); i < k; i++ {
+				if err := e.H.AccessInto(offset+i, row); err != nil {
+					return nil, err
+				}
+				for _, val := range row {
+					buf = appendWireCell(buf, dict, val)
+				}
+			}
+			return wire.Finish(buf, 0), nil
+		}
+		buf := openAnswersBody(enc.buf)
+		for i := int64(0); i < k; i++ {
+			if err := e.H.AccessInto(offset+i, row); err != nil {
+				return nil, err
+			}
+			buf = appendAnswersRow(buf, dict, i == 0, row)
+		}
+		return closeAnswersOffsetBody(buf, offset), nil
+	}
+	// Large pages keep Handle.Page's parallel fan-out (and its context
+	// propagation between probe chunks).
+	ts, err := e.H.PageContext(ctx, offset, limit)
+	if err != nil {
+		return nil, err
+	}
+	if asWire {
+		return appendWireTuples(enc.buf, dict, ts, len(e.Head()), 0, uint64(offset)), nil
+	}
+	buf := openAnswersBody(enc.buf)
+	for i, t := range ts {
+		buf = appendAnswersRow(buf, dict, i == 0, t)
+	}
+	return closeAnswersOffsetBody(buf, offset), nil
+}
+
+// buildEnumNextBody renders a cursor draw.
+func buildEnumNextBody(dict *renum.Dict, enc *enc, ts []renum.Tuple, arity int, done, asWire bool) []byte {
+	if asWire {
+		var flags uint32
+		if done {
+			flags = wire.FlagDone
+		}
+		return appendWireTuples(enc.buf, dict, ts, arity, flags, 0)
+	}
+	buf := openAnswersBody(enc.buf)
+	for i, t := range ts {
+		buf = appendAnswersRow(buf, dict, i == 0, t)
+	}
+	return closeAnswersDoneBody(buf, done)
+}
+
+// buildSampleBody renders a /sample draw.
+func buildSampleBody(dict *renum.Dict, enc *enc, ts []renum.Tuple, withReplacement bool) []byte {
+	buf := openAnswersBody(enc.buf)
+	for i, t := range ts {
+		buf = appendAnswersRow(buf, dict, i == 0, t)
+	}
+	return closeAnswersWithReplacementBody(buf, withReplacement)
+}
+
+// ------------------------------------------------------------- wire bodies
+
+// appendWireCell appends one value as a length-prefixed wire cell, with the
+// same interned-or-"#N" rendering as appendCellString.
+func appendWireCell(dst []byte, dict *renum.Dict, v renum.Value) []byte {
+	if s, ok := dict.StringInterned(v); ok {
+		return wire.AppendCell(dst, s)
+	}
+	var num [24]byte
+	cell := append(num[:0], '#')
+	cell = strconv.AppendInt(cell, int64(v), 10)
+	return wire.AppendCellBytes(dst, cell)
+}
+
+// appendWireTuples frames ts as one binary wire message (header + cells +
+// CRC) appended to dst.
+func appendWireTuples(dst []byte, dict *renum.Dict, ts []renum.Tuple, arity int, flags uint32, aux uint64) []byte {
+	start := len(dst)
+	dst = wire.AppendHeader(dst, wire.Header{
+		Flags: flags,
+		Arity: uint32(arity),
+		Rows:  uint64(len(ts)),
+		Aux:   aux,
+	})
+	for _, t := range ts {
+		for _, v := range t {
+			dst = appendWireCell(dst, dict, v)
+		}
+	}
+	return wire.Finish(dst, start)
+}
+
+// wantsWire reports whether the request negotiated the binary format. A
+// simple token scan: exact media type anywhere in Accept opts in (clients
+// that want it say exactly that; there is no q-value dance worth doing).
+func wantsWire(r *http.Request) bool {
+	return acceptIsWire(r.Header.Get("Accept"))
+}
+
+func acceptIsWire(accept string) bool {
+	for len(accept) > 0 {
+		var part string
+		if i := indexByte(accept, ','); i >= 0 {
+			part, accept = accept[:i], accept[i+1:]
+		} else {
+			part, accept = accept, ""
+		}
+		part = trimSpaces(part)
+		if i := indexByte(part, ';'); i >= 0 {
+			part = trimSpaces(part[:i])
+		}
+		if part == wire.ContentType {
+			return true
+		}
+	}
+	return false
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func trimSpaces(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// writeBody sends a fully built JSON body.
+func writeBody(w http.ResponseWriter, body []byte) error {
+	w.Header().Set("Content-Type", "application/json")
+	_, err := w.Write(body)
+	return err
+}
+
+// writeWireBody sends a fully built binary wire body.
+func writeWireBody(w http.ResponseWriter, body []byte) error {
+	w.Header().Set("Content-Type", wire.ContentType)
+	_, err := w.Write(body)
+	return err
+}

@@ -1,0 +1,1024 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/textproto"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/wire"
+)
+
+// This file is the serving tier's probe micro-architecture: a hand-rolled
+// HTTP/1.1 connection loop that serves the hot GET probe surface
+// (/healthz, count, access, batch, page, sample, enum/next) from
+// per-connection pooled state — request parsing, routing, parameter
+// decoding, body building and response framing all run without a single
+// steady-state heap allocation. net/http's generic path costs ~18
+// allocations per request before a handler runs (request struct, header
+// map, URL parse, per-request context, mux pattern match); at the paper's
+// "millions of users" scale that floor, not the O(log n) probe, dominates.
+//
+// Everything else — POST/DELETE endpoints, admin, metadata, unknown paths —
+// falls back to the Server's ordinary mux: the fast loop builds a real
+// http.Request from the parsed bytes and delegates, so cold endpoints keep
+// exactly one implementation and one behavior (including error bodies and
+// the route metrics instrumentation).
+//
+// Responses are byte-identical to the mux path: both build bodies through
+// the shared builders in encode.go, and TestFastLoopMatchesMux pins every
+// endpoint's bytes against the mux output.
+
+const (
+	// fastIdleTimeout closes a keep-alive connection with no next request.
+	fastIdleTimeout = 60 * time.Second
+	// fastHeaderTimeout bounds reading one request's header block (the
+	// net/http server this replaces used ReadHeaderTimeout: 5s).
+	fastHeaderTimeout = 5 * time.Second
+	// fastBodyTimeout bounds reading one request body on the fallback path.
+	fastBodyTimeout = 30 * time.Second
+	// fastMaxHeaders caps header count per request (431 beyond).
+	fastMaxHeaders = 128
+	// fastBufSize sizes the per-connection read/write buffers; it also
+	// bounds the request line + any single header line.
+	fastBufSize = 16 << 10
+)
+
+// FastServer serves a Server's API with the pooled connection loop.
+type FastServer struct {
+	s        *Server
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*fastConn]struct{}
+	wg       sync.WaitGroup
+	shutting atomic.Bool
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+}
+
+// NewFastServer wraps s. Serve/ListenAndServe run the accept loop;
+// Shutdown drains like net/http's.
+func NewFastServer(s *Server) *FastServer {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &FastServer{s: s, conns: make(map[*fastConn]struct{}), baseCtx: ctx, cancel: cancel}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (f *FastServer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return f.Serve(ln)
+}
+
+// Addr returns the bound listener address ("" before Serve).
+func (f *FastServer) Addr() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.ln == nil {
+		return ""
+	}
+	return f.ln.Addr().String()
+}
+
+// Serve accepts connections on ln until Shutdown closes it; it then
+// returns http.ErrServerClosed, mirroring net/http so callers can reuse
+// their shutdown plumbing.
+func (f *FastServer) Serve(ln net.Listener) error {
+	f.mu.Lock()
+	if f.shutting.Load() {
+		f.mu.Unlock()
+		ln.Close()
+		return http.ErrServerClosed
+	}
+	f.ln = ln
+	f.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if f.shutting.Load() {
+				return http.ErrServerClosed
+			}
+			return err
+		}
+		fc := &fastConn{
+			f:  f,
+			c:  c,
+			br: bufio.NewReaderSize(c, fastBufSize),
+			bw: bufio.NewWriterSize(c, fastBufSize),
+		}
+		fc.enc.buf = make([]byte, 0, 4096)
+		// Register under the mutex: Shutdown flips the flag under the same
+		// mutex, so either this Add happens-before its Wait or we observe
+		// the shutdown here and drop the connection.
+		f.mu.Lock()
+		if f.shutting.Load() {
+			f.mu.Unlock()
+			c.Close()
+			continue
+		}
+		f.conns[fc] = struct{}{}
+		f.wg.Add(1)
+		f.mu.Unlock()
+		go func() {
+			defer f.wg.Done()
+			fc.serve()
+			f.mu.Lock()
+			delete(f.conns, fc)
+			f.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown stops accepting, lets in-flight requests finish, and closes
+// idle connections. Past ctx's deadline every remaining connection is
+// force-closed and ctx's error returned.
+func (f *FastServer) Shutdown(ctx context.Context) error {
+	f.mu.Lock()
+	f.shutting.Store(true)
+	if f.ln != nil {
+		f.ln.Close()
+	}
+	for fc := range f.conns {
+		if !fc.busy.Load() {
+			// Kick connections blocked waiting for a next request; the
+			// serve loop re-checks the shutdown flag and exits. A request
+			// racing in still gets served (its bytes are already buffered).
+			fc.c.SetReadDeadline(time.Unix(1, 0))
+		}
+	}
+	f.mu.Unlock()
+	done := make(chan struct{})
+	go func() { f.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		f.cancel() // cancel handler contexts, then cut the sockets
+		f.mu.Lock()
+		for fc := range f.conns {
+			fc.c.Close()
+		}
+		f.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// fastConn is one connection's reusable state.
+type fastConn struct {
+	f       *FastServer
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	enc     enc    // body builder + probe scratch, connection-owned
+	head    []byte // response head scratch
+	target  []byte // stable copy of the request target
+	val     []byte // percent-decoding scratch
+	busy    atomic.Bool
+	closing bool
+	wrote   int64 // body bytes of the current request (metrics)
+}
+
+// headerMeta is what the fast path needs from a header block.
+type headerMeta struct {
+	contentLength int64
+	close         bool
+	wantWire      bool
+	chunked       bool
+	expect100     bool
+}
+
+var (
+	bGET    = []byte("GET")
+	bHTTP11 = []byte("HTTP/1.1")
+	bHTTP10 = []byte("HTTP/1.0")
+)
+
+// Fast-path ops.
+const (
+	opNone = iota
+	opHealthz
+	opCount
+	opAccess
+	opBatch
+	opPage
+	opSample
+	opEnumNext
+)
+
+// opNames index by op; the strings match the mux route names so /metrics
+// aggregates both serving paths under one endpoint.
+var opNames = [...]string{"", "healthz", "count", "access", "batch", "page", "sample", "enum_next"}
+
+func (fc *fastConn) serve() {
+	defer fc.c.Close()
+	for {
+		fc.busy.Store(false)
+		fc.c.SetReadDeadline(time.Now().Add(fastIdleTimeout))
+		if fc.f.shutting.Load() {
+			return
+		}
+		line, err := fc.readLine()
+		if err != nil {
+			if errors.Is(err, bufio.ErrBufferFull) {
+				fc.closing = true
+				fc.writeResponse(http.StatusRequestHeaderFieldsTooLarge, "application/json",
+					appendErrorBody(fc.enc.buf[:0], "request line too long"))
+			}
+			return // EOF, idle timeout, shutdown kick: close quietly
+		}
+		fc.busy.Store(true)
+		if fc.f.shutting.Load() {
+			fc.closing = true // serve the raced-in request, then close
+		}
+		if !fc.handleRequest(line) || fc.closing {
+			return
+		}
+	}
+}
+
+// readLine returns the next CRLF- (or LF-) terminated line, stripped.
+func (fc *fastConn) readLine() ([]byte, error) {
+	line, err := fc.br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	n := len(line) - 1
+	if n > 0 && line[n-1] == '\r' {
+		n--
+	}
+	return line[:n], nil
+}
+
+// handleRequest parses one request line and dispatches. It reports whether
+// the connection can carry another request.
+func (fc *fastConn) handleRequest(line []byte) bool {
+	sp1 := bytes.IndexByte(line, ' ')
+	sp2 := bytes.LastIndexByte(line, ' ')
+	if sp1 <= 0 || sp2 <= sp1+1 {
+		fc.abort(http.StatusBadRequest, "malformed request line")
+		return false
+	}
+	method, rawTarget, proto := line[:sp1], line[sp1+1:sp2], line[sp2+1:]
+	switch {
+	case bytes.Equal(proto, bHTTP11):
+	case bytes.Equal(proto, bHTTP10):
+		fc.closing = true
+	default:
+		fc.abort(http.StatusHTTPVersionNotSupported, "unsupported protocol")
+		return false
+	}
+	// Copy the target out of the bufio window: header reads may slide it.
+	fc.target = append(fc.target[:0], rawTarget...)
+	target := fc.target
+	path, query := target, []byte(nil)
+	if i := bytes.IndexByte(target, '?'); i >= 0 {
+		path, query = target[:i], target[i+1:]
+	}
+	op, qname := opNone, []byte(nil)
+	// Percent-escaped paths go to the mux for canonical decoding.
+	if bytes.Equal(method, bGET) && bytes.IndexByte(path, '%') < 0 {
+		op, qname = fastRoute(path)
+	}
+	if op == opNone {
+		return fc.serveFallback(method, target)
+	}
+	fc.c.SetReadDeadline(time.Now().Add(fastHeaderTimeout))
+	var hm headerMeta
+	hm.contentLength = -1
+	if !fc.scanHeaders(&hm) {
+		return false
+	}
+	if hm.close {
+		fc.closing = true
+	}
+	if hm.chunked {
+		fc.abort(http.StatusNotImplemented, "chunked request bodies are not supported")
+		return false
+	}
+	// A GET with a body is legal if pointless; keep framing by draining it.
+	if hm.contentLength > 0 {
+		if hm.contentLength > fastBufSize {
+			fc.abort(http.StatusRequestEntityTooLarge, "unexpected request body")
+			return false
+		}
+		if _, err := fc.br.Discard(int(hm.contentLength)); err != nil {
+			return false
+		}
+	}
+
+	t0 := time.Now()
+	m := fc.f.s.metrics
+	var allocs0 uint64
+	sampled := m.sampleTick()
+	if sampled {
+		allocs0 = heapAllocObjects()
+	}
+	fc.wrote = 0
+	err := fc.serveFast(op, qname, query, hm)
+	clientGone := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if err != nil {
+		status, msg := errorStatus(err, clientGone), err.Error()
+		body := staticErrorBody(msg)
+		if body == nil {
+			body = appendErrorBody(fc.enc.buf[:0], msg)
+		}
+		if werr := fc.writeResponse(status, "application/json", body); werr != nil {
+			return false
+		}
+	}
+	if sampled {
+		m.observeAllocs(opNames[op], float64(heapAllocObjects()-allocs0))
+	}
+	m.observe(opNames[op], time.Since(t0), err != nil && !clientGone, fc.wrote)
+	return true
+}
+
+// fastRoute maps a path to a fast op. qname is a sub-slice of path.
+func fastRoute(path []byte) (int, []byte) {
+	if string(path) == "/healthz" {
+		return opHealthz, nil
+	}
+	const v1 = "/v1/"
+	if len(path) < len(v1) || string(path[:len(v1)]) != v1 {
+		return opNone, nil
+	}
+	rest := path[len(v1):]
+	slash := bytes.IndexByte(rest, '/')
+	if slash <= 0 {
+		return opNone, nil // /v1 or /v1/{query} metadata: mux
+	}
+	qname, op := rest[:slash], rest[slash+1:]
+	switch string(op) {
+	case "count":
+		return opCount, qname
+	case "access":
+		return opAccess, qname
+	case "batch":
+		return opBatch, qname
+	case "page":
+		return opPage, qname
+	case "sample":
+		return opSample, qname
+	case "enum/next":
+		return opEnumNext, qname
+	}
+	return opNone, nil
+}
+
+// scanHeaders walks the header block extracting only the scalars the fast
+// path needs; everything else is skipped without retention.
+func (fc *fastConn) scanHeaders(hm *headerMeta) bool {
+	for n := 0; ; n++ {
+		if n > fastMaxHeaders {
+			fc.abort(http.StatusRequestHeaderFieldsTooLarge, "too many headers")
+			return false
+		}
+		line, err := fc.readLine()
+		if err != nil {
+			if errors.Is(err, bufio.ErrBufferFull) {
+				fc.abort(http.StatusRequestHeaderFieldsTooLarge, "header line too long")
+			}
+			return false
+		}
+		if len(line) == 0 {
+			return true
+		}
+		colon := bytes.IndexByte(line, ':')
+		if colon <= 0 {
+			fc.abort(http.StatusBadRequest, "malformed header")
+			return false
+		}
+		name, val := line[:colon], trimOWS(line[colon+1:])
+		switch {
+		case asciiEqualFold(name, "content-length"):
+			v, ok := parseInt64Bytes(val)
+			if !ok || v < 0 {
+				fc.abort(http.StatusBadRequest, "bad content-length")
+				return false
+			}
+			hm.contentLength = v
+		case asciiEqualFold(name, "connection"):
+			if tokenListHasFold(val, "close") {
+				hm.close = true
+			}
+		case asciiEqualFold(name, "accept"):
+			if acceptBytesWire(val) {
+				hm.wantWire = true
+			}
+		case asciiEqualFold(name, "transfer-encoding"):
+			hm.chunked = true
+		case asciiEqualFold(name, "expect"):
+			hm.expect100 = asciiEqualFold(val, "100-continue")
+		}
+	}
+}
+
+// serveFast runs one fast-path op. A returned error becomes the JSON error
+// response (same mapping as the mux route wrapper).
+func (fc *fastConn) serveFast(op int, qname, query []byte, hm headerMeta) error {
+	if op == opHealthz {
+		return fc.writeResponse(http.StatusOK, "application/json", healthzBody)
+	}
+	s := fc.f.s
+	e, db, gen, ok := s.reg.lookupViewBytes(qname)
+	if !ok {
+		return httpErrorf(http.StatusNotFound, "no query %q (serving: %s)", string(qname), joinNames(s.reg.Names()))
+	}
+	_ = gen
+	dict := db.Dict()
+	switch op {
+	case opCount:
+		return fc.writeResponse(http.StatusOK, "application/json", appendCountBody(fc.enc.buf[:0], e.Count()))
+
+	case opAccess:
+		j, err := fc.paramInt64(query, "j", -1)
+		if err != nil {
+			return err
+		}
+		if j < 0 || j >= e.Count() {
+			return httpErrorf(http.StatusBadRequest, "j=%d out of range [0, %d)", j, e.Count())
+		}
+		var t renum.Tuple
+		if e.coal != nil {
+			t, err = e.coal.Do(j)
+		} else {
+			t = fc.enc.rowFor(len(e.Head()))
+			err = e.H.AccessInto(j, t)
+		}
+		if err != nil {
+			return err
+		}
+		return fc.writeResponse(http.StatusOK, "application/json", appendAccessBody(fc.enc.buf[:0], dict, j, t))
+
+	case opBatch:
+		raw, _ := fc.param(query, "js")
+		js, err := appendJSListBytes(fc.enc.jsFor(), raw)
+		fc.enc.js = js[:0]
+		if err != nil {
+			return err
+		}
+		if int64(len(js)) > s.cfg.MaxBatch {
+			return httpErrorf(http.StatusBadRequest, "batch of %d exceeds limit %d", len(js), s.cfg.MaxBatch)
+		}
+		fc.enc.buf = fc.enc.buf[:0]
+		body, err := buildBatchBody(fc.f.baseCtx, e, dict, &fc.enc, js, hm.wantWire)
+		if err != nil {
+			return err
+		}
+		return fc.writeNegotiated(body, hm.wantWire)
+
+	case opPage:
+		offset, err := fc.paramInt64(query, "offset", 0)
+		if err != nil {
+			return err
+		}
+		limit, err := fc.paramInt64(query, "limit", 10)
+		if err != nil {
+			return err
+		}
+		if limit > s.cfg.MaxBatch {
+			return httpErrorf(http.StatusBadRequest, "limit %d exceeds %d", limit, s.cfg.MaxBatch)
+		}
+		if offset < 0 || limit < 0 {
+			return httpErrorf(http.StatusBadRequest, "offset and limit must be non-negative")
+		}
+		fc.enc.buf = fc.enc.buf[:0]
+		body, err := buildPageBody(fc.f.baseCtx, e, dict, &fc.enc, offset, limit, hm.wantWire)
+		if err != nil {
+			return err
+		}
+		return fc.writeNegotiated(body, hm.wantWire)
+
+	case opSample:
+		k, err := fc.paramInt64(query, "k", 1)
+		if err != nil {
+			return err
+		}
+		if k < 0 || k > s.cfg.MaxBatch {
+			return httpErrorf(http.StatusBadRequest, "k=%d out of range [0, %d]", k, s.cfg.MaxBatch)
+		}
+		seed, err := fc.paramInt64(query, "seed", time.Now().UnixNano())
+		if err != nil {
+			return err
+		}
+		smp, err := e.H.Sampler()
+		if err != nil {
+			return err
+		}
+		ts, err := smp.SampleN(k, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
+		fc.enc.buf = fc.enc.buf[:0]
+		return fc.writeResponse(http.StatusOK, "application/json", buildSampleBody(dict, &fc.enc, ts, !smp.Distinct()))
+
+	case opEnumNext:
+		rawCur, _ := fc.param(query, "cursor")
+		n, err := fc.paramInt64(query, "n", 1)
+		if err != nil {
+			return err
+		}
+		if n <= 0 || n > s.cfg.MaxCursorDraw {
+			return httpErrorf(http.StatusBadRequest, "n=%d out of range [1, %d]", n, s.cfg.MaxCursorDraw)
+		}
+		ts, done, err := s.cursors.Next(fc.f.baseCtx, string(rawCur), e.Name, n)
+		if err != nil {
+			return err
+		}
+		fc.enc.buf = fc.enc.buf[:0]
+		return fc.writeNegotiated(buildEnumNextBody(dict, &fc.enc, ts, len(e.Head()), done, hm.wantWire), hm.wantWire)
+	}
+	return httpErrorf(http.StatusInternalServerError, "unreachable fast op %d", op)
+}
+
+func (fc *fastConn) writeNegotiated(body []byte, asWire bool) error {
+	ct := "application/json"
+	if asWire {
+		ct = wire.ContentType
+	}
+	return fc.writeResponse(http.StatusOK, ct, body)
+}
+
+// ----------------------------------------------------------- response side
+
+// statusLines covers every status the handlers produce; others format cold.
+func statusLine(status int) string {
+	switch status {
+	case http.StatusOK:
+		return "HTTP/1.1 200 OK\r\n"
+	case http.StatusBadRequest:
+		return "HTTP/1.1 400 Bad Request\r\n"
+	case http.StatusNotFound:
+		return "HTTP/1.1 404 Not Found\r\n"
+	case http.StatusConflict:
+		return "HTTP/1.1 409 Conflict\r\n"
+	case statusClientClosedRequest:
+		return "HTTP/1.1 499 Client Closed Request\r\n"
+	case http.StatusInternalServerError:
+		return "HTTP/1.1 500 Internal Server Error\r\n"
+	case http.StatusNotImplemented:
+		return "HTTP/1.1 501 Not Implemented\r\n"
+	}
+	text := http.StatusText(status)
+	if text == "" {
+		text = "Status"
+	}
+	return fmt.Sprintf("HTTP/1.1 %d %s\r\n", status, text)
+}
+
+// dateEntry caches the RFC 1123 Date header value, re-rendered once per
+// second — time formatting would otherwise be the hottest call on the
+// response path.
+type dateEntry struct {
+	unix  int64
+	bytes [29]byte
+}
+
+var cachedDate atomic.Pointer[dateEntry]
+
+func appendHTTPDate(dst []byte, now time.Time) []byte {
+	e := cachedDate.Load()
+	if sec := now.Unix(); e == nil || e.unix != sec {
+		ne := &dateEntry{unix: sec}
+		ne.bytes = [29]byte{}
+		b := now.UTC().AppendFormat(ne.bytes[:0], http.TimeFormat)
+		if len(b) == len(ne.bytes) {
+			cachedDate.Store(ne)
+			e = ne
+		} else {
+			// Format drift (never expected): fall back without caching.
+			return append(dst, b...)
+		}
+	}
+	return append(dst, e.bytes[:]...)
+}
+
+// writeResponse frames and sends one response (head into the connection
+// scratch, one buffered write, one flush).
+func (fc *fastConn) writeResponse(status int, contentType string, body []byte) error {
+	h := fc.head[:0]
+	h = append(h, statusLine(status)...)
+	h = append(h, "Content-Type: "...)
+	h = append(h, contentType...)
+	h = append(h, "\r\nDate: "...)
+	h = appendHTTPDate(h, time.Now())
+	if fc.closing {
+		h = append(h, "\r\nConnection: close"...)
+	}
+	h = append(h, "\r\nContent-Length: "...)
+	h = strconv.AppendInt(h, int64(len(body)), 10)
+	h = append(h, '\r', '\n', '\r', '\n')
+	fc.head = h
+	if _, err := fc.bw.Write(h); err != nil {
+		return err
+	}
+	if _, err := fc.bw.Write(body); err != nil {
+		return err
+	}
+	fc.wrote += int64(len(body))
+	return fc.bw.Flush()
+}
+
+// abort sends an error response and marks the connection for closing (used
+// for protocol-level failures where framing is no longer trustworthy).
+func (fc *fastConn) abort(status int, msg string) {
+	fc.closing = true
+	fc.writeResponse(status, "application/json", appendErrorBody(fc.enc.buf[:0], msg))
+}
+
+// ---------------------------------------------------------- fallback path
+
+// serveFallback parses the rest of the request into a real http.Request and
+// delegates to the Server's mux, buffering the response so it can be framed
+// with a Content-Length on this keep-alive connection. Cold by design: the
+// allocations here buy exact behavioral parity for every non-hot endpoint.
+func (fc *fastConn) serveFallback(method, target []byte) bool {
+	fc.c.SetReadDeadline(time.Now().Add(fastHeaderTimeout))
+	hdr := make(http.Header, 8)
+	var hm headerMeta
+	hm.contentLength = -1
+	for n := 0; ; n++ {
+		if n > fastMaxHeaders {
+			fc.abort(http.StatusRequestHeaderFieldsTooLarge, "too many headers")
+			return false
+		}
+		line, err := fc.readLine()
+		if err != nil {
+			if errors.Is(err, bufio.ErrBufferFull) {
+				fc.abort(http.StatusRequestHeaderFieldsTooLarge, "header line too long")
+			}
+			return false
+		}
+		if len(line) == 0 {
+			break
+		}
+		colon := bytes.IndexByte(line, ':')
+		if colon <= 0 {
+			fc.abort(http.StatusBadRequest, "malformed header")
+			return false
+		}
+		name, val := line[:colon], trimOWS(line[colon+1:])
+		key := textproto.CanonicalMIMEHeaderKey(string(name))
+		hdr[key] = append(hdr[key], string(val))
+		switch {
+		case asciiEqualFold(name, "content-length"):
+			v, ok := parseInt64Bytes(val)
+			if !ok || v < 0 {
+				fc.abort(http.StatusBadRequest, "bad content-length")
+				return false
+			}
+			hm.contentLength = v
+		case asciiEqualFold(name, "connection"):
+			if tokenListHasFold(val, "close") {
+				hm.close = true
+			}
+		case asciiEqualFold(name, "transfer-encoding"):
+			hm.chunked = true
+		case asciiEqualFold(name, "expect"):
+			hm.expect100 = asciiEqualFold(val, "100-continue")
+		}
+	}
+	if hm.close {
+		fc.closing = true
+	}
+	if hm.chunked {
+		fc.abort(http.StatusNotImplemented, "chunked request bodies are not supported")
+		return false
+	}
+	u, err := url.ParseRequestURI(string(target))
+	if err != nil {
+		fc.abort(http.StatusBadRequest, "bad request target")
+		return false
+	}
+	var bodyReader io.Reader = eofReader{}
+	var lr *io.LimitedReader
+	if hm.contentLength > 0 {
+		fc.c.SetReadDeadline(time.Now().Add(fastBodyTimeout))
+		if hm.expect100 {
+			if _, err := fc.bw.WriteString("HTTP/1.1 100 Continue\r\n\r\n"); err != nil {
+				return false
+			}
+			if err := fc.bw.Flush(); err != nil {
+				return false
+			}
+		}
+		lr = &io.LimitedReader{R: fc.br, N: hm.contentLength}
+		bodyReader = lr
+	}
+	req := &http.Request{
+		Method:        string(method),
+		URL:           u,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        hdr,
+		Body:          io.NopCloser(bodyReader),
+		ContentLength: hm.contentLength,
+		Host:          hdr.Get("Host"),
+		RequestURI:    string(target),
+	}
+	if fc.c.RemoteAddr() != nil {
+		req.RemoteAddr = fc.c.RemoteAddr().String()
+	}
+	req = req.WithContext(fc.f.baseCtx)
+	rw := &bufferedResponse{}
+	fc.f.s.mux.ServeHTTP(rw, req)
+	// Drain what the handler left so the next request starts on a boundary.
+	if lr != nil && lr.N > 0 {
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			fc.closing = true
+		}
+	}
+	return fc.writeBuffered(rw)
+}
+
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// bufferedResponse is the fallback path's ResponseWriter: handlers write a
+// complete response into memory, then writeBuffered frames it.
+type bufferedResponse struct {
+	hdr    http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header {
+	if b.hdr == nil {
+		b.hdr = make(http.Header, 4)
+	}
+	return b.hdr
+}
+
+func (b *bufferedResponse) WriteHeader(status int) {
+	if b.status == 0 {
+		b.status = status
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.WriteHeader(http.StatusOK)
+	return b.body.Write(p)
+}
+
+func (fc *fastConn) writeBuffered(rw *bufferedResponse) bool {
+	if rw.status == 0 {
+		rw.status = http.StatusOK
+	}
+	h := fc.head[:0]
+	h = append(h, statusLine(rw.status)...)
+	for k, vs := range rw.hdr {
+		for _, v := range vs {
+			h = append(h, k...)
+			h = append(h, ':', ' ')
+			h = append(h, v...)
+			h = append(h, '\r', '\n')
+		}
+	}
+	h = append(h, "Date: "...)
+	h = appendHTTPDate(h, time.Now())
+	if fc.closing {
+		h = append(h, "\r\nConnection: close"...)
+	}
+	h = append(h, "\r\nContent-Length: "...)
+	h = strconv.AppendInt(h, int64(rw.body.Len()), 10)
+	h = append(h, '\r', '\n', '\r', '\n')
+	fc.head = h
+	if _, err := fc.bw.Write(h); err != nil {
+		return false
+	}
+	if _, err := fc.bw.Write(rw.body.Bytes()); err != nil {
+		return false
+	}
+	fc.wrote += int64(rw.body.Len())
+	return fc.bw.Flush() == nil
+}
+
+// -------------------------------------------------------- byte-level bits
+
+// trimOWS strips optional whitespace (space/tab) from both ends.
+func trimOWS(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// asciiEqualFold compares b to the lowercase ASCII string s, case-folding b.
+func asciiEqualFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tokenListHasFold reports whether the comma-separated token list contains
+// tok (lowercase).
+func tokenListHasFold(b []byte, tok string) bool {
+	for len(b) > 0 {
+		var part []byte
+		if i := bytes.IndexByte(b, ','); i >= 0 {
+			part, b = b[:i], b[i+1:]
+		} else {
+			part, b = b, nil
+		}
+		if asciiEqualFold(trimOWS(part), tok) {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptBytesWire is acceptIsWire over raw header bytes.
+func acceptBytesWire(b []byte) bool {
+	for len(b) > 0 {
+		var part []byte
+		if i := bytes.IndexByte(b, ','); i >= 0 {
+			part, b = b[:i], b[i+1:]
+		} else {
+			part, b = b, nil
+		}
+		part = trimOWS(part)
+		if i := bytes.IndexByte(part, ';'); i >= 0 {
+			part = trimOWS(part[:i])
+		}
+		if string(part) == wire.ContentType {
+			return true
+		}
+	}
+	return false
+}
+
+// parseInt64Bytes parses a decimal int64 with optional sign; ok=false on
+// anything strconv.ParseInt would reject (the caller reproduces the exact
+// strconv error on that cold path).
+func parseInt64Bytes(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg, i := false, 0
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		i++
+		if len(b) == 1 {
+			return 0, false
+		}
+	}
+	var n uint64
+	for ; i < len(b); i++ {
+		c := b[i] - '0'
+		if c > 9 {
+			return 0, false
+		}
+		if n > (1<<63)/10 {
+			return 0, false // would overflow
+		}
+		n = n*10 + uint64(c)
+	}
+	if neg {
+		if n > 1<<63 {
+			return 0, false
+		}
+		return -int64(n), true
+	}
+	if n > 1<<63-1 {
+		return 0, false
+	}
+	return int64(n), true
+}
+
+// param returns key's percent-decoded value from the raw query bytes
+// (first occurrence, like url.Values.Get).
+func (fc *fastConn) param(query []byte, key string) ([]byte, bool) {
+	for len(query) > 0 {
+		var pair []byte
+		if i := bytes.IndexByte(query, '&'); i >= 0 {
+			pair, query = query[:i], query[i+1:]
+		} else {
+			pair, query = query, nil
+		}
+		k, v := pair, []byte(nil)
+		if i := bytes.IndexByte(pair, '='); i >= 0 {
+			k, v = pair[:i], pair[i+1:]
+		}
+		if string(k) == key {
+			return fc.unescape(v), true
+		}
+	}
+	return nil, false
+}
+
+// unescape percent-decodes v into the connection scratch when needed.
+// Malformed escapes pass through literally (hostile input; the probe then
+// rejects the value).
+func (fc *fastConn) unescape(v []byte) []byte {
+	if bytes.IndexByte(v, '%') < 0 && bytes.IndexByte(v, '+') < 0 {
+		return v
+	}
+	dst := fc.val[:0]
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; {
+		case c == '+':
+			dst = append(dst, ' ')
+		case c == '%' && i+2 < len(v) && isHex(v[i+1]) && isHex(v[i+2]):
+			dst = append(dst, unhex(v[i+1])<<4|unhex(v[i+2]))
+			i += 2
+		default:
+			dst = append(dst, c)
+		}
+	}
+	fc.val = dst
+	return dst
+}
+
+func isHex(c byte) bool {
+	return '0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F'
+}
+
+func unhex(c byte) byte {
+	switch {
+	case c >= 'a':
+		return c - 'a' + 10
+	case c >= 'A':
+		return c - 'A' + 10
+	}
+	return c - '0'
+}
+
+// paramInt64 mirrors queryInt64: absent or empty values take the default,
+// and the error text matches strconv's exactly.
+func (fc *fastConn) paramInt64(query []byte, key string, def int64) (int64, error) {
+	v, ok := fc.param(query, key)
+	if !ok || len(v) == 0 {
+		return def, nil
+	}
+	n, ok := parseInt64Bytes(v)
+	if !ok {
+		_, err := strconv.ParseInt(string(v), 10, 64)
+		return 0, httpErrorf(http.StatusBadRequest, "%s: %v", key, err)
+	}
+	return n, nil
+}
+
+// appendJSListBytes is appendJSList over raw query bytes.
+func appendJSListBytes(dst []int64, s []byte) ([]int64, error) {
+	for len(s) > 0 {
+		var part []byte
+		if i := bytes.IndexByte(s, ','); i >= 0 {
+			part, s = s[:i], s[i+1:]
+		} else {
+			part, s = s, nil
+		}
+		part = bytes.TrimSpace(part)
+		if len(part) == 0 {
+			continue
+		}
+		j, ok := parseInt64Bytes(part)
+		if !ok {
+			_, err := strconv.ParseInt(string(part), 10, 64)
+			return dst, httpErrorf(http.StatusBadRequest, "js: %v", err)
+		}
+		dst = append(dst, j)
+	}
+	return dst, nil
+}
+
+// joinNames mirrors strings.Join(names, ", ") (cold: 404 bodies only).
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"runtime/metrics"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -12,20 +14,37 @@ import (
 // computed over the most recent window of this many requests.
 const latencySamples = 2048
 
+// allocSamples bounds the per-endpoint allocs/req reservoir. Sampling is
+// 1-in-allocSampleEvery requests (process-wide), so the window covers a long
+// stretch of traffic with negligible overhead.
+const (
+	allocSamples     = 64
+	allocSampleEvery = 64
+)
+
 // endpointMetrics accumulates one endpoint's counters and a ring of recent
 // latencies.
 type endpointMetrics struct {
 	count  int64
 	errors int64
+	bytes  int64
 	ring   [latencySamples]float64 // milliseconds
 	n      int                     // filled slots
 	next   int                     // ring cursor
+
+	// Sampled heap-allocation deltas around whole requests. The delta is a
+	// process-wide counter, so concurrent requests bleed into each other's
+	// samples: the median below is an estimate, not an exact attribution.
+	allocRing [allocSamples]float64
+	allocN    int
+	allocNext int
 }
 
 // metricsRecorder aggregates per-endpoint request counts and latency
 // summaries. One mutex guards everything: the critical section is a few
 // stores, so contention stays negligible next to the probes themselves.
 type metricsRecorder struct {
+	seq   atomic.Uint64
 	mu    sync.Mutex
 	start time.Time
 	byEP  map[string]*endpointMetrics
@@ -35,19 +54,25 @@ func newMetricsRecorder() *metricsRecorder {
 	return &metricsRecorder{start: time.Now(), byEP: make(map[string]*endpointMetrics)}
 }
 
-// observe records one request against the named endpoint.
-func (m *metricsRecorder) observe(endpoint string, d time.Duration, isErr bool) {
-	ms := float64(d) / float64(time.Millisecond)
-	m.mu.Lock()
+func (m *metricsRecorder) endpointLocked(endpoint string) *endpointMetrics {
 	ep := m.byEP[endpoint]
 	if ep == nil {
 		ep = &endpointMetrics{}
 		m.byEP[endpoint] = ep
 	}
+	return ep
+}
+
+// observe records one request against the named endpoint.
+func (m *metricsRecorder) observe(endpoint string, d time.Duration, isErr bool, bytes int64) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	ep := m.endpointLocked(endpoint)
 	ep.count++
 	if isErr {
 		ep.errors++
 	}
+	ep.bytes += bytes
 	ep.ring[ep.next] = ms
 	ep.next = (ep.next + 1) % latencySamples
 	if ep.n < latencySamples {
@@ -56,11 +81,50 @@ func (m *metricsRecorder) observe(endpoint string, d time.Duration, isErr bool) 
 	m.mu.Unlock()
 }
 
+// sampleTick reports whether this request should measure an allocation delta
+// (1 in allocSampleEvery, process-wide).
+func (m *metricsRecorder) sampleTick() bool {
+	return m.seq.Add(1)%allocSampleEvery == 0
+}
+
+// observeAllocs records one sampled whole-request allocation delta.
+func (m *metricsRecorder) observeAllocs(endpoint string, allocs float64) {
+	m.mu.Lock()
+	ep := m.endpointLocked(endpoint)
+	ep.allocRing[ep.allocNext] = allocs
+	ep.allocNext = (ep.allocNext + 1) % allocSamples
+	if ep.allocN < allocSamples {
+		ep.allocN++
+	}
+	m.mu.Unlock()
+}
+
+// heapAllocsSample is pooled so reading the counter does not itself allocate
+// (the read brackets a handler; its own garbage would inflate the delta).
+var heapAllocsSamplePool = sync.Pool{
+	New: func() any {
+		s := make([]metrics.Sample, 1)
+		s[0].Name = "/gc/heap/allocs:objects"
+		return &s
+	},
+}
+
+// heapAllocObjects reads the process-lifetime count of allocated heap
+// objects from runtime/metrics (no stop-the-world, unlike ReadMemStats).
+func heapAllocObjects() uint64 {
+	sp := heapAllocsSamplePool.Get().(*[]metrics.Sample)
+	metrics.Read(*sp)
+	v := (*sp)[0].Value.Uint64()
+	heapAllocsSamplePool.Put(sp)
+	return v
+}
+
 // EndpointSummary is the exported per-endpoint metrics document.
 type EndpointSummary struct {
 	Endpoint string  `json:"endpoint"`
 	Count    int64   `json:"count"`
 	Errors   int64   `json:"errors"`
+	BytesOut int64   `json:"bytes_out"`
 	Window   int     `json:"latency_window"` // samples behind the quantiles
 	MeanMs   float64 `json:"mean_ms"`
 	MedianMs float64 `json:"p50_ms"`
@@ -68,6 +132,11 @@ type EndpointSummary struct {
 	P99Ms    float64 `json:"p99_ms"`
 	MaxMs    float64 `json:"max_ms"`
 	StdDevMs float64 `json:"stddev_ms"`
+	// AllocsPerReqEst is the median of sampled whole-request heap-allocation
+	// deltas. Concurrent requests share the underlying counter, so treat it
+	// as an estimate (exact when the daemon serves one request at a time).
+	AllocsPerReqEst float64 `json:"allocs_per_req_est"`
+	AllocsWindow    int     `json:"allocs_window"`
 }
 
 // snapshot summarizes every endpoint seen so far, sorted by endpoint name.
@@ -84,17 +153,27 @@ func (m *metricsRecorder) snapshot() (uptime time.Duration, eps []EndpointSummar
 			p90 = stats.Quantile(xs, 0.90)
 			p99 = stats.Quantile(xs, 0.99)
 		}
+		allocEst := 0.0
+		if ep.allocN > 0 {
+			as := make([]float64, ep.allocN)
+			copy(as, ep.allocRing[:ep.allocN])
+			sort.Float64s(as)
+			allocEst = stats.Quantile(as, 0.50)
+		}
 		eps = append(eps, EndpointSummary{
-			Endpoint: name,
-			Count:    ep.count,
-			Errors:   ep.errors,
-			Window:   ep.n,
-			MeanMs:   s.Mean,
-			MedianMs: s.Median,
-			P90Ms:    p90,
-			P99Ms:    p99,
-			MaxMs:    s.Max,
-			StdDevMs: s.StdDev,
+			Endpoint:        name,
+			Count:           ep.count,
+			Errors:          ep.errors,
+			BytesOut:        ep.bytes,
+			Window:          ep.n,
+			MeanMs:          s.Mean,
+			MedianMs:        s.Median,
+			P90Ms:           p90,
+			P99Ms:           p99,
+			MaxMs:           s.Max,
+			StdDevMs:        s.StdDev,
+			AllocsPerReqEst: allocEst,
+			AllocsWindow:    ep.allocN,
 		})
 	}
 	sort.Slice(eps, func(i, j int) bool { return eps[i].Endpoint < eps[j].Endpoint })

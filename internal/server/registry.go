@@ -203,6 +203,15 @@ func (r *Registry) LookupView(name string) (e *Entry, db *renum.Database, gen ui
 	return e, s.db, s.gen, ok
 }
 
+// lookupViewBytes is LookupView keyed by raw request bytes: the map access
+// compiles to the no-copy string lookup, so the fast HTTP loop resolves a
+// query name without allocating.
+func (r *Registry) lookupViewBytes(name []byte) (e *Entry, db *renum.Database, gen uint64, ok bool) {
+	s := r.snap.Load()
+	e, ok = s.entries[string(name)]
+	return e, s.db, s.gen, ok
+}
+
 // Names returns the served query names, sorted.
 func (r *Registry) Names() []string {
 	s := r.snap.Load()

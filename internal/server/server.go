@@ -91,6 +91,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -190,42 +191,88 @@ func httpErrorf(status int, format string, args ...any) error {
 // away before the response. There is no stdlib constant for it.
 const statusClientClosedRequest = 499
 
+// errorStatus maps a handler error to its HTTP status.
+func errorStatus(err error, clientGone bool) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case clientGone:
+		return statusClientClosedRequest
+	case renum.IsUnsupported(err):
+		// Capability discovery is uniform: any probe the backend
+		// cannot serve (inverted access on a union, updates or
+		// cursors on the wrong kind) is 501, never a type switch.
+		return http.StatusNotImplemented
+	case errors.Is(err, renum.ErrOutOfBounds):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNoCursor):
+		return http.StatusNotFound
+	case errors.Is(err, ErrCursorBusy):
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
+// countingWriter counts response bytes for the per-endpoint bytes_out
+// metric; pooled so the wrapper itself costs no allocation per request.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+var cwPool = sync.Pool{New: func() any { return &countingWriter{} }}
+
 // route installs a handler with metrics instrumentation.
 func (s *Server) route(pattern, name string, h func(w http.ResponseWriter, r *http.Request) error) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		err := h(w, r)
+		cw := cwPool.Get().(*countingWriter)
+		cw.ResponseWriter, cw.n = w, 0
+		// Sampled requests bracket the handler with heap-allocation reads
+		// for the /metrics allocs_per_req_est column.
+		var allocs0 uint64
+		sampled := s.metrics.sampleTick()
+		if sampled {
+			allocs0 = heapAllocObjects()
+		}
+		err := h(cw, r)
 		// A cancelled request context means the *client* abandoned the
 		// probe mid-flight: report 499 (best effort — the client is gone)
 		// and keep it out of the server-error metric, or dashboards would
 		// read ordinary disconnects as faults.
 		clientGone := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 		if err != nil {
-			status, msg := http.StatusInternalServerError, err.Error()
-			var he *httpError
-			switch {
-			case errors.As(err, &he):
-				status = he.status
-			case clientGone:
-				status = statusClientClosedRequest
-			case renum.IsUnsupported(err):
-				// Capability discovery is uniform: any probe the backend
-				// cannot serve (inverted access on a union, updates or
-				// cursors on the wrong kind) is 501, never a type switch.
-				status = http.StatusNotImplemented
-			case errors.Is(err, renum.ErrOutOfBounds):
-				status = http.StatusBadRequest
-			case errors.Is(err, ErrNoCursor):
-				status = http.StatusNotFound
-			case errors.Is(err, ErrCursorBusy):
-				status = http.StatusConflict
-			}
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(status)
-			json.NewEncoder(w).Encode(map[string]string{"error": msg})
+			writeError(cw, errorStatus(err, clientGone), err.Error())
 		}
-		s.metrics.observe(name, time.Since(t0), err != nil && !clientGone)
+		if sampled {
+			s.metrics.observeAllocs(name, float64(heapAllocObjects()-allocs0))
+		}
+		s.metrics.observe(name, time.Since(t0), err != nil && !clientGone, cw.n)
+		cw.ResponseWriter = nil
+		cwPool.Put(cw)
 	})
+}
+
+// writeError emits the {"error": msg} body: preformatted bytes for the
+// sentinel messages that recur verbatim, a pooled buffer otherwise — the old
+// per-error map[string]string + json.Encoder pair is gone.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if body := staticErrorBody(msg); body != nil {
+		w.Write(body)
+		return
+	}
+	e := getEnc()
+	w.Write(appendErrorBody(e.buf, msg))
+	e.release()
 }
 
 // view is everything a handler needs from ONE atomic snapshot load: the
@@ -253,6 +300,9 @@ func (s *Server) entry(h func(w http.ResponseWriter, r *http.Request, e *Entry, 
 	}
 }
 
+// writeJSON is the reflection-based fallback for cold, registry-shaped
+// endpoints (meta, list, metrics, admin). Hot probe responses go through the
+// pooled builders in encode.go instead.
 func writeJSON(w http.ResponseWriter, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	return json.NewEncoder(w).Encode(v)
@@ -330,7 +380,7 @@ func rngFor(r *http.Request) (*rand.Rand, error) {
 // ---------------------------------------------------------------- handlers
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
-	return writeJSON(w, map[string]any{"ok": true})
+	return writeBody(w, healthzBody)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) error {
@@ -350,7 +400,9 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request, e *Entry, v 
 }
 
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
-	return writeJSON(w, map[string]any{"count": e.Count()})
+	enc := getEnc()
+	defer enc.release()
+	return writeBody(w, appendCountBody(enc.buf, e.Count()))
 }
 
 func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
@@ -363,19 +415,67 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request, e *Entry, 
 	if j < 0 || j >= e.Count() {
 		return httpErrorf(http.StatusBadRequest, "j=%d out of range [0, %d)", j, e.Count())
 	}
+	enc := getEnc()
+	defer enc.release()
 	var t renum.Tuple
 	if e.coal != nil {
 		t, err = e.coal.Do(j)
 	} else {
-		t, err = e.access(j)
+		// Direct path: probe into the pooled scratch row — no []Tuple, no
+		// per-request answer allocation.
+		t = enc.rowFor(len(e.Head()))
+		err = e.H.AccessInto(j, t)
 	}
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{"j": j, "answer": v.renderTuple(t)})
+	return writeBody(w, appendAccessBody(enc.buf, v.db.Dict(), j, t))
+}
+
+// streamBatchThreshold: a batch at or below this many positions streams
+// sequentially through AccessInto into the pooled scratch row — the library's
+// own AccessBatch is serial below its chunk threshold anyway, so no
+// parallelism is lost, and the per-request []Tuple materialization is gone.
+// Larger batches keep AccessBatchContext's parallel fan-out.
+const streamBatchThreshold = 256
+
+// appendJSList parses a comma-separated position list into dst (the pooled
+// scratch), with exactly the old strings.Split semantics: segments are
+// space-trimmed, empty segments skipped.
+func appendJSList(dst []int64, s string) ([]int64, error) {
+	for s != "" {
+		var part string
+		if i := strings.IndexByte(s, ','); i >= 0 {
+			part, s = s[:i], s[i+1:]
+		} else {
+			part, s = s, ""
+		}
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		j, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return dst, httpErrorf(http.StatusBadRequest, "js: %v", err)
+		}
+		dst = append(dst, j)
+	}
+	return dst, nil
+}
+
+// jsInRange reports whether every position can be probed right now.
+func jsInRange(js []int64, n int64) bool {
+	for _, j := range js {
+		if j < 0 || j >= n {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
+	enc := getEnc()
+	defer enc.release()
 	var js []int64
 	if r.Method == http.MethodPost {
 		var body struct {
@@ -386,28 +486,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *Entry, v
 		}
 		js = body.Js
 	} else {
-		for _, part := range strings.Split(r.URL.Query().Get("js"), ",") {
-			part = strings.TrimSpace(part)
-			if part == "" {
-				continue
-			}
-			j, err := strconv.ParseInt(part, 10, 64)
-			if err != nil {
-				return httpErrorf(http.StatusBadRequest, "js: %v", err)
-			}
-			js = append(js, j)
+		var err error
+		js, err = appendJSList(enc.jsFor(), r.URL.Query().Get("js"))
+		enc.js = js[:0] // keep grown scratch pooled
+		if err != nil {
+			return err
 		}
 	}
 	if int64(len(js)) > s.cfg.MaxBatch {
 		return httpErrorf(http.StatusBadRequest, "batch of %d exceeds limit %d", len(js), s.cfg.MaxBatch)
 	}
-	// The request context propagates into the batch: a client that
-	// disconnects mid-probe stops burning cores between chunks.
-	ts, err := e.accessBatch(r.Context(), js)
+	asWire := wantsWire(r)
+	body, err := buildBatchBody(r.Context(), e, v.db.Dict(), enc, js, asWire)
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{"answers": v.renderTuples(ts)})
+	if asWire {
+		return writeWireBody(w, body)
+	}
+	return writeBody(w, body)
 }
 
 func (s *Server) handlePage(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
@@ -425,13 +522,17 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request, e *Entry, v 
 	if offset < 0 || limit < 0 {
 		return httpErrorf(http.StatusBadRequest, "offset and limit must be non-negative")
 	}
-	// Handle.Page owns the tail clamping (short pages, never an error) and
-	// honors the request context between probe chunks.
-	ts, err := e.H.PageContext(r.Context(), offset, limit)
+	enc := getEnc()
+	defer enc.release()
+	asWire := wantsWire(r)
+	body, err := buildPageBody(r.Context(), e, v.db.Dict(), enc, offset, limit, asWire)
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{"offset": offset, "answers": v.renderTuples(ts)})
+	if asWire {
+		return writeWireBody(w, body)
+	}
+	return writeBody(w, body)
 }
 
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
@@ -454,7 +555,9 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request, e *Entry, 
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{"answers": v.renderTuples(ts), "with_replacement": !smp.Distinct()})
+	enc := getEnc()
+	defer enc.release()
+	return writeBody(w, buildSampleBody(v.db.Dict(), enc, ts, !smp.Distinct()))
 }
 
 type tupleBody struct {
@@ -478,7 +581,9 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request, e *Entry
 		}
 		contains = c.Contains(t)
 	}
-	return writeJSON(w, map[string]any{"contains": contains})
+	enc := getEnc()
+	defer enc.release()
+	return writeBody(w, appendContainsBody(enc.buf, contains))
 }
 
 func (s *Server) handleInverted(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
@@ -496,12 +601,14 @@ func (s *Server) handleInverted(w http.ResponseWriter, r *http.Request, e *Entry
 	if err != nil {
 		return err
 	}
+	enc := getEnc()
+	defer enc.release()
 	if ok {
 		if j, found := inv.InvertedAccess(t); found {
-			return writeJSON(w, map[string]any{"j": j, "found": true})
+			return writeBody(w, appendInvertedBody(enc.buf, j, true))
 		}
 	}
-	return writeJSON(w, map[string]any{"found": false})
+	return writeBody(w, appendInvertedBody(enc.buf, 0, false))
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
@@ -542,7 +649,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, e *Entry, 
 		}
 		return httpErrorf(http.StatusBadRequest, "%v", err)
 	}
-	return writeJSON(w, map[string]any{"changed": changed, "count": e.Count()})
+	enc := getEnc()
+	defer enc.release()
+	return writeBody(w, appendChangedBody(enc.buf, changed, e.Count()))
 }
 
 func (s *Server) handleEnumStart(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
@@ -608,10 +717,9 @@ func (s *Server) handleEnumStart(w http.ResponseWriter, r *http.Request, e *Entr
 		return httpErrorf(http.StatusBadRequest, "order must be enum or random, got %q", order)
 	}
 	id := s.cursors.Start(e.Name, nextN)
-	return writeJSON(w, map[string]any{
-		"cursor": id,
-		"ttl_ms": s.cursors.ttl.Milliseconds(),
-	})
+	enc := getEnc()
+	defer enc.release()
+	return writeBody(w, appendCursorBody(enc.buf, id, s.cursors.ttl.Milliseconds()))
 }
 
 func (s *Server) handleEnumNext(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
@@ -627,14 +735,21 @@ func (s *Server) handleEnumNext(w http.ResponseWriter, r *http.Request, e *Entry
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{"answers": v.renderTuples(ts), "done": done})
+	enc := getEnc()
+	defer enc.release()
+	asWire := wantsWire(r)
+	body := buildEnumNextBody(v.db.Dict(), enc, ts, len(e.Head()), done, asWire)
+	if asWire {
+		return writeWireBody(w, body)
+	}
+	return writeBody(w, body)
 }
 
 func (s *Server) handleEnumClose(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
 	if !s.cursors.Close(r.URL.Query().Get("cursor"), e.Name) {
 		return ErrNoCursor
 	}
-	return writeJSON(w, map[string]any{"closed": true})
+	return writeBody(w, closedBody)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {

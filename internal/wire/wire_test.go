@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func encode(h Header, rows [][]string) []byte {
+	b := AppendHeader(nil, h)
+	for _, r := range rows {
+		for _, c := range r {
+			b = AppendCell(b, c)
+		}
+	}
+	return Finish(b, 0)
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		h    Header
+		rows [][]string
+	}{
+		{"empty", Header{Arity: 3}, nil},
+		{"one row", Header{Arity: 2, Rows: 1}, [][]string{{"a", "bb"}}},
+		{"done flag and aux", Header{Flags: FlagDone, Arity: 1, Rows: 2, Aux: 40}, [][]string{{""}, {"x"}}},
+		{"binary-hostile cells", Header{Arity: 2, Rows: 2}, [][]string{
+			{"with\x00nul", "ünïcødé"},
+			{"quotes\"and\\slashes", "<html>&stuff "},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg := encode(tc.h, tc.rows)
+			h, rows, err := Parse(msg)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if h != tc.h {
+				t.Fatalf("header round-trip: got %+v, want %+v", h, tc.h)
+			}
+			if len(rows) != len(tc.rows) {
+				t.Fatalf("rows: got %d, want %d", len(rows), len(tc.rows))
+			}
+			for i := range rows {
+				for j := range rows[i] {
+					if rows[i][j] != tc.rows[i][j] {
+						t.Fatalf("cell (%d,%d): got %q, want %q", i, j, rows[i][j], tc.rows[i][j])
+					}
+				}
+			}
+			if h.Done() != (tc.h.Flags&FlagDone != 0) {
+				t.Fatalf("Done: got %v", h.Done())
+			}
+		})
+	}
+}
+
+func TestFinishWithOffsetStart(t *testing.T) {
+	// A frame appended after unrelated bytes (an HTTP head) must checksum
+	// only the frame.
+	prefix := []byte("HTTP/1.1 200 OK\r\n\r\n")
+	b := append([]byte(nil), prefix...)
+	start := len(b)
+	b = AppendHeader(b, Header{Arity: 1, Rows: 1})
+	b = AppendCell(b, "v")
+	b = Finish(b, start)
+	if _, _, err := Parse(b[start:]); err != nil {
+		t.Fatalf("Parse after offset Finish: %v", err)
+	}
+}
+
+func TestEveryBitFlipIsDetected(t *testing.T) {
+	msg := encode(Header{Arity: 2, Rows: 2, Aux: 7}, [][]string{{"ab", "c"}, {"", "def"}})
+	for i := range msg {
+		for bit := 0; bit < 8; bit++ {
+			corrupt := append([]byte(nil), msg...)
+			corrupt[i] ^= 1 << bit
+			if _, _, err := Parse(corrupt); err == nil {
+				t.Fatalf("flip byte %d bit %d: Parse accepted corrupt frame", i, bit)
+			} else if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("flip byte %d bit %d: error %v is not ErrInvalid", i, bit, err)
+			}
+		}
+	}
+}
+
+func TestTruncationIsDetected(t *testing.T) {
+	msg := encode(Header{Arity: 1, Rows: 3}, [][]string{{"aa"}, {"bb"}, {"cc"}})
+	for n := 0; n < len(msg); n++ {
+		if _, _, err := Parse(msg[:n]); err == nil {
+			t.Fatalf("Parse accepted %d-byte truncation of %d-byte frame", n, len(msg))
+		}
+	}
+}
+
+func TestUnsupportedVersion(t *testing.T) {
+	msg := encode(Header{Arity: 1, Rows: 1}, [][]string{{"x"}})
+	binary.LittleEndian.PutUint32(msg[8:], Version+1)
+	// Re-seal so only the version is wrong, not the checksum.
+	msg = Finish(msg[:len(msg)-4], 0)
+	_, _, err := Parse(msg)
+	if err == nil || !errors.Is(err, ErrInvalid) {
+		t.Fatalf("want ErrInvalid for unknown version, got %v", err)
+	}
+}
+
+func TestUnknownFlagsAreIgnored(t *testing.T) {
+	msg := encode(Header{Flags: 1 << 7, Arity: 1, Rows: 1}, [][]string{{"x"}})
+	h, _, err := Parse(msg)
+	if err != nil {
+		t.Fatalf("unknown flag bits must parse: %v", err)
+	}
+	if h.Flags != 1<<7 || h.Done() {
+		t.Fatalf("flags: got %b", h.Flags)
+	}
+}
+
+func TestCellCallbackErrorAborts(t *testing.T) {
+	msg := encode(Header{Arity: 1, Rows: 2}, [][]string{{"a"}, {"b"}})
+	boom := fmt.Errorf("boom")
+	calls := 0
+	_, err := ParseFunc(msg, func(row, col int, val []byte) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("want boom after 1 call, got err=%v calls=%d", err, calls)
+	}
+}
+
+func TestParseFuncZeroAlloc(t *testing.T) {
+	msg := encode(Header{Arity: 2, Rows: 4}, [][]string{
+		{"aa", "b"}, {"c", "dd"}, {"e", "f"}, {"gg", "hh"},
+	})
+	var sink int
+	allocs := testing.AllocsPerRun(100, func() {
+		_, err := ParseFunc(msg, func(row, col int, val []byte) error {
+			sink += len(val)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ParseFunc allocated %v per run, want 0", allocs)
+	}
+}
