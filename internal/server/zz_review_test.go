@@ -1,0 +1,58 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// HEAD vs std server: does the fast fallback send a body for HEAD?
+func TestReviewHeadBody(t *testing.T) {
+	s, _ := newTestServer(t, CoalesceConfig{}, Config{})
+	_, addr := startFast(t, s)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "HEAD /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, _ := c.Read(buf)
+	t.Logf("HEAD response:\n%q", buf[:n])
+}
+
+// cursor + escaped n param: scratch aliasing.
+func TestReviewCursorScratchAlias(t *testing.T) {
+	s, _ := newTestServer(t, CoalesceConfig{}, Config{})
+	_, addr := startFast(t, s)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+	// start a cursor via fallback POST
+	fmt.Fprintf(c, "POST /v1/Q/enum/start HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+	r1 := readFastResponse(t, br)
+	t.Logf("start: %d %s", r1.status, r1.body)
+	var cur string
+	fmt.Sscanf(string(r1.body), `{"cursor":%q`, &cur)
+	if cur == "" {
+		// crude parse
+		b := r1.body
+		i := 11 // {"cursor":"
+		j := i
+		for b[j] != '"' {
+			j++
+		}
+		cur = string(b[i:j])
+	}
+	t.Logf("cursor=%q", cur)
+	// ask with unescaped cursor, escaped n — n=%31 is "1"
+	fmt.Fprintf(c, "GET /v1/Q/enum/next?cursor=%%36%%36%s&n=%%31 HTTP/1.1\r\nHost: x\r\n\r\n", cur[2:])
+	r2 := readFastResponse(t, br)
+	t.Logf("next (escaped cursor then escaped n): %d %s", r2.status, r2.body)
+}
