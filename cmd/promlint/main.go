@@ -1,0 +1,29 @@
+// Command promlint validates a Prometheus text-format exposition read from
+// stdin — a pure-Go stand-in for `promtool check metrics` so CI can lint
+// the daemon's /metrics output without external tooling:
+//
+//	curl -s localhost:8080/metrics | promlint
+//
+// It checks metric/label name syntax, HELP/TYPE placement, duplicate
+// series, and histogram invariants (cumulative buckets, +Inf present,
+// _count consistency). Exit status 1 when any problem is found.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	errs := obs.Lint(os.Stdin)
+	for _, err := range errs {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %d problem(s)\n", len(errs))
+		os.Exit(1)
+	}
+	fmt.Println("promlint: ok")
+}

@@ -70,6 +70,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -119,6 +120,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		compactEvery = fs.Duration("compact-every", 0, "fold the WAL into a new snapshot generation on this period (0 disables; requires -wal-dir and -snapshot-dir)")
 		httpMode     = fs.String("http", "fast", "connection loop: fast (pooled per-connection loop, hot GETs allocation-free) or std (net/http)")
 		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this address (off unless set)")
+		slowLog      = fs.Duration("slow-log", 500*time.Millisecond, "log requests slower than this as structured slog lines (0 disables)")
+		traceBuffer  = fs.Int("trace-buffer", 256, "traced requests kept in memory for /debug/traces")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -224,10 +227,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer reg.CloseWAL()
 	}
 
+	// Slow-request lines go to stderr as JSON so log shippers pick them up
+	// without parsing the human-oriented stdout chatter.
+	logger := slog.New(slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
 	srv := server.New(reg, server.Config{
 		CursorTTL:     *cursorTTL,
 		AdminDisabled: *noAdmin,
 		SnapshotDir:   *snapshotDir,
+		SlowLog:       *slowLog,
+		TraceBuffer:   *traceBuffer,
+		Logger:        logger,
 	})
 	defer srv.Close()
 
@@ -319,7 +328,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// The compactor stops (and stops printing) before the main goroutine
-	// resumes writing to stdout.
+	// resumes writing to stdout. Readiness drops first so orchestrators
+	// stop routing new traffic while the drain runs.
+	srv.SetReady(false)
 	compactWG.Wait()
 	fmt.Fprintln(stdout, "renumd: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)

@@ -60,15 +60,16 @@ func main() {
 }
 
 type options struct {
-	tuples    int
-	relations int
-	rate      float64
-	n         int
-	conns     int
-	phases    string
-	httpMode  string
-	benchJSON string
-	seed      int64
+	tuples     int
+	relations  int
+	rate       float64
+	n          int
+	conns      int
+	phases     string
+	httpMode   string
+	benchJSON  string
+	metricsURL string
+	seed       int64
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -83,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.phases, "phases", "", "comma-separated phase subset (default all)")
 	fs.StringVar(&o.httpMode, "http", "fast", "serving loop: fast (pooled connection loop) or std (net/http)")
 	fs.StringVar(&o.benchJSON, "bench-json", "", "write results as a benchfmt JSON doc to this file")
+	fs.StringVar(&o.metricsURL, "metrics-url", "", "scrape this base URL's /metrics?format=json around each phase and print a server-vs-client latency table ('self' = the in-process server)")
 	fs.Int64Var(&o.seed, "seed", 7, "dataset and workload seed")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -164,10 +166,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Server-side scrape target: the daemon reports its own latency view at
+	// /metrics, and comparing it with the client's open-loop view separates
+	// server time from scheduling/queueing/network time.
+	metricsBase := o.metricsURL
+	if metricsBase == "self" {
+		metricsBase = "http://" + addr
+	}
+
 	doc := &benchfmt.Doc{Goos: runtime.GOOS, Goarch: runtime.GOARCH, Pkg: "repro/serving", CPU: cpuModel()}
+	var divRows []divergenceRow
 	fmt.Fprintf(stdout, "\n%-14s %10s %10s %10s %10s %10s %8s\n",
 		"phase", "req/s", "mean µs", "p50 µs", "p99 µs", "B/req", "allocs")
 	for _, p := range selected {
+		var before metricsScrape
+		if metricsBase != "" {
+			var err error
+			if before, err = scrapeMetrics(metricsBase); err != nil {
+				fmt.Fprintf(stderr, "renumload: scrape %s: %v\n", metricsBase, err)
+				return 1
+			}
+		}
 		res, err := runPhase(addr, p, o)
 		if err != nil {
 			fmt.Fprintf(stderr, "renumload: phase %s: %v\n", p.name, err)
@@ -178,6 +197,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res.Metrics["p50-ns"]/1e3, res.Metrics["p99-ns"]/1e3,
 			res.Metrics["B/op"], res.Metrics["allocs/op"])
 		doc.Benchmarks = append(doc.Benchmarks, res)
+		if ep := phaseEndpoint(p.name); metricsBase != "" && ep != "" {
+			after, err := scrapeMetrics(metricsBase)
+			if err != nil {
+				fmt.Fprintf(stderr, "renumload: scrape %s: %v\n", metricsBase, err)
+				return 1
+			}
+			divRows = append(divRows, divergenceRow{
+				phase:     p.name,
+				endpoint:  ep,
+				reqs:      after[ep].Count - before[ep].Count,
+				serverP50: after[ep].MedianMs * 1e3,
+				serverP99: after[ep].P99Ms * 1e3,
+				clientP50: res.Metrics["p50-ns"] / 1e3,
+				clientP99: res.Metrics["p99-ns"] / 1e3,
+			})
+		}
+	}
+
+	if len(divRows) > 0 {
+		// Server quantiles come from the full-history /metrics histogram
+		// (warmup included); the client side measures from each request's
+		// scheduled start. The delta is therefore scheduling + queueing +
+		// loopback time — the part of the latency the server cannot see.
+		fmt.Fprintf(stdout, "\nserver-vs-client latency (server = /metrics histogram; client = open-loop schedule):\n")
+		fmt.Fprintf(stdout, "%-14s %-10s %8s %12s %12s %9s %12s %12s %9s\n",
+			"phase", "endpoint", "reqs", "srv p50 µs", "cli p50 µs", "Δp50 µs", "srv p99 µs", "cli p99 µs", "Δp99 µs")
+		for _, r := range divRows {
+			fmt.Fprintf(stdout, "%-14s %-10s %8d %12.1f %12.1f %9.1f %12.1f %12.1f %9.1f\n",
+				r.phase, r.endpoint, r.reqs,
+				r.serverP50, r.clientP50, r.clientP50-r.serverP50,
+				r.serverP99, r.clientP99, r.clientP99-r.serverP99)
+		}
 	}
 
 	if o.benchJSON != "" {
@@ -199,6 +250,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "\nwrote %s\n", o.benchJSON)
 	}
 	return 0
+}
+
+// divergenceRow is one phase's server-vs-client latency comparison.
+type divergenceRow struct {
+	phase, endpoint      string
+	reqs                 int64
+	serverP50, serverP99 float64 // µs
+	clientP50, clientP99 float64 // µs
+}
+
+// metricsScrape is one /metrics?format=json observation, keyed by endpoint.
+type metricsScrape map[string]server.EndpointSummary
+
+func scrapeMetrics(base string) (metricsScrape, error) {
+	resp, err := http.Get(base + "/metrics?format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics?format=json: %s", resp.Status)
+	}
+	var doc struct {
+		Endpoints []server.EndpointSummary `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	out := make(metricsScrape, len(doc.Endpoints))
+	for _, ep := range doc.Endpoints {
+		out[ep.Endpoint] = ep
+	}
+	return out, nil
+}
+
+// phaseEndpoint maps a load phase to the /metrics endpoint it exercises
+// ("" when the phase mixes endpoints and no single row applies).
+func phaseEndpoint(name string) string {
+	switch {
+	case name == "access":
+		return "access"
+	case name == "count":
+		return "count"
+	case strings.HasPrefix(name, "batch"):
+		return "batch"
+	case strings.HasPrefix(name, "page"):
+		return "page"
+	case name == "cursor64":
+		return "enum_next"
+	}
+	return ""
 }
 
 // phase describes one workload: build writes a complete request into dst.

@@ -174,7 +174,7 @@ func main() {
 	}
 
 	// --- Report /metrics --------------------------------------------------
-	resp, err := client.Get(base + "/metrics")
+	resp, err := client.Get(base + "/metrics?format=json")
 	if err != nil {
 		fail(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"iter"
 	"math/rand"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/cqenum"
@@ -138,10 +139,11 @@ type explainer interface {
 
 // config collects the functional options of Open.
 type config struct {
-	canonical bool
-	dynamic   bool
-	verify    bool
-	workers   int
+	canonical    bool
+	dynamic      bool
+	verify       bool
+	workers      int
+	buildObserve func(stage string, d time.Duration)
 }
 
 // Option configures Open. Options replace the boolean and variant
@@ -167,6 +169,16 @@ func WithVerify() Option { return func(c *config) { c.verify = true } }
 // n <= 0 means one worker per core.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
+// WithBuildObserver registers a callback that receives preprocessing-stage
+// timings while Open builds the probe structure. Stages currently emitted:
+// "index_build" (the static access structure's weight computation),
+// "dynamic_build" (the update-maintaining index), and "union_build" (the
+// mc-UCQ preparation). fn must be safe for use from the building goroutine;
+// it is never called after Open returns.
+func WithBuildObserver(fn func(stage string, d time.Duration)) Option {
+	return func(c *config) { c.buildObserve = fn }
+}
+
 // Open builds the probe structure for q over db and wraps it in a Handle:
 // the single entry point of the library. q is a *CQ or a *UCQ; options pick
 // the backend variant. Open fails with ErrCyclic / ErrNotFreeConnex /
@@ -185,15 +197,19 @@ func Open(db *Database, q Query, opts ...Option) (*Handle, error) {
 			if cfg.canonical {
 				return nil, fmt.Errorf("renum: WithCanonical with WithDynamic: %w", ErrUnsupported)
 			}
+			t0 := time.Now()
 			da, err := NewDynamicAccess(db, q)
 			if err != nil {
 				return nil, err
+			}
+			if cfg.buildObserve != nil {
+				cfg.buildObserve("dynamic_build", time.Since(t0))
 			}
 			return &Handle{b: daBackend{da}, workers: cfg.workers}, nil
 		}
 		c, err := cqenum.PrepareWithOptions(db, q,
 			reduce.Options{CanonicalOrder: cfg.canonical},
-			access.BuildOptions{Workers: cfg.workers})
+			access.BuildOptions{Workers: cfg.workers, Observe: cfg.buildObserve})
 		if err != nil {
 			return nil, err
 		}
@@ -202,6 +218,7 @@ func Open(db *Database, q Query, opts ...Option) (*Handle, error) {
 		if cfg.dynamic {
 			return nil, fmt.Errorf("renum: WithDynamic requires a single full CQ, got a union: %w", ErrUnsupported)
 		}
+		t0 := time.Now()
 		ua, err := newUnionAccess(db, q, mcucq.Options{
 			Reduce:  reduce.Options{CanonicalOrder: cfg.canonical},
 			Verify:  cfg.verify,
@@ -209,6 +226,9 @@ func Open(db *Database, q Query, opts ...Option) (*Handle, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+		if cfg.buildObserve != nil {
+			cfg.buildObserve("union_build", time.Since(t0))
 		}
 		return &Handle{b: uaBackend{ua}, workers: cfg.workers}, nil
 	default:

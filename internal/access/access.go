@@ -43,6 +43,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/parallel"
 	"repro/internal/reduce"
@@ -130,6 +131,10 @@ type BuildOptions struct {
 	// serially, where goroutine overhead would dominate. 0 means
 	// DefaultSerialThreshold.
 	SerialThreshold int
+	// Observe, when set, receives build-stage timings. The only stage
+	// emitted here is "index_build" (the full weight computation);
+	// callers layer their own stages on top.
+	Observe func(stage string, d time.Duration)
 }
 
 // DefaultSerialThreshold is the tuple count below which parallel
@@ -188,6 +193,10 @@ func NewWithOptions(fj *reduce.FullJoin, opts BuildOptions) (*Index, error) {
 	for _, n := range idx.nodes {
 		total += n.rel.Len()
 	}
+	var buildStart time.Time
+	if opts.Observe != nil {
+		buildStart = time.Now()
+	}
 	if workers <= 1 || len(idx.nodes) < 2 || total < threshold {
 		var build func(n *node)
 		build = func(n *node) {
@@ -206,6 +215,10 @@ func NewWithOptions(fj *reduce.FullJoin, opts BuildOptions) (*Index, error) {
 				return nil, err
 			}
 		}
+	}
+
+	if opts.Observe != nil {
+		opts.Observe("index_build", time.Since(buildStart))
 	}
 
 	if idx.root.grouping.NumGroups() > 0 {

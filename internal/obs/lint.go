@@ -1,0 +1,405 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text exposition (format version 0.0.4)
+// the way promtool's check does, in pure Go: comment structure, name
+// and label syntax, sample values, TYPE consistency, duplicate
+// series, and histogram invariants (le label present, cumulative
+// buckets non-decreasing, +Inf present, _count == +Inf). It returns
+// one error per problem found; an empty slice means the exposition
+// is valid.
+func Lint(r io.Reader) []error {
+	var errs []error
+	addf := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	types := make(map[string]string) // family -> declared type
+	helped := make(map[string]bool)
+	seen := make(map[string]bool) // name{labels} dedupe
+	// histogram bookkeeping, keyed by family + non-le labels
+	type histState struct {
+		lastCum  float64
+		lastLe   float64
+		infSeen  bool
+		infValue float64
+		line     int
+	}
+	hists := make(map[string]*histState)
+	counts := make(map[string]float64) // histogram family+labels -> _count value
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	sawFinalNewline := false
+	var lastFamily string
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		sawFinalNewline = true // bufio strips \n; emptiness checked below
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			if !strings.HasPrefix(rest, " ") {
+				addf(lineNo, "comment must start with '# '")
+				continue
+			}
+			fields := strings.SplitN(strings.TrimPrefix(rest, " "), " ", 3)
+			switch fields[0] {
+			case "HELP":
+				if len(fields) < 2 || !validMetricName(fields[1]) {
+					addf(lineNo, "malformed HELP line")
+					continue
+				}
+				if helped[fields[1]] {
+					addf(lineNo, "duplicate HELP for %s", fields[1])
+				}
+				helped[fields[1]] = true
+			case "TYPE":
+				if len(fields) < 3 || !validMetricName(fields[1]) {
+					addf(lineNo, "malformed TYPE line")
+					continue
+				}
+				name, typ := fields[1], strings.TrimSpace(fields[2])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf(lineNo, "unknown metric type %q", typ)
+					continue
+				}
+				if _, dup := types[name]; dup {
+					addf(lineNo, "duplicate TYPE for %s", name)
+					continue
+				}
+				if familySamplesSeen(seen, name) {
+					addf(lineNo, "TYPE for %s after its samples", name)
+				}
+				types[name] = typ
+				lastFamily = name
+			default:
+				// free-form comment: allowed
+			}
+			continue
+		}
+
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			addf(lineNo, "unparsable sample %q", line)
+			continue
+		}
+		if !validMetricName(name) {
+			addf(lineNo, "invalid metric name %q", name)
+			continue
+		}
+		for _, ln := range labelNames(labels) {
+			if !validLabelName(ln) {
+				addf(lineNo, "invalid label name %q", ln)
+			}
+		}
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			addf(lineNo, "duplicate sample %s", key)
+		}
+		seen[key] = true
+
+		fam, suffix := familyOf(name, types)
+		if typ := types[fam]; typ == "histogram" {
+			base := stripLabel(labels, "le")
+			hkey := fam + "{" + base + "}"
+			switch suffix {
+			case "_bucket":
+				le, leOK := labelValue(labels, "le")
+				if !leOK {
+					addf(lineNo, "%s histogram bucket missing le label", name)
+					continue
+				}
+				h := hists[hkey]
+				if h == nil {
+					h = &histState{lastLe: math.Inf(-1)}
+					hists[hkey] = h
+				}
+				h.line = lineNo
+				if le == "+Inf" {
+					h.infSeen = true
+					h.infValue = value
+					if value < h.lastCum {
+						addf(lineNo, "%s +Inf bucket %g below prior cumulative %g", hkey, value, h.lastCum)
+					}
+					continue
+				}
+				leV, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					addf(lineNo, "%s has unparsable le %q", name, le)
+					continue
+				}
+				if leV <= h.lastLe {
+					addf(lineNo, "%s buckets out of order (le %g after %g)", hkey, leV, h.lastLe)
+				}
+				if value < h.lastCum {
+					addf(lineNo, "%s cumulative bucket decreased (%g after %g)", hkey, value, h.lastCum)
+				}
+				h.lastLe, h.lastCum = leV, value
+			case "_count":
+				counts[hkey] = value
+			case "_sum":
+				// any float fine
+			case "":
+				addf(lineNo, "bare sample %s for histogram family %s", name, fam)
+			}
+			continue
+		}
+		if fam == "" && lastFamily != "" && strings.HasPrefix(name, lastFamily) {
+			// e.g. foo_total after TYPE foo — tolerated as untyped
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("read: %w", err))
+	}
+	_ = sawFinalNewline
+
+	for hkey, h := range hists {
+		if !h.infSeen {
+			errs = append(errs, fmt.Errorf("line %d: %s missing +Inf bucket", h.line, hkey))
+			continue
+		}
+		if c, ok := counts[hkey]; ok && c != h.infValue {
+			errs = append(errs, fmt.Errorf("line %d: %s _count %g != +Inf bucket %g", h.line, hkey, c, h.infValue))
+		}
+	}
+	return errs
+}
+
+// familyOf resolves which declared family a sample belongs to,
+// honouring histogram/summary suffixes.
+func familyOf(name string, types map[string]string) (fam, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			base := strings.TrimSuffix(name, s)
+			if _, ok := types[base]; ok {
+				return base, s
+			}
+		}
+	}
+	return "", ""
+}
+
+func familySamplesSeen(seen map[string]bool, fam string) bool {
+	for k := range seen {
+		name := k[:strings.IndexByte(k, '{')]
+		if name == fam || name == fam+"_bucket" || name == fam+"_sum" || name == fam+"_count" {
+			return true
+		}
+	}
+	return false
+}
+
+// parseSample splits `name{labels} value [timestamp]`.
+func parseSample(line string) (name, labels string, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := findLabelsEnd(rest[i+1:])
+		if end < 0 {
+			return "", "", 0, false
+		}
+		labels = rest[i+1 : i+1+end]
+		rest = rest[i+1+end+1:]
+	} else {
+		j := strings.IndexAny(rest, " \t")
+		if j < 0 {
+			return "", "", 0, false
+		}
+		name = rest[:j]
+		rest = rest[j:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, false
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return "", "", 0, false
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", 0, false
+		}
+	}
+	return name, labels, v, true
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// findLabelsEnd returns the index of the closing '}' in s (which
+// starts just after '{'), honouring quoted values with escapes.
+func findLabelsEnd(s string) int {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// labelNames extracts label names from a rendered label string.
+func labelNames(labels string) []string {
+	var out []string
+	i := 0
+	for i < len(labels) {
+		eq := strings.IndexByte(labels[i:], '=')
+		if eq < 0 {
+			break
+		}
+		out = append(out, strings.TrimSpace(labels[i:i+eq]))
+		i += eq + 1
+		// skip quoted value
+		if i < len(labels) && labels[i] == '"' {
+			j := i + 1
+			for j < len(labels) {
+				if labels[j] == '\\' {
+					j += 2
+					continue
+				}
+				if labels[j] == '"' {
+					break
+				}
+				j++
+			}
+			i = j + 1
+		}
+		if i < len(labels) && labels[i] == ',' {
+			i++
+		}
+	}
+	return out
+}
+
+func labelValue(labels, name string) (string, bool) {
+	i := 0
+	for i < len(labels) {
+		eq := strings.IndexByte(labels[i:], '=')
+		if eq < 0 {
+			return "", false
+		}
+		ln := strings.TrimSpace(labels[i : i+eq])
+		i += eq + 1
+		if i >= len(labels) || labels[i] != '"' {
+			return "", false
+		}
+		j := i + 1
+		var val strings.Builder
+		for j < len(labels) {
+			if labels[j] == '\\' && j+1 < len(labels) {
+				switch labels[j+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(labels[j+1])
+				}
+				j += 2
+				continue
+			}
+			if labels[j] == '"' {
+				break
+			}
+			val.WriteByte(labels[j])
+			j++
+		}
+		if ln == name {
+			return val.String(), true
+		}
+		i = j + 1
+		if i < len(labels) && labels[i] == ',' {
+			i++
+		}
+	}
+	return "", false
+}
+
+// stripLabel removes one label (and its value) from a rendered label
+// string — used to group histogram buckets by their base series.
+func stripLabel(labels, name string) string {
+	parts := splitLabels(labels)
+	var keep []string
+	for _, p := range parts {
+		if !strings.HasPrefix(p, name+"=") {
+			keep = append(keep, p)
+		}
+	}
+	return strings.Join(keep, ",")
+}
+
+// splitLabels splits a rendered label string at top-level commas.
+func splitLabels(labels string) []string {
+	var out []string
+	start := 0
+	inQuote := false
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(labels) {
+		out = append(out, labels[start:])
+	}
+	return out
+}

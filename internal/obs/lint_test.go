@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintStr(s string) []error { return Lint(strings.NewReader(s)) }
+
+func TestLintValid(t *testing.T) {
+	doc := `# HELP http_requests_total Requests.
+# TYPE http_requests_total counter
+http_requests_total{method="get",code="200"} 1027
+http_requests_total{method="post",code="200"} 3
+# HELP temp_celsius Temperature.
+# TYPE temp_celsius gauge
+temp_celsius -12.5
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 5
+lat_seconds_bucket{le="0.5"} 8
+lat_seconds_bucket{le="+Inf"} 10
+lat_seconds_sum 4.2
+lat_seconds_count 10
+`
+	if errs := lintStr(doc); len(errs) > 0 {
+		t.Fatalf("valid doc rejected: %v", errs)
+	}
+}
+
+func TestLintCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"bad metric name", "9bad_name 1\n", "invalid metric name"},
+		{"bad value", "m abc\n", "unparsable sample"},
+		{"duplicate sample", "m 1\nm 2\n", "duplicate sample"},
+		{"duplicate type", "# TYPE m counter\n# TYPE m gauge\nm 1\n", "duplicate TYPE"},
+		{"unknown type", "# TYPE m widget\nm 1\n", "unknown metric type"},
+		{"type after samples", "m_total{a=\"b\"} 1\n# TYPE m_total counter\n", "after its samples"},
+		{"bucket missing le", "# TYPE h histogram\nh_bucket 3\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n", "missing le"},
+		{"non-cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n", "cumulative bucket decreased"},
+		{"missing inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n", "missing +Inf"},
+		{"count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 6\n", "_count 6 != +Inf bucket 5"},
+		{"buckets out of order", "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n", "out of order"},
+		{"invalid label name", "m{9x=\"v\"} 1\n", "invalid label name"},
+		{"malformed comment", "#TYPE m counter\nm 1\n", "comment must start"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errs := lintStr(c.doc)
+			if len(errs) == 0 {
+				t.Fatalf("expected lint errors for:\n%s", c.doc)
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), c.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want error containing %q, got %v", c.want, errs)
+			}
+		})
+	}
+}
+
+func TestLintTolerates(t *testing.T) {
+	// Things promtool accepts and so must we: untyped samples,
+	// free-form comments, timestamps, escaped label values, Inf/NaN.
+	doc := "# just a comment\nuntyped_thing 1 1700000000000\n" +
+		"weird{msg=\"a\\\\b\\\"c\\nd\"} NaN\ninf_val +Inf\n"
+	if errs := lintStr(doc); len(errs) > 0 {
+		t.Fatalf("tolerated forms rejected: %v", errs)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests served.", Labels("endpoint", "access"))
+	c.Add(7)
+	r.Counter("test_requests_total", "Requests served.", Labels("endpoint", "count")).Add(2)
+	g := r.Gauge("test_cursors", "Open cursors.", "")
+	g.Set(3)
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", "", func() float64 { return 1.5 })
+	h := r.Histogram("test_latency_seconds", "Latency.", Labels("query", `Q"1`))
+	h.Record(100 * time.Microsecond)
+	h.Record(3 * time.Millisecond)
+	r.CollectorFunc("test_dynamic", "Scrape-time values.", KindGauge, func(emit func(string, float64)) {
+		emit(Labels("k", "v"), 9)
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP test_requests_total Requests served.",
+		"# TYPE test_requests_total counter",
+		`test_requests_total{endpoint="access"} 7`,
+		`test_requests_total{endpoint="count"} 2`,
+		"# TYPE test_cursors gauge",
+		"test_cursors 3",
+		"test_uptime_seconds 1.5",
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{query="Q\"1",le="+Inf"} 2`,
+		`test_latency_seconds_count{query="Q\"1"} 2`,
+		`test_dynamic{k="v"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// The output must pass our own promtool-style lint.
+	if errs := Lint(strings.NewReader(out)); len(errs) > 0 {
+		t.Fatalf("self-lint failed: %v\n---\n%s", errs, out)
+	}
+
+	// Get-or-create: same (name, labels) returns the same instrument.
+	if c2 := r.Counter("test_requests_total", "Requests served.", Labels("endpoint", "access")); c2 != c {
+		t.Fatal("counter not deduped by (name, labels)")
+	}
+	if h2 := r.Histogram("test_latency_seconds", "Latency.", Labels("query", `Q"1`)); h2 != h {
+		t.Fatal("histogram not deduped by (name, labels)")
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "h", "")
+	mustPanic(t, "kind clash", func() { r.Gauge("ok_total", "h", "") })
+	mustPanic(t, "bad name", func() { r.Counter("0bad", "h", "") })
+	mustPanic(t, "odd labels", func() { Labels("k") })
+	mustPanic(t, "histogram collector", func() {
+		r.CollectorFunc("h_seconds", "h", KindHistogram, func(func(string, float64)) {})
+	})
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestHistogramExpositionCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("cum_seconds", "x", "")
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if errs := Lint(strings.NewReader(b.String())); len(errs) > 0 {
+		t.Fatalf("lint: %v\n%s", errs, b.String())
+	}
+	// Lint already checks monotonicity; double-check +Inf == count.
+	if !strings.Contains(b.String(), `cum_seconds_bucket{le="+Inf"} 1000`) {
+		t.Fatalf("+Inf bucket wrong:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "cum_seconds_count 1000") {
+		t.Fatalf("_count wrong:\n%s", b.String())
+	}
+}

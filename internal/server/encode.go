@@ -181,6 +181,14 @@ var (
 	closedBody  = []byte("{\"closed\":true}\n")
 )
 
+func appendReadyzBody(dst []byte, ready bool, gen uint64) []byte {
+	dst = append(dst, `{"generation":`...)
+	dst = strconv.AppendUint(dst, gen, 10)
+	dst = append(dst, `,"ready":`...)
+	dst = appendBool(dst, ready)
+	return append(dst, '}', '\n')
+}
+
 func appendCountBody(dst []byte, n int64) []byte {
 	dst = append(dst, `{"count":`...)
 	dst = strconv.AppendInt(dst, n, 10)

@@ -59,6 +59,7 @@ const (
 // FastServer serves a Server's API with the pooled connection loop.
 type FastServer struct {
 	s        *Server
+	eps      [len(opNames)]*endpointMetrics // per-op instruments, resolved once
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[*fastConn]struct{}
@@ -72,7 +73,14 @@ type FastServer struct {
 // Shutdown drains like net/http's.
 func NewFastServer(s *Server) *FastServer {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &FastServer{s: s, conns: make(map[*fastConn]struct{}), baseCtx: ctx, cancel: cancel}
+	f := &FastServer{s: s, conns: make(map[*fastConn]struct{}), baseCtx: ctx, cancel: cancel}
+	// Resolving the instruments here (not per request) is what keeps the hot
+	// loop free of map lookups and label rendering; the names match the mux
+	// routes, so both serving paths share one set of series.
+	for op := opHealthz; op < len(opNames); op++ {
+		f.eps[op] = s.metrics.endpoint(opNames[op])
+	}
+	return f
 }
 
 // ListenAndServe listens on addr and serves until Shutdown.
@@ -188,6 +196,7 @@ type fastConn struct {
 	head    []byte // response head scratch
 	target  []byte // stable copy of the request target
 	val     []byte // percent-decoding scratch
+	reqID   []byte // X-Request-Id copy (tracing); empty when untraced
 	busy    atomic.Bool
 	closing bool
 	wrote   int64 // body bytes of the current request (metrics)
@@ -212,6 +221,7 @@ var (
 const (
 	opNone = iota
 	opHealthz
+	opReadyz
 	opCount
 	opAccess
 	opBatch
@@ -222,7 +232,7 @@ const (
 
 // opNames index by op; the strings match the mux route names so /metrics
 // aggregates both serving paths under one endpoint.
-var opNames = [...]string{"", "healthz", "count", "access", "batch", "page", "sample", "enum_next"}
+var opNames = [...]string{"", "healthz", "readyz", "count", "access", "batch", "page", "sample", "enum_next"}
 
 func (fc *fastConn) serve() {
 	defer fc.c.Close()
@@ -300,6 +310,7 @@ func (fc *fastConn) handleRequest(line []byte) bool {
 	fc.c.SetReadDeadline(time.Now().Add(fastHeaderTimeout))
 	var hm headerMeta
 	hm.contentLength = -1
+	fc.reqID = fc.reqID[:0] // a request without the header must not inherit one
 	if !fc.scanHeaders(&hm) {
 		return false
 	}
@@ -322,14 +333,21 @@ func (fc *fastConn) handleRequest(line []byte) bool {
 	}
 
 	t0 := time.Now()
-	m := fc.f.s.metrics
+	s := fc.f.s
+	ep := fc.f.eps[op]
+	// A client-supplied X-Request-Id turns tracing on for this request; the
+	// benchmark harness never sends one, so the untraced loop stays 0-alloc.
+	var tr *traceRec
+	if len(fc.reqID) > 0 {
+		tr = s.traces.begin(fc.reqID, opNames[op], t0)
+	}
 	var allocs0 uint64
-	sampled := m.sampleTick()
+	sampled := s.metrics.sampleTick()
 	if sampled {
 		allocs0 = heapAllocObjects()
 	}
 	fc.wrote = 0
-	err := fc.serveFast(op, qname, query, hm)
+	err := fc.serveFast(op, qname, query, hm, tr)
 	clientGone := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	if err != nil {
 		status, msg := errorStatus(err, clientGone), err.Error()
@@ -342,9 +360,21 @@ func (fc *fastConn) handleRequest(line []byte) bool {
 		}
 	}
 	if sampled {
-		m.observeAllocs(opNames[op], float64(heapAllocObjects()-allocs0))
+		ep.observeAllocs(float64(heapAllocObjects() - allocs0))
 	}
-	m.observe(opNames[op], time.Since(t0), err != nil && !clientGone, fc.wrote)
+	d := time.Since(t0)
+	ep.observe(d, err != nil && !clientGone, fc.wrote)
+	status := http.StatusOK
+	if err != nil {
+		status = errorStatus(err, clientGone)
+	}
+	if tr != nil {
+		tr.finish(status, d)
+		s.traces.push(tr)
+	}
+	if s.cfg.SlowLog > 0 && d >= s.cfg.SlowLog {
+		s.logSlowFast(opNames[op], string(fc.target), string(qname), string(fc.reqID), d, status)
+	}
 	return true
 }
 
@@ -352,6 +382,9 @@ func (fc *fastConn) handleRequest(line []byte) bool {
 func fastRoute(path []byte) (int, []byte) {
 	if string(path) == "/healthz" {
 		return opHealthz, nil
+	}
+	if string(path) == "/readyz" {
+		return opReadyz, nil
 	}
 	const v1 = "/v1/"
 	if len(path) < len(v1) || string(path[:len(v1)]) != v1 {
@@ -424,26 +457,43 @@ func (fc *fastConn) scanHeaders(hm *headerMeta) bool {
 			hm.chunked = true
 		case asciiEqualFold(name, "expect"):
 			hm.expect100 = asciiEqualFold(val, "100-continue")
+		case asciiEqualFold(name, "x-request-id"):
+			// Copy out of the bufio window now: later reads slide it.
+			fc.reqID = append(fc.reqID[:0], val...)
 		}
 	}
 }
 
 // serveFast runs one fast-path op. A returned error becomes the JSON error
 // response (same mapping as the mux route wrapper).
-func (fc *fastConn) serveFast(op int, qname, query []byte, hm headerMeta) error {
+func (fc *fastConn) serveFast(op int, qname, query []byte, hm headerMeta, tr *traceRec) error {
+	s := fc.f.s
 	if op == opHealthz {
 		return fc.writeResponse(http.StatusOK, "application/json", healthzBody)
 	}
-	s := fc.f.s
+	if op == opReadyz {
+		_, gen := s.reg.Snapshot()
+		if !s.Ready() {
+			return fc.writeResponse(http.StatusServiceUnavailable, "application/json",
+				appendReadyzBody(fc.enc.buf[:0], false, gen))
+		}
+		return fc.writeResponse(http.StatusOK, "application/json", appendReadyzBody(fc.enc.buf[:0], true, gen))
+	}
 	e, db, gen, ok := s.reg.lookupViewBytes(qname)
 	if !ok {
 		return httpErrorf(http.StatusNotFound, "no query %q (serving: %s)", string(qname), joinNames(s.reg.Names()))
 	}
 	_ = gen
+	if tr != nil {
+		tr.query = e.Name
+	}
 	dict := db.Dict()
 	switch op {
 	case opCount:
-		return fc.writeResponse(http.StatusOK, "application/json", appendCountBody(fc.enc.buf[:0], e.Count()))
+		pc := startProbe(e.histCount(), tr, "probe")
+		n := e.Count()
+		pc.done()
+		return fc.writeResponse(http.StatusOK, "application/json", appendCountBody(fc.enc.buf[:0], n))
 
 	case opAccess:
 		j, err := fc.paramInt64(query, "j", -1)
@@ -455,10 +505,14 @@ func (fc *fastConn) serveFast(op int, qname, query []byte, hm headerMeta) error 
 		}
 		var t renum.Tuple
 		if e.coal != nil {
+			pc := startProbe(e.histAccess(), tr, "coalesce")
 			t, err = e.coal.Do(j)
+			pc.done()
 		} else {
+			pc := startProbe(e.histAccess(), tr, "probe")
 			t = fc.enc.rowFor(len(e.Head()))
 			err = e.H.AccessInto(j, t)
+			pc.done()
 		}
 		if err != nil {
 			return err
@@ -476,7 +530,9 @@ func (fc *fastConn) serveFast(op int, qname, query []byte, hm headerMeta) error 
 			return httpErrorf(http.StatusBadRequest, "batch of %d exceeds limit %d", len(js), s.cfg.MaxBatch)
 		}
 		fc.enc.buf = fc.enc.buf[:0]
+		pc := startProbe(e.histBatch(), tr, "build")
 		body, err := buildBatchBody(fc.f.baseCtx, e, dict, &fc.enc, js, hm.wantWire)
+		pc.done()
 		if err != nil {
 			return err
 		}
@@ -498,7 +554,9 @@ func (fc *fastConn) serveFast(op int, qname, query []byte, hm headerMeta) error 
 			return httpErrorf(http.StatusBadRequest, "offset and limit must be non-negative")
 		}
 		fc.enc.buf = fc.enc.buf[:0]
+		pc := startProbe(e.histPage(), tr, "build")
 		body, err := buildPageBody(fc.f.baseCtx, e, dict, &fc.enc, offset, limit, hm.wantWire)
+		pc.done()
 		if err != nil {
 			return err
 		}
@@ -520,7 +578,9 @@ func (fc *fastConn) serveFast(op int, qname, query []byte, hm headerMeta) error 
 		if err != nil {
 			return err
 		}
+		pc := startProbe(e.histSample(), tr, "probe")
 		ts, err := smp.SampleN(k, rand.New(rand.NewSource(seed)))
+		pc.done()
 		if err != nil {
 			return err
 		}
@@ -536,7 +596,9 @@ func (fc *fastConn) serveFast(op int, qname, query []byte, hm headerMeta) error 
 		if n <= 0 || n > s.cfg.MaxCursorDraw {
 			return httpErrorf(http.StatusBadRequest, "n=%d out of range [1, %d]", n, s.cfg.MaxCursorDraw)
 		}
+		pc := startProbe(e.histCursor(), tr, "probe")
 		ts, done, err := s.cursors.Next(fc.f.baseCtx, string(rawCur), e.Name, n)
+		pc.done()
 		if err != nil {
 			return err
 		}

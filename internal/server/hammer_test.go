@@ -54,7 +54,16 @@ func TestServerHammer(t *testing.T) {
 						raw, status = doRaw(s, "POST", "/v1/"+q+"/contains", `{"tuple":["1","2","x"]}`)
 					}
 				case 6:
-					raw, status = doRaw(s, "GET", "/metrics", "")
+					// Alternate formats so the hammer covers both the
+					// Prometheus render and the JSON snapshot path.
+					if i%2 == 0 {
+						praw, pstatus := doRaw(s, "GET", "/metrics", "")
+						if pstatus != 200 {
+							t.Errorf("client %d op %d: /metrics status %d body %s", id, i, pstatus, praw)
+							return
+						}
+					}
+					raw, status = doRaw(s, "GET", "/metrics?format=json", "")
 				case 7:
 					// Cursor lifecycle: start one, drain a little, maybe close.
 					if cursor == "" {
@@ -125,7 +134,7 @@ func TestServerHammer(t *testing.T) {
 	if m["count"] == nil {
 		t.Fatal("post-hammer count missing")
 	}
-	m = do(t, s, "GET", "/metrics", "", 200)
+	m = do(t, s, "GET", "/metrics?format=json", "", 200)
 	if m["endpoints"] == nil {
 		t.Fatal("post-hammer metrics missing")
 	}

@@ -7,12 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/stats"
+	"repro/internal/obs"
 )
-
-// latencySamples bounds the per-endpoint latency reservoir: quantiles are
-// computed over the most recent window of this many requests.
-const latencySamples = 2048
 
 // allocSamples bounds the per-endpoint allocs/req reservoir. Sampling is
 // 1-in-allocSampleEvery requests (process-wide), so the window covers a long
@@ -22,81 +18,93 @@ const (
 	allocSampleEvery = 64
 )
 
-// endpointMetrics accumulates one endpoint's counters and a ring of recent
-// latencies.
+// endpointMetrics holds one endpoint's instruments. It is resolved once at
+// route-registration time (the mux closes over it; the fast loop indexes an
+// array by opcode), so the record path is pointer-chasing plus atomics —
+// no map lookup, no label rendering, no lock, no allocation.
+//
+// Latency goes into a log-bucketed obs.Histogram with exact counts: the
+// /metrics quantiles cover every request ever served, not a recent sample
+// window like the old 2048-entry ring, which silently forgot the early
+// distribution under sustained load.
 type endpointMetrics struct {
-	count  int64
-	errors int64
-	bytes  int64
-	ring   [latencySamples]float64 // milliseconds
-	n      int                     // filled slots
-	next   int                     // ring cursor
+	name   string
+	count  *obs.Counter
+	errors *obs.Counter
+	bytes  *obs.Counter
+	lat    *obs.Histogram
 
 	// Sampled heap-allocation deltas around whole requests. The delta is a
 	// process-wide counter, so concurrent requests bleed into each other's
 	// samples: the median below is an estimate, not an exact attribution.
+	allocMu   sync.Mutex
 	allocRing [allocSamples]float64
 	allocN    int
 	allocNext int
 }
 
-// metricsRecorder aggregates per-endpoint request counts and latency
-// summaries. One mutex guards everything: the critical section is a few
-// stores, so contention stays negligible next to the probes themselves.
+// observe records one request.
+func (ep *endpointMetrics) observe(d time.Duration, isErr bool, bytes int64) {
+	ep.count.Inc()
+	if isErr {
+		ep.errors.Inc()
+	}
+	if bytes > 0 {
+		ep.bytes.Add(uint64(bytes))
+	}
+	ep.lat.Record(d)
+}
+
+// observeAllocs records one sampled whole-request allocation delta.
+func (ep *endpointMetrics) observeAllocs(allocs float64) {
+	ep.allocMu.Lock()
+	ep.allocRing[ep.allocNext] = allocs
+	ep.allocNext = (ep.allocNext + 1) % allocSamples
+	if ep.allocN < allocSamples {
+		ep.allocN++
+	}
+	ep.allocMu.Unlock()
+}
+
+// metricsRecorder owns the per-endpoint instruments and their Prometheus
+// registration. The mutex guards creation only; recording is lock-free.
 type metricsRecorder struct {
 	seq   atomic.Uint64
-	mu    sync.Mutex
 	start time.Time
+	reg   *obs.Registry
+	mu    sync.Mutex
 	byEP  map[string]*endpointMetrics
 }
 
-func newMetricsRecorder() *metricsRecorder {
-	return &metricsRecorder{start: time.Now(), byEP: make(map[string]*endpointMetrics)}
+func newMetricsRecorder(reg *obs.Registry) *metricsRecorder {
+	return &metricsRecorder{start: time.Now(), reg: reg, byEP: make(map[string]*endpointMetrics)}
 }
 
-func (m *metricsRecorder) endpointLocked(endpoint string) *endpointMetrics {
-	ep := m.byEP[endpoint]
-	if ep == nil {
-		ep = &endpointMetrics{}
-		m.byEP[endpoint] = ep
-	}
-	return ep
-}
-
-// observe records one request against the named endpoint.
-func (m *metricsRecorder) observe(endpoint string, d time.Duration, isErr bool, bytes int64) {
-	ms := float64(d) / float64(time.Millisecond)
+// endpoint resolves (or creates) the named endpoint's instruments,
+// registering its label set with the Prometheus families. Called at route
+// registration, never per request.
+func (m *metricsRecorder) endpoint(name string) *endpointMetrics {
 	m.mu.Lock()
-	ep := m.endpointLocked(endpoint)
-	ep.count++
-	if isErr {
-		ep.errors++
+	defer m.mu.Unlock()
+	if ep := m.byEP[name]; ep != nil {
+		return ep
 	}
-	ep.bytes += bytes
-	ep.ring[ep.next] = ms
-	ep.next = (ep.next + 1) % latencySamples
-	if ep.n < latencySamples {
-		ep.n++
+	labels := obs.Labels("endpoint", name)
+	ep := &endpointMetrics{
+		name:   name,
+		count:  m.reg.Counter("renum_http_requests_total", "Requests served, by endpoint.", labels),
+		errors: m.reg.Counter("renum_http_request_errors_total", "Requests that failed with a server-attributed error (client disconnects excluded).", labels),
+		bytes:  m.reg.Counter("renum_http_response_bytes_total", "Response body bytes written, by endpoint.", labels),
+		lat:    m.reg.Histogram("renum_http_request_duration_seconds", "Whole-request latency, by endpoint.", labels),
 	}
-	m.mu.Unlock()
+	m.byEP[name] = ep
+	return ep
 }
 
 // sampleTick reports whether this request should measure an allocation delta
 // (1 in allocSampleEvery, process-wide).
 func (m *metricsRecorder) sampleTick() bool {
 	return m.seq.Add(1)%allocSampleEvery == 0
-}
-
-// observeAllocs records one sampled whole-request allocation delta.
-func (m *metricsRecorder) observeAllocs(endpoint string, allocs float64) {
-	m.mu.Lock()
-	ep := m.endpointLocked(endpoint)
-	ep.allocRing[ep.allocNext] = allocs
-	ep.allocNext = (ep.allocNext + 1) % allocSamples
-	if ep.allocN < allocSamples {
-		ep.allocN++
-	}
-	m.mu.Unlock()
 }
 
 // heapAllocsSample is pooled so reading the counter does not itself allocate
@@ -119,13 +127,15 @@ func heapAllocObjects() uint64 {
 	return v
 }
 
-// EndpointSummary is the exported per-endpoint metrics document.
+// EndpointSummary is the exported per-endpoint metrics document. Its JSON
+// field names are a compatibility surface (the dashboard examples and
+// renumload -metrics-url decode it); TestMetricsJSONShapeStable pins them.
 type EndpointSummary struct {
 	Endpoint string  `json:"endpoint"`
 	Count    int64   `json:"count"`
 	Errors   int64   `json:"errors"`
 	BytesOut int64   `json:"bytes_out"`
-	Window   int     `json:"latency_window"` // samples behind the quantiles
+	Window   int     `json:"latency_window"` // observations behind the quantiles (now: all of them)
 	MeanMs   float64 `json:"mean_ms"`
 	MedianMs float64 `json:"p50_ms"`
 	P90Ms    float64 `json:"p90_ms"`
@@ -139,41 +149,50 @@ type EndpointSummary struct {
 	AllocsWindow    int     `json:"allocs_window"`
 }
 
+const maxInt = int(^uint(0) >> 1)
+
 // snapshot summarizes every endpoint seen so far, sorted by endpoint name.
+// Quantiles come from the histogram (≤ 1/16 relative error, full history);
+// mean and max are exact.
 func (m *metricsRecorder) snapshot() (uptime time.Duration, eps []EndpointSummary) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	for name, ep := range m.byEP {
-		xs := make([]float64, ep.n)
-		copy(xs, ep.ring[:ep.n])
-		s := stats.Summarize(xs)
-		sort.Float64s(xs)
-		p90, p99 := 0.0, 0.0
-		if len(xs) > 0 {
-			p90 = stats.Quantile(xs, 0.90)
-			p99 = stats.Quantile(xs, 0.99)
+	byEP := make([]*endpointMetrics, 0, len(m.byEP))
+	for _, ep := range m.byEP {
+		byEP = append(byEP, ep)
+	}
+	m.mu.Unlock()
+
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, ep := range byEP {
+		s := ep.lat.Snapshot()
+		window := maxInt
+		if s.Count < uint64(maxInt) {
+			window = int(s.Count)
 		}
+		ep.allocMu.Lock()
 		allocEst := 0.0
-		if ep.allocN > 0 {
-			as := make([]float64, ep.allocN)
-			copy(as, ep.allocRing[:ep.allocN])
+		allocN := ep.allocN
+		if allocN > 0 {
+			as := make([]float64, allocN)
+			copy(as, ep.allocRing[:allocN])
 			sort.Float64s(as)
-			allocEst = stats.Quantile(as, 0.50)
+			allocEst = as[(allocN-1)/2]
 		}
+		ep.allocMu.Unlock()
 		eps = append(eps, EndpointSummary{
-			Endpoint:        name,
-			Count:           ep.count,
-			Errors:          ep.errors,
-			BytesOut:        ep.bytes,
-			Window:          ep.n,
-			MeanMs:          s.Mean,
-			MedianMs:        s.Median,
-			P90Ms:           p90,
-			P99Ms:           p99,
-			MaxMs:           s.Max,
-			StdDevMs:        s.StdDev,
+			Endpoint:        ep.name,
+			Count:           int64(ep.count.Value()),
+			Errors:          int64(ep.errors.Value()),
+			BytesOut:        int64(ep.bytes.Value()),
+			Window:          window,
+			MeanMs:          ms(s.Mean()),
+			MedianMs:        ms(s.Quantile(0.50)),
+			P90Ms:           ms(s.Quantile(0.90)),
+			P99Ms:           ms(s.Quantile(0.99)),
+			MaxMs:           ms(time.Duration(s.MaxNs)),
+			StdDevMs:        ms(s.StdDev()),
 			AllocsPerReqEst: allocEst,
-			AllocsWindow:    ep.allocN,
+			AllocsWindow:    allocN,
 		})
 	}
 	sort.Slice(eps, func(i, j int) bool { return eps[i].Endpoint < eps[j].Endpoint })

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// promText scrapes the default (Prometheus) /metrics format.
+func promText(t testing.TB, s *Server) string {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text/plain; version=0.0.4", ct)
+	}
+	return rec.Body.String()
+}
+
+// TestPrometheusExposition drives every hot endpoint, then checks the text
+// exposition is lint-clean and carries the families the dashboards rely on:
+// per-endpoint HTTP series and per-query, per-op probe histograms.
+func TestPrometheusExposition(t *testing.T) {
+	s, _ := newTestServer(t, CoalesceConfig{Window: time.Millisecond}, Config{})
+	do(t, s, "GET", "/v1/Q/count", "", 200)
+	do(t, s, "GET", "/v1/Q/access?j=0", "", 200)
+	do(t, s, "GET", "/v1/Q/batch?js=0,1", "", 200)
+	do(t, s, "GET", "/v1/Q/page?offset=0&limit=2", "", 200)
+	do(t, s, "GET", "/v1/Q/sample?k=1&seed=1", "", 200)
+	m := do(t, s, "POST", "/v1/Q/enum/start?order=enum", "", 200)
+	do(t, s, "GET", "/v1/Q/enum/next?cursor="+m["cursor"].(string)+"&n=2", "", 200)
+	// The initial Register ran before New installed the observer; a rebuild
+	// is the first observed build and populates the build histograms.
+	do(t, s, "POST", "/admin/rebuild", "", 200)
+
+	text := promText(t, s)
+	if errs := obs.Lint(strings.NewReader(text)); len(errs) > 0 {
+		t.Fatalf("exposition fails lint: %v\nfull text:\n%s", errs, text)
+	}
+
+	for _, want := range []string{
+		`renum_http_requests_total{endpoint="count"} 1`,
+		`renum_http_requests_total{endpoint="access"} 1`,
+		`renum_http_request_duration_seconds_bucket{endpoint="access",le="+Inf"} 1`,
+		`renum_probe_duration_seconds_count{query="Q",op="access"} 1`,
+		`renum_probe_duration_seconds_count{query="Q",op="count"} 1`,
+		`renum_probe_duration_seconds_count{query="Q",op="batch"} 1`,
+		`renum_probe_duration_seconds_count{query="Q",op="page"} 1`,
+		`renum_probe_duration_seconds_count{query="Q",op="sample"} 1`,
+		`renum_probe_duration_seconds_count{query="Q",op="cursor"} 1`,
+		"\nrenum_generation ",
+		"renum_ready 1",
+		"# TYPE renum_http_request_duration_seconds histogram",
+		"# TYPE renum_probe_duration_seconds histogram",
+		"# TYPE renum_build_duration_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The rebuild was observed per stage and in total, labeled with the
+	// generation it published.
+	_, gen := s.reg.Snapshot()
+	for _, want := range []string{
+		fmt.Sprintf(`renum_build_duration_seconds_count{query="Q",stage="total",generation="%d"} 1`, gen),
+		fmt.Sprintf(`renum_build_duration_seconds_count{query="Q",stage="index_build",generation="%d"} 1`, gen),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want,
+				grepLines(text, "renum_build_duration_seconds_count"))
+		}
+	}
+}
+
+// TestPrometheusWALAndCompactionFamilies: an acknowledged update appears in
+// the WAL append/fsync histograms, and a compaction in the compaction ones.
+func TestPrometheusWALAndCompactionFamilies(t *testing.T) {
+	snapDir, walDir := t.TempDir(), t.TempDir()
+	s, reg := newTestServer(t, CoalesceConfig{}, Config{SnapshotDir: snapDir})
+	if _, _, err := reg.AttachWAL(walDir, wal.SyncAlways); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.CloseWAL()
+	do(t, s, "POST", "/v1/D/update", `{"op":"insert","relation":"r","tuple":["9","9"]}`, 200)
+
+	text := promText(t, s)
+	for _, want := range []string{
+		"renum_wal_append_duration_seconds_count 1",
+		"renum_wal_fsync_duration_seconds_count 1",
+		"renum_wal_append_bytes_total",
+		"renum_wal_depth 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("after update, exposition missing %q\n%s", want, text)
+		}
+	}
+
+	if _, _, err := reg.Compact(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	text = promText(t, s)
+	for _, want := range []string{
+		"renum_compaction_duration_seconds_count 1",
+		"renum_compaction_records_folded_total 1",
+		"renum_compactions_total 1",
+		"renum_snapshot_save_duration_seconds_count 1",
+		"renum_generations_published_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("after compaction, exposition missing %q\n%s", want, text)
+		}
+	}
+	if errs := obs.Lint(strings.NewReader(text)); len(errs) > 0 {
+		t.Fatalf("exposition fails lint after compaction: %v", errs)
+	}
+}
+
+// TestMetricsJSONShapeStable pins the ?format=json document shape: the
+// top-level keys and every EndpointSummary field name are a compatibility
+// surface (examples/http_traffic and renumload -metrics-url decode them).
+func TestMetricsJSONShapeStable(t *testing.T) {
+	s, _ := newTestServer(t, CoalesceConfig{}, Config{})
+	do(t, s, "GET", "/v1/Q/count", "", 200)
+
+	m := do(t, s, "GET", "/metrics?format=json", "", 200)
+	for _, key := range []string{"uptime_ms", "generation", "cursors", "endpoints", "coalescer", "wal"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics JSON missing top-level key %q", key)
+		}
+	}
+	if len(m) != 6 {
+		t.Errorf("metrics JSON has %d top-level keys, want 6: %v", len(m), m)
+	}
+
+	eps := m["endpoints"].([]any)
+	if len(eps) == 0 {
+		t.Fatal("no endpoint summaries")
+	}
+	wantFields := []string{
+		"endpoint", "count", "errors", "bytes_out", "latency_window",
+		"mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms", "stddev_ms",
+		"allocs_per_req_est", "allocs_window",
+	}
+	ep := eps[0].(map[string]any)
+	for _, f := range wantFields {
+		if _, ok := ep[f]; !ok {
+			t.Errorf("EndpointSummary missing field %q", f)
+		}
+	}
+	if len(ep) != len(wantFields) {
+		t.Errorf("EndpointSummary has %d fields, want %d: %v", len(ep), len(wantFields), ep)
+	}
+
+	// The same scrape decoded twice is byte-identical modulo uptime: the
+	// document is a deterministic function of the recorded state.
+	raw1, _ := doRaw(s, "GET", "/metrics?format=json", "")
+	var d1, d2 map[string]any
+	if err := json.Unmarshal(raw1, &d1); err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := doRaw(s, "GET", "/metrics?format=json", "")
+	if err := json.Unmarshal(raw2, &d2); err != nil {
+		t.Fatal(err)
+	}
+	delete(d1, "uptime_ms")
+	delete(d2, "uptime_ms")
+	// The metrics endpoint's own counters move between the scrapes; drop the
+	// endpoints array and compare the rest.
+	delete(d1, "endpoints")
+	delete(d2, "endpoints")
+	b1, _ := json.Marshal(d1)
+	b2, _ := json.Marshal(d2)
+	if string(b1) != string(b2) {
+		t.Errorf("metrics JSON not stable across idle scrapes:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestMetricsScrapeHammer runs concurrent probe recording, both scrape
+// formats, and generation swaps together; meaningful mainly under -race.
+func TestMetricsScrapeHammer(t *testing.T) {
+	s, reg := newTestServer(t, CoalesceConfig{Window: 100 * time.Microsecond}, Config{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				switch i % 4 {
+				case 0:
+					doRaw(s, "GET", "/v1/Q/access?j=0", "")
+				case 1:
+					doRaw(s, "GET", "/v1/U/count", "")
+				case 2:
+					doRaw(s, "GET", "/metrics", "")
+				default:
+					doRaw(s, "GET", "/metrics?format=json", "")
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := reg.Rebuild(); err != nil {
+				t.Errorf("rebuild: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	text := promText(t, s)
+	if errs := obs.Lint(strings.NewReader(text)); len(errs) > 0 {
+		t.Fatalf("exposition fails lint after hammer: %v", errs)
+	}
+	// Rebuilt generations share the probe series with the original entries
+	// (get-or-create registration), so the access counts survived the swaps.
+	if !strings.Contains(text, `renum_probe_duration_seconds_count{query="Q",op="access"} 100`) {
+		t.Errorf("probe counts did not survive generation swaps:\n%s",
+			grepLines(text, "renum_probe_duration_seconds_count"))
+	}
+}
+
+// grepLines extracts matching lines for a focused failure message.
+func grepLines(text, substr string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return fmt.Sprint(strings.Join(out, "\n"))
+}
+
+// TestReadyz: ready by default, 503 while drained, parity on the fast loop.
+func TestReadyz(t *testing.T) {
+	s, _ := newTestServer(t, CoalesceConfig{}, Config{})
+	_, addr := startFast(t, s)
+
+	m := do(t, s, "GET", "/readyz", "", 200)
+	if m["ready"] != true {
+		t.Fatalf("readyz = %v", m)
+	}
+	if fr := fastDo(t, addr, "GET", "/readyz", "", ""); fr.status != 200 {
+		t.Fatalf("fast readyz = %d (%s)", fr.status, fr.body)
+	}
+
+	s.SetReady(false)
+	raw, status := doRaw(s, "GET", "/readyz", "")
+	if status != 503 || !strings.Contains(string(raw), `"ready":false`) {
+		t.Fatalf("drained readyz = %d %s, want 503 ready:false", status, raw)
+	}
+	if fr := fastDo(t, addr, "GET", "/readyz", "", ""); fr.status != 503 {
+		t.Fatalf("fast drained readyz = %d", fr.status)
+	}
+	// Liveness is unaffected by the drain: the process is still healthy.
+	do(t, s, "GET", "/healthz", "", 200)
+
+	s.SetReady(true)
+	do(t, s, "GET", "/readyz", "", 200)
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro"
 	"repro/internal/load"
+	"repro/internal/obs"
 )
 
 // Entry is one served query: a name and the capability-based handle serving
@@ -37,6 +38,49 @@ type Entry struct {
 	// coal merges concurrent single-position access requests into batches.
 	// Nil when coalescing is disabled or unsafe for the backend.
 	coal *coalescer
+
+	// qm holds the per-operation probe histograms resolved from the
+	// registry's observer at build time. Nil when no observer is set;
+	// handlers record through these pointers with no lookup per request.
+	qm *obs.ProbeOps
+}
+
+// Per-op histogram accessors, nil-safe for observer-less registries.
+func (e *Entry) histAccess() *obs.Histogram {
+	if e.qm == nil {
+		return nil
+	}
+	return e.qm.Access
+}
+func (e *Entry) histCount() *obs.Histogram {
+	if e.qm == nil {
+		return nil
+	}
+	return e.qm.Count
+}
+func (e *Entry) histBatch() *obs.Histogram {
+	if e.qm == nil {
+		return nil
+	}
+	return e.qm.Batch
+}
+func (e *Entry) histPage() *obs.Histogram {
+	if e.qm == nil {
+		return nil
+	}
+	return e.qm.Page
+}
+func (e *Entry) histSample() *obs.Histogram {
+	if e.qm == nil {
+		return nil
+	}
+	return e.qm.Sample
+}
+func (e *Entry) histCursor() *obs.Histogram {
+	if e.qm == nil {
+		return nil
+	}
+	return e.qm.Cursor
 }
 
 // Kind names the handle's backend family (diagnostics/metadata only).
@@ -84,6 +128,11 @@ type Registry struct {
 	// wal is the registry's write-ahead log state (see wal.go). Its zero
 	// value means no WAL is attached and updates are applied unlogged.
 	wal walState
+
+	// obs receives build/WAL/compaction/publish timings and resolves
+	// per-query probe histograms. Written under r.mu (SetObserver) and read
+	// under r.mu by the build/compact/publish paths; nil means unobserved.
+	obs *obs.Observer
 }
 
 // CoalesceConfig tunes the per-entry access coalescer. The zero value
@@ -160,9 +209,11 @@ func (r *Registry) SaveSnapshot(dir string) (path string, gen uint64, skipped []
 		entries = append(entries, renum.CatalogEntry{Name: name, Q: e.src.Src(), H: e.H})
 	}
 	path = load.SnapshotPath(dir, s.gen)
+	t0 := time.Now()
 	if err := renum.SaveSnapshot(path, s.db, s.gen, entries); err != nil {
 		return "", 0, skipped, err
 	}
+	r.obs.ObserveSnapshotSave(s.gen, time.Since(t0))
 	if r.wal.log != nil {
 		if err := r.rotateLocked(s.gen); err != nil {
 			return "", 0, skipped, err
@@ -178,6 +229,41 @@ func sortedNames(m map[string]*Entry) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// SetObserver installs (or replaces) the registry's observability hooks.
+// Entries already published get their per-query probe histograms attached
+// retroactively: the current snapshot is republished at the SAME generation
+// with qm-carrying entry clones, so a server wired after boot-time
+// registration (the daemon's order: register → AttachWAL → New) still
+// observes every query. An attached WAL gets its append/fsync hooks here
+// too, and again on every rotation.
+func (r *Registry) SetObserver(o *obs.Observer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = o
+	cur := r.snap.Load()
+	if len(cur.entries) > 0 {
+		entries := make(map[string]*Entry, len(cur.entries))
+		for name, e := range cur.entries {
+			ne := *e
+			ne.qm = o.Ops(name)
+			entries[name] = &ne
+		}
+		// Same generation: nothing about the served data changed.
+		r.snap.Store(&snapshot{db: cur.db, entries: entries, gen: cur.gen})
+	}
+	r.wal.mu.Lock()
+	if r.wal.log != nil {
+		r.wal.log.SetHooks(r.walHooks())
+	}
+	r.wal.mu.Unlock()
+}
+
+// EntryCount reports how many queries the current snapshot serves
+// (lock-free; used by /readyz).
+func (r *Registry) EntryCount() int {
+	return len(r.snap.Load().entries)
 }
 
 // Snapshot returns the current generation. The result is immutable.
@@ -296,12 +382,20 @@ func (r *Registry) build(db *renum.Database, q load.Query, dynamic bool) (*Entry
 	if dynamic && q.CQ != nil {
 		opts = append(opts, renum.WithDynamic())
 	}
+	if o := r.obs; o != nil && o.Build != nil {
+		name := q.Name
+		opts = append(opts, renum.WithBuildObserver(func(stage string, d time.Duration) {
+			o.ObserveBuild(name, stage, d)
+		}))
+	}
 	src := q.Src()
+	t0 := time.Now()
 	h, err := renum.Open(db, src, opts...)
 	if err != nil {
 		return nil, err
 	}
-	e := &Entry{Name: q.Name, Text: src.String(), H: h, src: q}
+	r.obs.ObserveBuild(q.Name, "total", time.Since(t0))
+	e := &Entry{Name: q.Name, Text: src.String(), H: h, src: q, qm: r.obs.Ops(q.Name)}
 	// Updatable entries stay uncoalesced: a concurrent delete can invalidate
 	// a position after the handler validated it, and one stale position
 	// would fail the whole merged batch for its round-mates. Static counts
@@ -315,6 +409,7 @@ func (r *Registry) build(db *renum.Database, q load.Query, dynamic bool) (*Entry
 func (r *Registry) publish(db *renum.Database, entries map[string]*Entry) {
 	gen := r.snap.Load().gen + 1
 	r.snap.Store(&snapshot{db: db, entries: entries, gen: gen})
+	r.obs.ObservePublish(gen)
 }
 
 func cloneEntries(m map[string]*Entry) map[string]*Entry {

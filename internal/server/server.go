@@ -87,14 +87,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -115,6 +118,14 @@ type Config struct {
 	// SnapshotDir is where /admin/save persists catalog snapshots
 	// (gen-<generation>.snap). Empty disables saving with a descriptive 400.
 	SnapshotDir string
+	// SlowLog emits a structured log line for any request at least this
+	// slow (0 disables slow-request logging).
+	SlowLog time.Duration
+	// Logger receives slow-request lines. Nil means slog.Default().
+	Logger *slog.Logger
+	// TraceBuffer caps the in-memory ring behind /debug/traces
+	// (0 = 256 traced requests).
+	TraceBuffer int
 }
 
 // Server is the HTTP face of a Registry.
@@ -123,11 +134,21 @@ type Server struct {
 	cfg     Config
 	cursors *cursorStore
 	metrics *metricsRecorder
+	obs     *obs.Registry
+	traces  *traceStore
+	logger  *slog.Logger
+	ready   atomic.Bool
 	mux     *http.ServeMux
 }
 
 // New wires a server around reg. Call Close when done to stop the cursor
 // janitor.
+//
+// New also installs the registry's observability hooks: per-query probe
+// histograms, build/WAL/compaction timings and generation counters all land
+// in the server's Prometheus registry (served at /metrics). The server
+// starts ready; operators sequence readiness explicitly with SetReady
+// around WAL replay and drain.
 func New(reg *Registry, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1 << 16
@@ -135,15 +156,28 @@ func New(reg *Registry, cfg Config) *Server {
 	if cfg.MaxCursorDraw <= 0 {
 		cfg.MaxCursorDraw = 1 << 16
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	obsReg := obs.NewRegistry()
 	s := &Server{
 		reg:     reg,
 		cfg:     cfg,
 		cursors: newCursorStore(cfg.CursorTTL, cfg.CursorSweep),
-		metrics: newMetricsRecorder(),
+		metrics: newMetricsRecorder(obsReg),
+		obs:     obsReg,
+		traces:  newTraceStore(cfg.TraceBuffer),
+		logger:  logger,
 		mux:     http.NewServeMux(),
 	}
+	s.ready.Store(true)
+	s.registerCollectors()
+	reg.SetObserver(newServerObserver(obsReg, reg))
 	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /readyz", "readyz", s.handleReadyz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
+	s.route("GET /debug/traces", "debug_traces", s.handleDebugTraces)
 	s.route("GET /v1", "list", s.handleList)
 	s.route("GET /v1/{query}", "meta", s.entry(s.handleMeta))
 	s.route("GET /v1/{query}/count", "count", s.entry(s.handleCount))
@@ -171,9 +205,25 @@ func New(reg *Registry, cfg Config) *Server {
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops background work (cursor janitor). In-flight requests are the
-// http.Server's business.
-func (s *Server) Close() { s.cursors.Shutdown() }
+// SetReady flips the /readyz verdict. The daemon sets it false at the top
+// of a drain so load balancers stop routing new work before the listener
+// goes away, and (already true by default) leaves it true once boot — WAL
+// replay included — has finished.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the /readyz verdict: the operator has not started a drain
+// AND the registry is serving a published generation with at least one
+// entry (a daemon serving nothing is not ready for traffic).
+func (s *Server) Ready() bool {
+	return s.ready.Load() && s.reg.EntryCount() > 0
+}
+
+// Close stops background work (cursor janitor) and marks the server
+// unready. In-flight requests are the http.Server's business.
+func (s *Server) Close() {
+	s.ready.Store(false)
+	s.cursors.Shutdown()
+}
 
 // httpError carries a status code through the handler plumbing.
 type httpError struct {
@@ -229,12 +279,22 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 
 var cwPool = sync.Pool{New: func() any { return &countingWriter{} }}
 
-// route installs a handler with metrics instrumentation.
+// route installs a handler with metrics instrumentation. The endpoint's
+// instruments are resolved here, once, at registration — the per-request
+// closure records through pre-registered pointers.
 func (s *Server) route(pattern, name string, h func(w http.ResponseWriter, r *http.Request) error) {
+	ep := s.metrics.endpoint(name)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		cw := cwPool.Get().(*countingWriter)
 		cw.ResponseWriter, cw.n = w, 0
+		// A client-supplied X-Request-Id turns tracing on for this request
+		// (and only then — untraced requests never touch the trace pool).
+		var tr *traceRec
+		if id := r.Header.Get("X-Request-Id"); id != "" {
+			tr = s.traces.beginString(id, name, t0)
+			r = r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, tr))
+		}
 		// Sampled requests bracket the handler with heap-allocation reads
 		// for the /metrics allocs_per_req_est column.
 		var allocs0 uint64
@@ -252,12 +312,59 @@ func (s *Server) route(pattern, name string, h func(w http.ResponseWriter, r *ht
 			writeError(cw, errorStatus(err, clientGone), err.Error())
 		}
 		if sampled {
-			s.metrics.observeAllocs(name, float64(heapAllocObjects()-allocs0))
+			ep.observeAllocs(float64(heapAllocObjects() - allocs0))
 		}
-		s.metrics.observe(name, time.Since(t0), err != nil && !clientGone, cw.n)
+		d := time.Since(t0)
+		ep.observe(d, err != nil && !clientGone, cw.n)
+		status := http.StatusOK
+		if err != nil {
+			status = errorStatus(err, clientGone)
+		}
+		if tr != nil {
+			tr.finish(status, d)
+			s.traces.push(tr)
+		}
+		if s.cfg.SlowLog > 0 && d >= s.cfg.SlowLog {
+			s.logSlow(name, r, d, status)
+		}
 		cw.ResponseWriter = nil
 		cwPool.Put(cw)
 	})
+}
+
+// logSlow emits one structured line for a request over the SlowLog
+// threshold. Cold by definition — the request already blew its budget.
+func (s *Server) logSlow(endpoint string, r *http.Request, d time.Duration, status int) {
+	attrs := []slog.Attr{
+		slog.String("endpoint", endpoint),
+		slog.String("path", r.URL.Path),
+		slog.Int64("duration_us", d.Microseconds()),
+		slog.Int("status", status),
+	}
+	if q := r.PathValue("query"); q != "" {
+		attrs = append(attrs, slog.String("query", q))
+	}
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		attrs = append(attrs, slog.String("request_id", id))
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow request", attrs...)
+}
+
+// logSlowFast is logSlow for the fast loop, which has no *http.Request.
+func (s *Server) logSlowFast(endpoint, target, query, reqID string, d time.Duration, status int) {
+	attrs := []slog.Attr{
+		slog.String("endpoint", endpoint),
+		slog.String("path", target),
+		slog.Int64("duration_us", d.Microseconds()),
+		slog.Int("status", status),
+	}
+	if query != "" {
+		attrs = append(attrs, slog.String("query", query))
+	}
+	if reqID != "" {
+		attrs = append(attrs, slog.String("request_id", reqID))
+	}
+	s.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow request", attrs...)
 }
 
 // writeError emits the {"error": msg} body: preformatted bytes for the
@@ -296,8 +403,40 @@ func (s *Server) entry(h func(w http.ResponseWriter, r *http.Request, e *Entry, 
 		if !ok {
 			return httpErrorf(http.StatusNotFound, "no query %q (serving: %s)", name, strings.Join(s.reg.Names(), ", "))
 		}
+		if tr := traceFrom(r.Context()); tr != nil {
+			tr.query = e.Name
+		}
 		return h(w, r, e, view{e: e, db: db, gen: gen})
 	}
+}
+
+// probeClock times one probe section for the per-query histograms and the
+// active trace. A value type with no-op semantics when neither consumer is
+// present: the common untraced, unobserved case costs two nil checks.
+type probeClock struct {
+	qh   *obs.Histogram
+	tr   *traceRec
+	name string
+	t0   time.Time
+}
+
+func startProbe(qh *obs.Histogram, tr *traceRec, name string) probeClock {
+	pc := probeClock{qh: qh, tr: tr, name: name}
+	if qh != nil || tr != nil {
+		pc.t0 = time.Now()
+	}
+	return pc
+}
+
+func (pc probeClock) done() {
+	if pc.qh == nil && pc.tr == nil {
+		return
+	}
+	d := time.Since(pc.t0)
+	if pc.qh != nil {
+		pc.qh.Record(d)
+	}
+	pc.tr.span(pc.name, pc.t0, d)
 }
 
 // writeJSON is the reflection-based fallback for cold, registry-shaped
@@ -383,6 +522,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	return writeBody(w, healthzBody)
 }
 
+// handleReadyz reports whether the daemon should receive traffic: liveness
+// (healthz) says the process runs; readiness says it serves — a published
+// generation with entries, WAL replay finished (the daemon sequences that
+// before listening), and no drain in progress. Unready is 503 so load
+// balancers and kubelet-style probes fail it without parsing the body.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) error {
+	_, gen := s.reg.Snapshot()
+	enc := getEnc()
+	defer enc.release()
+	ready := s.Ready()
+	if !ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write(appendReadyzBody(enc.buf, false, gen))
+		return nil
+	}
+	return writeBody(w, appendReadyzBody(enc.buf, true, gen))
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) error {
 	_, gen := s.reg.Snapshot()
 	return writeJSON(w, map[string]any{"queries": s.reg.Names(), "generation": gen})
@@ -400,9 +558,12 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request, e *Entry, v 
 }
 
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
+	pc := startProbe(e.histCount(), traceFrom(r.Context()), "probe")
+	n := e.Count()
+	pc.done()
 	enc := getEnc()
 	defer enc.release()
-	return writeBody(w, appendCountBody(enc.buf, e.Count()))
+	return writeBody(w, appendCountBody(enc.buf, n))
 }
 
 func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request, e *Entry, v view) error {
@@ -419,12 +580,19 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request, e *Entry, 
 	defer enc.release()
 	var t renum.Tuple
 	if e.coal != nil {
+		// The span covers the whole coalescer round: the window wait plus
+		// the shared batch probe — that wait is exactly what a latency
+		// investigation needs to see.
+		pc := startProbe(e.histAccess(), traceFrom(r.Context()), "coalesce")
 		t, err = e.coal.Do(j)
+		pc.done()
 	} else {
 		// Direct path: probe into the pooled scratch row — no []Tuple, no
 		// per-request answer allocation.
+		pc := startProbe(e.histAccess(), traceFrom(r.Context()), "probe")
 		t = enc.rowFor(len(e.Head()))
 		err = e.H.AccessInto(j, t)
+		pc.done()
 	}
 	if err != nil {
 		return err
@@ -497,7 +665,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *Entry, v
 		return httpErrorf(http.StatusBadRequest, "batch of %d exceeds limit %d", len(js), s.cfg.MaxBatch)
 	}
 	asWire := wantsWire(r)
+	// The span covers probe + encode: buildBatchBody interleaves them.
+	pc := startProbe(e.histBatch(), traceFrom(r.Context()), "build")
 	body, err := buildBatchBody(r.Context(), e, v.db.Dict(), enc, js, asWire)
+	pc.done()
 	if err != nil {
 		return err
 	}
@@ -525,7 +696,9 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request, e *Entry, v 
 	enc := getEnc()
 	defer enc.release()
 	asWire := wantsWire(r)
+	pc := startProbe(e.histPage(), traceFrom(r.Context()), "build")
 	body, err := buildPageBody(r.Context(), e, v.db.Dict(), enc, offset, limit, asWire)
+	pc.done()
 	if err != nil {
 		return err
 	}
@@ -551,7 +724,9 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request, e *Entry, 
 	if err != nil {
 		return err
 	}
+	pc := startProbe(e.histSample(), traceFrom(r.Context()), "probe")
 	ts, err := smp.SampleN(k, rng)
+	pc.done()
 	if err != nil {
 		return err
 	}
@@ -731,7 +906,9 @@ func (s *Server) handleEnumNext(w http.ResponseWriter, r *http.Request, e *Entry
 	if n <= 0 || n > s.cfg.MaxCursorDraw {
 		return httpErrorf(http.StatusBadRequest, "n=%d out of range [1, %d]", n, s.cfg.MaxCursorDraw)
 	}
+	pc := startProbe(e.histCursor(), traceFrom(r.Context()), "probe")
 	ts, done, err := s.cursors.Next(r.Context(), id, e.Name, n)
+	pc.done()
 	if err != nil {
 		return err
 	}
@@ -752,7 +929,13 @@ func (s *Server) handleEnumClose(w http.ResponseWriter, r *http.Request, e *Entr
 	return writeBody(w, closedBody)
 }
 
+// handleMetrics negotiates the exposition format: Prometheus text by
+// default (what a scraper expects from /metrics), the original JSON
+// document under ?format=json (what the examples and renumload consume).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	if r.URL.Query().Get("format") != "json" {
+		return s.handlePrometheus(w)
+	}
 	uptime, eps := s.metrics.snapshot()
 	_, gen := s.reg.Snapshot()
 	type coalStats struct {

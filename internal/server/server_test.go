@@ -432,7 +432,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	do(t, s, "GET", "/v1/Q/access?j=0", "", 200)
 	do(t, s, "GET", "/v1/Q/access?j=999999", "", 400)
 
-	m := do(t, s, "GET", "/metrics", "", 200)
+	m := do(t, s, "GET", "/metrics?format=json", "", 200)
 	eps := m["endpoints"].([]any)
 	byName := map[string]map[string]any{}
 	for _, e := range eps {

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"repro"
 	"repro/internal/load"
@@ -95,6 +96,7 @@ func (r *Registry) AttachWAL(dir string, policy wal.SyncPolicy) (replayed, skipp
 		}
 		replayed++
 	}
+	lg.SetHooks(r.walHooks())
 	r.wal.log = lg
 	r.wal.dir = dir
 	r.wal.policy = policy
@@ -102,6 +104,16 @@ func (r *Registry) AttachWAL(dir string, policy wal.SyncPolicy) (replayed, skipp
 	r.wal.replayed = int64(replayed)
 	r.wal.skipped = int64(skipped)
 	return replayed, skipped, nil
+}
+
+// walHooks renders the registry's observer as wal.Hooks (empty when
+// unobserved, so the log's append path does no timing at all).
+func (r *Registry) walHooks() wal.Hooks {
+	o := r.obs
+	if o == nil {
+		return wal.Hooks{}
+	}
+	return wal.Hooks{Append: o.WALAppend, Sync: o.WALFsync}
 }
 
 // CloseWAL detaches and closes the log (daemon shutdown). Updates applied
@@ -252,6 +264,7 @@ func (r *Registry) rotateLocked(gen uint64) error {
 	if err != nil {
 		return err
 	}
+	newLog.SetHooks(r.walHooks())
 	old, oldPath := r.wal.log, r.wal.log.Path()
 	r.wal.log, r.wal.gen = newLog, gen
 	if err := old.Close(); err != nil {
@@ -297,6 +310,7 @@ func (r *Registry) Compact(snapshotDir string) (gen uint64, folded int64, err er
 	if folded == 0 {
 		return cur.gen, 0, nil
 	}
+	t0 := time.Now()
 	newGen := cur.gen + 1
 	entries := make(map[string]*Entry, len(cur.entries))
 	for name, e := range cur.entries {
@@ -308,8 +322,9 @@ func (r *Registry) Compact(snapshotDir string) (gen uint64, folded int64, err er
 		if err != nil {
 			return 0, 0, fmt.Errorf("compact %s: %w", name, err)
 		}
-		// Updatable entries stay uncoalesced, same as build().
-		entries[name] = &Entry{Name: e.Name, Text: e.Text, H: h, src: e.src}
+		// Updatable entries stay uncoalesced, same as build(); they keep
+		// recording into the query's existing probe histograms.
+		entries[name] = &Entry{Name: e.Name, Text: e.Text, H: h, src: e.src, qm: e.qm}
 	}
 	if err := os.MkdirAll(snapshotDir, 0o755); err != nil {
 		return 0, 0, err
@@ -323,9 +338,11 @@ func (r *Registry) Compact(snapshotDir string) (gen uint64, folded int64, err er
 		ces = append(ces, renum.CatalogEntry{Name: name, Q: e.src.Src(), H: e.H})
 	}
 	snapPath := load.SnapshotPath(snapshotDir, newGen)
+	saveT0 := time.Now()
 	if err := renum.SaveSnapshot(snapPath, cur.db, newGen, ces); err != nil {
 		return 0, 0, err
 	}
+	r.obs.ObserveSnapshotSave(newGen, time.Since(saveT0))
 	if err := r.rotateLocked(newGen); err != nil {
 		// The registry keeps serving gen cur.gen and acking updates into
 		// wal-<cur.gen>.log, but boot pairs the NEWEST snapshot with its own
@@ -340,6 +357,8 @@ func (r *Registry) Compact(snapshotDir string) (gen uint64, folded int64, err er
 	r.wal.compactions++
 	r.wal.folded += folded
 	r.snap.Store(&snapshot{db: cur.db, entries: entries, gen: newGen})
+	r.obs.ObserveCompaction(time.Since(t0), folded)
+	r.obs.ObservePublish(newGen)
 	return newGen, folded, nil
 }
 

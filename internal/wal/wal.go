@@ -40,6 +40,7 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+	"time"
 )
 
 const (
@@ -275,6 +276,26 @@ type Log struct {
 	depth  int64 // records in the segment, replayed + appended
 	torn   error // ErrTornTail detail recovered by Open, if any
 	err    error // sticky write error: a failed append poisons the log
+	hooks  Hooks
+}
+
+// Hooks observe the log's write path. Both fields are optional; when
+// unset the append path does no timing at all. Callbacks run with
+// the log's mutex held, so they must not call back into the Log.
+type Hooks struct {
+	// Append fires once per record: encoded size and the duration of
+	// the file write (fsync excluded).
+	Append func(bytes int, d time.Duration)
+	// Sync fires once per fsync issued by the append path (SyncAlways
+	// policy) or by an explicit Sync call.
+	Sync func(d time.Duration)
+}
+
+// SetHooks installs (or replaces) the observation hooks.
+func (l *Log) SetHooks(h Hooks) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hooks = h
 }
 
 // header builds the 24-byte file header.
@@ -363,16 +384,29 @@ func (l *Log) Append(rec Record) error {
 	if l.err != nil {
 		return l.err
 	}
+	var t0 time.Time
+	if l.hooks.Append != nil {
+		t0 = time.Now()
+	}
 	if _, err := l.f.Write(buf); err != nil {
 		// A partial write leaves a torn tail; the next Open truncates
 		// it. Poison the log so no later record can land after garbage.
 		l.err = fmt.Errorf("wal: append: %w", err)
 		return l.err
 	}
+	if l.hooks.Append != nil {
+		l.hooks.Append(len(buf), time.Since(t0))
+	}
 	if l.policy == SyncAlways {
+		if l.hooks.Sync != nil {
+			t0 = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			l.err = fmt.Errorf("wal: sync: %w", err)
 			return l.err
+		}
+		if l.hooks.Sync != nil {
+			l.hooks.Sync(time.Since(t0))
 		}
 	}
 	l.depth++
@@ -385,6 +419,12 @@ func (l *Log) Sync() error {
 	defer l.mu.Unlock()
 	if l.err != nil {
 		return l.err
+	}
+	if l.hooks.Sync != nil {
+		t0 := time.Now()
+		err := l.f.Sync()
+		l.hooks.Sync(time.Since(t0))
+		return err
 	}
 	return l.f.Sync()
 }
