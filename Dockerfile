@@ -1,0 +1,28 @@
+# Build the renum CLI (snapshot compiler) and renumd (daemon / shard / router)
+# as static binaries, then ship them in a minimal runtime image whose
+# healthcheck is the daemon's own /readyz — a shard daemon reports ready once
+# its slice is built or restored, a router only once the whole fleet has
+# scraped ready, so orchestration ordering falls out of the probes.
+#
+# The same image serves every role; deploy/compose.yml picks the role per
+# service via command-line flags (see that file for the 1-router + N-shard
+# topology booted from a shared snapshot dir).
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -o /out/renum ./cmd/renum \
+ && CGO_ENABLED=0 go build -trimpath -o /out/renumd ./cmd/renumd
+
+FROM alpine:3.20
+COPY --from=build /out/renum /out/renumd /usr/local/bin/
+# Demo fixtures so the compose quick-start works out of the box; production
+# deployments mount their own tables or a prebuilt snapshot volume instead.
+COPY internal/load/testdata /app/fixtures
+EXPOSE 8080
+# busybox wget fails on non-2xx, so a router still scraping its shards (503)
+# or a shard still building its slice reads as unhealthy until it isn't.
+HEALTHCHECK --interval=5s --timeout=2s --retries=12 \
+  CMD wget -q -O /dev/null http://127.0.0.1:8080/readyz || exit 1
+ENTRYPOINT ["renumd"]
+CMD ["-addr", ":8080"]

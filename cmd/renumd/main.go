@@ -60,6 +60,20 @@
 // mutations (load/register/rebuild) are not logged; they become durable at
 // the next save or compaction.
 //
+// # Scale-out (sharding)
+//
+// -shard-slice i/K puts the daemon in shard mode: every entry serves only
+// the i-th of K contiguous slices of its answer space, as local positions
+// 0..count-1 (CQ entries build just 1/K of their index; union and
+// snapshot-restored entries serve a position window over the full one).
+// -router turns the daemon into the stateless scale-out tier instead: it
+// discovers the shard daemons from repeatable -shard URLs (or a -shards-from
+// file, re-read every -shard-refresh), scrapes their counts into a
+// prefix-sum routing table, and serves the same probe API with answers
+// byte-identical to a single unsharded daemon — /readyz is 503 until every
+// shard is ready, and a shard fault maps to a typed 502 naming the daemon.
+// Shard order in the -shard list must match the -shard-slice indexes.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get -drain-timeout to finish, then the process exits 0.
 package main
@@ -85,6 +99,7 @@ import (
 	"repro"
 	"repro/internal/load"
 	"repro/internal/server"
+	"repro/internal/server/router"
 	"repro/internal/wal"
 )
 
@@ -101,9 +116,10 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("renumd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	var tables, queries stringList
+	var tables, queries, shards stringList
 	fs.Var(&tables, "table", "CSV file to load as a relation (repeatable)")
 	fs.Var(&queries, "query", "datalog program to serve (repeatable)")
+	fs.Var(&shards, "shard", "router mode: shard daemon base URL, in shard order (repeatable)")
 	var (
 		addr         = fs.String("addr", ":8080", "listen address")
 		dynamic      = fs.Bool("dynamic", false, "build dynamic (updatable) indexes for single-rule full CQs")
@@ -122,9 +138,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this address (off unless set)")
 		slowLog      = fs.Duration("slow-log", 500*time.Millisecond, "log requests slower than this as structured slog lines (0 disables)")
 		traceBuffer  = fs.Int("trace-buffer", 256, "traced requests kept in memory for /debug/traces")
+		routerMode   = fs.Bool("router", false, "serve as the scale-out router over -shard daemons instead of serving indexes")
+		shardsFrom   = fs.String("shards-from", "", "router mode: read the shard URL list from this file (re-read every -shard-refresh)")
+		shardRefresh = fs.Duration("shard-refresh", 2*time.Second, "router mode: period for scraping shard counts and health")
+		shardSlice   = fs.String("shard-slice", "", "serve only slice i of a K-way answer partition, as \"i/K\" (shard daemon mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *routerMode {
+		if len(tables) > 0 || len(queries) > 0 || *shardSlice != "" || *dynamic {
+			fmt.Fprintln(stderr, "renumd: -router takes no -table/-query/-shard-slice/-dynamic flags")
+			return 2
+		}
+		if len(shards) == 0 && *shardsFrom == "" {
+			fmt.Fprintln(stderr, "renumd: -router requires at least one -shard URL or -shards-from")
+			return 2
+		}
+		return runRouter(shards, *shardsFrom, *addr, *shardRefresh, *cursorTTL, *drainTimeout, stdout, stderr)
+	}
+	var sliceIdx, sliceOf int
+	if *shardSlice != "" {
+		if n, err := fmt.Sscanf(*shardSlice, "%d/%d", &sliceIdx, &sliceOf); n != 2 || err != nil {
+			fmt.Fprintf(stderr, "renumd: -shard-slice must be i/K (got %q)\n", *shardSlice)
+			return 2
+		}
+		if sliceOf < 1 || sliceIdx < 0 || sliceIdx >= sliceOf {
+			fmt.Fprintf(stderr, "renumd: -shard-slice %s out of range\n", *shardSlice)
+			return 2
+		}
+		if *dynamic || *walDir != "" {
+			fmt.Fprintln(stderr, "renumd: -shard-slice is static: it cannot combine with -dynamic or -wal-dir (positions shift under updates)")
+			return 2
+		}
 	}
 	if *httpMode != "fast" && *httpMode != "std" {
 		fmt.Fprintf(stderr, "renumd: -http must be fast or std (got %q)\n", *httpMode)
@@ -202,6 +248,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
+	}
+	// Shard mode: applied before the Register loop so freshly registered CQs
+	// build only their 1/K index slice, after restore so catalog entries get
+	// position windows over their mapped indexes.
+	if sliceOf > 0 {
+		if err := reg.SetShardSlice(sliceIdx, sliceOf); err != nil {
+			fmt.Fprintf(stderr, "renumd: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "renumd: serving shard slice %d/%d\n", sliceIdx, sliceOf)
 	}
 	for _, program := range queries {
 		if _, err := reg.Register(program, *dynamic); err != nil {
@@ -357,6 +413,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, name := range skipped {
 			fmt.Fprintf(stdout, "renumd: skipped %s (no snapshot form)\n", name)
 		}
+	}
+	fmt.Fprintln(stdout, "renumd: bye")
+	return 0
+}
+
+// runRouter serves the scale-out tier: no local indexes, just the routing
+// table over the shard daemons. Same graceful-shutdown contract as the
+// daemon: readiness drops first, in-flight requests get the drain timeout.
+func runRouter(shards []string, shardsFrom, addr string, refresh, cursorTTL, drainTimeout time.Duration, stdout, stderr io.Writer) int {
+	logger := slog.New(slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	rt := router.New(router.Config{
+		Shards:     shards,
+		ShardsFile: shardsFrom,
+		Refresh:    refresh,
+		CursorTTL:  cursorTTL,
+		Logger:     logger,
+	})
+	defer rt.Close()
+	<-rt.Start()
+	if rt.Ready() {
+		fmt.Fprintln(stdout, "renumd: routing table ready")
+	} else {
+		// Not fatal: the scrape loop keeps retrying and /readyz reports 503
+		// honestly until the fleet comes up — routers boot before shards in
+		// a compose stack.
+		fmt.Fprintln(stdout, "renumd: shards not ready yet; serving 503 until the fleet scrapes ready")
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(stdout, "renumd: router listening on %s (%d shards)\n", addr, len(shards))
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		stop()
+		fmt.Fprintf(stderr, "renumd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	rt.SetReady(false)
+	fmt.Fprintln(stdout, "renumd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(stderr, "renumd: drain: %v\n", err)
+		return 1
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "renumd: %v\n", err)
+		return 1
 	}
 	fmt.Fprintln(stdout, "renumd: bye")
 	return 0

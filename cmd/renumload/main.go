@@ -142,6 +142,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	addr := ln.Addr().String()
+	// Traffic only opens once the daemon reports ready — poll /readyz, never
+	// sleep-and-fire. In-process this is one round trip; against a router it
+	// is the difference between measuring the fleet and measuring its boot.
+	if err := waitReady("http://"+addr, 10*time.Second); err != nil {
+		fmt.Fprintln(stderr, "renumload:", err)
+		return 1
+	}
 	fmt.Fprintf(stdout, "index built in %v: %d answers over %d tuples; serving (%s) on %s\n",
 		time.Since(t0).Round(time.Millisecond), count, db.Size(), o.httpMode, addr)
 
@@ -389,6 +396,29 @@ func phaseNames(ps []phase) string {
 		names[i] = p.name
 	}
 	return strings.Join(names, ",")
+}
+
+// waitReady polls GET /readyz until the target reports 200, so traffic
+// opens deterministically (a router answers 503 here until every shard
+// daemon has scraped ready; a booting daemon until its indexes are built).
+func waitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				return fmt.Errorf("%s/readyz not ready after %v", base, timeout)
+			}
+			return fmt.Errorf("%s/readyz not ready after %v: %v", base, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // worker is one persistent client connection with reusable request and

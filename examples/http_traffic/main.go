@@ -77,6 +77,12 @@ func main() {
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 	base := "http://" + ln.Addr().String()
+	// Open traffic only once /readyz reports 200 — never sleep-and-fire.
+	// Against this in-process server it is one round trip; the same loop
+	// pointed at a renumd -router waits for the whole shard fleet.
+	if err := waitReady(base, 10*time.Second); err != nil {
+		fail(err)
+	}
 	fmt.Printf("serving on %s\n", base)
 
 	// --- Mixed traffic ----------------------------------------------------
@@ -200,6 +206,24 @@ func main() {
 			fmt.Printf("\ncoalescer[%s]: %d accesses served by %d batch probes (%.2f per probe)\n",
 				c.Query, c.Served, c.Rounds, float64(c.Served)/float64(c.Rounds))
 		}
+	}
+}
+
+// waitReady polls GET /readyz until the server reports 200.
+func waitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s/readyz not ready after %v (%v)", base, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

@@ -143,6 +143,9 @@ type config struct {
 	dynamic      bool
 	verify       bool
 	workers      int
+	shards       int // WithShards: partition count (0 = unsharded)
+	sliceIdx     int // WithShardSlice: which slice to build
+	sliceOf      int // WithShardSlice: partition count (0 = off)
 	buildObserve func(stage string, d time.Duration)
 }
 
@@ -193,6 +196,9 @@ func Open(db *Database, q Query, opts ...Option) (*Handle, error) {
 	}
 	switch q := q.(type) {
 	case *CQ:
+		if cfg.shards > 0 || cfg.sliceOf > 0 {
+			return openSharded(db, q, cfg)
+		}
 		if cfg.dynamic {
 			if cfg.canonical {
 				return nil, fmt.Errorf("renum: WithCanonical with WithDynamic: %w", ErrUnsupported)
@@ -215,6 +221,9 @@ func Open(db *Database, q Query, opts ...Option) (*Handle, error) {
 		}
 		return &Handle{b: raBackend{&RandomAccess{c: c}}, workers: cfg.workers}, nil
 	case *UCQ:
+		if cfg.shards > 0 || cfg.sliceOf > 0 {
+			return nil, fmt.Errorf("renum: WithShards requires a single CQ, got a union: %w", ErrUnsupported)
+		}
 		if cfg.dynamic {
 			return nil, fmt.Errorf("renum: WithDynamic requires a single full CQ, got a union: %w", ErrUnsupported)
 		}

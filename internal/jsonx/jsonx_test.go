@@ -1,0 +1,42 @@
+package jsonx
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// TestAppendStringMatchesEncodingJSON pins byte identity with the stdlib
+// encoder over the escaping table's edge cases and random fuzz, including
+// invalid UTF-8.
+func TestAppendStringMatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		"",
+		"plain",
+		`quote " and backslash \`,
+		"control \x00 \x01 \x1f bytes",
+		"\b\f\n\r\t",
+		"html <script>&amp;</script>",
+		"unicode é 世界",
+		"line seps \u2028 \u2029",
+		"invalid \xff\xfe utf8",
+		"trailing continuation \xc3",
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		b := make([]byte, rng.Intn(40))
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		cases = append(cases, string(b))
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := AppendString(nil, s); string(got) != string(want) {
+			t.Errorf("AppendString(%q):\n got %s\nwant %s", s, got, want)
+		}
+	}
+}

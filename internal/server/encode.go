@@ -3,12 +3,11 @@ package server
 import (
 	"context"
 	"net/http"
+	"repro"
+	"repro/internal/jsonx"
+	"repro/internal/wire"
 	"strconv"
 	"sync"
-	"unicode/utf8"
-
-	"repro"
-	"repro/internal/wire"
 )
 
 // This file is the hand-rolled encoder tier: every hot probe response is
@@ -70,61 +69,11 @@ func (e *enc) jsFor() []int64 { return e.js[:0] }
 
 // ---------------------------------------------------------- JSON primitives
 
-const hexDigits = "0123456789abcdef"
-
 // appendJSONString appends s as a quoted JSON string using exactly
-// encoding/json's default (HTML-escaping) table: `"` and `\` get a backslash,
-// \b \f \n \r \t their short escapes, other control bytes `\u00xx`, `<` `>` `&`
-// their `\u00xx` forms, U+2028/U+2029 their `\u202x` forms, and invalid
-// UTF-8 the literal `�` escape.
+// encoding/json's default (HTML-escaping) table; the implementation lives in
+// internal/jsonx so the shard router produces byte-identical bodies.
 func appendJSONString(dst []byte, s string) []byte {
-	dst = append(dst, '"')
-	start := 0
-	for i := 0; i < len(s); {
-		if b := s[i]; b < utf8.RuneSelf {
-			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
-				i++
-				continue
-			}
-			dst = append(dst, s[start:i]...)
-			switch b {
-			case '\\', '"':
-				dst = append(dst, '\\', b)
-			case '\b':
-				dst = append(dst, '\\', 'b')
-			case '\f':
-				dst = append(dst, '\\', 'f')
-			case '\n':
-				dst = append(dst, '\\', 'n')
-			case '\r':
-				dst = append(dst, '\\', 'r')
-			case '\t':
-				dst = append(dst, '\\', 't')
-			default:
-				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
-			}
-			i++
-			start = i
-			continue
-		}
-		c, size := utf8.DecodeRuneInString(s[i:])
-		switch {
-		case c == utf8.RuneError && size == 1:
-			dst = append(dst, s[start:i]...)
-			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
-			i++
-			start = i
-		case c == '\u2028' || c == '\u2029':
-			dst = append(dst, s[start:i]...)
-			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
-			i += size
-			start = i
-		default:
-			i += size
-		}
-	}
-	dst = append(dst, s[start:]...)
-	return append(dst, '"')
+	return jsonx.AppendString(dst, s)
 }
 
 func appendBool(dst []byte, v bool) []byte {

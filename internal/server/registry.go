@@ -133,6 +133,12 @@ type Registry struct {
 	// per-query probe histograms. Written under r.mu (SetObserver) and read
 	// under r.mu by the build/compact/publish paths; nil means unobserved.
 	obs *obs.Observer
+
+	// sliceIdx/sliceOf configure shard-daemon mode (SetShardSlice): every
+	// entry serves only slice sliceIdx of a sliceOf-way partition of its
+	// answers. sliceOf == 0 means the registry serves full answer sets.
+	sliceIdx int
+	sliceOf  int
 }
 
 // CoalesceConfig tunes the per-entry access coalescer. The zero value
@@ -258,6 +264,54 @@ func (r *Registry) SetObserver(o *obs.Observer) {
 		r.wal.log.SetHooks(r.walHooks())
 	}
 	r.wal.mu.Unlock()
+}
+
+// SetShardSlice puts the registry in shard-daemon mode: every entry —
+// already published or registered later — serves only slice i of a k-way
+// partition of its answer space, as local positions 0..Count()-1. A router
+// re-bases the slices onto the global order from the daemons' counts.
+//
+// CQ entries registered after the call are built with renum.WithShardSlice
+// (only 1/k of the index is constructed); union entries and entries already
+// restored from a snapshot are wrapped in a renum.SliceView position window
+// over the full handle. Updatable entries are rejected: positions shift
+// under updates, so a static slice of them would drift off its window.
+func (r *Registry) SetShardSlice(i, k int) error {
+	if k < 1 || i < 0 || i >= k {
+		return fmt.Errorf("shard slice %d/%d out of range", i, k)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.snap.Load()
+	entries := make(map[string]*Entry, len(cur.entries))
+	for name, e := range cur.entries {
+		if e.H.Has(renum.CapUpdate) {
+			return fmt.Errorf("shard slice over updatable entry %s: %w", name, renum.ErrUnsupported)
+		}
+		sl, err := renum.SliceView(e.H, i, k)
+		if err != nil {
+			return fmt.Errorf("shard slice over entry %s: %w", name, err)
+		}
+		ne := *e
+		ne.H = sl
+		ne.coal = nil
+		if r.coalesce.Window > 0 {
+			ne.coal = newCoalescer(r.coalesce, sl.AccessBatch)
+		}
+		entries[name] = &ne
+	}
+	r.sliceIdx, r.sliceOf = i, k
+	// Same generation: the served data did not change, only its window.
+	r.snap.Store(&snapshot{db: cur.db, entries: entries, gen: cur.gen})
+	return nil
+}
+
+// ShardSlice reports the registry's shard-daemon window (k == 0 when the
+// registry serves full answer sets).
+func (r *Registry) ShardSlice() (i, k int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sliceIdx, r.sliceOf
 }
 
 // EntryCount reports how many queries the current snapshot serves
@@ -390,7 +444,24 @@ func (r *Registry) build(db *renum.Database, q load.Query, dynamic bool) (*Entry
 	}
 	src := q.Src()
 	t0 := time.Now()
-	h, err := renum.Open(db, src, opts...)
+	var h *renum.Handle
+	var err error
+	switch {
+	case r.sliceOf > 0 && dynamic && q.CQ != nil:
+		return nil, fmt.Errorf("shard slice with dynamic query %s: %w", q.Name, renum.ErrUnsupported)
+	case r.sliceOf > 0 && q.CQ != nil:
+		// Shard-daemon mode: build only this slice's 1/k of the index.
+		h, err = renum.Open(db, src, append(opts, renum.WithShardSlice(r.sliceIdx, r.sliceOf))...)
+	case r.sliceOf > 0:
+		// Unions have no build-level slicing; build the full union index and
+		// serve a position window over it.
+		h, err = renum.Open(db, src, opts...)
+		if err == nil {
+			h, err = renum.SliceView(h, r.sliceIdx, r.sliceOf)
+		}
+	default:
+		h, err = renum.Open(db, src, opts...)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,84 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkRouter prices one scatter-gather hop: the router handler serving
+// probes whose shard legs cross real sockets (httptest servers running full
+// shard daemons). ns/op is the end-to-end request including fan-out, wire
+// decode and the byte-identical re-encode — the number an operator compares
+// against a single daemon's serving latency to price the scale-out tier.
+func BenchmarkRouter(b *testing.B) {
+	f := newFleet(b, 2)
+	n := count(b, f.rt.Handler(), "Q")
+	rng := rand.New(rand.NewSource(17))
+
+	b.Run("Access", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("GET", fmt.Sprintf("/v1/Q/access?j=%d", rng.Int63n(n)), nil)
+			rec := httptest.NewRecorder()
+			f.rt.Handler().ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+
+	batchURL := func(k int64) string {
+		js := make([]byte, 0, 4*k)
+		for i := int64(0); i < k; i++ {
+			if i > 0 {
+				js = append(js, ',')
+			}
+			js = append(js, fmt.Sprintf("%d", rng.Int63n(n))...)
+		}
+		return "/v1/Q/batch?js=" + string(js)
+	}
+	b.Run("Batch256", func(b *testing.B) {
+		url := batchURL(256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("GET", url, nil)
+			rec := httptest.NewRecorder()
+			f.rt.Handler().ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+
+	b.Run("Batch256Wire", func(b *testing.B) {
+		url := batchURL(256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("GET", url, nil)
+			req.Header.Set("Accept", wire.ContentType)
+			rec := httptest.NewRecorder()
+			f.rt.Handler().ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+
+	b.Run("Page256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("GET", fmt.Sprintf("/v1/Q/page?offset=%d&limit=256", rng.Int63n(n)), nil)
+			rec := httptest.NewRecorder()
+			f.rt.Handler().ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package router
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Cursor-session errors; identical text (and HTTP mappings) to the shard
+// daemons' own cursor store — a client cannot tell from an error body
+// whether it hit a daemon or the router, and transcript diffs against a
+// single daemon stay byte-clean even on error probes.
+var (
+	// ErrNoCursor: unknown or expired cursor id.
+	ErrNoCursor = errors.New("server: unknown or expired cursor")
+	// ErrCursorBusy: a second consumer tried to read a cursor mid-call.
+	ErrCursorBusy = errors.New("server: cursor is in use by another request")
+)
+
+// cursor is one stateful enumeration session held at the router: the
+// position counter (order=enum) or shuffle state (order=random) lives here,
+// and each draw scatter-gathers the resolved positions across the shards.
+// Single-consumer like the daemon-side store: a concurrent read fails fast
+// with ErrCursorBusy.
+type cursor struct {
+	id      string
+	query   string
+	nextN   func(ctx context.Context, n int64) ([][]string, error)
+	busy    sync.Mutex
+	expires time.Time // guarded by store.mu
+}
+
+type cursorStore struct {
+	mu   sync.Mutex
+	m    map[string]*cursor
+	ttl  time.Duration
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newCursorStore(ttl, sweep time.Duration) *cursorStore {
+	if ttl <= 0 {
+		ttl = 5 * time.Minute
+	}
+	if sweep <= 0 {
+		sweep = ttl / 4
+		if sweep < time.Second {
+			sweep = time.Second
+		}
+	}
+	s := &cursorStore{m: make(map[string]*cursor), ttl: ttl, stop: make(chan struct{})}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		tick := time.NewTicker(sweep)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case now := <-tick.C:
+				s.evict(now)
+			}
+		}
+	}()
+	return s
+}
+
+func (s *cursorStore) Start(query string, nextN func(context.Context, int64) ([][]string, error)) string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	id := hex.EncodeToString(b[:])
+	c := &cursor{id: id, query: query, nextN: nextN}
+	s.mu.Lock()
+	c.expires = time.Now().Add(s.ttl)
+	s.m[id] = c
+	s.mu.Unlock()
+	return id
+}
+
+// Next draws up to n rows, refreshing the TTL on admission and again on
+// completion (a draw slower than the TTL must not expire itself). done when
+// the draw comes back short; a failed draw — including a shard fault
+// mid-batch — leaves the cursor alive so the client can retry once the
+// fleet recovers.
+func (s *cursorStore) Next(ctx context.Context, id, query string, n int64) (rows [][]string, done bool, err error) {
+	now := time.Now()
+	s.mu.Lock()
+	c, ok := s.m[id]
+	if !ok || c.query != query || now.After(c.expires) {
+		s.mu.Unlock()
+		return nil, false, ErrNoCursor
+	}
+	c.expires = now.Add(s.ttl)
+	s.mu.Unlock()
+
+	if !c.busy.TryLock() {
+		return nil, false, ErrCursorBusy
+	}
+	defer c.busy.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if _, ok := s.m[id]; ok {
+			c.expires = time.Now().Add(s.ttl)
+		}
+		s.mu.Unlock()
+	}()
+	rows, err = c.nextN(ctx, n)
+	if err != nil {
+		return nil, false, err
+	}
+	if int64(len(rows)) < n {
+		s.mu.Lock()
+		delete(s.m, id)
+		s.mu.Unlock()
+		return rows, true, nil
+	}
+	return rows, false, nil
+}
+
+func (s *cursorStore) Close(id, query string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.m[id]
+	if !ok || c.query != query {
+		return false
+	}
+	delete(s.m, id)
+	return true
+}
+
+func (s *cursorStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+func (s *cursorStore) evict(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, c := range s.m {
+		if !now.After(c.expires) {
+			continue
+		}
+		// Never evict mid-draw: a random-order draw has already consumed its
+		// shuffle positions. TryLock under store.mu cannot deadlock against
+		// Next (which never takes busy while holding store.mu).
+		if !c.busy.TryLock() {
+			continue
+		}
+		delete(s.m, id)
+		c.busy.Unlock()
+	}
+}
+
+func (s *cursorStore) Shutdown() {
+	close(s.stop)
+	s.wg.Wait()
+}

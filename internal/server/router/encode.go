@@ -1,0 +1,151 @@
+package router
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/jsonx"
+	"repro/internal/wire"
+)
+
+// The router re-encodes shard rows (already-rendered string cells) into the
+// exact bodies internal/server's pooled builders produce: keys in
+// alphabetical order, encoding/json's escaping table (internal/jsonx), a
+// trailing '\n'. A transcript captured against the router must diff clean
+// against one captured from a single daemon — that byte-identity is what the
+// shard-smoke CI job enforces.
+
+var (
+	healthzBody = []byte("{\"ok\":true}\n")
+	closedBody  = []byte("{\"closed\":true}\n")
+)
+
+type enc struct {
+	buf []byte
+	js  []int64
+}
+
+var encPool = sync.Pool{New: func() any { return &enc{buf: make([]byte, 0, 4096)} }}
+
+func getEnc() *enc {
+	e := encPool.Get().(*enc)
+	e.buf = e.buf[:0]
+	return e
+}
+
+func (e *enc) release() { encPool.Put(e) }
+
+func (e *enc) jsFor() []int64 { return e.js[:0] }
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+func appendStringsRow(dst []byte, row []string) []byte {
+	dst = append(dst, '[')
+	for i, c := range row {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = jsonx.AppendString(dst, c)
+	}
+	return append(dst, ']')
+}
+
+func appendReadyzBody(dst []byte, ready bool, gen uint64) []byte {
+	dst = append(dst, `{"generation":`...)
+	dst = strconv.AppendUint(dst, gen, 10)
+	dst = append(dst, `,"ready":`...)
+	dst = appendBool(dst, ready)
+	return append(dst, '}', '\n')
+}
+
+func appendCountBody(dst []byte, n int64) []byte {
+	dst = append(dst, `{"count":`...)
+	dst = strconv.AppendInt(dst, n, 10)
+	return append(dst, '}', '\n')
+}
+
+func appendAccessBody(dst []byte, j int64, row []string) []byte {
+	dst = append(dst, `{"answer":`...)
+	dst = appendStringsRow(dst, row)
+	dst = append(dst, `,"j":`...)
+	dst = strconv.AppendInt(dst, j, 10)
+	return append(dst, '}', '\n')
+}
+
+func openAnswersBody(dst []byte) []byte { return append(dst, `{"answers":[`...) }
+
+func appendAnswersRows(dst []byte, rows [][]string) []byte {
+	for i, row := range rows {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendStringsRow(dst, row)
+	}
+	return dst
+}
+
+func closeAnswersBody(dst []byte) []byte { return append(dst, ']', '}', '\n') }
+
+func closeAnswersOffsetBody(dst []byte, offset int64) []byte {
+	dst = append(dst, `],"offset":`...)
+	dst = strconv.AppendInt(dst, offset, 10)
+	return append(dst, '}', '\n')
+}
+
+func closeAnswersDoneBody(dst []byte, done bool) []byte {
+	dst = append(dst, `],"done":`...)
+	dst = appendBool(dst, done)
+	return append(dst, '}', '\n')
+}
+
+func closeAnswersWithReplacementBody(dst []byte, withReplacement bool) []byte {
+	dst = append(dst, `],"with_replacement":`...)
+	dst = appendBool(dst, withReplacement)
+	return append(dst, '}', '\n')
+}
+
+func appendContainsBody(dst []byte, contains bool) []byte {
+	dst = append(dst, `{"contains":`...)
+	dst = appendBool(dst, contains)
+	return append(dst, '}', '\n')
+}
+
+func appendInvertedBody(dst []byte, j int64, found bool) []byte {
+	if !found {
+		return append(dst, "{\"found\":false}\n"...)
+	}
+	dst = append(dst, `{"found":true,"j":`...)
+	dst = strconv.AppendInt(dst, j, 10)
+	return append(dst, '}', '\n')
+}
+
+func appendCursorBody(dst []byte, id string, ttlMS int64) []byte {
+	dst = append(dst, `{"cursor":`...)
+	dst = jsonx.AppendString(dst, id)
+	dst = append(dst, `,"ttl_ms":`...)
+	dst = strconv.AppendInt(dst, ttlMS, 10)
+	return append(dst, '}', '\n')
+}
+
+func appendErrorBody(dst []byte, msg string) []byte {
+	dst = append(dst, `{"error":`...)
+	dst = jsonx.AppendString(dst, msg)
+	return append(dst, '}', '\n')
+}
+
+// appendWireRows renders rows as one binary wire message (the same format
+// the shards themselves speak).
+func appendWireRows(dst []byte, rows [][]string, arity int, flags uint32, aux uint64) []byte {
+	dst = wire.AppendHeader(dst, wire.Header{Flags: flags, Arity: uint32(arity), Rows: uint64(len(rows)), Aux: aux})
+	for _, row := range rows {
+		for _, c := range row {
+			dst = wire.AppendCell(dst, c)
+		}
+	}
+	return wire.Finish(dst, 0)
+}

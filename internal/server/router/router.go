@@ -1,0 +1,999 @@
+// Package router is the scale-out tier: one stateless HTTP daemon that
+// composes K shard daemons (renumd -shard-slice i/K) back into a single
+// query surface. Each shard serves a contiguous window of the global
+// enumeration order as local positions; the router scrapes per-shard counts
+// into a prefix-sum table and routes global positions to (shard, local) in
+// O(log K).
+//
+// # Byte-identity
+//
+// The router's probe responses are byte-identical to a single unsharded
+// daemon's: bodies are rebuilt with the same alphabetical-key builders and
+// escaping table (internal/jsonx), enumeration cursors draw sequential
+// global positions exactly like the daemon's, and random-order cursors and
+// /sample consume a seeded rng exactly like the library backends (one
+// lazy Fisher–Yates over the global count). Shard-to-router hops negotiate
+// the binary wire format (internal/wire) so fan-out bandwidth does not pay
+// JSON costs twice.
+//
+// # Degradation
+//
+// The router degrades honestly rather than silently: /readyz is 503 until
+// every shard has scraped ready, any shard fault during a probe is a typed
+// 502 naming the failing daemon (and flips /readyz until a scrape proves
+// the fleet back), and a mid-batch shard death fails that request without
+// corrupting cursor state — the cursor only advances on success, so the
+// client resumes cleanly once the shard returns.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/shuffle"
+	"repro/internal/wire"
+)
+
+// Config tunes a Router.
+type Config struct {
+	// Shards is the static fleet: base URLs (http://host:port) in shard
+	// order. Shard order IS the global enumeration order — it must match the
+	// -shard-slice indexes the daemons were booted with.
+	Shards []string
+	// ShardsFile, when set, overrides Shards with a newline-separated URL
+	// list read from this path (re-read every refresh period) — typically a
+	// file in the fleet's shared snapshot dir.
+	ShardsFile string
+	// Refresh is the scrape period for counts and health (0 = 2s).
+	Refresh time.Duration
+	// Client performs shard requests (nil = 10s-timeout default client).
+	Client *http.Client
+	// MaxBatch bounds one /batch or /page request (0 = 1<<16).
+	MaxBatch int64
+	// MaxCursorDraw bounds n of one /enum/next call (0 = 1<<16).
+	MaxCursorDraw int64
+	// CursorTTL evicts idle enumeration sessions (0 = 5 minutes).
+	CursorTTL time.Duration
+	// CursorSweep is the janitor period (0 = TTL/4, min 1s).
+	CursorSweep time.Duration
+	// Logger receives scrape-failure lines. Nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// shardMetrics is one shard's instrument set, resolved once per shard.
+type shardMetricsSet struct {
+	reqs    *obs.Counter
+	errs    *obs.Counter
+	lat     *obs.Histogram
+	healthy *obs.Gauge
+	up      atomic.Bool
+}
+
+// Router is the HTTP face of a shard fleet.
+type Router struct {
+	cfg    Config
+	client *http.Client
+	logger *slog.Logger
+
+	table   atomic.Pointer[table]
+	cursors *cursorStore
+	mux     *http.ServeMux
+
+	obs       *obs.Registry
+	fanouts   *obs.Counter // number of scatter-gather rounds
+	fanoutSum *obs.Counter // total sub-requests across rounds (sum of widths)
+	scrapes   *obs.Counter
+	scrapeErr *obs.Counter
+
+	mu     sync.Mutex // guards shards map growth
+	shards map[string]*shardMetricsSet
+
+	draining atomic.Bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New wires a router. Call Start to begin scraping (the first successful
+// scrape flips /readyz), and Close to stop background work.
+func New(cfg Config) *Router {
+	if cfg.Refresh <= 0 {
+		cfg.Refresh = 2 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1 << 16
+	}
+	if cfg.MaxCursorDraw <= 0 {
+		cfg.MaxCursorDraw = 1 << 16
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	reg := obs.NewRegistry()
+	r := &Router{
+		cfg:       cfg,
+		client:    client,
+		logger:    logger,
+		cursors:   newCursorStore(cfg.CursorTTL, cfg.CursorSweep),
+		mux:       http.NewServeMux(),
+		obs:       reg,
+		fanouts:   reg.Counter("renum_shard_fanout_total", "Scatter-gather rounds issued by the router.", ""),
+		fanoutSum: reg.Counter("renum_shard_fanout_width_total", "Total shard sub-requests across scatter-gather rounds (divide by renum_shard_fanout_total for mean width).", ""),
+		scrapes:   reg.Counter("renum_shard_scrapes_total", "Routing-table scrape attempts.", ""),
+		scrapeErr: reg.Counter("renum_shard_scrape_errors_total", "Routing-table scrapes that failed.", ""),
+		shards:    map[string]*shardMetricsSet{},
+		stop:      make(chan struct{}),
+	}
+	reg.GaugeFunc("renum_router_generation", "Max shard generation in the current routing table.", "", func() float64 {
+		if t := r.table.Load(); t != nil {
+			return float64(t.gen)
+		}
+		return 0
+	})
+	reg.GaugeFunc("renum_router_cursors_live", "Live router-held enumeration cursors.", "", func() float64 {
+		return float64(r.cursors.Len())
+	})
+	r.route("GET /healthz", r.handleHealthz)
+	r.route("GET /readyz", r.handleReadyz)
+	r.route("GET /metrics", r.handleMetrics)
+	r.route("GET /v1", r.handleList)
+	r.route("GET /v1/{query}", r.query(r.handleMeta))
+	r.route("GET /v1/{query}/count", r.query(r.handleCount))
+	r.route("GET /v1/{query}/access", r.query(r.handleAccess))
+	r.route("GET /v1/{query}/batch", r.query(r.handleBatch))
+	r.route("POST /v1/{query}/batch", r.query(r.handleBatch))
+	r.route("GET /v1/{query}/page", r.query(r.handlePage))
+	r.route("GET /v1/{query}/sample", r.query(r.handleSample))
+	r.route("POST /v1/{query}/contains", r.query(r.handleContains))
+	r.route("POST /v1/{query}/inverted", r.query(r.handleInverted))
+	r.route("POST /v1/{query}/update", r.query(r.handleUpdate))
+	r.route("POST /v1/{query}/enum/start", r.query(r.handleEnumStart))
+	r.route("GET /v1/{query}/enum/next", r.query(r.handleEnumNext))
+	r.route("DELETE /v1/{query}/enum", r.query(r.handleEnumClose))
+	return r
+}
+
+// Handler returns the root handler.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Start launches the scrape loop. The returned channel closes after the
+// first scrape attempt (success or not), so a booting daemon can wait for
+// the fleet before accepting traffic without racing the first request.
+func (r *Router) Start() <-chan struct{} {
+	first := make(chan struct{})
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.refresh()
+		close(first)
+		tick := time.NewTicker(r.cfg.Refresh)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-tick.C:
+				r.refresh()
+			}
+		}
+	}()
+	return first
+}
+
+// Refresh scrapes the fleet once, synchronously (tests and boot paths).
+func (r *Router) Refresh(ctx context.Context) error {
+	r.scrapes.Inc()
+	t, err := r.scrape(ctx)
+	if err != nil {
+		r.scrapeErr.Inc()
+		return err
+	}
+	r.table.Store(t)
+	// A full successful scrape is the proof that flips failed shards back
+	// to healthy.
+	for _, base := range t.shards {
+		m := r.shardMetrics(base)
+		m.up.Store(true)
+		m.healthy.Set(1)
+	}
+	return nil
+}
+
+func (r *Router) refresh() {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Refresh+10*time.Second)
+	defer cancel()
+	if err := r.Refresh(ctx); err != nil {
+		r.logger.Warn("router: scrape failed", slog.String("error", err.Error()))
+	}
+}
+
+// SetReady flips the drain flag (false = /readyz reports 503 regardless of
+// fleet health; used at the top of a shutdown drain).
+func (r *Router) SetReady(ready bool) { r.draining.Store(!ready) }
+
+// Ready reports the /readyz verdict: not draining, a routing table exists,
+// and every shard in it is healthy.
+func (r *Router) Ready() bool {
+	if r.draining.Load() {
+		return false
+	}
+	t := r.table.Load()
+	if t == nil {
+		return false
+	}
+	for _, base := range t.shards {
+		if !r.shardMetrics(base).up.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// Close stops the scrape loop and cursor janitor.
+func (r *Router) Close() {
+	r.draining.Store(true)
+	close(r.stop)
+	r.wg.Wait()
+	r.cursors.Shutdown()
+}
+
+// shardMetrics resolves (lazily creating) the instrument set for one shard.
+func (r *Router) shardMetrics(base string) *shardMetricsSet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.shards[base]
+	if !ok {
+		labels := obs.Labels("shard", base)
+		m = &shardMetricsSet{
+			reqs:    r.obs.Counter("renum_shard_requests_total", "Requests the router sent to each shard daemon.", labels),
+			errs:    r.obs.Counter("renum_shard_request_errors_total", "Shard requests that failed (transport error or 5xx).", labels),
+			lat:     r.obs.Histogram("renum_shard_request_duration_seconds", "Latency of router-to-shard requests.", labels),
+			healthy: r.obs.Gauge("renum_shard_healthy", "1 when the shard's last interaction succeeded, 0 after a fault (until a scrape proves it back).", labels),
+		}
+		m.up.Store(true)
+		m.healthy.Set(1)
+		r.shards[base] = m
+	}
+	return m
+}
+
+func (r *Router) markUnhealthy(base string) {
+	m := r.shardMetrics(base)
+	m.up.Store(false)
+	m.healthy.Set(0)
+}
+
+// ------------------------------------------------------------------ errors
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrorf(status int, format string, args ...any) error {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+const statusClientClosedRequest = 499
+
+func errorStatus(err error) int {
+	var he *httpError
+	var se *shardError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.As(err, &se):
+		// The shard hop failed: the router is fine, the upstream is not —
+		// 502, with the failing daemon named in the body.
+		return http.StatusBadGateway
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return statusClientClosedRequest
+	case renum.IsUnsupported(err):
+		return http.StatusNotImplemented
+	case errors.Is(err, renum.ErrOutOfBounds):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNoCursor):
+		return http.StatusNotFound
+	case errors.Is(err, ErrCursorBusy):
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	e := getEnc()
+	w.Write(appendErrorBody(e.buf, msg))
+	e.release()
+}
+
+func writeBody(w http.ResponseWriter, body []byte) error {
+	w.Header().Set("Content-Type", "application/json")
+	_, err := w.Write(body)
+	return err
+}
+
+func writeWireBody(w http.ResponseWriter, body []byte) error {
+	w.Header().Set("Content-Type", wire.ContentType)
+	_, err := w.Write(body)
+	return err
+}
+
+func (r *Router) route(pattern string, h func(w http.ResponseWriter, req *http.Request) error) {
+	r.mux.HandleFunc(pattern, func(w http.ResponseWriter, req *http.Request) {
+		if err := h(w, req); err != nil {
+			writeError(w, errorStatus(err), err.Error())
+		}
+	})
+}
+
+// query resolves the {query} path element against the current routing
+// table. No table yet (fleet never scraped ready) is a 503: the router
+// knows nothing, which is different from knowing the query does not exist.
+func (r *Router) query(h func(w http.ResponseWriter, req *http.Request, t *table, rt *route) error) func(http.ResponseWriter, *http.Request) error {
+	return func(w http.ResponseWriter, req *http.Request) error {
+		t := r.table.Load()
+		if t == nil {
+			return httpErrorf(http.StatusServiceUnavailable, "no routing table yet (shards not scraped ready)")
+		}
+		name := req.PathValue("query")
+		rt, ok := t.queries[name]
+		if !ok {
+			return httpErrorf(http.StatusNotFound, "no query %q (serving: %s)", name, strings.Join(t.names, ", "))
+		}
+		return h(w, req, t, rt)
+	}
+}
+
+// ---------------------------------------------------------------- handlers
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) error {
+	return writeBody(w, healthzBody)
+}
+
+func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) error {
+	var gen uint64
+	if t := r.table.Load(); t != nil {
+		gen = t.gen
+	}
+	enc := getEnc()
+	defer enc.release()
+	if !r.Ready() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write(appendReadyzBody(enc.buf, false, gen))
+		return nil
+	}
+	return writeBody(w, appendReadyzBody(enc.buf, true, gen))
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return r.obs.WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+func (r *Router) handleList(w http.ResponseWriter, req *http.Request) error {
+	t := r.table.Load()
+	if t == nil {
+		return httpErrorf(http.StatusServiceUnavailable, "no routing table yet (shards not scraped ready)")
+	}
+	return writeJSON(w, map[string]any{"queries": t.names, "generation": t.gen})
+}
+
+func (r *Router) handleMeta(w http.ResponseWriter, req *http.Request, t *table, rt *route) error {
+	return writeJSON(w, map[string]any{
+		"name":         rt.name,
+		"kind":         rt.kind,
+		"count":        rt.total,
+		"head":         rt.head,
+		"query":        rt.text,
+		"capabilities": rt.caps,
+	})
+}
+
+func (r *Router) handleCount(w http.ResponseWriter, req *http.Request, t *table, rt *route) error {
+	enc := getEnc()
+	defer enc.release()
+	return writeBody(w, appendCountBody(enc.buf, rt.total))
+}
+
+func (r *Router) handleAccess(w http.ResponseWriter, req *http.Request, t *table, rt *route) error {
+	j, err := queryInt64(req, "j", -1)
+	if err != nil {
+		return err
+	}
+	if j < 0 || j >= rt.total {
+		return httpErrorf(http.StatusBadRequest, "j=%d out of range [0, %d)", j, rt.total)
+	}
+	sh, local := rt.locate(j)
+	var body struct {
+		Answer []string `json:"answer"`
+		J      int64    `json:"j"`
+	}
+	if err := r.getJSON(req.Context(), t.shards[sh], "/v1/"+rt.name+"/access?j="+strconv.FormatInt(local, 10), &body); err != nil {
+		return err
+	}
+	enc := getEnc()
+	defer enc.release()
+	// The shard answered with its local position; the client asked in global
+	// coordinates, so the response carries the global j back.
+	return writeBody(w, appendAccessBody(enc.buf, j, body.Answer))
+}
+
+func decodeBody(req *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, req.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return httpErrorf(http.StatusBadRequest, "body: %v", err)
+	}
+	return nil
+}
+
+func queryInt64(req *http.Request, name string, def int64) (int64, error) {
+	s := req.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, httpErrorf(http.StatusBadRequest, "%s: %v", name, err)
+	}
+	return v, nil
+}
+
+// appendJSList mirrors the daemon's comma-list parsing exactly: segments
+// space-trimmed, empty segments skipped.
+func appendJSList(dst []int64, s string) ([]int64, error) {
+	for s != "" {
+		var part string
+		if i := strings.IndexByte(s, ','); i >= 0 {
+			part, s = s[:i], s[i+1:]
+		} else {
+			part, s = s, ""
+		}
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		j, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return dst, httpErrorf(http.StatusBadRequest, "js: %v", err)
+		}
+		dst = append(dst, j)
+	}
+	return dst, nil
+}
+
+func wantsWire(req *http.Request) bool {
+	for _, part := range strings.Split(req.Header.Get("Accept"), ",") {
+		part = strings.TrimSpace(part)
+		if i := strings.IndexByte(part, ';'); i >= 0 {
+			part = strings.TrimSpace(part[:i])
+		}
+		if part == wire.ContentType {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request, t *table, rt *route) error {
+	enc := getEnc()
+	defer enc.release()
+	var js []int64
+	if req.Method == http.MethodPost {
+		var body struct {
+			Js []int64 `json:"js"`
+		}
+		if err := decodeBody(req, &body); err != nil {
+			return err
+		}
+		js = body.Js
+	} else {
+		var err error
+		js, err = appendJSList(enc.jsFor(), req.URL.Query().Get("js"))
+		enc.js = js[:0]
+		if err != nil {
+			return err
+		}
+	}
+	if int64(len(js)) > r.cfg.MaxBatch {
+		return httpErrorf(http.StatusBadRequest, "batch of %d exceeds limit %d", len(js), r.cfg.MaxBatch)
+	}
+	rows, err := r.scatterBatch(req.Context(), t, rt, js)
+	if err != nil {
+		return err
+	}
+	if wantsWire(req) {
+		return writeWireBody(w, appendWireRows(enc.buf, rows, len(rt.head), 0, 0))
+	}
+	buf := openAnswersBody(enc.buf)
+	buf = appendAnswersRows(buf, rows)
+	return writeBody(w, closeAnswersBody(buf))
+}
+
+// scatterBatch resolves arbitrary global positions: validated up front (one
+// bad position fails the whole batch, exactly like the library), split per
+// shard through the prefix-sum table, fanned out concurrently, scattered
+// back into request order.
+func (r *Router) scatterBatch(ctx context.Context, t *table, rt *route, js []int64) ([][]string, error) {
+	for _, j := range js {
+		if j < 0 || j >= rt.total {
+			return nil, renum.ErrOutOfBounds
+		}
+	}
+	out := make([][]string, len(js))
+	if len(js) == 0 {
+		return out, nil
+	}
+	perJS := make([][]int64, len(t.shards))
+	perAt := make([][]int, len(t.shards))
+	for i, j := range js {
+		sh, local := rt.locate(j)
+		perJS[sh] = append(perJS[sh], local)
+		perAt[sh] = append(perAt[sh], i)
+	}
+	reqs := make([]shardDraw, 0, len(t.shards))
+	for sh, local := range perJS {
+		if len(local) > 0 {
+			reqs = append(reqs, shardDraw{shard: sh, js: local, at: perAt[sh]})
+		}
+	}
+	return out, r.fanOut(ctx, t, reqs, func(ctx context.Context, _ int, d shardDraw) error {
+		rows, err := r.shardBatch(ctx, t.shards[d.shard], rt.name, d.js)
+		if err != nil {
+			return err
+		}
+		if len(rows) != len(d.js) {
+			return &shardError{shard: t.shards[d.shard], err: fmt.Errorf("batch returned %d rows for %d positions", len(rows), len(d.js))}
+		}
+		for i, row := range rows {
+			out[d.at[i]] = row
+		}
+		return nil
+	})
+}
+
+// shardDraw is one shard's portion of a scatter-gather round.
+type shardDraw struct {
+	shard int
+	js    []int64 // local positions (batch) — nil for page draws
+	at    []int   // request slots (batch)
+	lo, n int64   // local window (page)
+}
+
+// fanOut runs one sub-request per shard portion concurrently and collects
+// the first error. Fan-out width lands in the router metrics.
+func (r *Router) fanOut(ctx context.Context, t *table, reqs []shardDraw, do func(context.Context, int, shardDraw) error) error {
+	r.fanouts.Inc()
+	r.fanoutSum.Add(uint64(len(reqs)))
+	if len(reqs) == 1 {
+		return do(ctx, 0, reqs[0])
+	}
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, d := range reqs {
+		wg.Add(1)
+		go func(i int, d shardDraw) {
+			defer wg.Done()
+			errs[i] = do(ctx, i, d)
+		}(i, d)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// shardBatch posts local positions to one shard's /batch, negotiating the
+// binary wire format for the hop, and returns the parsed rows.
+func (r *Router) shardBatch(ctx context.Context, base, query string, js []int64) ([][]string, error) {
+	body := []byte(`{"js":[`)
+	for i, j := range js {
+		if i > 0 {
+			body = append(body, ',')
+		}
+		body = strconv.AppendInt(body, j, 10)
+	}
+	body = append(body, ']', '}')
+	data, err := r.fetch(ctx, http.MethodPost, base, "/v1/"+query+"/batch", wire.ContentType, strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	_, rows, err := wire.Parse(data)
+	if err != nil {
+		r.markUnhealthy(base)
+		return nil, &shardError{shard: base, err: fmt.Errorf("wire parse: %v", err)}
+	}
+	return rows, nil
+}
+
+// shardPage fetches one shard's local window [lo, lo+n) via /page (wire hop).
+func (r *Router) shardPage(ctx context.Context, base, query string, lo, n int64) ([][]string, error) {
+	path := fmt.Sprintf("/v1/%s/page?offset=%d&limit=%d", query, lo, n)
+	data, err := r.fetch(ctx, http.MethodGet, base, path, wire.ContentType, nil)
+	if err != nil {
+		return nil, err
+	}
+	_, rows, err := wire.Parse(data)
+	if err != nil {
+		r.markUnhealthy(base)
+		return nil, &shardError{shard: base, err: fmt.Errorf("wire parse: %v", err)}
+	}
+	if int64(len(rows)) != n {
+		return nil, &shardError{shard: base, err: fmt.Errorf("page returned %d rows for window of %d", len(rows), n)}
+	}
+	return rows, nil
+}
+
+func (r *Router) handlePage(w http.ResponseWriter, req *http.Request, t *table, rt *route) error {
+	offset, err := queryInt64(req, "offset", 0)
+	if err != nil {
+		return err
+	}
+	limit, err := queryInt64(req, "limit", 10)
+	if err != nil {
+		return err
+	}
+	if limit > r.cfg.MaxBatch {
+		return httpErrorf(http.StatusBadRequest, "limit %d exceeds %d", limit, r.cfg.MaxBatch)
+	}
+	if offset < 0 || limit < 0 {
+		return httpErrorf(http.StatusBadRequest, "offset and limit must be non-negative")
+	}
+	rows, err := r.gatherPage(req.Context(), t, rt, offset, limit)
+	if err != nil {
+		return err
+	}
+	enc := getEnc()
+	defer enc.release()
+	if wantsWire(req) {
+		return writeWireBody(w, appendWireRows(enc.buf, rows, len(rt.head), 0, uint64(offset)))
+	}
+	buf := openAnswersBody(enc.buf)
+	buf = appendAnswersRows(buf, rows)
+	return writeBody(w, closeAnswersOffsetBody(buf, offset))
+}
+
+// gatherPage resolves the contiguous global window [offset, offset+limit):
+// each shard's intersection with the window is one local page request, and
+// the shard results concatenate in shard order — which IS global order, by
+// the partition contract. Tail clamping mirrors the daemon: offset past the
+// end is an empty page, an overshooting limit is shortened.
+func (r *Router) gatherPage(ctx context.Context, t *table, rt *route, offset, limit int64) ([][]string, error) {
+	k := limit
+	if offset >= rt.total {
+		k = 0
+	} else if k > rt.total-offset {
+		k = rt.total - offset
+	}
+	if k == 0 {
+		return [][]string{}, nil
+	}
+	var reqs []shardDraw
+	for sh := range t.shards {
+		shLo, shHi := rt.starts[sh], rt.starts[sh+1]
+		lo, hi := max64(offset, shLo), min64(offset+k, shHi)
+		if lo >= hi {
+			continue
+		}
+		reqs = append(reqs, shardDraw{shard: sh, lo: lo - shLo, n: hi - lo})
+	}
+	parts := make([][][]string, len(reqs))
+	err := r.fanOut(ctx, t, reqs, func(ctx context.Context, i int, d shardDraw) error {
+		rows, err := r.shardPage(ctx, t.shards[d.shard], rt.name, d.lo, d.n)
+		if err != nil {
+			return err
+		}
+		parts[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, 0, k)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// rngFor mirrors the daemon: deterministic under ?seed=, time-seeded
+// otherwise.
+func rngFor(req *http.Request) (*rand.Rand, error) {
+	seed, err := queryInt64(req, "seed", time.Now().UnixNano())
+	if err != nil {
+		return nil, err
+	}
+	return rand.New(rand.NewSource(seed)), nil
+}
+
+func (r *Router) handleSample(w http.ResponseWriter, req *http.Request, t *table, rt *route) error {
+	k, err := queryInt64(req, "k", 1)
+	if err != nil {
+		return err
+	}
+	if k < 0 || k > r.cfg.MaxBatch {
+		return httpErrorf(http.StatusBadRequest, "k=%d out of range [0, %d]", k, r.cfg.MaxBatch)
+	}
+	rng, err := rngFor(req)
+	if err != nil {
+		return err
+	}
+	// The shards are static slices, so the global sample is distinct — and
+	// drawing a lazy Fisher–Yates prefix over the global count consumes the
+	// seeded rng exactly like the library's sampler: same seed, same
+	// positions, same bytes as the unsharded daemon.
+	js := drawPositions(rt.total, k, rng)
+	rows, err := r.scatterBatch(req.Context(), t, rt, js)
+	if err != nil {
+		return err
+	}
+	enc := getEnc()
+	defer enc.release()
+	buf := openAnswersBody(enc.buf)
+	buf = appendAnswersRows(buf, rows)
+	return writeBody(w, closeAnswersWithReplacementBody(buf, false))
+}
+
+// drawPositions draws min(k, n) distinct positions via the canonical lazy
+// Fisher–Yates prefix.
+func drawPositions(n, k int64, rng *rand.Rand) []int64 {
+	if k > n {
+		k = n
+	}
+	shuf := shuffle.New(n, rng)
+	js := make([]int64, 0, k)
+	for int64(len(js)) < k {
+		j, ok := shuf.Next()
+		if !ok {
+			break
+		}
+		js = append(js, j)
+	}
+	return js
+}
+
+type tupleBody struct {
+	Tuple []string `json:"tuple"`
+}
+
+// forwardTuple re-posts a tuple probe to shard daemons in shard order until
+// hit (the shards partition the answer space, so at most one can claim it).
+func (r *Router) forwardTuple(ctx context.Context, t *table, rt *route, path string, tuple []string, hit func(shard int, data []byte) (bool, error)) error {
+	body, err := json.Marshal(tupleBody{Tuple: tuple})
+	if err != nil {
+		return err
+	}
+	for sh, base := range t.shards {
+		data, err := r.fetch(ctx, http.MethodPost, base, "/v1/"+rt.name+path, "", strings.NewReader(string(body)))
+		if err != nil {
+			return err
+		}
+		found, err := hit(sh, data)
+		if err != nil || found {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Router) handleContains(w http.ResponseWriter, req *http.Request, t *table, rt *route) error {
+	if !hasCap(rt, string(renum.CapContains)) {
+		return fmt.Errorf("contains: %w (kind %s)", renum.ErrUnsupported, rt.kind)
+	}
+	var body tupleBody
+	if err := decodeBody(req, &body); err != nil {
+		return err
+	}
+	if len(body.Tuple) != len(rt.head) {
+		return httpErrorf(http.StatusBadRequest, "tuple has %d values, query arity is %d", len(body.Tuple), len(rt.head))
+	}
+	contains := false
+	err := r.forwardTuple(req.Context(), t, rt, "/contains", body.Tuple, func(sh int, data []byte) (bool, error) {
+		var cb struct {
+			Contains bool `json:"contains"`
+		}
+		if err := json.Unmarshal(data, &cb); err != nil {
+			return false, &shardError{shard: t.shards[sh], err: err}
+		}
+		contains = cb.Contains
+		return cb.Contains, nil
+	})
+	if err != nil {
+		return err
+	}
+	enc := getEnc()
+	defer enc.release()
+	return writeBody(w, appendContainsBody(enc.buf, contains))
+}
+
+func (r *Router) handleInverted(w http.ResponseWriter, req *http.Request, t *table, rt *route) error {
+	if !hasCap(rt, string(renum.CapInvert)) {
+		return fmt.Errorf("inverted access: %w (kind %s)", renum.ErrUnsupported, rt.kind)
+	}
+	var body tupleBody
+	if err := decodeBody(req, &body); err != nil {
+		return err
+	}
+	if len(body.Tuple) != len(rt.head) {
+		return httpErrorf(http.StatusBadRequest, "tuple has %d values, query arity is %d", len(body.Tuple), len(rt.head))
+	}
+	foundJ, found := int64(0), false
+	err := r.forwardTuple(req.Context(), t, rt, "/inverted", body.Tuple, func(sh int, data []byte) (bool, error) {
+		var ib struct {
+			Found bool  `json:"found"`
+			J     int64 `json:"j"`
+		}
+		if err := json.Unmarshal(data, &ib); err != nil {
+			return false, &shardError{shard: t.shards[sh], err: err}
+		}
+		if ib.Found {
+			// The shard found it at a local position; the global position
+			// re-bases through the shard's window start.
+			foundJ, found = rt.starts[sh]+ib.J, true
+		}
+		return ib.Found, nil
+	})
+	if err != nil {
+		return err
+	}
+	enc := getEnc()
+	defer enc.release()
+	return writeBody(w, appendInvertedBody(enc.buf, foundJ, found))
+}
+
+func (r *Router) handleUpdate(w http.ResponseWriter, req *http.Request, t *table, rt *route) error {
+	// A sharded fleet is static by construction (shard slices reject
+	// updatable entries); the router mirrors the daemon's vocabulary: 501.
+	return fmt.Errorf("updates through the router: %w (shard slices are static)", renum.ErrUnsupported)
+}
+
+func hasCap(rt *route, c string) bool {
+	for _, have := range rt.caps {
+		if have == c {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Router) handleEnumStart(w http.ResponseWriter, req *http.Request, t *table, rt *route) error {
+	if !hasCap(rt, string(renum.CapEnumerate)) {
+		return fmt.Errorf("enumeration cursors: %w (kind %s has no stable order)", renum.ErrUnsupported, rt.kind)
+	}
+	order := req.URL.Query().Get("order")
+	if order == "" {
+		order = "enum"
+	}
+	var nextN func(context.Context, int64) ([][]string, error)
+	switch order {
+	case "enum":
+		// Sequential global positions: each draw is one contiguous window,
+		// gathered with the page fan-out. The position only advances on
+		// success, so a shard fault mid-draw loses nothing — the client
+		// retries the same window once the shard returns.
+		var pos int64
+		n := rt.total
+		nextN = func(ctx context.Context, k int64) ([][]string, error) {
+			if pos >= n {
+				return nil, nil
+			}
+			if k > n-pos {
+				k = n - pos
+			}
+			rows, err := r.gatherPage(ctx, t, rt, pos, k)
+			if err != nil {
+				return nil, err
+			}
+			pos += int64(len(rows))
+			return rows, nil
+		}
+	case "random":
+		rng, err := rngFor(req)
+		if err != nil {
+			return err
+		}
+		// One lazy Fisher–Yates over the global count, positions drawn
+		// serially per request — the same rng consumption as the library's
+		// Permutation, so same-seed draws are byte-identical to a single
+		// daemon's. Draws are atomic (positions are consumed up front);
+		// a failed scatter re-draws nothing and the cursor stays alive, so
+		// the positions of a failed draw ARE lost to that cursor — exactly
+		// the each-answer-at-most-once reading a fleet can honor.
+		shuf := shuffle.New(rt.total, rng)
+		nextN = func(ctx context.Context, k int64) ([][]string, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if rem := shuf.Remaining(); k > rem {
+				k = rem
+			}
+			js := make([]int64, 0, k)
+			for int64(len(js)) < k {
+				j, ok := shuf.Next()
+				if !ok {
+					break
+				}
+				js = append(js, j)
+			}
+			return r.scatterBatch(ctx, t, rt, js)
+		}
+	default:
+		return httpErrorf(http.StatusBadRequest, "order must be enum or random, got %q", order)
+	}
+	id := r.cursors.Start(rt.name, nextN)
+	enc := getEnc()
+	defer enc.release()
+	return writeBody(w, appendCursorBody(enc.buf, id, r.cursors.ttl.Milliseconds()))
+}
+
+func (r *Router) handleEnumNext(w http.ResponseWriter, req *http.Request, t *table, rt *route) error {
+	id := req.URL.Query().Get("cursor")
+	n, err := queryInt64(req, "n", 1)
+	if err != nil {
+		return err
+	}
+	if n <= 0 || n > r.cfg.MaxCursorDraw {
+		return httpErrorf(http.StatusBadRequest, "n=%d out of range [1, %d]", n, r.cfg.MaxCursorDraw)
+	}
+	rows, done, err := r.cursors.Next(req.Context(), id, rt.name, n)
+	if err != nil {
+		return err
+	}
+	enc := getEnc()
+	defer enc.release()
+	if wantsWire(req) {
+		var flags uint32
+		if done {
+			flags = wire.FlagDone
+		}
+		return writeWireBody(w, appendWireRows(enc.buf, rows, len(rt.head), flags, 0))
+	}
+	buf := openAnswersBody(enc.buf)
+	buf = appendAnswersRows(buf, rows)
+	return writeBody(w, closeAnswersDoneBody(buf, done))
+}
+
+func (r *Router) handleEnumClose(w http.ResponseWriter, req *http.Request, t *table, rt *route) error {
+	if !r.cursors.Close(req.URL.Query().Get("cursor"), rt.name) {
+		return ErrNoCursor
+	}
+	return writeBody(w, closedBody)
+}
