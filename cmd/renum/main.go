@@ -96,8 +96,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		offset    = fs.Int64("offset", 0, "first row of the page (mode page)")
 		workers   = fs.Int("workers", 0, "goroutines for index build and batched probes (0 = all cores)")
 		jsArg     = fs.String("js", "", "comma-separated answer positions (mode batch)")
+		plannerMo = fs.String("planner", "cost", "join-tree planner: cost (pick the cheapest candidate tree) | off (as-parsed order, byte-identical to older builds)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	planner, err := renum.ParsePlannerMode(*plannerMo)
+	if err != nil {
+		fmt.Fprintln(stderr, err) // already carries the renum: prefix
 		return 2
 	}
 
@@ -139,7 +145,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// compatibility requirement.
 		err = runUnionRandom(stdout, db, q.UCQ, *k, rng)
 	} else {
-		err = runQuery(stdout, db, q, *mode, *k, *offset, *jsArg, *workers, rng)
+		err = runQuery(stdout, db, q, *mode, *k, *offset, *jsArg, *workers, planner, rng)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "renum: %v\n", err)
@@ -254,8 +260,8 @@ func parsePositions(jsArg string) ([]int64, error) {
 // runQuery serves every mode from one renum.Handle — CQs and unions take
 // the same code path; capability misses surface as the library's
 // ErrUnsupported errors.
-func runQuery(out io.Writer, db *renum.Database, q load.Query, mode string, k, offset int64, jsArg string, workers int, rng *rand.Rand) error {
-	h, err := renum.Open(db, q.Src(), renum.WithWorkers(workers))
+func runQuery(out io.Writer, db *renum.Database, q load.Query, mode string, k, offset int64, jsArg string, workers int, planner renum.PlannerMode, rng *rand.Rand) error {
+	h, err := renum.Open(db, q.Src(), renum.WithWorkers(workers), renum.WithPlanner(planner))
 	if err != nil {
 		return err
 	}

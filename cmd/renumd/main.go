@@ -142,6 +142,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shardsFrom   = fs.String("shards-from", "", "router mode: read the shard URL list from this file (re-read every -shard-refresh)")
 		shardRefresh = fs.Duration("shard-refresh", 2*time.Second, "router mode: period for scraping shard counts and health")
 		shardSlice   = fs.String("shard-slice", "", "serve only slice i of a K-way answer partition, as \"i/K\" (shard daemon mode)")
+		plannerMode  = fs.String("planner", "cost", "join-tree planning for entry builds: cost (search candidate trees, keep the cheapest) or off (serve the as-parsed tree byte-for-byte)")
+		ansCacheB    = fs.Int64("answer-cache-bytes", 0, "byte budget for the generation-keyed /access answer cache (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -174,6 +176,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *httpMode != "fast" && *httpMode != "std" {
 		fmt.Fprintf(stderr, "renumd: -http must be fast or std (got %q)\n", *httpMode)
+		return 2
+	}
+	planner, err := renum.ParsePlannerMode(*plannerMode)
+	if err != nil {
+		fmt.Fprintf(stderr, "renumd: %v\n", err)
+		return 2
+	}
+	if *ansCacheB < 0 {
+		fmt.Fprintf(stderr, "renumd: -answer-cache-bytes must be non-negative (got %d)\n", *ansCacheB)
 		return 2
 	}
 	if *persistExit && *snapshotDir == "" {
@@ -249,6 +260,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	// Planner mode applies to every entry built from here on (the Register
+	// loop below, later /admin/register and /admin/rebuild). Snapshot-restored
+	// entries keep the tree they were built with — that is the snapshot
+	// contract: restored generations probe identically.
+	reg.SetPlanner(planner)
 	// Shard mode: applied before the Register loop so freshly registered CQs
 	// build only their 1/K index slice, after restore so catalog entries get
 	// position windows over their mapped indexes.
@@ -287,12 +303,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// without parsing the human-oriented stdout chatter.
 	logger := slog.New(slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
 	srv := server.New(reg, server.Config{
-		CursorTTL:     *cursorTTL,
-		AdminDisabled: *noAdmin,
-		SnapshotDir:   *snapshotDir,
-		SlowLog:       *slowLog,
-		TraceBuffer:   *traceBuffer,
-		Logger:        logger,
+		CursorTTL:        *cursorTTL,
+		AdminDisabled:    *noAdmin,
+		SnapshotDir:      *snapshotDir,
+		SlowLog:          *slowLog,
+		TraceBuffer:      *traceBuffer,
+		Logger:           logger,
+		AnswerCacheBytes: *ansCacheB,
 	})
 	defer srv.Close()
 

@@ -261,6 +261,12 @@ type goldenInstance struct {
 
 // goldenInstances rebuilds, in golden-file order, the exact instances the
 // recording was made from (the public-API counterpart of goldenIndexes).
+// Every instance opens with WithPlanner(PlannerOff): the golden file pins
+// the *as-parsed* tree's enumeration order, which is exactly what off mode
+// promises to preserve byte-for-byte. The default cost mode is pinned
+// separately (TestPlannerCostGoldenSetEquivalent and the candidate
+// equivalence suite in plan_equivalence_test.go): same Count, same answer
+// set, order free to improve.
 func goldenInstances(t *testing.T) []goldenInstance {
 	t.Helper()
 	var out []goldenInstance
@@ -269,19 +275,19 @@ func goldenInstances(t *testing.T) []goldenInstance {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out = append(out, goldenInstance{name: q.Name, db: db, q: q})
+	out = append(out, goldenInstance{name: q.Name, db: db, q: q, opts: []Option{WithPlanner(PlannerOff)}})
 
 	db2, q2, err := synth.Chain(synth.Config{Relations: 3, TuplesPerRelation: 150, KeyDomain: 40, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out = append(out, goldenInstance{name: q2.Name, db: db2, q: q2, opts: []Option{WithCanonical()}})
+	out = append(out, goldenInstance{name: q2.Name, db: db2, q: q2, opts: []Option{WithCanonical(), WithPlanner(PlannerOff)}})
 
 	q3, err := query.NewCQ("proj", []string{"x0", "x1"}, q2.Body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out = append(out, goldenInstance{name: q3.Name, db: db2, q: q3})
+	out = append(out, goldenInstance{name: q3.Name, db: db2, q: q3, opts: []Option{WithPlanner(PlannerOff)}})
 
 	db4 := relation.NewDatabase()
 	nat := db4.MustCreate("N", "a", "b")
@@ -298,9 +304,49 @@ func goldenInstances(t *testing.T) []goldenInstance {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out = append(out, goldenInstance{name: u.Name, db: db4, q: u, opts: []Option{WithVerify()}})
+	out = append(out, goldenInstance{name: u.Name, db: db4, q: u, opts: []Option{WithVerify(), WithPlanner(PlannerOff)}})
 
 	return out
+}
+
+// TestPlannerCostGoldenSetEquivalent opens every golden instance in the
+// default cost mode and checks it against the off-mode build: identical
+// Count, set-equal answers. The planner may pick a different tree (that is
+// its job) but may never change the answer relation.
+func TestPlannerCostGoldenSetEquivalent(t *testing.T) {
+	for _, gi := range goldenInstances(t) {
+		off := mustOpen(t, gi.db, gi.q, gi.opts...) // instances carry PlannerOff
+		costOpts := append([]Option(nil), gi.opts...)
+		costOpts = append(costOpts, WithPlanner(PlannerCost))
+		cost := mustOpen(t, gi.db, gi.q, costOpts...)
+		if off.Count() != cost.Count() {
+			t.Fatalf("%s: off Count %d, cost Count %d", gi.name, off.Count(), cost.Count())
+		}
+		seen := make(map[string]int, off.Count())
+		var buf []byte
+		for tu, err := range off.All() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = formatAnswer(buf, tu)
+			seen[string(buf)]++
+		}
+		for tu, err := range cost.All() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = formatAnswer(buf, tu)
+			if seen[string(buf)] == 0 {
+				t.Fatalf("%s: cost-mode answer %s not produced by off mode", gi.name, buf)
+			}
+			seen[string(buf)]--
+		}
+		for a, n := range seen {
+			if n != 0 {
+				t.Fatalf("%s: answer %s multiplicity differs by %d between modes", gi.name, a, n)
+			}
+		}
+	}
 }
 
 // goldenHandles opens every golden instance through the public Open API.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/cqenum"
 	"repro/internal/mcucq"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/reduce"
 )
@@ -146,6 +147,8 @@ type config struct {
 	shards       int // WithShards: partition count (0 = unsharded)
 	sliceIdx     int // WithShardSlice: which slice to build
 	sliceOf      int // WithShardSlice: partition count (0 = off)
+	planner      PlannerMode
+	planObserve  func(PlanStats)
 	buildObserve func(stage string, d time.Duration)
 }
 
@@ -174,12 +177,112 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithBuildObserver registers a callback that receives preprocessing-stage
 // timings while Open builds the probe structure. Stages currently emitted:
+// "plan_search" (the cost-based planner's candidate enumeration),
 // "index_build" (the static access structure's weight computation),
 // "dynamic_build" (the update-maintaining index), and "union_build" (the
 // mc-UCQ preparation). fn must be safe for use from the building goroutine;
 // it is never called after Open returns.
 func WithBuildObserver(fn func(stage string, d time.Duration)) Option {
 	return func(c *config) { c.buildObserve = fn }
+}
+
+// PlannerMode selects how Open picks the join tree a CQ (or the disjunct
+// order a UCQ) is compiled to.
+type PlannerMode string
+
+const (
+	// PlannerCost (the default) enumerates the valid join trees, costs each
+	// from per-relation statistics (tuple counts, per-column distinct
+	// counts), and compiles the cheapest. The as-parsed tree is always a
+	// candidate and wins ties, so cost mode never picks a tree its own model
+	// rates worse than today's.
+	PlannerCost PlannerMode = "cost"
+	// PlannerOff compiles the as-parsed query byte-for-byte — the exact
+	// pre-planner behavior, including the enumeration order.
+	PlannerOff PlannerMode = "off"
+)
+
+// ParsePlannerMode parses a planner mode flag value ("cost" or "off").
+func ParsePlannerMode(s string) (PlannerMode, error) {
+	switch PlannerMode(s) {
+	case PlannerCost:
+		return PlannerCost, nil
+	case PlannerOff:
+		return PlannerOff, nil
+	}
+	return "", fmt.Errorf("renum: planner mode must be %q or %q (got %q)", PlannerCost, PlannerOff, s)
+}
+
+// WithPlanner selects the join-tree planning mode (default PlannerCost).
+// Planning applies to static CQ and UCQ backends, including sharded builds
+// (every slice plans on the same full database, so a fleet of shard daemons
+// picks the same tree deterministically). Dynamic handles and snapshot
+// restores skip planning: updates rebuild incrementally on the original
+// tree, and a restored index already embodies the tree recorded at save
+// time.
+func WithPlanner(mode PlannerMode) Option {
+	return func(c *config) { c.planner = mode }
+}
+
+// PlanStats summarizes one planning run for observers (the serving tier's
+// renum_plan_* metric family).
+type PlanStats struct {
+	// Candidates is the number of distinct join trees costed.
+	Candidates int
+	// Identity reports whether the as-parsed tree won.
+	Identity bool
+	// ChosenCost and IdentityCost are the model costs of the winner and of
+	// the as-parsed tree (equal when Identity).
+	ChosenCost, IdentityCost float64
+	// Duration is the wall-clock planning time.
+	Duration time.Duration
+}
+
+// WithPlanObserver registers a callback invoked once per planning run with
+// the candidate-set summary. Like WithBuildObserver it fires during Open,
+// never after.
+func WithPlanObserver(fn func(PlanStats)) Option {
+	return func(c *config) { c.planObserve = fn }
+}
+
+// planQuery runs the planner for Open: it returns the (possibly reordered)
+// query to compile plus the plan record for Explain. Planner errors are
+// swallowed — the query is returned unchanged and the real build surfaces
+// the same condition with its usual typed error.
+func planQuery(db *Database, q Query, cfg *config) (Query, *plan.Plan) {
+	if cfg.planner == PlannerOff || cfg.dynamic {
+		return q, nil
+	}
+	t0 := time.Now()
+	var (
+		planned Query
+		p       *plan.Plan
+		err     error
+	)
+	switch q := q.(type) {
+	case *CQ:
+		planned, p, err = plan.ChooseCQ(db, q, plan.ModeCost)
+	case *UCQ:
+		planned, p, err = plan.ChooseUCQ(db, q, plan.ModeCost)
+	default:
+		return q, nil
+	}
+	if err != nil || p == nil {
+		return q, nil
+	}
+	if cfg.buildObserve != nil {
+		cfg.buildObserve("plan_search", time.Since(t0))
+	}
+	if cfg.planObserve != nil {
+		cfg.planObserve(PlanStats{
+			Candidates:   len(p.Candidates),
+			Identity:     p.Identity(),
+			ChosenCost:   p.ChosenCost(),
+			IdentityCost: p.IdentityCost(),
+			Duration:     p.Duration,
+		})
+	}
+	return planned, p
 }
 
 // Open builds the probe structure for q over db and wraps it in a Handle:
@@ -196,10 +299,10 @@ func Open(db *Database, q Query, opts ...Option) (*Handle, error) {
 	}
 	switch q := q.(type) {
 	case *CQ:
-		if cfg.shards > 0 || cfg.sliceOf > 0 {
-			return openSharded(db, q, cfg)
-		}
 		if cfg.dynamic {
+			if cfg.shards > 0 || cfg.sliceOf > 0 {
+				return openSharded(db, q, cfg, nil) // surfaces the dynamic+sharded error
+			}
 			if cfg.canonical {
 				return nil, fmt.Errorf("renum: WithCanonical with WithDynamic: %w", ErrUnsupported)
 			}
@@ -213,13 +316,18 @@ func Open(db *Database, q Query, opts ...Option) (*Handle, error) {
 			}
 			return &Handle{b: daBackend{da}, workers: cfg.workers}, nil
 		}
+		pq, pl := planQuery(db, q, &cfg)
+		q = pq.(*CQ)
+		if cfg.shards > 0 || cfg.sliceOf > 0 {
+			return openSharded(db, q, cfg, pl)
+		}
 		c, err := cqenum.PrepareWithOptions(db, q,
 			reduce.Options{CanonicalOrder: cfg.canonical},
 			access.BuildOptions{Workers: cfg.workers, Observe: cfg.buildObserve})
 		if err != nil {
 			return nil, err
 		}
-		return &Handle{b: raBackend{&RandomAccess{c: c}}, workers: cfg.workers}, nil
+		return &Handle{b: raBackend{&RandomAccess{c: c, plan: pl}}, workers: cfg.workers}, nil
 	case *UCQ:
 		if cfg.shards > 0 || cfg.sliceOf > 0 {
 			return nil, fmt.Errorf("renum: WithShards requires a single CQ, got a union: %w", ErrUnsupported)
@@ -227,15 +335,27 @@ func Open(db *Database, q Query, opts ...Option) (*Handle, error) {
 		if cfg.dynamic {
 			return nil, fmt.Errorf("renum: WithDynamic requires a single full CQ, got a union: %w", ErrUnsupported)
 		}
-		t0 := time.Now()
-		ua, err := newUnionAccess(db, q, mcucq.Options{
+		pq, pl := planQuery(db, q, &cfg)
+		planned := pq.(*UCQ)
+		mcOpts := mcucq.Options{
 			Reduce:  reduce.Options{CanonicalOrder: cfg.canonical},
 			Verify:  cfg.verify,
 			Workers: cfg.workers,
-		})
+		}
+		t0 := time.Now()
+		ua, err := newUnionAccess(db, planned, mcOpts)
+		if err != nil && planned != q {
+			// The reordered union can fail mc-compatibility (order alignment
+			// is checked structurally by the real build); fall back to the
+			// as-parsed disjunct order rather than failing a query that
+			// worked before planning existed.
+			ua, err = newUnionAccess(db, q, mcOpts)
+			pl = nil
+		}
 		if err != nil {
 			return nil, err
 		}
+		ua.plan = pl
 		if cfg.buildObserve != nil {
 			cfg.buildObserve("union_build", time.Since(t0))
 		}

@@ -38,6 +38,11 @@ type Observer struct {
 	Compaction func(d time.Duration, folded int64)
 	// Publish fires when a new registry generation becomes visible.
 	Publish func(gen uint64)
+	// Plan fires after the cost-based planner searches a query's join
+	// trees at build time: how many candidates were costed, whether the
+	// as-parsed tree won (identity), the chosen and as-parsed costs, and
+	// the search duration. Build-time only, never on a probe path.
+	Plan func(query string, candidates int, identity bool, chosenCost, identityCost float64, d time.Duration)
 	// QueryOps resolves the per-operation probe histograms for a
 	// query; called at entry build/registration time, never per
 	// request.
@@ -90,6 +95,14 @@ func (o *Observer) ObservePublish(gen uint64) {
 		return
 	}
 	o.Publish(gen)
+}
+
+// ObservePlan reports one planner search.
+func (o *Observer) ObservePlan(query string, candidates int, identity bool, chosenCost, identityCost float64, d time.Duration) {
+	if o == nil || o.Plan == nil {
+		return
+	}
+	o.Plan(query, candidates, identity, chosenCost, identityCost, d)
 }
 
 // Ops resolves per-query probe histograms, or nil when unobserved.

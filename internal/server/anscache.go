@@ -1,0 +1,196 @@
+// Generation-keyed hot-probe answer cache.
+//
+// The serving tier's /access path is already allocation-free, but a hot
+// position still pays the full O(log n) probe plus JSON encoding on every
+// request. Under the skewed access patterns the paper's "millions of users"
+// scenario implies (a few celebrity answers probed constantly), the same
+// bytes are rebuilt millions of times. The answer cache stores the exact
+// encoded response body — the appendAccessBody output — keyed by
+// (query, generation, position), so a hit is one lock-free map lookup and a
+// buffered write: no probe, no dictionary resolution, no encoding.
+//
+// # Invalidation
+//
+// Correctness rides on two rules, both anchored to the registry's atomic
+// generation swap:
+//
+//   - Keys carry the snapshot generation the body was built from. Every
+//     admin mutation that can change answers (load, register, rebuild,
+//     compaction) publishes a new generation, so a handler holding the new
+//     generation can never match a stale entry — even in the window before
+//     the drop-all below runs.
+//   - Updatable (dynamic) entries are never cached. POST /v1/{query}/update
+//     mutates the handle in place *without* a generation bump, so a
+//     generation key cannot fence it; the cache skips CapUpdate entries the
+//     same way the coalescer does. TestAnswerCacheUpdateInvalidation pins
+//     that a pre-update body is never served post-update.
+//
+// The publish observer additionally drops the whole cache on every
+// generation swap: superseded entries could never be served again (rule
+// one), but dropping them immediately returns their bytes to the budget
+// instead of waiting for FIFO eviction to push them out.
+//
+// # Admission
+//
+// Admission requires a position to miss twice: one-hit wonders — a client
+// paging through positions sequentially, or a uniform random scan — never
+// displace genuinely hot entries, and the copy + COW map publication below
+// is paid only for positions with demonstrated reuse. Every coalesced
+// request resolves through the cache first, so the positions the coalescer
+// observes merging (concurrent demand = hot) are exactly the ones that
+// reach the admission threshold fastest.
+//
+// # Concurrency
+//
+// Reads are lock-free: the live map is immutable behind an atomic pointer
+// (the copy-on-write idiom the registry snapshot uses), and the struct key
+// avoids any per-lookup allocation, keeping cache-enabled hits at zero
+// allocations per request. Writers — admission, eviction, invalidation —
+// serialize on a mutex and publish a fresh map; with the two-miss admission
+// filter those are rare after warmup, so the O(entries) copy amortizes away.
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheKey identifies one encoded answer body. The generation is part of
+// the key, not just the eviction policy: it is what makes a published
+// rebuild invisible to stale entries with no synchronization on the read
+// path.
+type cacheKey struct {
+	query string
+	gen   uint64
+	j     int64
+}
+
+// cacheEntryOverhead charges each entry for its key, map slot and eviction
+// bookkeeping, so -answer-cache-bytes bounds the cache's real footprint,
+// not just its payload bytes.
+const cacheEntryOverhead = 96
+
+// maxSeenTracked bounds the admission filter's memory: when the set of
+// once-seen positions outgrows this, the filter resets. A reset only delays
+// admission (a hot position re-earns its two misses); it never serves wrong
+// bytes.
+const maxSeenTracked = 1 << 16
+
+type cacheMap map[cacheKey][]byte
+
+// answerCache is the generation-keyed /access response cache. The zero
+// value is unusable; construct with newAnswerCache. A nil *answerCache is
+// the disabled state — handlers guard with one nil check.
+type answerCache struct {
+	maxBytes int64
+	live     atomic.Pointer[cacheMap]
+
+	mu    sync.Mutex // serializes admission, eviction, invalidation
+	seen  map[cacheKey]struct{}
+	order []cacheKey // admission order; FIFO eviction
+	bytes int64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	admitted      atomic.Int64
+	evicted       atomic.Int64
+	invalidations atomic.Int64
+}
+
+func newAnswerCache(maxBytes int64) *answerCache {
+	c := &answerCache{maxBytes: maxBytes}
+	m := cacheMap{}
+	c.live.Store(&m)
+	return c
+}
+
+// get returns the cached body for (query, gen, j), or nil. Lock-free and
+// allocation-free; callers must treat the bytes as immutable.
+func (c *answerCache) get(query string, gen uint64, j int64) []byte {
+	body, ok := (*c.live.Load())[cacheKey{query: query, gen: gen, j: j}]
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return body
+}
+
+// offer records a miss for (query, gen, j) and admits the body on the
+// second observation. body is copied on admission; the caller keeps
+// ownership of the slice it passed.
+func (c *answerCache) offer(query string, gen uint64, j int64, body []byte) {
+	cost := int64(len(body)) + cacheEntryOverhead
+	if cost > c.maxBytes {
+		return // larger than the whole budget: unadmittable
+	}
+	k := cacheKey{query: query, gen: gen, j: j}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := *c.live.Load()
+	if _, ok := cur[k]; ok {
+		return // raced with another admission of the same position
+	}
+	if c.seen == nil || len(c.seen) >= maxSeenTracked {
+		c.seen = make(map[cacheKey]struct{})
+	}
+	if _, ok := c.seen[k]; !ok {
+		c.seen[k] = struct{}{} // first observation: remember, don't admit
+		return
+	}
+	delete(c.seen, k)
+	next := make(cacheMap, len(cur)+1)
+	for kk, vv := range cur {
+		next[kk] = vv
+	}
+	for c.bytes+cost > c.maxBytes && len(c.order) > 0 {
+		ev := c.order[0]
+		c.order = c.order[1:]
+		if b, ok := next[ev]; ok {
+			delete(next, ev)
+			c.bytes -= int64(len(b)) + cacheEntryOverhead
+			c.evicted.Add(1)
+		}
+	}
+	next[k] = append([]byte(nil), body...)
+	c.order = append(c.order, k)
+	c.bytes += cost
+	c.admitted.Add(1)
+	c.live.Store(&next)
+}
+
+// invalidate drops every entry and resets the admission filter. Called on
+// each registry publish: the generation key already fences stale entries,
+// so this is about returning their bytes to the budget promptly.
+func (c *answerCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := cacheMap{}
+	c.live.Store(&m)
+	c.seen = nil
+	c.order = nil
+	c.bytes = 0
+	c.invalidations.Add(1)
+}
+
+// answerCacheStats is the scrape-time view for the renum_cache_* families.
+type answerCacheStats struct {
+	Hits, Misses, Admitted, Evicted, Invalidations int64
+	Entries                                        int
+	Bytes                                          int64
+}
+
+func (c *answerCache) stats() answerCacheStats {
+	c.mu.Lock()
+	bytes := c.bytes
+	c.mu.Unlock()
+	return answerCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Admitted:      c.admitted.Load(),
+		Evicted:       c.evicted.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       len(*c.live.Load()),
+		Bytes:         bytes,
+	}
+}

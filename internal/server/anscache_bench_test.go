@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/load"
+)
+
+// benchCacheServer builds a server over a 3-way chain join big enough that
+// an uncached access pays a real probe (multi-node descent + dictionary
+// rendering + encode), which is the work a cache hit elides.
+func benchCacheServer(b *testing.B, cfg Config) *Server {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	table := func(h0, h1 string) string {
+		var sb strings.Builder
+		sb.WriteString(h0 + "," + h1 + "\n")
+		for i := 0; i < 20_000; i++ {
+			fmt.Fprintf(&sb, "k%d,k%d\n", rng.Intn(500), rng.Intn(500))
+		}
+		return sb.String()
+	}
+	db := renum.NewDatabase()
+	for i, cols := range [][2]string{{"c0", "c1"}, {"c1", "c2"}, {"c2", "c3"}} {
+		if err := load.CSV(db, fmt.Sprintf("t%d", i+1), strings.NewReader(table(cols[0], cols[1]))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reg := NewRegistry(db, CoalesceConfig{}, 0)
+	if _, err := reg.Register("Q(c0, c1, c2, c3) :- t1(c0, c1), t2(c1, c2), t3(c2, c3).", false); err != nil {
+		b.Fatal(err)
+	}
+	s := New(reg, cfg)
+	b.Cleanup(s.Close)
+	return s
+}
+
+// BenchmarkAnswerCacheAccess measures the /access handler under a Zipfian
+// position stream — the workload the answer cache exists for — with the
+// cache off and on. The committed BENCH_plan.json pins both arms: the cached
+// arm must stay below the uncached one (CI asserts the ratio), and a cache
+// regression that slows the uncached path would show up in the first arm.
+func BenchmarkAnswerCacheAccess(b *testing.B) {
+	for _, arm := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"Uncached", Config{}},
+		{"Cached", Config{AnswerCacheBytes: 64 << 20}},
+	} {
+		arm := arm
+		b.Run(arm.name, func(b *testing.B) {
+			s := benchCacheServer(b, arm.cfg)
+			e, ok := s.reg.Lookup("Q")
+			if !ok {
+				b.Fatal("entry Q missing")
+			}
+			n := e.Count()
+			if n == 0 {
+				b.Fatal("empty fixture join")
+			}
+			rng := rand.New(rand.NewSource(99))
+			zipf := rand.NewZipf(rng, 1.3, 8, uint64(n-1))
+			const stream = 2048
+			urls := make([]string, stream)
+			for i := range urls {
+				urls[i] = fmt.Sprintf("/v1/Q/access?j=%d", zipf.Uint64())
+			}
+			// Warm both arms identically: two passes move every hot position
+			// past the cache's two-miss admission threshold.
+			for pass := 0; pass < 2; pass++ {
+				for _, u := range urls {
+					if _, status := doRaw(s, "GET", u, ""); status != 200 {
+						b.Fatalf("warmup %s = %d", u, status)
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, status := doRaw(s, "GET", urls[i%stream], ""); status != 200 {
+					b.Fatal("access failed")
+				}
+			}
+			b.StopTimer()
+			if s.anscache != nil && s.anscache.stats().Hits == 0 {
+				b.Fatal("cached arm never hit the cache")
+			}
+		})
+	}
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustUnmarshal(t *testing.T, raw []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(raw, v); err != nil {
+		t.Fatalf("bad JSON %q: %v", raw, err)
+	}
+}
+
+// TestAnswerCacheAdmissionAndEviction drives the cache directly: admission
+// on the second miss, budget-bounded FIFO eviction, drop-all invalidation.
+func TestAnswerCacheAdmissionAndEviction(t *testing.T) {
+	c := newAnswerCache(2 * (10 + cacheEntryOverhead)) // room for two 10-byte bodies
+	body := func(i int) []byte { return []byte(fmt.Sprintf("body-%05d", i)) }
+
+	if got := c.get("Q", 1, 0); got != nil {
+		t.Fatalf("empty cache get = %q", got)
+	}
+	c.offer("Q", 1, 0, body(0)) // first miss: observed, not admitted
+	if got := c.get("Q", 1, 0); got != nil {
+		t.Fatalf("after one offer get = %q, want miss", got)
+	}
+	c.offer("Q", 1, 0, body(0)) // second miss: admitted
+	if got := c.get("Q", 1, 0); !bytes.Equal(got, body(0)) {
+		t.Fatalf("after admission get = %q, want %q", got, body(0))
+	}
+	// The cached bytes are a copy, not an alias of the offered slice.
+	b := body(1)
+	c.offer("Q", 1, 1, b)
+	c.offer("Q", 1, 1, b)
+	b[0] = 'X'
+	if got := c.get("Q", 1, 1); !bytes.Equal(got, body(1)) {
+		t.Fatalf("cached bytes alias the caller's slice: %q", got)
+	}
+
+	// A third admission exceeds the two-entry budget: the oldest goes.
+	c.offer("Q", 1, 2, body(2))
+	c.offer("Q", 1, 2, body(2))
+	if got := c.get("Q", 1, 0); got != nil {
+		t.Fatalf("oldest entry survived eviction: %q", got)
+	}
+	if got := c.get("Q", 1, 2); !bytes.Equal(got, body(2)) {
+		t.Fatalf("newest entry missing after eviction: %q", got)
+	}
+	st := c.stats()
+	if st.Admitted != 3 || st.Evicted != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 3 admitted, 1 evicted, 2 entries", st)
+	}
+	if st.Bytes > c.maxBytes {
+		t.Fatalf("bytes %d exceed budget %d", st.Bytes, c.maxBytes)
+	}
+
+	// Different generation, same position: a distinct key (miss).
+	if got := c.get("Q", 2, 2); got != nil {
+		t.Fatalf("generation bleed: gen-2 get served gen-1 bytes %q", got)
+	}
+
+	// A body larger than the whole budget is never admitted.
+	huge := bytes.Repeat([]byte("x"), int(c.maxBytes))
+	c.offer("Q", 1, 9, huge)
+	c.offer("Q", 1, 9, huge)
+	if got := c.get("Q", 1, 9); got != nil {
+		t.Fatal("over-budget body was admitted")
+	}
+
+	c.invalidate()
+	if got := c.get("Q", 1, 2); got != nil {
+		t.Fatalf("entry survived invalidation: %q", got)
+	}
+	if st := c.stats(); st.Entries != 0 || st.Bytes != 0 || st.Invalidations != 1 {
+		t.Fatalf("post-invalidate stats = %+v", st)
+	}
+}
+
+// TestAnswerCacheServesIdenticalBytes pins the core contract on both
+// serving paths: a cache hit returns byte-for-byte what the uncached probe
+// builds, and hot positions actually hit after the two-miss admission.
+func TestAnswerCacheServesIdenticalBytes(t *testing.T) {
+	s, _ := newTestServer(t, CoalesceConfig{}, Config{AnswerCacheBytes: 1 << 20})
+	_, addr := startFast(t, s)
+
+	// Mux path: requests 1 and 2 miss (observe + admit), request 3 hits.
+	var first []byte
+	for i := 0; i < 3; i++ {
+		raw, status := doRaw(s, "GET", "/v1/Q/access?j=1", "")
+		if status != 200 {
+			t.Fatalf("access #%d = %d (%s)", i, status, raw)
+		}
+		if i == 0 {
+			first = append([]byte(nil), raw...)
+		} else if !bytes.Equal(raw, first) {
+			t.Fatalf("access #%d = %q, first = %q", i, raw, first)
+		}
+	}
+	if st := s.anscache.stats(); st.Hits == 0 {
+		t.Fatalf("no cache hits after 3 identical accesses: %+v", st)
+	}
+
+	// Fast-loop path serves the same cached bytes.
+	resp := fastDo(t, addr, "GET", "/v1/Q/access?j=1", "", "")
+	if resp.status != 200 || !bytes.Equal(resp.body, first) {
+		t.Fatalf("fast loop = %d %q, want 200 %q", resp.status, resp.body, first)
+	}
+}
+
+// TestAnswerCacheUpdateInvalidation is the staleness regression test the
+// cache's correctness argument rests on: a cached pre-update answer must
+// never be served post-update, on either invalidation mechanism —
+//
+//   - dynamic entries: /update mutates the handle in place with NO
+//     generation bump, so such entries are excluded from caching entirely;
+//   - static entries: admin mutations publish a new generation, which both
+//     re-keys every lookup and drops the cache.
+func TestAnswerCacheUpdateInvalidation(t *testing.T) {
+	s, reg := newTestServer(t, CoalesceConfig{}, Config{AnswerCacheBytes: 1 << 20})
+
+	// Dynamic entry: hammer one position far past the admission threshold,
+	// then delete the exact tuple it returns.
+	var dynBody []byte
+	for i := 0; i < 5; i++ {
+		raw, status := doRaw(s, "GET", "/v1/D/access?j=0", "")
+		if status != 200 {
+			t.Fatalf("D access = %d (%s)", status, raw)
+		}
+		dynBody = append(dynBody[:0], raw...)
+	}
+	if st := s.anscache.stats(); st.Admitted != 0 {
+		t.Fatalf("dynamic entry was admitted to the cache: %+v", st)
+	}
+	var parsed struct {
+		Answer []string `json:"answer"`
+		J      int64    `json:"j"`
+	}
+	mustUnmarshal(t, dynBody, &parsed)
+	del := fmt.Sprintf(`{"op":"delete","relation":"r","tuple":["%s","%s"]}`,
+		parsed.Answer[0], parsed.Answer[1])
+	if m := do(t, s, "POST", "/v1/D/update", del, 200); m["changed"] != true {
+		t.Fatalf("delete did not change the index: %v", m)
+	}
+	raw, status := doRaw(s, "GET", "/v1/D/access?j=0", "")
+	if status != 200 {
+		t.Fatalf("post-update access = %d (%s)", status, raw)
+	}
+	if bytes.Equal(raw, dynBody) {
+		t.Fatalf("stale pre-update answer served post-update: %q", raw)
+	}
+
+	// Static entry: admit position 0, verify it hits, then replace the r
+	// table and rebuild — a new generation both re-keys and drops the cache.
+	var statBody []byte
+	for i := 0; i < 3; i++ {
+		raw, status := doRaw(s, "GET", "/v1/Q/access?j=0", "")
+		if status != 200 {
+			t.Fatalf("Q access = %d (%s)", status, raw)
+		}
+		statBody = append(statBody[:0], raw...)
+	}
+	hitsBefore := s.anscache.stats().Hits
+	if hitsBefore == 0 {
+		t.Fatal("static entry never hit the cache")
+	}
+	if err := reg.LoadTable("r", strings.NewReader("a,b\n9,2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.anscache.stats(); st.Entries != 0 || st.Invalidations == 0 {
+		t.Fatalf("publish did not drop the cache: %+v", st)
+	}
+	raw, status = doRaw(s, "GET", "/v1/Q/access?j=0", "")
+	if status != 200 {
+		t.Fatalf("post-rebuild access = %d (%s)", status, raw)
+	}
+	if bytes.Equal(raw, statBody) {
+		t.Fatalf("stale pre-rebuild answer served post-rebuild: %q", raw)
+	}
+	mustUnmarshal(t, raw, &parsed)
+	if parsed.Answer[0] != "9" {
+		t.Fatalf("post-rebuild answer = %v, want the replaced table's value 9", parsed.Answer)
+	}
+}
+
+// TestAnswerCacheCoalescedPath pins that the cache composes with the
+// coalescer: the hit short-circuits before the coalescing window, and
+// admitted bytes match the coalesced build.
+func TestAnswerCacheCoalescedPath(t *testing.T) {
+	s, _ := newTestServer(t, CoalesceConfig{Window: 200 * time.Microsecond}, Config{AnswerCacheBytes: 1 << 20})
+	var first []byte
+	for i := 0; i < 3; i++ {
+		raw, status := doRaw(s, "GET", "/v1/Q/access?j=2", "")
+		if status != 200 {
+			t.Fatalf("access = %d (%s)", status, raw)
+		}
+		if i == 0 {
+			first = append([]byte(nil), raw...)
+		} else if !bytes.Equal(raw, first) {
+			t.Fatalf("access #%d = %q, first = %q", i, raw, first)
+		}
+	}
+	if st := s.anscache.stats(); st.Hits == 0 {
+		t.Fatalf("no hits through the coalesced path: %+v", st)
+	}
+}

@@ -483,7 +483,6 @@ func (fc *fastConn) serveFast(op int, qname, query []byte, hm headerMeta, tr *tr
 	if !ok {
 		return httpErrorf(http.StatusNotFound, "no query %q (serving: %s)", string(qname), joinNames(s.reg.Names()))
 	}
-	_ = gen
 	if tr != nil {
 		tr.query = e.Name
 	}
@@ -503,6 +502,17 @@ func (fc *fastConn) serveFast(op int, qname, query []byte, hm headerMeta, tr *tr
 		if j < 0 || j >= e.Count() {
 			return httpErrorf(http.StatusBadRequest, "j=%d out of range [0, %d)", j, e.Count())
 		}
+		// Generation-keyed answer cache: a hit is one lock-free lookup on
+		// e.Name (no byte→string conversion, so the hit path allocates
+		// nothing) and serves the exact bytes the miss path would build.
+		cache := s.anscache
+		if cache != nil && e.cacheable {
+			if body := cache.get(e.Name, gen, j); body != nil {
+				return fc.writeResponse(http.StatusOK, "application/json", body)
+			}
+		} else {
+			cache = nil
+		}
 		var t renum.Tuple
 		if e.coal != nil {
 			pc := startProbe(e.histAccess(), tr, "coalesce")
@@ -517,7 +527,11 @@ func (fc *fastConn) serveFast(op int, qname, query []byte, hm headerMeta, tr *tr
 		if err != nil {
 			return err
 		}
-		return fc.writeResponse(http.StatusOK, "application/json", appendAccessBody(fc.enc.buf[:0], dict, j, t))
+		body := appendAccessBody(fc.enc.buf[:0], dict, j, t)
+		if cache != nil {
+			cache.offer(e.Name, gen, j, body)
+		}
+		return fc.writeResponse(http.StatusOK, "application/json", body)
 
 	case opBatch:
 		raw, _ := fc.param(query, "js")

@@ -17,9 +17,13 @@ import (
 )
 
 // newServerObserver builds the obs.Observer the registry emits into: build,
-// WAL, snapshot, compaction and publish timings, plus per-query probe
-// histograms resolved once per entry.
-func newServerObserver(reg *obs.Registry, r *Registry) *obs.Observer {
+// plan-search, WAL, snapshot, compaction and publish timings, plus per-query
+// probe histograms resolved once per entry. It takes the Server (not just
+// the Registry) because a publish also drops the answer cache: the
+// generation key already fences stale entries, but dropping them returns
+// their bytes to the budget immediately.
+func newServerObserver(reg *obs.Registry, s *Server) *obs.Observer {
+	r := s.reg
 	walAppend := reg.Histogram("renum_wal_append_duration_seconds",
 		"WAL record write latency (encode+write, fsync excluded).", "")
 	walAppendBytes := reg.Counter("renum_wal_append_bytes_total",
@@ -34,6 +38,12 @@ func newServerObserver(reg *obs.Registry, r *Registry) *obs.Observer {
 		"WAL records folded into snapshot generations by compaction.", "")
 	published := reg.Counter("renum_generations_published_total",
 		"Registry generations published (snapshot pointer swaps).", "")
+	planCandidates := reg.Counter("renum_plan_candidates_total",
+		"Candidate join trees costed by the planner across all searches.", "")
+	planImproved := reg.Counter("renum_plan_improved_total",
+		"Planner searches that chose a tree strictly cheaper than the as-parsed one.", "")
+	planDur := reg.Histogram("renum_plan_search_duration_seconds",
+		"Planner search latency (candidate enumeration + costing), at entry build time.", "")
 
 	return &obs.Observer{
 		Build: func(query, stage string, d time.Duration) {
@@ -57,7 +67,25 @@ func newServerObserver(reg *obs.Registry, r *Registry) *obs.Observer {
 				compactFolded.Add(uint64(folded))
 			}
 		},
-		Publish: func(gen uint64) { published.Inc() },
+		Publish: func(gen uint64) {
+			published.Inc()
+			if s.anscache != nil {
+				s.anscache.invalidate()
+			}
+		},
+		Plan: func(query string, candidates int, identity bool, chosenCost, identityCost float64, d time.Duration) {
+			// Plan searches are build-time events (admin register/rebuild),
+			// so resolving the per-query series here is off every request
+			// path — same reasoning as the build histogram above.
+			reg.Counter("renum_plan_searches_total",
+				"Planner searches run at entry build time, by query.",
+				obs.Labels("query", query)).Inc()
+			planCandidates.Add(uint64(candidates))
+			if !identity {
+				planImproved.Inc()
+			}
+			planDur.Record(d)
+		},
 		QueryOps: func(query string) *obs.ProbeOps {
 			h := func(op string) *obs.Histogram {
 				return reg.Histogram("renum_probe_duration_seconds",
@@ -138,6 +166,50 @@ func (s *Server) registerCollectors() {
 	s.obs.CollectorFunc("renum_traces_dropped_total", "Trace records evicted from the /debug/traces ring.",
 		obs.KindCounter, func(emit func(string, float64)) {
 			emit("", float64(s.traces.dropped()))
+		})
+	// Answer-cache families emit only when the cache is configured, the same
+	// way the WAL families emit only when a log is attached.
+	s.obs.CollectorFunc("renum_cache_hits_total", "Access requests served from the answer cache.",
+		obs.KindCounter, func(emit func(string, float64)) {
+			if c := s.anscache; c != nil {
+				emit("", float64(c.stats().Hits))
+			}
+		})
+	s.obs.CollectorFunc("renum_cache_misses_total", "Access requests that missed the answer cache (cacheable entries only).",
+		obs.KindCounter, func(emit func(string, float64)) {
+			if c := s.anscache; c != nil {
+				emit("", float64(c.stats().Misses))
+			}
+		})
+	s.obs.CollectorFunc("renum_cache_admitted_total", "Answer bodies admitted to the cache (second miss of a position).",
+		obs.KindCounter, func(emit func(string, float64)) {
+			if c := s.anscache; c != nil {
+				emit("", float64(c.stats().Admitted))
+			}
+		})
+	s.obs.CollectorFunc("renum_cache_evicted_total", "Answer bodies evicted to stay inside the byte budget.",
+		obs.KindCounter, func(emit func(string, float64)) {
+			if c := s.anscache; c != nil {
+				emit("", float64(c.stats().Evicted))
+			}
+		})
+	s.obs.CollectorFunc("renum_cache_invalidations_total", "Whole-cache drops triggered by registry generation publishes.",
+		obs.KindCounter, func(emit func(string, float64)) {
+			if c := s.anscache; c != nil {
+				emit("", float64(c.stats().Invalidations))
+			}
+		})
+	s.obs.CollectorFunc("renum_cache_entries", "Answer bodies currently cached.",
+		obs.KindGauge, func(emit func(string, float64)) {
+			if c := s.anscache; c != nil {
+				emit("", float64(c.stats().Entries))
+			}
+		})
+	s.obs.CollectorFunc("renum_cache_bytes", "Bytes held by the answer cache (payload + per-entry overhead).",
+		obs.KindGauge, func(emit func(string, float64)) {
+			if c := s.anscache; c != nil {
+				emit("", float64(c.stats().Bytes))
+			}
 		})
 }
 

@@ -126,6 +126,54 @@ func TestPrometheusWALAndCompactionFamilies(t *testing.T) {
 	}
 }
 
+// TestPrometheusPlanAndCacheFamilies: planner searches observed at rebuild
+// time land in the per-query plan families, and a configured answer cache
+// exports its hit/miss/byte families — all lint-clean.
+func TestPrometheusPlanAndCacheFamilies(t *testing.T) {
+	s, _ := newTestServer(t, CoalesceConfig{}, Config{AnswerCacheBytes: 1 << 20})
+	// The initial Register predates the observer; the rebuild is the first
+	// observed build and runs one planner search per static entry (Q and U —
+	// the dynamic D skips planning).
+	do(t, s, "POST", "/admin/rebuild", "", 200)
+	for i := 0; i < 3; i++ { // miss, admit, hit
+		do(t, s, "GET", "/v1/Q/access?j=0", "", 200)
+	}
+
+	text := promText(t, s)
+	if errs := obs.Lint(strings.NewReader(text)); len(errs) > 0 {
+		t.Fatalf("exposition fails lint: %v\nfull text:\n%s", errs, text)
+	}
+	for _, want := range []string{
+		`renum_plan_searches_total{query="Q"} 1`,
+		`renum_plan_searches_total{query="U"} 1`,
+		"renum_plan_candidates_total ",
+		"renum_plan_improved_total ",
+		"renum_plan_search_duration_seconds_count 2",
+		"renum_cache_hits_total 1",
+		"renum_cache_misses_total 2",
+		"renum_cache_admitted_total 1",
+		"renum_cache_evicted_total 0",
+		// The rebuild published a generation while the cache was attached.
+		"renum_cache_invalidations_total 1",
+		"renum_cache_entries 1",
+		"renum_cache_bytes ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, grepLines(text, "renum_plan")+grepLines(text, "renum_cache"))
+		}
+	}
+
+	// With no cache configured, the cache families emit no samples (headers
+	// remain) — the same contract the WAL families follow with no log
+	// attached, so dashboards see absence, not zeros.
+	s2, _ := newTestServer(t, CoalesceConfig{}, Config{})
+	for _, line := range strings.Split(promText(t, s2), "\n") {
+		if strings.HasPrefix(line, "renum_cache_") {
+			t.Errorf("cache sample exported without a configured cache: %q", line)
+		}
+	}
+}
+
 // TestMetricsJSONShapeStable pins the ?format=json document shape: the
 // top-level keys and every EndpointSummary field name are a compatibility
 // surface (examples/http_traffic and renumload -metrics-url decode them).

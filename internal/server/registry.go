@@ -39,6 +39,12 @@ type Entry struct {
 	// Nil when coalescing is disabled or unsafe for the backend.
 	coal *coalescer
 
+	// cacheable marks entries the answer cache may serve: static backends
+	// only. Updatable handles mutate in place without a generation bump, so
+	// a generation-keyed cache entry could outlive the answer it encodes —
+	// the same reason updatable entries stay uncoalesced.
+	cacheable bool
+
 	// qm holds the per-operation probe histograms resolved from the
 	// registry's observer at build time. Nil when no observer is set;
 	// handlers record through these pointers with no lookup per request.
@@ -139,6 +145,10 @@ type Registry struct {
 	// answers. sliceOf == 0 means the registry serves full answer sets.
 	sliceIdx int
 	sliceOf  int
+
+	// planner selects the join-tree planning mode for entry builds
+	// (SetPlanner). Empty means the library default (cost-based).
+	planner renum.PlannerMode
 }
 
 // CoalesceConfig tunes the per-entry access coalescer. The zero value
@@ -175,7 +185,7 @@ func NewRegistryFromCatalog(cat *renum.Catalog, coalesce CoalesceConfig, workers
 		if src.Src() == nil {
 			return nil, fmt.Errorf("catalog entry %s: unsupported query form", ce.Name)
 		}
-		e := &Entry{Name: ce.Name, Text: ce.Q.String(), H: ce.H, src: src}
+		e := &Entry{Name: ce.Name, Text: ce.Q.String(), H: ce.H, src: src, cacheable: !ce.H.Has(renum.CapUpdate)}
 		if r.coalesce.Window > 0 && !ce.H.Has(renum.CapUpdate) {
 			e.coal = newCoalescer(r.coalesce, ce.H.AccessBatch)
 		}
@@ -304,6 +314,17 @@ func (r *Registry) SetShardSlice(i, k int) error {
 	// Same generation: the served data did not change, only its window.
 	r.snap.Store(&snapshot{db: cur.db, entries: entries, gen: cur.gen})
 	return nil
+}
+
+// SetPlanner selects the join-tree planning mode applied to entries built
+// after the call (Register, Rebuild): renum.PlannerCost searches candidate
+// join trees and keeps the cheapest, renum.PlannerOff preserves the
+// as-parsed tree byte-for-byte. Entries already published keep the tree
+// they were built with until their next rebuild.
+func (r *Registry) SetPlanner(mode renum.PlannerMode) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.planner = mode
 }
 
 // ShardSlice reports the registry's shard-daemon window (k == 0 when the
@@ -436,10 +457,19 @@ func (r *Registry) build(db *renum.Database, q load.Query, dynamic bool) (*Entry
 	if dynamic && q.CQ != nil {
 		opts = append(opts, renum.WithDynamic())
 	}
+	if r.planner != "" {
+		opts = append(opts, renum.WithPlanner(r.planner))
+	}
 	if o := r.obs; o != nil && o.Build != nil {
 		name := q.Name
 		opts = append(opts, renum.WithBuildObserver(func(stage string, d time.Duration) {
 			o.ObserveBuild(name, stage, d)
+		}))
+	}
+	if o := r.obs; o != nil && o.Plan != nil {
+		name := q.Name
+		opts = append(opts, renum.WithPlanObserver(func(ps renum.PlanStats) {
+			o.ObservePlan(name, ps.Candidates, ps.Identity, ps.ChosenCost, ps.IdentityCost, ps.Duration)
 		}))
 	}
 	src := q.Src()
@@ -466,7 +496,7 @@ func (r *Registry) build(db *renum.Database, q load.Query, dynamic bool) (*Entry
 		return nil, err
 	}
 	r.obs.ObserveBuild(q.Name, "total", time.Since(t0))
-	e := &Entry{Name: q.Name, Text: src.String(), H: h, src: q, qm: r.obs.Ops(q.Name)}
+	e := &Entry{Name: q.Name, Text: src.String(), H: h, src: q, qm: r.obs.Ops(q.Name), cacheable: !h.Has(renum.CapUpdate)}
 	// Updatable entries stay uncoalesced: a concurrent delete can invalidate
 	// a position after the handler validated it, and one stale position
 	// would fail the whole merged batch for its round-mates. Static counts

@@ -126,19 +126,26 @@ type Config struct {
 	// TraceBuffer caps the in-memory ring behind /debug/traces
 	// (0 = 256 traced requests).
 	TraceBuffer int
+	// AnswerCacheBytes budgets the generation-keyed /access answer cache
+	// (see anscache.go): encoded response bodies for hot positions of
+	// static entries, invalidated by the registry's generation swap.
+	// 0 disables the cache entirely (the default — cache-off is the
+	// configuration the zero-allocation probe benchmarks pin).
+	AnswerCacheBytes int64
 }
 
 // Server is the HTTP face of a Registry.
 type Server struct {
-	reg     *Registry
-	cfg     Config
-	cursors *cursorStore
-	metrics *metricsRecorder
-	obs     *obs.Registry
-	traces  *traceStore
-	logger  *slog.Logger
-	ready   atomic.Bool
-	mux     *http.ServeMux
+	reg      *Registry
+	cfg      Config
+	cursors  *cursorStore
+	metrics  *metricsRecorder
+	obs      *obs.Registry
+	traces   *traceStore
+	anscache *answerCache // nil when AnswerCacheBytes == 0
+	logger   *slog.Logger
+	ready    atomic.Bool
+	mux      *http.ServeMux
 }
 
 // New wires a server around reg. Call Close when done to stop the cursor
@@ -171,9 +178,12 @@ func New(reg *Registry, cfg Config) *Server {
 		logger:  logger,
 		mux:     http.NewServeMux(),
 	}
+	if cfg.AnswerCacheBytes > 0 {
+		s.anscache = newAnswerCache(cfg.AnswerCacheBytes)
+	}
 	s.ready.Store(true)
 	s.registerCollectors()
-	reg.SetObserver(newServerObserver(obsReg, reg))
+	reg.SetObserver(newServerObserver(obsReg, s))
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /readyz", "readyz", s.handleReadyz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
@@ -576,6 +586,17 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request, e *Entry, 
 	if j < 0 || j >= e.Count() {
 		return httpErrorf(http.StatusBadRequest, "j=%d out of range [0, %d)", j, e.Count())
 	}
+	// Cache check before the coalescer: a hit skips probe and encoding both.
+	// The generation comes from the handler's view, so entry, dictionary and
+	// cache key all belong to one snapshot.
+	cache := s.anscache
+	if cache != nil && e.cacheable {
+		if body := cache.get(e.Name, v.gen, j); body != nil {
+			return writeBody(w, body)
+		}
+	} else {
+		cache = nil
+	}
 	enc := getEnc()
 	defer enc.release()
 	var t renum.Tuple
@@ -597,7 +618,13 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request, e *Entry, 
 	if err != nil {
 		return err
 	}
-	return writeBody(w, appendAccessBody(enc.buf, v.db.Dict(), j, t))
+	body := appendAccessBody(enc.buf, v.db.Dict(), j, t)
+	if cache != nil {
+		// A miss is the admission signal: the second miss of a position
+		// admits these exact bytes (offer copies; body stays pooled).
+		cache.offer(e.Name, v.gen, j, body)
+	}
+	return writeBody(w, body)
 }
 
 // streamBatchThreshold: a batch at or below this many positions streams

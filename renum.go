@@ -110,6 +110,7 @@ import (
 	"repro/internal/mcucq"
 	"repro/internal/naive"
 	"repro/internal/parallel"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/reduce"
 	"repro/internal/relation"
@@ -199,6 +200,10 @@ var (
 // RandomAccess is the Theorem 4.3 structure for one free-connex CQ.
 type RandomAccess struct {
 	c *cqenum.CQ
+	// plan records the cost-based planner's candidate set when Open compiled
+	// this index in PlannerCost mode (nil for the pre-Handle constructors,
+	// PlannerOff, and snapshot restores).
+	plan *plan.Plan
 }
 
 // NewRandomAccess builds the index in linear time. It returns ErrCyclic or
@@ -262,9 +267,15 @@ func (r *RandomAccess) Contains(t Tuple) bool { return r.c.Index.Contains(t) }
 // Head returns the output variable order.
 func (r *RandomAccess) Head() []string { return r.c.Index.Head() }
 
-// Explain renders the compiled plan: the reduced full-join tree with node
-// schemas, cardinalities and join attributes.
-func (r *RandomAccess) Explain() string { return r.c.FullJoin.Explain() }
+// Explain renders the compiled plan: the planner's candidate set with costs
+// and the winner (when cost-based planning ran), followed by the reduced
+// full-join tree with node schemas, cardinalities and join attributes.
+func (r *RandomAccess) Explain() string {
+	if r.plan != nil {
+		return r.plan.Explain() + r.c.FullJoin.Explain()
+	}
+	return r.c.FullJoin.Explain()
+}
 
 // OrderSpec returns the head variables in decreasing significance of the
 // enumeration order. For an index built with NewRandomAccessCanonical, the
@@ -476,6 +487,12 @@ func (r *RandomOrderUnion) Rejections() int64 { return r.e.Rejections }
 type UnionAccess struct {
 	m    *mcucq.MCUCQ
 	head []string
+	// u is the union as compiled (after disjunct-order planning); snapshots
+	// record it so restore pairs the saved indexes with the right disjuncts.
+	u *query.UCQ
+	// plan records the disjunct-order planning decision when Open compiled
+	// this union in PlannerCost mode (nil otherwise).
+	plan *plan.Plan
 }
 
 // NewUnionAccess prepares the disjuncts and all intersection CQs and
@@ -495,7 +512,7 @@ func newUnionAccess(db *Database, u *UCQ, opts mcucq.Options) (*UnionAccess, err
 	// disjunct head is output column i, so the first disjunct's names are
 	// the union's output order.
 	head := append([]string(nil), u.Disjuncts[0].Head...)
-	return &UnionAccess{m: m, head: head}, nil
+	return &UnionAccess{m: m, head: head, u: u}, nil
 }
 
 // Count returns the number of answers of the union.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/access"
+	"repro/internal/plan"
 	"repro/internal/reduce"
 	"repro/internal/shard"
 	"repro/internal/shuffle"
@@ -37,8 +38,11 @@ func WithShardSlice(i, k int) Option {
 	return func(c *config) { c.sliceIdx, c.sliceOf = i, k }
 }
 
-// openSharded is the Open path for WithShards/WithShardSlice on a CQ.
-func openSharded(db *Database, q *CQ, cfg config) (*Handle, error) {
+// openSharded is the Open path for WithShards/WithShardSlice on a CQ. q is
+// the planner's output (Open plans before shard dispatch, on the full
+// database — so every slice of a fleet compiles the same chosen tree); pl is
+// the plan record for Explain, nil when planning was off or not applicable.
+func openSharded(db *Database, q *CQ, cfg config, pl *plan.Plan) (*Handle, error) {
 	if cfg.dynamic {
 		return nil, fmt.Errorf("renum: WithShards with WithDynamic: %w (positions shift under updates; shard the static form)", ErrUnsupported)
 	}
@@ -63,7 +67,7 @@ func openSharded(db *Database, q *CQ, cfg config) (*Handle, error) {
 	if cfg.buildObserve != nil {
 		cfg.buildObserve("shard_build", time.Since(t0))
 	}
-	return &Handle{b: shBackend{set: set, sliceIdx: cfg.sliceIdx, sliceOf: cfg.sliceOf}, workers: cfg.workers}, nil
+	return &Handle{b: shBackend{set: set, sliceIdx: cfg.sliceIdx, sliceOf: cfg.sliceOf, plan: pl}, workers: cfg.workers}, nil
 }
 
 // shBackend serves a Handle from a shard.Set. It carries the full optional
@@ -73,7 +77,8 @@ func openSharded(db *Database, q *CQ, cfg config) (*Handle, error) {
 type shBackend struct {
 	set      *shard.Set
 	sliceIdx int
-	sliceOf  int // > 0 when this is a single-slice build
+	sliceOf  int        // > 0 when this is a single-slice build
+	plan     *plan.Plan // cost-based planning record, nil when off
 }
 
 func (b shBackend) kind() Kind {
@@ -116,6 +121,9 @@ func (b shBackend) sampleN(k int64, rng *rand.Rand, workers int) ([]Tuple, error
 
 func (b shBackend) Explain() string {
 	var sb strings.Builder
+	if b.plan != nil {
+		sb.WriteString(b.plan.Explain())
+	}
 	if b.sliceOf > 0 {
 		lo, hi := b.set.Bounds(0)
 		fmt.Fprintf(&sb, "shard slice %d/%d: root rows [%d, %d), %d answers\n",

@@ -52,6 +52,21 @@ type CatalogEntry struct {
 	H    *Handle
 }
 
+// queryCarrier exposes the query a backend was actually compiled from —
+// after cost-based planning, possibly a body- or disjunct-reordering of the
+// caller's query. WriteSnapshot prefers it over the caller-supplied Q, so a
+// snapshot records the *chosen* tree and a restored generation probes (and,
+// after a data reload, recompiles) on exactly that tree. This matters most
+// for unions: the saved indexes are in compiled-disjunct order, and restore
+// must pair them with the same order.
+type queryCarrier interface {
+	compiledQuery() Query
+}
+
+func (b raBackend) compiledQuery() Query     { return b.c.Query }
+func (b cqSnapBackend) compiledQuery() Query { return b.ra.c.Query }
+func (b uaBackend) compiledQuery() Query     { return b.u }
+
 // snapshotter is the save capability of a Handle backend: static CQ and
 // UCQ backends persist their compiled indexes; the dynamic backend
 // persists its *base contents* (arrival-ordered tuples plus tombstones)
@@ -105,7 +120,13 @@ func WriteSnapshot(w io.Writer, db *Database, gen uint64, entries []CatalogEntry
 	for _, e := range entries {
 		s = enc.Section(secEntry)
 		s.Str(e.Name)
-		query.MarshalQuery(s, e.Q)
+		q := e.Q
+		if qc, ok := e.H.b.(queryCarrier); ok {
+			if cq := qc.compiledQuery(); cq != nil {
+				q = cq
+			}
+		}
+		query.MarshalQuery(s, q)
 		e.H.b.(snapshotter).marshalSnapshotEntry(s)
 		s.Close()
 	}
@@ -315,7 +336,7 @@ func restoreEntry(r *snapshot.Reader, cfg config) (CatalogEntry, error) {
 		if err != nil {
 			return CatalogEntry{}, snapshot.Corruptf("entry %s: %v", name, err)
 		}
-		ua := &UnionAccess{m: m, head: append([]string(nil), u.Disjuncts[0].Head...)}
+		ua := &UnionAccess{m: m, head: append([]string(nil), u.Disjuncts[0].Head...), u: u}
 		h = &Handle{b: uaBackend{ua}, workers: cfg.workers}
 	case entryKindDynamic:
 		cq, ok := q.(*query.CQ)
